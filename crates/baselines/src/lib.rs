@@ -1,0 +1,57 @@
+//! Comparator techniques for the KAMEL evaluation (§8 "Baselines").
+//!
+//! * [`LinearImputer`] — straight-line interpolation, the paper's baseline
+//!   (100% failure rate by definition).
+//! * [`TrImpute`] — a reimplementation of the state-of-the-art no-map
+//!   comparator: crowd-wisdom guided walking over historical GPS point
+//!   density (see DESIGN.md §2, substitution 4).
+//! * [`MapMatcher`] — HMM map matching over the *true* road network; the
+//!   paper reports it as a reference upper bound, not a competitor, since
+//!   it sees the map KAMEL must live without.
+//!
+//! All techniques implement [`TrajectoryImputer`], the uniform interface
+//! the evaluation harness sweeps over.
+
+#![warn(missing_docs)]
+
+pub mod linear;
+pub mod mapmatch;
+pub mod trimpute;
+
+pub use linear::LinearImputer;
+pub use mapmatch::MapMatcher;
+pub use trimpute::{TrImpute, TrImputeConfig};
+
+use kamel_geo::Trajectory;
+
+/// The output of any imputation technique, carrying the failure accounting
+/// the §8 metrics need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImputationOutput {
+    /// The dense output trajectory.
+    pub trajectory: Trajectory,
+    /// Gaps that required imputation.
+    pub segments_total: usize,
+    /// Gaps that fell back to a straight line.
+    pub segments_failed: usize,
+}
+
+impl ImputationOutput {
+    /// Failure rate in `[0, 1]`; `None` when the input had no gaps.
+    pub fn failure_rate(&self) -> Option<f64> {
+        if self.segments_total == 0 {
+            None
+        } else {
+            Some(self.segments_failed as f64 / self.segments_total as f64)
+        }
+    }
+}
+
+/// A trajectory imputation technique under evaluation.
+pub trait TrajectoryImputer: Send + Sync {
+    /// Technique name as printed in figures ("KAMEL", "TrImpute", …).
+    fn name(&self) -> &str;
+
+    /// Imputes one sparse trajectory.
+    fn impute(&self, sparse: &Trajectory) -> ImputationOutput;
+}

@@ -1,0 +1,105 @@
+//! The linear-interpolation baseline.
+
+use crate::{ImputationOutput, TrajectoryImputer};
+use kamel_geo::{GpsPoint, Trajectory};
+
+/// Imputes every gap with a straight line, materializing interior points at
+/// a fixed spacing. The paper treats every such gap as a failure by
+/// definition (§8.1: "By definition, linear interpolation has a 100%
+/// failure rate").
+#[derive(Debug, Clone, Copy)]
+pub struct LinearImputer {
+    /// Gap threshold and interior point spacing in meters (the system
+    /// `max_gap`, default 100 m).
+    pub max_gap_m: f64,
+}
+
+impl Default for LinearImputer {
+    fn default() -> Self {
+        Self { max_gap_m: 100.0 }
+    }
+}
+
+impl TrajectoryImputer for LinearImputer {
+    fn name(&self) -> &str {
+        "Linear"
+    }
+
+    fn impute(&self, sparse: &Trajectory) -> ImputationOutput {
+        let mut points = Vec::with_capacity(sparse.len() * 2);
+        let mut segments_total = 0usize;
+        if sparse.is_empty() {
+            return ImputationOutput {
+                trajectory: Trajectory::default(),
+                segments_total: 0,
+                segments_failed: 0,
+            };
+        }
+        for w in sparse.points.windows(2) {
+            points.push(w[0]);
+            let gap_m = w[0].pos.fast_dist_m(&w[1].pos);
+            if gap_m > self.max_gap_m {
+                segments_total += 1;
+                let n = (gap_m / self.max_gap_m).ceil() as usize;
+                for i in 1..n {
+                    let f = i as f64 / n as f64;
+                    points.push(GpsPoint::new(
+                        w[0].pos.lerp(&w[1].pos, f),
+                        w[0].t + (w[1].t - w[0].t) * f,
+                    ));
+                }
+            }
+        }
+        points.push(*sparse.points.last().expect("non-empty"));
+        ImputationOutput {
+            trajectory: Trajectory::new(points),
+            segments_total,
+            // Every linear gap is a failure by definition.
+            segments_failed: segments_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_gaps_with_evenly_spaced_points() {
+        let sparse = Trajectory::new(vec![
+            GpsPoint::from_parts(41.15, -8.61, 0.0),
+            GpsPoint::from_parts(41.15, -8.60, 100.0), // ~837 m
+        ]);
+        let out = LinearImputer::default().impute(&sparse);
+        assert_eq!(out.segments_total, 1);
+        assert_eq!(out.segments_failed, 1);
+        assert_eq!(out.failure_rate(), Some(1.0));
+        assert!(out.trajectory.len() > 8);
+        // All points on the line lat = 41.15, times monotone.
+        for w in out.trajectory.points.windows(2) {
+            assert!((w[0].pos.lat - 41.15).abs() < 1e-9);
+            assert!(w[1].t >= w[0].t);
+            assert!(w[0].pos.fast_dist_m(&w[1].pos) <= 101.0);
+        }
+    }
+
+    #[test]
+    fn no_gap_passthrough() {
+        let dense = Trajectory::new(vec![
+            GpsPoint::from_parts(41.15, -8.6100, 0.0),
+            GpsPoint::from_parts(41.15, -8.6095, 5.0),
+        ]);
+        let out = LinearImputer::default().impute(&dense);
+        assert_eq!(out.trajectory, dense);
+        assert_eq!(out.segments_total, 0);
+        assert_eq!(out.failure_rate(), None);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let li = LinearImputer::default();
+        assert!(li.impute(&Trajectory::default()).trajectory.is_empty());
+        let single = Trajectory::new(vec![GpsPoint::from_parts(41.0, -8.0, 0.0)]);
+        assert_eq!(li.impute(&single).trajectory, single);
+    }
+}

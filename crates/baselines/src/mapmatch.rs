@@ -1,0 +1,251 @@
+//! HMM map matching over the true road network — the paper's "knows the
+//! map" reference (§8: "we do not consider map matching as a competitor").
+//!
+//! Classic FMM/Newson-Krumm structure: each sparse fix gets candidate
+//! network nodes; emission favors near candidates, transition favors
+//! candidate pairs whose network distance agrees with the great-circle
+//! distance; Viterbi picks the best node sequence; imputation materializes
+//! the network shortest path between consecutive matched nodes.
+
+use crate::{ImputationOutput, TrajectoryImputer};
+use kamel_geo::{GpsPoint, LocalProjection, Trajectory, Xy};
+use kamel_roadsim::RoadNetwork;
+
+/// The map-matching reference imputer.
+pub struct MapMatcher {
+    network: RoadNetwork,
+    proj: LocalProjection,
+    /// Candidate nodes considered per fix.
+    pub candidates: usize,
+    /// GPS noise scale σ for the emission model, meters.
+    pub sigma_m: f64,
+    /// Output spacing / gap threshold in meters.
+    pub max_gap_m: f64,
+}
+
+impl MapMatcher {
+    /// Builds a matcher over the (hidden-from-KAMEL) network.
+    pub fn new(network: RoadNetwork, proj: LocalProjection) -> Self {
+        Self {
+            network,
+            proj,
+            candidates: 4,
+            sigma_m: 15.0,
+            max_gap_m: 100.0,
+        }
+    }
+
+    /// The `k` nearest network nodes to a point.
+    fn candidate_nodes(&self, p: Xy) -> Vec<usize> {
+        let mut dists: Vec<(usize, f64)> = (0..self.network.node_count())
+            .map(|i| (i, self.network.node(i).dist_sq(&p)))
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        dists
+            .into_iter()
+            .take(self.candidates)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Viterbi decoding of the most likely node per fix.
+    fn match_nodes(&self, xy: &[Xy]) -> Vec<usize> {
+        assert!(!xy.is_empty());
+        let cands: Vec<Vec<usize>> = xy.iter().map(|p| self.candidate_nodes(*p)).collect();
+        // Log-probabilities per candidate at each step.
+        let emission = |p: Xy, node: usize| -> f64 {
+            let d = self.network.node(node).dist(&p);
+            -(d * d) / (2.0 * self.sigma_m * self.sigma_m)
+        };
+        let mut scores: Vec<f64> = cands[0].iter().map(|&n| emission(xy[0], n)).collect();
+        let mut back: Vec<Vec<usize>> = Vec::with_capacity(xy.len());
+        for step in 1..xy.len() {
+            let straight = xy[step - 1].dist(&xy[step]);
+            let mut next_scores = vec![f64::NEG_INFINITY; cands[step].len()];
+            let mut next_back = vec![0usize; cands[step].len()];
+            for (j, &nj) in cands[step].iter().enumerate() {
+                let e = emission(xy[step], nj);
+                for (i, &ni) in cands[step - 1].iter().enumerate() {
+                    // Transition: penalize disagreement between network and
+                    // straight-line distance (Newson–Krumm).
+                    let net = self
+                        .network
+                        .shortest_path(ni, nj)
+                        .map(|path| path_length(&self.network, &path));
+                    let trans = match net {
+                        Some(net_d) => -((net_d - straight).abs() / self.sigma_m.max(1.0)),
+                        None => f64::NEG_INFINITY,
+                    };
+                    let s = scores[i] + trans + e;
+                    if s > next_scores[j] {
+                        next_scores[j] = s;
+                        next_back[j] = i;
+                    }
+                }
+            }
+            // Dead end (disconnected candidates): restart from emissions.
+            if next_scores.iter().all(|s| s.is_infinite()) {
+                next_scores = cands[step].iter().map(|&n| emission(xy[step], n)).collect();
+                next_back = vec![0; cands[step].len()];
+            }
+            scores = next_scores;
+            back.push(next_back);
+        }
+        // Backtrack.
+        let mut idx = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mut rev = vec![cands[xy.len() - 1][idx]];
+        for step in (1..xy.len()).rev() {
+            idx = back[step - 1][idx];
+            rev.push(cands[step - 1][idx]);
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+fn path_length(net: &RoadNetwork, path: &[usize]) -> f64 {
+    path.windows(2)
+        .map(|w| net.node(w[0]).dist(&net.node(w[1])))
+        .sum()
+}
+
+impl TrajectoryImputer for MapMatcher {
+    fn name(&self) -> &str {
+        "MapMatch"
+    }
+
+    fn impute(&self, sparse: &Trajectory) -> ImputationOutput {
+        if sparse.len() < 2 || self.network.node_count() == 0 {
+            return ImputationOutput {
+                trajectory: sparse.clone(),
+                segments_total: 0,
+                segments_failed: 0,
+            };
+        }
+        let xy: Vec<Xy> = sparse.points.iter().map(|p| self.proj.to_xy(p.pos)).collect();
+        let matched = self.match_nodes(&xy);
+        let mut points = Vec::with_capacity(sparse.len() * 3);
+        let mut segments_total = 0usize;
+        let mut segments_failed = 0usize;
+        for i in 0..sparse.len() - 1 {
+            points.push(sparse.points[i]);
+            let gap_m = xy[i].dist(&xy[i + 1]);
+            if gap_m <= self.max_gap_m {
+                continue;
+            }
+            segments_total += 1;
+            // Network route between matched nodes, densified.
+            let route = self.network.shortest_path(matched[i], matched[i + 1]);
+            let interior: Vec<Xy> = match route {
+                Some(path) if path.len() >= 2 => {
+                    let poly: Vec<Xy> = path.iter().map(|&n| self.network.node(n)).collect();
+                    let dense = kamel_geo::discretize(&poly, self.max_gap_m * 0.8);
+                    // Drop the matched endpoints; keep interior.
+                    dense[1..dense.len().saturating_sub(1)].to_vec()
+                }
+                _ => {
+                    segments_failed += 1;
+                    let n = (gap_m / self.max_gap_m).ceil() as usize;
+                    (1..n)
+                        .map(|k| xy[i].lerp(&xy[i + 1], k as f64 / n as f64))
+                        .collect()
+                }
+            };
+            let (t0, t1) = (sparse.points[i].t, sparse.points[i + 1].t);
+            let mut cum = Vec::with_capacity(interior.len());
+            let mut total = 0.0;
+            let mut prev = xy[i];
+            for p in &interior {
+                total += prev.dist(p);
+                cum.push(total);
+                prev = *p;
+            }
+            total += prev.dist(&xy[i + 1]);
+            for (p, c) in interior.iter().zip(cum) {
+                let f = if total > 0.0 { c / total } else { 0.0 };
+                points.push(GpsPoint::new(self.proj.to_latlng(*p), t0 + (t1 - t0) * f));
+            }
+        }
+        points.push(*sparse.points.last().expect("len >= 2"));
+        ImputationOutput {
+            trajectory: Trajectory::new(points),
+            segments_total,
+            segments_failed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamel_geo::LatLng;
+    use kamel_roadsim::{generate_city, CityConfig};
+
+    fn setup() -> (MapMatcher, LocalProjection) {
+        let net = generate_city(&CityConfig {
+            cols: 8,
+            rows: 8,
+            spacing_m: 150.0,
+            jitter_m: 0.0,
+            street_removal_prob: 0.0,
+            diagonals: 0,
+            roundabouts: 0,
+            ring_road: false,
+            overpass: false,
+            seed: 1,
+        });
+        let proj = LocalProjection::new(LatLng::new(41.15, -8.61));
+        (MapMatcher::new(net, proj), proj)
+    }
+
+    #[test]
+    fn imputes_along_the_network() {
+        let (mm, proj) = setup();
+        // A gap along the bottom street (y = 0): from (0,0) to (900,0).
+        let sparse = Trajectory::new(vec![
+            GpsPoint::new(proj.to_latlng(Xy::new(0.0, 3.0)), 0.0),
+            GpsPoint::new(proj.to_latlng(Xy::new(900.0, -3.0)), 90.0),
+        ]);
+        let out = mm.impute(&sparse);
+        assert_eq!(out.segments_total, 1);
+        assert_eq!(out.segments_failed, 0);
+        assert!(out.trajectory.len() > 6);
+        // Imputed points stay on the street y ≈ 0.
+        for p in &out.trajectory.points {
+            let xy = proj.to_xy(p.pos);
+            assert!(xy.y.abs() < 40.0, "off-road point {xy:?}");
+        }
+    }
+
+    #[test]
+    fn matches_through_turns() {
+        let (mm, proj) = setup();
+        // L-shaped trip: east along y=0 then north along x=900.
+        let sparse = Trajectory::new(vec![
+            GpsPoint::new(proj.to_latlng(Xy::new(0.0, 0.0)), 0.0),
+            GpsPoint::new(proj.to_latlng(Xy::new(900.0, 0.0)), 90.0),
+            GpsPoint::new(proj.to_latlng(Xy::new(900.0, 900.0)), 180.0),
+        ]);
+        let out = mm.impute(&sparse);
+        assert_eq!(out.segments_total, 2);
+        assert_eq!(out.segments_failed, 0);
+        // The output length approximates the L route (~1800 m), not the
+        // diagonal (~1273 m).
+        let len = out.trajectory.length_m();
+        assert!((1500.0..2200.0).contains(&len), "length {len}");
+    }
+
+    #[test]
+    fn short_input_passthrough() {
+        let (mm, proj) = setup();
+        let single = Trajectory::new(vec![GpsPoint::new(proj.to_latlng(Xy::new(0.0, 0.0)), 0.0)]);
+        let out = mm.impute(&single);
+        assert_eq!(out.trajectory, single);
+        assert_eq!(out.segments_total, 0);
+    }
+}

@@ -1,0 +1,360 @@
+//! TrImpute-style crowd-wisdom imputation (the state-of-the-art no-map
+//! comparator, Elshrif et al., SIGSPATIAL 2022).
+//!
+//! TrImpute relies on the "wisdom of the crowd": historical GPS points act
+//! as virtual guides. To impute a gap it repeatedly steps from the current
+//! position to the densest nearby cluster of historical points whose
+//! recorded travel direction is consistent with progress toward the
+//! destination. It needs *highly dense* prior data near the gap; where
+//! history is thin the walk dies and the segment falls back to a straight
+//! line — exactly the sensitivity the paper's experiments expose (§8.1:
+//! "TrImpute was unable to cope with such gaps as it only works when there
+//! are highly dense prior trajectories").
+
+use crate::{ImputationOutput, TrajectoryImputer};
+use kamel_geo::{angle_between_deg, bearing_deg, GpsPoint, LatLng, LocalProjection, Trajectory, Xy};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// TrImpute parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrImputeConfig {
+    /// Guidance grid cell size in meters.
+    pub cell_m: f64,
+    /// Walk step length in meters (how far each guided hop moves).
+    pub step_m: f64,
+    /// Minimum historical points in a cell for it to guide the walk.
+    pub min_density: usize,
+    /// Maximum deviation between a candidate direction and the bearing to
+    /// the destination, in degrees.
+    pub max_deviation_deg: f64,
+    /// Output spacing / gap threshold in meters.
+    pub max_gap_m: f64,
+    /// Walk step budget per gap.
+    pub max_steps: usize,
+}
+
+impl Default for TrImputeConfig {
+    fn default() -> Self {
+        Self {
+            cell_m: 60.0,
+            step_m: 80.0,
+            min_density: 3,
+            max_deviation_deg: 75.0,
+            max_gap_m: 100.0,
+            max_steps: 120,
+        }
+    }
+}
+
+/// Per-cell crowd statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct CellStats {
+    count: u32,
+    /// Sum of heading unit vectors, for the circular mean.
+    sin_sum: f64,
+    cos_sum: f64,
+    /// Positional centroid accumulators.
+    x_sum: f64,
+    y_sum: f64,
+}
+
+impl CellStats {
+    fn centroid(&self) -> Xy {
+        Xy::new(self.x_sum / self.count as f64, self.y_sum / self.count as f64)
+    }
+
+    fn mean_heading(&self) -> Option<f64> {
+        if self.sin_sum == 0.0 && self.cos_sum == 0.0 {
+            return None;
+        }
+        Some(kamel_geo::normalize_deg(
+            self.sin_sum.atan2(self.cos_sum).to_degrees(),
+        ))
+    }
+}
+
+/// The trained TrImpute comparator.
+#[derive(Debug, Clone)]
+pub struct TrImpute {
+    config: TrImputeConfig,
+    proj: LocalProjection,
+    cells: HashMap<(i32, i32), CellStats>,
+}
+
+impl TrImpute {
+    /// Builds the guidance grid from historical trajectories.
+    ///
+    /// Returns an imputer even for an empty corpus (every gap will fail).
+    pub fn train(config: TrImputeConfig, history: &[Trajectory]) -> Self {
+        let origin = history
+            .iter()
+            .find_map(|t| t.points.first().map(|p| p.pos))
+            .unwrap_or(LatLng::new(0.0, 0.0));
+        let proj = LocalProjection::new(origin);
+        let mut cells: HashMap<(i32, i32), CellStats> = HashMap::new();
+        for traj in history {
+            let xy: Vec<Xy> = traj.points.iter().map(|p| proj.to_xy(p.pos)).collect();
+            for i in 0..xy.len() {
+                let heading = heading_at(&xy, i);
+                let key = cell_key(xy[i], config.cell_m);
+                let stats = cells.entry(key).or_default();
+                stats.count += 1;
+                stats.x_sum += xy[i].x;
+                stats.y_sum += xy[i].y;
+                if let Some(h) = heading {
+                    let r = h.to_radians();
+                    stats.sin_sum += r.sin();
+                    stats.cos_sum += r.cos();
+                }
+            }
+        }
+        Self {
+            config,
+            proj,
+            cells,
+        }
+    }
+
+    /// Number of populated guidance cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Attempts the guided walk from `s` to `d`; `None` when the crowd
+    /// guidance dies before reaching the destination.
+    fn guided_walk(&self, s: Xy, d: Xy) -> Option<Vec<Xy>> {
+        let cfg = &self.config;
+        let mut current = s;
+        let mut path = Vec::new();
+        for _ in 0..cfg.max_steps {
+            if current.dist(&d) <= cfg.step_m {
+                return Some(path);
+            }
+            let target_bearing = bearing_deg(current, d)?;
+            // Candidate cells: ring of cells roughly one step away.
+            let mut best: Option<(f64, Xy)> = None;
+            let r = (cfg.step_m / cfg.cell_m).ceil() as i32 + 1;
+            let center = cell_key(current, cfg.cell_m);
+            for dx in -r..=r {
+                for dy in -r..=r {
+                    let key = (center.0 + dx, center.1 + dy);
+                    let Some(stats) = self.cells.get(&key) else {
+                        continue;
+                    };
+                    if (stats.count as usize) < cfg.min_density {
+                        continue;
+                    }
+                    let pos = stats.centroid();
+                    let hop = current.dist(&pos);
+                    if hop < cfg.step_m * 0.35 || hop > cfg.step_m * 1.6 {
+                        continue;
+                    }
+                    let Some(hop_bearing) = bearing_deg(current, pos) else {
+                        continue;
+                    };
+                    // Must make progress toward D...
+                    let toward = angle_between_deg(hop_bearing, target_bearing);
+                    if toward > cfg.max_deviation_deg {
+                        continue;
+                    }
+                    // ...and agree with the crowd's recorded direction when
+                    // one exists.
+                    let crowd_penalty = stats
+                        .mean_heading()
+                        .map_or(0.5, |h| {
+                            let dev = angle_between_deg(hop_bearing, h);
+                            // Streets are bidirectional in GPS history;
+                            // 180°-opposed headings are fine.
+                            dev.min(180.0 - dev).min(90.0) / 90.0
+                        });
+                    let score = stats.count as f64 * (1.0 - 0.5 * toward / cfg.max_deviation_deg)
+                        * (1.0 - 0.4 * crowd_penalty);
+                    if best.is_none_or(|(b, _)| score > b) {
+                        best = Some((score, pos));
+                    }
+                }
+            }
+            let (_, next) = best?;
+            path.push(next);
+            current = next;
+        }
+        None
+    }
+}
+
+impl TrajectoryImputer for TrImpute {
+    fn name(&self) -> &str {
+        "TrImpute"
+    }
+
+    fn impute(&self, sparse: &Trajectory) -> ImputationOutput {
+        let cfg = &self.config;
+        if sparse.len() < 2 {
+            return ImputationOutput {
+                trajectory: sparse.clone(),
+                segments_total: 0,
+                segments_failed: 0,
+            };
+        }
+        let mut points = Vec::with_capacity(sparse.len() * 2);
+        let mut segments_total = 0usize;
+        let mut segments_failed = 0usize;
+        for w in sparse.points.windows(2) {
+            points.push(w[0]);
+            let gap_m = w[0].pos.fast_dist_m(&w[1].pos);
+            if gap_m <= cfg.max_gap_m {
+                continue;
+            }
+            segments_total += 1;
+            let s = self.proj.to_xy(w[0].pos);
+            let d = self.proj.to_xy(w[1].pos);
+            let interior: Vec<Xy> = match self.guided_walk(s, d) {
+                Some(walk) if !walk.is_empty() => walk,
+                _ => {
+                    segments_failed += 1;
+                    // Straight-line fallback.
+                    let n = (gap_m / cfg.max_gap_m).ceil() as usize;
+                    (1..n).map(|i| s.lerp(&d, i as f64 / n as f64)).collect()
+                }
+            };
+            // Timestamps: linear in cumulative distance.
+            let mut cum = Vec::with_capacity(interior.len());
+            let mut total = 0.0;
+            let mut prev = s;
+            for p in &interior {
+                total += prev.dist(p);
+                cum.push(total);
+                prev = *p;
+            }
+            total += prev.dist(&d);
+            for (p, c) in interior.iter().zip(cum) {
+                let f = if total > 0.0 { c / total } else { 0.0 };
+                points.push(GpsPoint::new(
+                    self.proj.to_latlng(*p),
+                    w[0].t + (w[1].t - w[0].t) * f,
+                ));
+            }
+        }
+        points.push(*sparse.points.last().expect("len >= 2"));
+        ImputationOutput {
+            trajectory: Trajectory::new(points),
+            segments_total,
+            segments_failed,
+        }
+    }
+}
+
+fn cell_key(p: Xy, cell_m: f64) -> (i32, i32) {
+    ((p.x / cell_m).floor() as i32, (p.y / cell_m).floor() as i32)
+}
+
+/// Heading at fix `i` from its neighbors; `None` for degenerate inputs.
+fn heading_at(xy: &[Xy], i: usize) -> Option<f64> {
+    let n = xy.len();
+    if n < 2 {
+        return None;
+    }
+    let (a, b) = if i == 0 {
+        (xy[0], xy[1])
+    } else if i == n - 1 {
+        (xy[n - 2], xy[n - 1])
+    } else {
+        (xy[i - 1], xy[i + 1])
+    };
+    bearing_deg(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense history along one street (the regime TrImpute is built for).
+    fn street_history(n: usize) -> Vec<Trajectory> {
+        (0..n)
+            .map(|j| {
+                Trajectory::new(
+                    (0..60)
+                        .map(|i| {
+                            GpsPoint::from_parts(
+                                41.15 + (j % 3) as f64 * 1e-5,
+                                -8.61 + i as f64 * 0.0005,
+                                i as f64 * 5.0,
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dense_history_bridges_a_gap() {
+        let tr = TrImpute::train(TrImputeConfig::default(), &street_history(20));
+        assert!(tr.cell_count() > 10);
+        let sparse = Trajectory::new(vec![
+            GpsPoint::from_parts(41.15, -8.61, 0.0),
+            GpsPoint::from_parts(41.15, -8.60, 100.0), // ~837 m gap
+        ]);
+        let out = tr.impute(&sparse);
+        assert_eq!(out.segments_total, 1);
+        assert_eq!(out.segments_failed, 0, "walk should succeed on dense history");
+        assert!(out.trajectory.len() > 4);
+        // Walk points hug the street.
+        for p in &out.trajectory.points {
+            assert!((p.pos.lat - 41.15).abs() < 0.001, "stray point {p:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_history_fails_to_linear() {
+        // Only two faint traces: below min_density nearly everywhere.
+        let tr = TrImpute::train(TrImputeConfig::default(), &street_history(1));
+        let sparse = Trajectory::new(vec![
+            GpsPoint::from_parts(41.15, -8.61, 0.0),
+            GpsPoint::from_parts(41.15, -8.60, 100.0),
+        ]);
+        let out = tr.impute(&sparse);
+        assert_eq!(out.segments_total, 1);
+        assert_eq!(out.segments_failed, 1, "thin history must fail");
+        // Fallback still materializes a dense straight line.
+        assert!(out.trajectory.len() > 4);
+    }
+
+    #[test]
+    fn empty_history_never_panics() {
+        let tr = TrImpute::train(TrImputeConfig::default(), &[]);
+        let sparse = Trajectory::new(vec![
+            GpsPoint::from_parts(41.15, -8.61, 0.0),
+            GpsPoint::from_parts(41.15, -8.60, 100.0),
+        ]);
+        let out = tr.impute(&sparse);
+        assert_eq!(out.failure_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn off_history_gap_fails() {
+        let tr = TrImpute::train(TrImputeConfig::default(), &street_history(20));
+        // Gap far away from all history (different latitude band).
+        let sparse = Trajectory::new(vec![
+            GpsPoint::from_parts(41.30, -8.61, 0.0),
+            GpsPoint::from_parts(41.30, -8.60, 100.0),
+        ]);
+        let out = tr.impute(&sparse);
+        assert_eq!(out.segments_failed, 1);
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let tr = TrImpute::train(TrImputeConfig::default(), &street_history(20));
+        let sparse = Trajectory::new(vec![
+            GpsPoint::from_parts(41.15, -8.61, 0.0),
+            GpsPoint::from_parts(41.15, -8.602, 80.0),
+            GpsPoint::from_parts(41.15, -8.594, 160.0),
+        ]);
+        let out = tr.impute(&sparse);
+        for w in out.trajectory.points.windows(2) {
+            assert!(w[1].t >= w[0].t - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Criterion bench for the Figure 12-VI path: imputation cost of the
+//! ablation variants (full / No Part. / No Const. / No Multi.).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kamel::MultipointStrategy;
+use kamel_baselines::TrajectoryImputer;
+use kamel_bench::{default_kamel_config, City};
+use kamel_eval::harness::train_kamel;
+use kamel_roadsim::DatasetScale;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let dataset = City::Porto.dataset(DatasetScale::Small);
+    let sparse: Vec<_> = dataset.test.iter().take(4).map(|t| t.sparsify(1_500.0)).collect();
+    let variants = [
+        ("full", default_kamel_config().pyramid_height(3).model_threshold_k(150).build()),
+        (
+            "no_partitioning",
+            default_kamel_config()
+                .pyramid_height(3)
+                .model_threshold_k(150)
+                .disable_partitioning(true)
+                .build(),
+        ),
+        (
+            "no_constraints",
+            default_kamel_config()
+                .pyramid_height(3)
+                .model_threshold_k(150)
+                .disable_constraints(true)
+                .build(),
+        ),
+        (
+            "no_multipoint",
+            default_kamel_config()
+                .pyramid_height(3)
+                .model_threshold_k(150)
+                .multipoint(MultipointStrategy::Single)
+                .build(),
+        ),
+    ];
+    let mut group = c.benchmark_group("fig12_ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (label, config) in variants {
+        let (kamel, _) = train_kamel(&dataset, config);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kamel, |b, k| {
+            b.iter(|| {
+                for s in &sparse {
+                    std::hint::black_box(k.impute(s));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for the Figure 10 path: metric scoring across accuracy
+//! thresholds δ (imputation output is δ-independent, so this isolates the
+//! discretized recall/precision evaluation cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kamel_baselines::TrajectoryImputer;
+use kamel_bench::{default_kamel_config, City};
+use kamel_eval::harness::train_kamel;
+use kamel_eval::MetricsAccumulator;
+use kamel_roadsim::DatasetScale;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let dataset = City::Porto.dataset(DatasetScale::Small);
+    let (kamel, _) = train_kamel(&dataset, default_kamel_config().pyramid_height(3).model_threshold_k(150).build());
+    let proj = dataset.projection();
+    // Pre-impute a slice so the bench isolates metric computation.
+    let pairs: Vec<_> = dataset
+        .test
+        .iter()
+        .take(8)
+        .map(|gt| (gt.clone(), kamel.impute(&gt.sparsify(1_000.0)).trajectory))
+        .collect();
+    let mut group = c.benchmark_group("fig10_accuracy_threshold");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for delta_m in [5.0f64, 25.0, 50.0, 100.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(delta_m as u64),
+            &delta_m,
+            |b, &delta| {
+                b.iter(|| {
+                    let mut acc = MetricsAccumulator::default();
+                    for (gt, imp) in &pairs {
+                        acc.add_pair(gt, imp, &proj, 100.0, delta);
+                    }
+                    std::hint::black_box(acc.point_metrics())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench for the Figure 3(d) / §3.2 path: training and imputing
+//! at different hexagon edge lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kamel::Kamel;
+use kamel_baselines::TrajectoryImputer;
+use kamel_bench::{default_kamel_config, City};
+use kamel_eval::harness::train_kamel;
+use kamel_roadsim::DatasetScale;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let dataset = City::Porto.dataset(DatasetScale::Small);
+    let mut group = c.benchmark_group("fig3d_cellsize_train");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for edge_m in [25.0f64, 75.0, 200.0] {
+        let config = default_kamel_config()
+            .pyramid_height(3)
+            .model_threshold_k(150)
+            .cell_edge_m(edge_m)
+            .build();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(edge_m as u64),
+            &config,
+            |b, cfg| {
+                b.iter(|| {
+                    let k = Kamel::new(cfg.clone());
+                    k.train(&dataset.train);
+                    std::hint::black_box(k.stats())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig3d_cellsize_impute");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let sparse: Vec<_> = dataset.test.iter().take(4).map(|t| t.sparsify(1_000.0)).collect();
+    for edge_m in [25.0f64, 75.0, 200.0] {
+        let (kamel, _) = train_kamel(
+            &dataset,
+            default_kamel_config()
+                .pyramid_height(3)
+                .model_threshold_k(150)
+                .cell_edge_m(edge_m)
+                .build(),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(edge_m as u64),
+            &kamel,
+            |b, k| {
+                b.iter(|| {
+                    for s in &sparse {
+                        std::hint::black_box(k.impute(s));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Component microbenchmarks: the hot inner operations of every KAMEL
+//! module, plus the from-scratch BERT path (training step + masked
+//! prediction) so the paper's engine stays continuously measured.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kamel::cluster::{dbscan, DirectedPoint};
+use kamel::{KamelConfig, Tokenizer};
+use kamel_geo::{LatLng, Xy};
+use kamel_hexgrid::{HexGrid, Tessellation};
+use kamel_lm::{BertEngineConfig, BertMlm, EngineConfig, MaskedTokenModel, NgramConfig, NgramMlm};
+use kamel_nn::{BertConfig, BertMlmModel};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+fn corpus() -> Vec<Vec<u64>> {
+    // 200 trips over a 40-token loop with occasional branches.
+    (0..200)
+        .map(|i| {
+            (0..40)
+                .map(|j| 1_000 + ((i + j) % 40) as u64)
+                .collect::<Vec<u64>>()
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Tokenization: latlng → hex cell.
+    let tokenizer = Tokenizer::new(LatLng::new(41.15, -8.61), &KamelConfig::default());
+    group.bench_function("tokenize_cell_of", |b| {
+        b.iter(|| {
+            for i in 0..1_000 {
+                let p = LatLng::new(41.15 + i as f64 * 1e-5, -8.61 + i as f64 * 1e-5);
+                std::hint::black_box(tokenizer.cell_of_latlng(p));
+            }
+        })
+    });
+
+    // Hex line drawing (the multipoint geometry primitive).
+    let grid = HexGrid::new(75.0);
+    let a = grid.cell_of(Xy::new(0.0, 0.0));
+    let b2 = grid.cell_of(Xy::new(3_000.0, 2_000.0));
+    group.bench_function("hex_line_3km", |b| {
+        b.iter(|| std::hint::black_box(grid.line(a, b2)))
+    });
+
+    // N-gram engine: train + predict.
+    let corpus = corpus();
+    group.bench_function("ngram_train_200x40", |b| {
+        b.iter(|| std::hint::black_box(NgramMlm::train(&NgramConfig::default(), &corpus)))
+    });
+    let ngram = EngineConfig::Ngram(NgramConfig::default()).train(&corpus);
+    let seq: Vec<u64> = (0..10).map(|j| 1_000 + j as u64).collect();
+    group.bench_function("ngram_predict", |b| {
+        b.iter(|| std::hint::black_box(ngram.predict_masked(&seq, 5, 10)))
+    });
+
+    // DBSCAN over a typical token cell.
+    let points: Vec<DirectedPoint> = (0..200)
+        .map(|i| DirectedPoint {
+            pos: Xy::new((i % 20) as f64 * 3.0, (i / 20) as f64 * 3.0),
+            heading_deg: if i % 2 == 0 { 90.0 } else { 0.0 },
+        })
+        .collect();
+    group.bench_function("dbscan_200pts", |b| {
+        b.iter(|| std::hint::black_box(dbscan(&points, 25.0, 30.0, 4)))
+    });
+    group.finish();
+
+    // BERT path: one training example (fwd+bwd) and one masked prediction.
+    let mut group = c.benchmark_group("bert");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut model = BertMlmModel::new(BertConfig::tiny(64), &mut rng);
+    let ids: Vec<u32> = (5..25).collect();
+    let labels: Vec<Option<u32>> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| if i % 7 == 3 { Some(id) } else { None })
+        .collect();
+    group.bench_function("bert_tiny_train_example", |b| {
+        b.iter(|| {
+            let loss = model.train_example(&ids, &labels);
+            model.zero_grads();
+            std::hint::black_box(loss)
+        })
+    });
+    let small_corpus: Vec<Vec<u64>> = (0..20).map(|_| (100u64..120).collect()).collect();
+    let bert = BertMlm::train(&BertEngineConfig::for_tests(), &small_corpus);
+    let seq: Vec<u64> = (100u64..110).collect();
+    group.bench_function("bert_tiny_predict", |b| {
+        b.iter(|| std::hint::black_box(bert.predict_masked(&seq, 5, 10)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

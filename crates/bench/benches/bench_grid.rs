@@ -1,0 +1,65 @@
+//! Criterion bench for the Figure 12-III path: hexagonal vs square
+//! tokenization, both raw cell assignment and end-to-end imputation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kamel::{GridKind, KamelConfig, Tokenizer};
+use kamel_baselines::TrajectoryImputer;
+use kamel_bench::{default_kamel_config, City};
+use kamel_eval::harness::train_kamel;
+use kamel_geo::LatLng;
+use kamel_roadsim::DatasetScale;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let dataset = City::Porto.dataset(DatasetScale::Small);
+    let mut group = c.benchmark_group("fig12_grid_tokenize");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for grid in [GridKind::Hex, GridKind::Square] {
+        let cfg = KamelConfig::builder().grid(grid).build();
+        let tokenizer = Tokenizer::new(LatLng::new(41.15, -8.61), &cfg);
+        let trajs = &dataset.train[..dataset.train.len().min(20)];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{grid:?}")),
+            &tokenizer,
+            |b, tok| {
+                b.iter(|| {
+                    for t in trajs {
+                        std::hint::black_box(tok.tokenize(t));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig12_grid_impute");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let sparse: Vec<_> = dataset.test.iter().take(5).map(|t| t.sparsify(1_000.0)).collect();
+    for grid in [GridKind::Hex, GridKind::Square] {
+        let (kamel, _) = train_kamel(
+            &dataset,
+            default_kamel_config().pyramid_height(3).model_threshold_k(150).grid(grid).build(),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{grid:?}")),
+            &kamel,
+            |b, k| {
+                b.iter(|| {
+                    for s in &sparse {
+                        std::hint::black_box(k.impute(s));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for the Figure 12-I/II path: road-type classification
+//! and per-class scoring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kamel_bench::{default_kamel_config, City};
+use kamel_eval::harness::train_kamel;
+use kamel_eval::roadtype::{classify_segments, evaluate_by_road_type};
+use kamel_roadsim::DatasetScale;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let dataset = City::Porto.dataset(DatasetScale::Small);
+    let proj = dataset.projection();
+    let sparse: Vec<_> = dataset.test.iter().take(5).map(|t| t.sparsify(1_000.0)).collect();
+    let mut group = c.benchmark_group("fig12_road_type");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("classify_segments", |b| {
+        b.iter(|| {
+            for s in &sparse {
+                std::hint::black_box(classify_segments(&dataset.network, &proj, s, 20.0));
+            }
+        })
+    });
+    let (kamel, _) = train_kamel(&dataset, default_kamel_config().pyramid_height(3).model_threshold_k(150).build());
+    group.bench_function("evaluate_by_road_type", |b| {
+        b.iter(|| {
+            std::hint::black_box(evaluate_by_road_type(
+                &kamel, &dataset, 100.0, 50.0, 1_000.0, 20.0, 4,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

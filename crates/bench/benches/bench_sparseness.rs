@@ -1,0 +1,52 @@
+//! Criterion bench for the Figure 9 path: imputation across sparseness
+//! levels for KAMEL and its competitors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kamel_baselines::{LinearImputer, TrajectoryImputer, TrImputeConfig};
+use kamel_bench::{default_kamel_config, City};
+use kamel_eval::harness::{train_kamel, train_trimpute};
+use kamel_geo::Trajectory;
+use kamel_roadsim::DatasetScale;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let dataset = City::Porto.dataset(DatasetScale::Small);
+    let (kamel, _) = train_kamel(&dataset, default_kamel_config().pyramid_height(3).model_threshold_k(150).build());
+    let (trimpute, _) = train_trimpute(&dataset, TrImputeConfig::default());
+    let linear = LinearImputer::default();
+    let techniques: Vec<(&str, &dyn TrajectoryImputer)> = vec![
+        ("KAMEL", &kamel),
+        ("TrImpute", &trimpute),
+        ("Linear", &linear),
+    ];
+    let mut group = c.benchmark_group("fig9_sparseness");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for sparse_m in [1_000.0f64, 2_500.0] {
+        let sparse: Vec<Trajectory> = dataset
+            .test
+            .iter()
+            .take(5)
+            .map(|t| t.sparsify(sparse_m))
+            .collect();
+        for (name, technique) in &techniques {
+            group.bench_with_input(
+                BenchmarkId::new(*name, sparse_m as u64),
+                &sparse,
+                |b, sparse| {
+                    b.iter(|| {
+                        for s in sparse {
+                            std::hint::black_box(technique.impute(s));
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

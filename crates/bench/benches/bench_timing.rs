@@ -1,0 +1,59 @@
+//! Criterion bench for Figure 11: training time (11a) and per-trajectory
+//! imputation time (11b) of KAMEL vs TrImpute.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kamel::Kamel;
+use kamel_baselines::{TrajectoryImputer, TrImpute, TrImputeConfig};
+use kamel_bench::{default_kamel_config, City};
+use kamel_eval::harness::{train_kamel, train_trimpute};
+use kamel_roadsim::DatasetScale;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let dataset = City::Porto.dataset(DatasetScale::Small);
+    let config = default_kamel_config().pyramid_height(3).model_threshold_k(150).build();
+
+    let mut group = c.benchmark_group("fig11_training");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("KAMEL_train", |b| {
+        b.iter(|| {
+            let k = Kamel::new(config.clone());
+            k.train(&dataset.train);
+            std::hint::black_box(k.stats())
+        })
+    });
+    group.bench_function("TrImpute_train", |b| {
+        b.iter(|| std::hint::black_box(TrImpute::train(TrImputeConfig::default(), &dataset.train)))
+    });
+    group.finish();
+
+    let (kamel, _) = train_kamel(&dataset, config);
+    let (trimpute, _) = train_trimpute(&dataset, TrImputeConfig::default());
+    let sparse: Vec<_> = dataset.test.iter().take(5).map(|t| t.sparsify(1_000.0)).collect();
+    let mut group = c.benchmark_group("fig11_imputation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("KAMEL_impute", |b| {
+        b.iter(|| {
+            for s in &sparse {
+                std::hint::black_box(kamel.impute(s));
+            }
+        })
+    });
+    group.bench_function("TrImpute_impute", |b| {
+        b.iter(|| {
+            for s in &sparse {
+                std::hint::black_box(trimpute.impute(s));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

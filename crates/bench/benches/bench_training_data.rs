@@ -1,0 +1,57 @@
+//! Criterion bench for the Figure 12-IV/V path: training cost as a
+//! function of corpus size and sampling density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kamel::Kamel;
+use kamel_bench::{default_kamel_config, City};
+use kamel_geo::Trajectory;
+use kamel_roadsim::DatasetScale;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let dataset = City::Porto.dataset(DatasetScale::Small);
+    let config = default_kamel_config().pyramid_height(3).model_threshold_k(150).build();
+
+    let mut group = c.benchmark_group("fig12_training_size");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for pct in [25usize, 50, 100] {
+        let keep = (dataset.train.len() * pct / 100).max(1);
+        let slice = &dataset.train[..keep];
+        group.bench_with_input(BenchmarkId::from_parameter(pct), slice, |b, slice| {
+            b.iter(|| {
+                let k = Kamel::new(config.clone());
+                k.train(slice);
+                std::hint::black_box(k.stats())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig12_training_density");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for period_s in [15.0f64, 60.0] {
+        let resampled: Vec<Trajectory> =
+            dataset.train.iter().map(|t| t.resample(period_s)).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(period_s as u64),
+            &resampled,
+            |b, corpus| {
+                b.iter(|| {
+                    let k = Kamel::new(config.clone());
+                    k.train(corpus);
+                    std::hint::black_box(k.stats())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

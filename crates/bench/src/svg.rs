@@ -1,0 +1,317 @@
+//! Dependency-free SVG line charts for the regenerated figures.
+//!
+//! Renders each [`crate::Figure`] as a paper-style plot (one line per
+//! technique, recall/precision/failure panels) so the reproduction can be
+//! eyeballed against the PDF without external tooling.
+
+use crate::{Figure, SweepPoint};
+
+/// Chart geometry.
+const WIDTH: f64 = 480.0;
+const HEIGHT: f64 = 320.0;
+const MARGIN_LEFT: f64 = 56.0;
+const MARGIN_RIGHT: f64 = 130.0;
+const MARGIN_TOP: f64 = 34.0;
+const MARGIN_BOTTOM: f64 = 48.0;
+
+/// Line colors per series index (colorblind-safe-ish defaults).
+const COLORS: [&str; 8] = [
+    "#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+/// One named series of (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders a generic line chart to an SVG string.
+///
+/// `y_range` fixes the y axis (metrics plots use `(0, 1)`); pass `None` to
+/// fit the data.
+pub fn line_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    y_range: Option<(f64, f64)>,
+) -> String {
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .collect();
+    let (x_min, x_max) = bounds(&xs, None);
+    let (y_min, y_max) = bounds(&ys, y_range);
+    let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+    let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+    let px = |x: f64| MARGIN_LEFT + (x - x_min) / (x_max - x_min).max(1e-12) * plot_w;
+    let py = |y: f64| MARGIN_TOP + (1.0 - (y - y_min) / (y_max - y_min).max(1e-12)) * plot_h;
+
+    let mut svg = String::with_capacity(4096);
+    svg.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="11">"#
+    ));
+    svg.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+    // Title.
+    svg.push_str(&format!(
+        r#"<text x="{:.1}" y="18" text-anchor="middle" font-size="13" font-weight="bold">{}</text>"#,
+        MARGIN_LEFT + plot_w / 2.0,
+        escape(title)
+    ));
+    // Axes frame + grid + ticks.
+    svg.push_str(&format!(
+        r##"<rect x="{MARGIN_LEFT}" y="{MARGIN_TOP}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#333"/>"##
+    ));
+    for i in 0..=4 {
+        let f = i as f64 / 4.0;
+        let y_val = y_min + (y_max - y_min) * f;
+        let y = py(y_val);
+        svg.push_str(&format!(
+            r##"<line x1="{MARGIN_LEFT}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+            MARGIN_LEFT + plot_w
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"#,
+            MARGIN_LEFT - 6.0,
+            y + 4.0,
+            trim_num(y_val)
+        ));
+        let x_val = x_min + (x_max - x_min) * f;
+        let x = px(x_val);
+        svg.push_str(&format!(
+            r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+            MARGIN_TOP + plot_h + 16.0,
+            trim_num(x_val)
+        ));
+    }
+    // Axis labels.
+    svg.push_str(&format!(
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+        MARGIN_LEFT + plot_w / 2.0,
+        HEIGHT - 10.0,
+        escape(x_label)
+    ));
+    svg.push_str(&format!(
+        r#"<text x="16" y="{:.1}" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>"#,
+        MARGIN_TOP + plot_h / 2.0,
+        MARGIN_TOP + plot_h / 2.0,
+        escape(y_label)
+    ));
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+            .collect();
+        if path.len() >= 2 {
+            svg.push_str(&format!(
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                path.join(" ")
+            ));
+        }
+        for &(x, y) in &s.points {
+            svg.push_str(&format!(
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                px(x),
+                py(y)
+            ));
+        }
+        // Legend entry.
+        let ly = MARGIN_TOP + 14.0 * i as f64 + 6.0;
+        let lx = MARGIN_LEFT + plot_w + 10.0;
+        svg.push_str(&format!(
+            r#"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 18.0
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
+            lx + 23.0,
+            ly + 4.0,
+            escape(&s.name)
+        ));
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Extracts per-technique series for one metric from a figure's sweep.
+pub fn figure_series(
+    points: &[SweepPoint],
+    metric: impl Fn(&kamel_eval::TechniqueResult) -> Option<f64>,
+) -> Vec<Series> {
+    let mut series: Vec<Series> = Vec::new();
+    for point in points {
+        for result in &point.results {
+            let Some(value) = metric(result) else { continue };
+            match series.iter_mut().find(|s| s.name == result.technique) {
+                Some(s) => s.points.push((point.x, value)),
+                None => series.push(Series {
+                    name: result.technique.clone(),
+                    points: vec![(point.x, value)],
+                }),
+            }
+        }
+    }
+    series
+}
+
+/// Renders a figure's recall/precision/failure panels as SVG documents:
+/// `(suffix, svg)` pairs, e.g. `("recall", "<svg …")`.
+pub fn figure_to_svgs(fig: &Figure) -> Vec<(String, String)> {
+    type Metric = Box<dyn Fn(&kamel_eval::TechniqueResult) -> Option<f64>>;
+    let mut out = Vec::new();
+    let panels: [(&str, Metric); 3] = [
+        ("recall", Box::new(|r| Some(r.recall))),
+        ("precision", Box::new(|r| Some(r.precision))),
+        ("failure", Box::new(|r| r.failure_rate)),
+    ];
+    for (name, metric) in panels {
+        let series = figure_series(&fig.points, metric);
+        if series.iter().all(|s| s.points.is_empty()) {
+            continue;
+        }
+        let svg = line_chart(
+            &format!("{} — {name}", fig.id),
+            &fig.x_label,
+            name,
+            &series,
+            Some((0.0, 1.0)),
+        );
+        out.push((name.to_string(), svg));
+    }
+    out
+}
+
+fn bounds(values: &[f64], fixed: Option<(f64, f64)>) -> (f64, f64) {
+    if let Some(range) = fixed {
+        return range;
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !min.is_finite() || !max.is_finite() {
+        return (0.0, 1.0);
+    }
+    if (max - min).abs() < 1e-12 {
+        (min - 0.5, max + 0.5)
+    } else {
+        (min, max)
+    }
+}
+
+fn trim_num(v: f64) -> String {
+    if v.abs() >= 100.0 || (v - v.round()).abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamel_eval::TechniqueResult;
+
+    fn result(name: &str, recall: f64) -> TechniqueResult {
+        TechniqueResult {
+            technique: name.into(),
+            recall,
+            precision: recall - 0.05,
+            failure_rate: Some(1.0 - recall),
+            mean_deviation_m: 10.0,
+            worst_deviation_m: 100.0,
+            impute_time_s: 0.1,
+            trajectories: 10,
+        }
+    }
+
+    fn sample_figure() -> Figure {
+        Figure {
+            id: "fig-test".into(),
+            x_label: "sparseness_m".into(),
+            points: vec![
+                SweepPoint {
+                    x: 500.0,
+                    results: vec![result("KAMEL", 0.9), result("Linear", 0.8)],
+                },
+                SweepPoint {
+                    x: 1000.0,
+                    results: vec![result("KAMEL", 0.8), result("Linear", 0.6)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn series_extraction_groups_by_technique() {
+        let fig = sample_figure();
+        let series = figure_series(&fig.points, |r| Some(r.recall));
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].name, "KAMEL");
+        assert_eq!(series[0].points, vec![(500.0, 0.9), (1000.0, 0.8)]);
+    }
+
+    #[test]
+    fn chart_is_valid_svg_with_all_parts() {
+        let fig = sample_figure();
+        let svgs = figure_to_svgs(&fig);
+        assert_eq!(svgs.len(), 3); // recall, precision, failure
+        for (name, svg) in &svgs {
+            assert!(svg.starts_with("<svg"), "{name}");
+            assert!(svg.ends_with("</svg>"), "{name}");
+            assert!(svg.contains("polyline"), "{name}: no lines");
+            assert!(svg.contains("KAMEL"), "{name}: missing legend");
+            assert!(svg.contains(name.as_str()), "{name}: missing panel label");
+            // Balanced: every element closed (cheap sanity).
+            assert_eq!(svg.matches("<svg").count(), 1);
+        }
+    }
+
+    #[test]
+    fn escaping_prevents_markup_injection() {
+        let chart = line_chart(
+            "a<b & c>",
+            "x",
+            "y",
+            &[Series {
+                name: "s<1>".into(),
+                points: vec![(0.0, 0.0), (1.0, 1.0)],
+            }],
+            None,
+        );
+        assert!(!chart.contains("a<b"));
+        assert!(chart.contains("a&lt;b &amp; c&gt;"));
+        assert!(chart.contains("s&lt;1&gt;"));
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        // Single point, no range.
+        let chart = line_chart(
+            "t",
+            "x",
+            "y",
+            &[Series {
+                name: "one".into(),
+                points: vec![(5.0, 0.5)],
+            }],
+            None,
+        );
+        assert!(chart.contains("circle"));
+        // Empty series list.
+        let empty = line_chart("t", "x", "y", &[], Some((0.0, 1.0)));
+        assert!(empty.starts_with("<svg"));
+    }
+}

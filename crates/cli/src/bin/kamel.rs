@@ -1,0 +1,7 @@
+//! The `kamel` binary: thin wrapper over [`kamel_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    std::process::exit(kamel_cli::run(&args, &mut stdout));
+}

@@ -1,0 +1,328 @@
+//! The CLI subcommands.
+
+use crate::csvio::{read_trajectories, write_trajectories};
+use crate::Flags;
+use kamel::pipeline::tune_cell_size_detailed;
+use kamel::{GridKind, Kamel, KamelConfig, KamelConfigBuilder};
+use kamel_eval::harness::{evaluate_technique, format_table, KamelImputer};
+use kamel_eval::EvalContext;
+use kamel_lm::{BertEngineConfig, EngineConfig, NgramConfig};
+use kamel_roadsim::{Dataset, DatasetScale};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+fn open_trajectories(path: &str) -> Result<Vec<kamel_geo::Trajectory>, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    read_trajectories(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn save_trajectories(path: &str, trajs: &[kamel_geo::Trajectory]) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let mut writer = BufWriter::new(file);
+    write_trajectories(&mut writer, trajs)?;
+    writer.flush().map_err(|e| e.to_string())
+}
+
+/// Shared KAMEL options exposed on `train`.
+fn config_from_flags(flags: &Flags) -> Result<KamelConfig, String> {
+    let mut builder: KamelConfigBuilder = KamelConfig::builder();
+    builder = builder
+        .cell_edge_m(flags.get_f64("--cell-edge-m", 75.0)?)
+        .max_gap_m(flags.get_f64("--max-gap-m", 100.0)?)
+        .beam_size(flags.get_f64("--beam-size", 10.0)? as usize)
+        .pyramid_height(flags.get_f64("--pyramid-height", 3.0)? as usize)
+        .pyramid_maintained(flags.get_f64("--pyramid-maintained", 3.0)? as usize)
+        .model_threshold_k(flags.get_f64("--threshold-k", 500.0)? as u64);
+    if let Some(grid) = flags.get("--grid") {
+        builder = builder.grid(match grid {
+            "hex" => GridKind::Hex,
+            "square" => GridKind::Square,
+            other => return Err(format!("--grid expects hex|square, got `{other}`")),
+        });
+    }
+    if let Some(engine) = flags.get("--engine") {
+        builder = builder.engine(match engine {
+            "ngram" => EngineConfig::Ngram(NgramConfig::default()),
+            "bert" => EngineConfig::Bert(BertEngineConfig::default()),
+            "bert-tiny" => EngineConfig::Bert(BertEngineConfig::for_tests()),
+            other => return Err(format!("--engine expects ngram|bert|bert-tiny, got `{other}`")),
+        });
+    }
+    builder.try_build().map_err(|e| e.to_string())
+}
+
+/// `kamel generate`: write synthetic train/test CSVs from a dataset preset.
+pub fn generate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help") {
+        let _ = writeln!(
+            out,
+            "kamel generate --city porto|jakarta [--scale small|medium|large] \
+             --train FILE [--test FILE]"
+        );
+        return Ok(());
+    }
+    let flags = Flags::parse(args, &[])?;
+    let scale = match flags.get("--scale").unwrap_or("small") {
+        "small" => DatasetScale::Small,
+        "medium" => DatasetScale::Medium,
+        "large" => DatasetScale::Large,
+        other => return Err(format!("--scale expects small|medium|large, got `{other}`")),
+    };
+    let dataset = match flags.required("--city")? {
+        "porto" => Dataset::porto_like(scale),
+        "jakarta" => Dataset::jakarta_like(scale),
+        other => return Err(format!("--city expects porto|jakarta, got `{other}`")),
+    };
+    let train_path = flags.required("--train")?;
+    save_trajectories(train_path, &dataset.train)?;
+    let _ = writeln!(
+        out,
+        "wrote {} training trajectories ({} points) to {train_path}",
+        dataset.train.len(),
+        dataset.train_points()
+    );
+    if let Some(test_path) = flags.get("--test") {
+        save_trajectories(test_path, &dataset.test)?;
+        let _ = writeln!(
+            out,
+            "wrote {} ground-truth trajectories to {test_path}",
+            dataset.test.len()
+        );
+    }
+    Ok(())
+}
+
+/// `kamel train`: train (or extend) a model from a trajectory CSV.
+pub fn train(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help") {
+        let _ = writeln!(
+            out,
+            "kamel train --input FILE --model FILE [--append] [--cell-edge-m N] \
+             [--max-gap-m N] [--beam-size N] [--grid hex|square] \
+             [--engine ngram|bert|bert-tiny] [--pyramid-height N] \
+             [--pyramid-maintained N] [--threshold-k N] [--split-gap-s N]"
+        );
+        return Ok(());
+    }
+    let flags = Flags::parse(args, &["--append"])?;
+    let input = flags.required("--input")?;
+    let model_path = flags.required("--model")?;
+    let mut trajectories = open_trajectories(input)?;
+    // Messy logs concatenate trips per vehicle id; split at long time gaps
+    // before training when asked.
+    let split_gap_s = flags.get_f64("--split-gap-s", 0.0)?;
+    if split_gap_s > 0.0 {
+        trajectories = trajectories
+            .iter()
+            .flat_map(|t| t.split_by_time_gap(split_gap_s))
+            .collect();
+    }
+    if trajectories.is_empty() {
+        return Err(format!("{input}: no trajectories"));
+    }
+    // --append continues training an existing model; otherwise start fresh
+    // with the configured options.
+    let kamel = if flags.has("--append") {
+        Kamel::load_from_file(model_path).map_err(|e| e.to_string())?
+    } else {
+        Kamel::new(config_from_flags(&flags)?)
+    };
+    kamel.train(&trajectories);
+    kamel.save_to_file(model_path).map_err(|e| e.to_string())?;
+    let stats = kamel.stats().expect("trained");
+    let _ = writeln!(
+        out,
+        "trained on {} trajectories: {} models, {} stored tokens -> {model_path}",
+        trajectories.len(),
+        stats.models,
+        stats.stored_tokens
+    );
+    Ok(())
+}
+
+/// `kamel impute`: impute a sparse trajectory CSV with a trained model.
+pub fn impute(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help") {
+        let _ = writeln!(out, "kamel impute --model FILE --input FILE --output FILE");
+        return Ok(());
+    }
+    let flags = Flags::parse(args, &[])?;
+    let kamel = Kamel::load_from_file(flags.required("--model")?).map_err(|e| e.to_string())?;
+    let sparse = open_trajectories(flags.required("--input")?)?;
+    let results = kamel.impute_batch(&sparse);
+    let dense: Vec<kamel_geo::Trajectory> =
+        results.iter().map(|r| r.trajectory.clone()).collect();
+    let output = flags.required("--output")?;
+    save_trajectories(output, &dense)?;
+    let gaps: usize = results.iter().map(|r| r.gaps.len()).sum();
+    let imputed: usize = results.iter().map(|r| r.imputed_points()).sum();
+    let failed: usize = results
+        .iter()
+        .flat_map(|r| &r.gaps)
+        .filter(|g| g.outcome.failed)
+        .count();
+    let _ = writeln!(
+        out,
+        "imputed {} trajectories: {imputed} points over {gaps} gaps \
+         ({failed} straight-line fallbacks) -> {output}",
+        sparse.len()
+    );
+    Ok(())
+}
+
+/// `kamel stats`: inspect a trained model file.
+pub fn stats(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help") {
+        let _ = writeln!(out, "kamel stats --model FILE");
+        return Ok(());
+    }
+    let flags = Flags::parse(args, &[])?;
+    let kamel = Kamel::load_from_file(flags.required("--model")?).map_err(|e| e.to_string())?;
+    match kamel.stats() {
+        Some(s) => {
+            let _ = writeln!(
+                out,
+                "trajectories: {}\ntokens: {}\nmodels: {}\ndetokenization cells: {}\n\
+                 speed cap: {:.1} m/s\nengine: {}",
+                s.stored_trajectories,
+                s.stored_tokens,
+                s.models,
+                s.detok_cells,
+                s.max_speed_mps,
+                kamel.config().engine.name()
+            );
+            let _ = writeln!(
+                out,
+                "\n{:<12} {:>6} {:>10} {:>8} {:>8} {:>8}",
+                "model", "level", "cell", "vocab", "tokens", "updates"
+            );
+            for m in kamel.model_summaries() {
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:>6} {:>10} {:>8} {:>8} {:>8}",
+                    m.kind,
+                    m.level.map_or("-".into(), |l| l.to_string()),
+                    m.cell
+                        .map_or("-".into(), |(x, y)| format!("({x},{y})")),
+                    m.vocab,
+                    m.trained_tokens,
+                    m.updates
+                );
+            }
+        }
+        None => {
+            let _ = writeln!(out, "model is untrained");
+        }
+    }
+    Ok(())
+}
+
+/// `kamel tune`: the §3.2 cell-size auto-tuner over a training CSV.
+pub fn tune(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help") {
+        let _ = writeln!(
+            out,
+            "kamel tune --input FILE [--candidates 25,50,75,100,150,200] \
+             [--delta-m N] [--sparse-m N]"
+        );
+        return Ok(());
+    }
+    let flags = Flags::parse(args, &[])?;
+    let trajectories = open_trajectories(flags.required("--input")?)?;
+    let candidates: Vec<f64> = match flags.get("--candidates") {
+        None => vec![25.0, 50.0, 75.0, 100.0, 150.0, 200.0],
+        Some(list) => list
+            .split(',')
+            .map(|v| {
+                v.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad candidate size `{v}`"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let base = config_from_flags(&flags)?;
+    let delta_m = flags.get_f64("--delta-m", 50.0)?;
+    let sparse_m = flags.get_f64("--sparse-m", 1_000.0)?;
+    let curve = tune_cell_size_detailed(&trajectories, &candidates, &base, delta_m, sparse_m);
+    if curve.is_empty() {
+        return Err("no candidate size could be scored (too little data?)".into());
+    }
+    let _ = writeln!(out, "{:<12} {:>10}", "edge (m)", "val score");
+    for (edge, score) in &curve {
+        let _ = writeln!(out, "{edge:<12} {score:>10.3}");
+    }
+    let best = curve
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+        .expect("non-empty curve")
+        .0;
+    let _ = writeln!(
+        out,
+        "best hexagon edge: {best} m (pass --cell-edge-m {best} to `kamel train`)"
+    );
+    Ok(())
+}
+
+/// `kamel export`: convert a trajectory CSV to GeoJSON for visual
+/// inspection (QGIS, geojson.io, Kepler).
+pub fn export(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help") {
+        let _ = writeln!(out, "kamel export --input FILE.csv --output FILE.geojson");
+        return Ok(());
+    }
+    let flags = Flags::parse(args, &[])?;
+    let trajectories = open_trajectories(flags.required("--input")?)?;
+    let doc = kamel_roadsim::trajectories_to_geojson(&trajectories);
+    let output = flags.required("--output")?;
+    std::fs::write(
+        output,
+        serde_json::to_string(&doc).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| format!("write {output}: {e}"))?;
+    let _ = writeln!(
+        out,
+        "exported {} trajectories as GeoJSON -> {output}",
+        trajectories.len()
+    );
+    Ok(())
+}
+
+/// `kamel evaluate`: the §8 metrics of a model against ground truth.
+pub fn evaluate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help") {
+        let _ = writeln!(
+            out,
+            "kamel evaluate --model FILE --truth FILE [--sparse-m N] [--delta-m N] \
+             [--max-gap-m N] [--limit N]"
+        );
+        return Ok(());
+    }
+    let flags = Flags::parse(args, &[])?;
+    let kamel = Kamel::load_from_file(flags.required("--model")?).map_err(|e| e.to_string())?;
+    let truth = open_trajectories(flags.required("--truth")?)?;
+    if truth.is_empty() {
+        return Err("ground-truth file has no trajectories".into());
+    }
+    let ctx = EvalContext {
+        sparse_m: flags.get_f64("--sparse-m", 1_000.0)?,
+        delta_m: flags.get_f64("--delta-m", 50.0)?,
+        max_gap_m: flags.get_f64("--max-gap-m", 100.0)?,
+    };
+    let limit = flags.get_f64("--limit", 0.0)? as usize;
+    // Reuse the harness by wrapping the ground truth in an ad-hoc dataset.
+    let origin = truth[0].points[0].pos;
+    let dataset = kamel_roadsim::Dataset {
+        name: "cli".into(),
+        origin,
+        network: kamel_roadsim::RoadNetwork::new(),
+        train: Vec::new(),
+        test: truth,
+    };
+    let imputer = KamelImputer {
+        kamel,
+        label: "KAMEL".into(),
+    };
+    let result = evaluate_technique(&imputer, &dataset, &ctx, limit);
+    let _ = write!(out, "{}", format_table("evaluation", &[result]));
+    Ok(())
+}

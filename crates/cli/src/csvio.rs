@@ -1,0 +1,126 @@
+//! Trajectory CSV reading and writing.
+//!
+//! Format: one GPS fix per row, `traj_id,lat,lng,t`. Rows must be grouped
+//! by trajectory id (all fixes of one trajectory contiguous), fixes in time
+//! order — the natural shape of exported trip logs. A header row is
+//! detected and skipped automatically.
+
+use kamel_geo::{GpsPoint, Trajectory};
+use std::io::{BufRead, Write};
+
+/// Reads trajectories from CSV. Rows with the same contiguous `traj_id`
+/// form one trajectory.
+pub fn read_trajectories(reader: impl BufRead) -> Result<Vec<Trajectory>, String> {
+    let mut out: Vec<Trajectory> = Vec::new();
+    let mut current_id: Option<String> = None;
+    let mut current: Vec<GpsPoint> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() != 4 {
+            return Err(format!(
+                "line {}: expected 4 fields `traj_id,lat,lng,t`, got {}",
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        // Header detection: non-numeric lat field on the first row.
+        if lineno == 0 && fields[1].parse::<f64>().is_err() {
+            continue;
+        }
+        let parse = |i: usize, name: &str| -> Result<f64, String> {
+            fields[i]
+                .parse::<f64>()
+                .map_err(|_| format!("line {}: bad {name} `{}`", lineno + 1, fields[i]))
+        };
+        let (lat, lng, t) = (parse(1, "lat")?, parse(2, "lng")?, parse(3, "t")?);
+        if current_id.as_deref() != Some(fields[0]) {
+            if !current.is_empty() {
+                out.push(Trajectory::new(std::mem::take(&mut current)));
+            }
+            current_id = Some(fields[0].to_string());
+        }
+        current.push(GpsPoint::from_parts(lat, lng, t));
+    }
+    if !current.is_empty() {
+        out.push(Trajectory::new(current));
+    }
+    Ok(out)
+}
+
+/// Writes trajectories as CSV with a header, ids `0..n`.
+pub fn write_trajectories(
+    writer: &mut impl Write,
+    trajectories: &[Trajectory],
+) -> Result<(), String> {
+    writeln!(writer, "traj_id,lat,lng,t").map_err(|e| e.to_string())?;
+    for (id, traj) in trajectories.iter().enumerate() {
+        for p in &traj.points {
+            writeln!(writer, "{id},{:.7},{:.7},{:.3}", p.pos.lat, p.pos.lng, p.t)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let trajs = vec![
+            Trajectory::new(vec![
+                GpsPoint::from_parts(41.15, -8.61, 0.0),
+                GpsPoint::from_parts(41.151, -8.609, 10.0),
+            ]),
+            Trajectory::new(vec![GpsPoint::from_parts(41.2, -8.5, 5.0)]),
+        ];
+        let mut buf = Vec::new();
+        write_trajectories(&mut buf, &trajs).unwrap();
+        let back = read_trajectories(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].len(), 2);
+        assert_eq!(back[1].len(), 1);
+        assert!((back[0].points[1].pos.lat - 41.151).abs() < 1e-6);
+        assert!((back[0].points[1].t - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn header_is_skipped() {
+        let csv = "traj_id,lat,lng,t\n7,41.0,-8.0,0\n7,41.1,-8.1,10\n";
+        let trajs = read_trajectories(BufReader::new(csv.as_bytes())).unwrap();
+        assert_eq!(trajs.len(), 1);
+        assert_eq!(trajs[0].len(), 2);
+    }
+
+    #[test]
+    fn headerless_input_is_accepted() {
+        let csv = "a,41.0,-8.0,0\na,41.1,-8.1,10\nb,42.0,-8.0,0\n";
+        let trajs = read_trajectories(BufReader::new(csv.as_bytes())).unwrap();
+        assert_eq!(trajs.len(), 2);
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected_with_line_numbers() {
+        let bad_fields = "a,41.0,-8.0\n";
+        let err = read_trajectories(BufReader::new(bad_fields.as_bytes())).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let bad_number = "traj_id,lat,lng,t\na,not_a_lat,-8.0,0\n";
+        let err = read_trajectories(BufReader::new(bad_number.as_bytes())).unwrap_err();
+        assert!(err.contains("line 2") && err.contains("lat"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let csv = "a,41.0,-8.0,0\n\n\na,41.1,-8.1,10\n";
+        let trajs = read_trajectories(BufReader::new(csv.as_bytes())).unwrap();
+        assert_eq!(trajs.len(), 1);
+        assert_eq!(trajs[0].len(), 2);
+    }
+}

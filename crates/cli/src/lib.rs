@@ -1,0 +1,165 @@
+//! Command-line interface for KAMEL.
+//!
+//! Drives the full system from trajectory CSV files:
+//!
+//! ```text
+//! kamel generate --city porto --scale small --train trips.csv --test truth.csv
+//! kamel tune     --input trips.csv
+//! kamel train    --input trips.csv --model model.json
+//! kamel impute   --model model.json --input sparse.csv --output dense.csv
+//! kamel stats    --model model.json
+//! kamel evaluate --model model.json --truth truth.csv --sparse-m 1000 --delta-m 50
+//! ```
+//!
+//! The CSV format is one fix per row: `traj_id,lat,lng,t` (header optional).
+//! The library surface ([`run`]) takes the argument vector and an output
+//! writer so every command is integration-tested without spawning
+//! processes.
+
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod csvio;
+
+use std::io::Write;
+
+/// Runs the CLI with the given arguments (excluding the program name),
+/// writing human output to `out`. Returns the process exit code.
+pub fn run(args: &[String], out: &mut dyn Write) -> i32 {
+    let usage = "usage: kamel <generate|train|tune|impute|stats|evaluate|export> [options]\n\
+                 run `kamel <command> --help` for per-command options";
+    let Some(command) = args.first() else {
+        let _ = writeln!(out, "{usage}");
+        return 2;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "generate" => commands::generate(rest, out),
+        "train" => commands::train(rest, out),
+        "impute" => commands::impute(rest, out),
+        "stats" => commands::stats(rest, out),
+        "tune" => commands::tune(rest, out),
+        "export" => commands::export(rest, out),
+        "evaluate" => commands::evaluate(rest, out),
+        "--help" | "-h" | "help" => {
+            let _ = writeln!(out, "{usage}");
+            return 0;
+        }
+        other => Err(format!("unknown command `{other}`\n{usage}")),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(msg) => {
+            let _ = writeln!(out, "error: {msg}");
+            1
+        }
+    }
+}
+
+/// Minimal flag parser: `--key value` pairs plus boolean `--key` switches.
+pub(crate) struct Flags<'a> {
+    pairs: Vec<(&'a str, Option<&'a str>)>,
+}
+
+impl<'a> Flags<'a> {
+    pub(crate) fn parse(args: &'a [String], switches: &[&str]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i].as_str();
+            if !key.starts_with("--") {
+                return Err(format!("unexpected argument `{key}`"));
+            }
+            if switches.contains(&key) {
+                pairs.push((key, None));
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag `{key}` needs a value"))?;
+                pairs.push((key, Some(value.as_str())));
+                i += 2;
+            }
+        }
+        Ok(Self { pairs })
+    }
+
+    pub(crate) fn get(&self, key: &str) -> Option<&'a str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .and_then(|(_, v)| *v)
+    }
+
+    pub(crate) fn has(&self, key: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| *k == key)
+    }
+
+    pub(crate) fn required(&self, key: &str) -> Result<&'a str, String> {
+        self.get(key).ok_or_else(|| format!("missing required flag `{key}`"))
+    }
+
+    pub(crate) fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag `{key}` expects a number, got `{v}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(args: &[&str]) -> (i32, String) {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let code = run(&args, &mut buf);
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn no_command_prints_usage() {
+        let (code, out) = run_capture(&[]);
+        assert_eq!(code, 2);
+        assert!(out.contains("usage"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        let (code, out) = run_capture(&["frobnicate"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown command"));
+    }
+
+    #[test]
+    fn help_succeeds() {
+        let (code, out) = run_capture(&["--help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("generate"));
+    }
+
+    #[test]
+    fn flags_parsing() {
+        let args: Vec<String> = ["--a", "1", "--flag", "--b", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = Flags::parse(&args, &["--flag"]).unwrap();
+        assert_eq!(f.get("--a"), Some("1"));
+        assert!(f.has("--flag"));
+        assert_eq!(f.required("--b").unwrap(), "x");
+        assert!(f.required("--missing").is_err());
+        assert_eq!(f.get_f64("--a", 0.0).unwrap(), 1.0);
+        assert_eq!(f.get_f64("--absent", 7.5).unwrap(), 7.5);
+        assert!(f.get_f64("--b", 0.0).is_err());
+    }
+
+    #[test]
+    fn flags_reject_positional() {
+        let args: Vec<String> = vec!["oops".to_string()];
+        assert!(Flags::parse(&args, &[]).is_err());
+    }
+}

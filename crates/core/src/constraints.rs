@@ -1,0 +1,360 @@
+//! Spatial Constraints — filtering model output (§5).
+//!
+//! BERT has no notion of physics: it may propose tokens that are unreachable
+//! in the gap's time budget, jump behind the segment, or loop. This module
+//! applies the paper's three filters to each batch of candidates:
+//!
+//! * **Speed** (§5.1): an imputed token between S and D must lie inside the
+//!   ellipse with foci S, D and total-distance budget
+//!   `v_max × (t_D − t_S)`.
+//! * **Direction** (§5.1): a candidate must not deviate into the 45° cone
+//!   from S back toward its previous token t₁, nor from D onward toward its
+//!   next token t₂.
+//! * **Cycles** (§5.2): an insertion must not create a repeated token
+//!   sequence of length ≤ x (default 6).
+
+use crate::config::{KamelConfig, SpeedMode};
+use crate::tokenize::Tokenizer;
+use kamel_geo::{angle_between_deg, bearing_deg, Ellipse, Xy};
+use kamel_hexgrid::CellId;
+use kamel_lm::Candidate;
+
+/// Everything the filters need to know about one gap.
+#[derive(Debug, Clone, Copy)]
+pub struct GapContext {
+    /// Gap source token.
+    pub s: CellId,
+    /// Gap destination token.
+    pub d: CellId,
+    /// Planar center of S.
+    pub s_xy: Xy,
+    /// Planar center of D.
+    pub d_xy: Xy,
+    /// Time at S in seconds (interpolated for imputed tokens).
+    pub t_s: f64,
+    /// Time at D in seconds.
+    pub t_d: f64,
+    /// Center of the token preceding S (t₁), when known.
+    pub prev_xy: Option<Xy>,
+    /// Center of the token following D (t₂), when known.
+    pub next_xy: Option<Xy>,
+    /// Observed speed of the preceding trajectory segment in m/s, when one
+    /// exists — feeds [`crate::config::SpeedMode::AdaptivePreceding`].
+    pub preceding_speed_mps: Option<f64>,
+}
+
+/// The Spatial Constraints module.
+#[derive(Debug, Clone)]
+pub struct SpatialConstraints {
+    /// Maximum plausible speed in m/s (inferred from training data ×
+    /// `speed_slack`, per §5.1 "KAMEL currently uses a fixed speed inferred
+    /// from its training trajectory data").
+    pub max_speed_mps: f64,
+    speed_mode: SpeedMode,
+    cone_deg: f64,
+    cycle_window: usize,
+    enabled: bool,
+}
+
+impl SpatialConstraints {
+    /// Builds the module from the system config and the training-inferred
+    /// speed cap.
+    pub fn new(max_speed_mps: f64, config: &KamelConfig) -> Self {
+        Self {
+            max_speed_mps: max_speed_mps.max(1.0),
+            speed_mode: config.speed_mode,
+            cone_deg: config.direction_cone_deg,
+            cycle_window: config.cycle_window,
+            enabled: !config.disable_constraints,
+        }
+    }
+
+    /// The speed cap applied to one gap under the configured policy.
+    pub fn effective_speed_mps(&self, ctx: &GapContext) -> f64 {
+        match self.speed_mode {
+            SpeedMode::FixedFromTraining => self.max_speed_mps,
+            SpeedMode::AdaptivePreceding { factor } => ctx
+                .preceding_speed_mps
+                .filter(|v| v.is_finite() && *v > 0.0)
+                // The adaptive cap tightens, never loosens, the trained one.
+                .map_or(self.max_speed_mps, |v| (v * factor).min(self.max_speed_mps)),
+        }
+    }
+
+    /// The §5.1 speed ellipse for a gap.
+    pub fn speed_ellipse(&self, ctx: &GapContext) -> Ellipse {
+        Ellipse::speed_constraint(
+            ctx.s_xy,
+            ctx.d_xy,
+            self.effective_speed_mps(ctx),
+            ctx.t_d - ctx.t_s,
+        )
+    }
+
+    /// Filters a candidate batch against the speed and direction
+    /// constraints. Candidates equal to either endpoint are always dropped
+    /// (they would be trivial x=1 cycles). Order is preserved.
+    pub fn filter(
+        &self,
+        candidates: Vec<Candidate>,
+        ctx: &GapContext,
+        tokenizer: &Tokenizer,
+    ) -> Vec<Candidate> {
+        if !self.enabled {
+            // "No Const." ablation still drops endpoint repeats, otherwise
+            // imputation cannot terminate at all.
+            return candidates
+                .into_iter()
+                .filter(|c| c.key != ctx.s.0 && c.key != ctx.d.0)
+                .collect();
+        }
+        let ellipse = self.speed_ellipse(ctx);
+        let back_cone_s = ctx
+            .prev_xy
+            .and_then(|p| bearing_deg(ctx.s_xy, p));
+        let ahead_cone_d = ctx
+            .next_xy
+            .and_then(|p| bearing_deg(ctx.d_xy, p));
+        candidates
+            .into_iter()
+            .filter(|c| {
+                let cell = CellId(c.key);
+                if cell == ctx.s || cell == ctx.d {
+                    return false;
+                }
+                let pos = tokenizer.centroid(cell);
+                if !ellipse.contains(pos) {
+                    return false;
+                }
+                // Reject tokens behind S (toward t₁).
+                if let Some(back) = back_cone_s {
+                    if let Some(b) = bearing_deg(ctx.s_xy, pos) {
+                        if angle_between_deg(b, back) <= self.cone_deg {
+                            return false;
+                        }
+                    }
+                }
+                // Reject tokens past D (toward t₂).
+                if let Some(ahead) = ahead_cone_d {
+                    if let Some(b) = bearing_deg(ctx.d_xy, pos) {
+                        if angle_between_deg(b, ahead) <= self.cone_deg {
+                            return false;
+                        }
+                    }
+                }
+                true
+            })
+            .collect()
+    }
+
+    /// True when inserting produced a repeated adjacent block of length ≤ x
+    /// that includes position `inserted_at` (§5.2). The Figure 5(d) overpass
+    /// case — a token appearing twice *without* a repeated sequence — is
+    /// correctly allowed.
+    pub fn creates_cycle(&self, tokens: &[CellId], inserted_at: usize) -> bool {
+        let n = tokens.len();
+        debug_assert!(inserted_at < n);
+        for x in 1..=self.cycle_window {
+            if 2 * x > n {
+                break;
+            }
+            // Any adjacent equal block pair of length x covering the
+            // insertion point.
+            let lo = inserted_at.saturating_sub(2 * x - 1);
+            let hi = inserted_at.min(n - 2 * x);
+            for start in lo..=hi {
+                if tokens[start..start + x] == tokens[start + x..start + 2 * x] {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KamelConfig;
+    use kamel_geo::LatLng;
+
+    fn setup() -> (Tokenizer, SpatialConstraints, KamelConfig) {
+        let cfg = KamelConfig::default();
+        let tok = Tokenizer::new(LatLng::new(41.15, -8.61), &cfg);
+        let cons = SpatialConstraints::new(15.0, &cfg);
+        (tok, cons, cfg)
+    }
+
+    fn cand(tok: &Tokenizer, x: f64, y: f64) -> Candidate {
+        Candidate {
+            key: tok.cell_of_xy(Xy::new(x, y)).0,
+            prob: 0.5,
+        }
+    }
+
+    fn ctx(tok: &Tokenizer, s: Xy, d: Xy, dt: f64) -> GapContext {
+        GapContext {
+            s: tok.cell_of_xy(s),
+            d: tok.cell_of_xy(d),
+            s_xy: s,
+            d_xy: d,
+            t_s: 0.0,
+            t_d: dt,
+            prev_xy: None,
+            next_xy: None,
+            preceding_speed_mps: None,
+        }
+    }
+
+    #[test]
+    fn speed_constraint_rejects_unreachable_tokens() {
+        let (tok, cons, _) = setup();
+        // 1000 m gap, 100 s budget, 15 m/s → ellipse budget 1500 m.
+        let c = ctx(&tok, Xy::new(0.0, 0.0), Xy::new(1000.0, 0.0), 100.0);
+        let reachable = cand(&tok, 500.0, 200.0); // ~2*sqrt(500²+200²)=1077
+        let unreachable = cand(&tok, 500.0, 800.0); // ~2*sqrt(500²+800²)=1886
+        let out = cons.filter(vec![reachable, unreachable], &c, &tok);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, reachable.key);
+    }
+
+    #[test]
+    fn direction_constraint_rejects_backward_candidates() {
+        let (tok, cons, _) = setup();
+        let mut c = ctx(&tok, Xy::new(0.0, 0.0), Xy::new(500.0, 0.0), 600.0);
+        // Previous token t₁ lies west of S: anything west of S (within 45°)
+        // must be rejected.
+        c.prev_xy = Some(Xy::new(-300.0, 0.0));
+        let backward = cand(&tok, -150.0, 20.0);
+        let forward = cand(&tok, 200.0, 20.0);
+        let out = cons.filter(vec![backward, forward], &c, &tok);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, forward.key);
+    }
+
+    #[test]
+    fn direction_constraint_rejects_overshoot_past_d() {
+        let (tok, cons, _) = setup();
+        let mut c = ctx(&tok, Xy::new(0.0, 0.0), Xy::new(500.0, 0.0), 600.0);
+        // Next token t₂ lies east of D.
+        c.next_xy = Some(Xy::new(800.0, 0.0));
+        let overshoot = cand(&tok, 650.0, 10.0);
+        let inside = cand(&tok, 250.0, 10.0);
+        let out = cons.filter(vec![overshoot, inside], &c, &tok);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, inside.key);
+    }
+
+    #[test]
+    fn endpoints_are_always_rejected() {
+        let (tok, cons, _) = setup();
+        let c = ctx(&tok, Xy::new(0.0, 0.0), Xy::new(400.0, 0.0), 600.0);
+        let s_cand = Candidate { key: c.s.0, prob: 0.9 };
+        let d_cand = Candidate { key: c.d.0, prob: 0.8 };
+        let ok = cand(&tok, 200.0, 0.0);
+        let out = cons.filter(vec![s_cand, d_cand, ok], &c, &tok);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, ok.key);
+    }
+
+    #[test]
+    fn disabled_constraints_accept_everything_except_endpoints() {
+        let (tok, _, mut cfg) = setup();
+        cfg.disable_constraints = true;
+        let cons = SpatialConstraints::new(15.0, &cfg);
+        let c = ctx(&tok, Xy::new(0.0, 0.0), Xy::new(1000.0, 0.0), 10.0);
+        // Physically absurd candidate far outside any ellipse.
+        let absurd = cand(&tok, 5000.0, 5000.0);
+        let s_dup = Candidate { key: c.s.0, prob: 0.9 };
+        let out = cons.filter(vec![absurd, s_dup], &c, &tok);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, absurd.key);
+    }
+
+    fn cells(ids: &[i32]) -> Vec<CellId> {
+        ids.iter().map(|&i| CellId::from_coords(i, 0)).collect()
+    }
+
+    #[test]
+    fn trivial_cycle_detected() {
+        let (_, cons, _) = setup();
+        // Inserting a token equal to its neighbor: [.. 7, 7 ..]
+        let toks = cells(&[1, 7, 7, 9]);
+        assert!(cons.creates_cycle(&toks, 2));
+    }
+
+    #[test]
+    fn longer_cycle_detected() {
+        let (_, cons, _) = setup();
+        // 3-4-3-4 ending at the inserted position.
+        let toks = cells(&[1, 3, 4, 3, 4]);
+        assert!(cons.creates_cycle(&toks, 4));
+    }
+
+    #[test]
+    fn overpass_revisit_is_not_a_cycle() {
+        let (_, cons, _) = setup();
+        // The Figure 5(d) pattern: t3 appears twice but no repeated block.
+        // S t3 t6 t7 t8 t3 D  → inserting the second t3 is legal.
+        let toks = cells(&[0, 3, 6, 7, 8, 3, 100]);
+        assert!(!cons.creates_cycle(&toks, 5));
+    }
+
+    #[test]
+    fn cycle_window_limits_detection() {
+        let cfg = KamelConfig::builder().cycle_window(2).build();
+        let cons = SpatialConstraints::new(15.0, &cfg);
+        // Repeated block of length 3 is beyond a window of 2.
+        let toks = cells(&[5, 6, 7, 5, 6, 7]);
+        assert!(!cons.creates_cycle(&toks, 5));
+        let default_cons = SpatialConstraints::new(15.0, &KamelConfig::default());
+        assert!(default_cons.creates_cycle(&toks, 5));
+    }
+
+    #[test]
+    fn adaptive_speed_tightens_the_ellipse() {
+        use crate::config::SpeedMode;
+        let cfg = KamelConfig::builder()
+            .speed_mode(SpeedMode::AdaptivePreceding { factor: 1.2 })
+            .build();
+        let tok = Tokenizer::new(LatLng::new(41.15, -8.61), &cfg);
+        let cons = SpatialConstraints::new(30.0, &cfg);
+        let mut c = ctx(&tok, Xy::new(0.0, 0.0), Xy::new(1000.0, 0.0), 120.0);
+        // Without a hint, the trained cap applies.
+        assert_eq!(cons.effective_speed_mps(&c), 30.0);
+        // A slow preceding segment tightens the cap...
+        c.preceding_speed_mps = Some(10.0);
+        assert!((cons.effective_speed_mps(&c) - 12.0).abs() < 1e-9);
+        // ...and a point reachable at 30 m/s but not 12 m/s gets rejected.
+        let wide = cand(&tok, 500.0, 800.0); // total ~1886 m
+        let kept_fixed = SpatialConstraints::new(30.0, &KamelConfig::default())
+            .filter(vec![wide], &c, &tok);
+        assert_eq!(kept_fixed.len(), 1, "fixed 30 m/s should accept");
+        let kept_adaptive = cons.filter(vec![wide], &c, &tok);
+        assert!(kept_adaptive.is_empty(), "adaptive 12 m/s must reject");
+        // A fast hint never loosens beyond the trained cap.
+        c.preceding_speed_mps = Some(500.0);
+        assert_eq!(cons.effective_speed_mps(&c), 30.0);
+    }
+
+    #[test]
+    fn filter_preserves_probability_order() {
+        let (tok, cons, _) = setup();
+        let c = ctx(&tok, Xy::new(0.0, 0.0), Xy::new(600.0, 0.0), 600.0);
+        let c1 = Candidate {
+            key: tok.cell_of_xy(Xy::new(150.0, 0.0)).0,
+            prob: 0.5,
+        };
+        let c2 = Candidate {
+            key: tok.cell_of_xy(Xy::new(300.0, 0.0)).0,
+            prob: 0.3,
+        };
+        let c3 = Candidate {
+            key: tok.cell_of_xy(Xy::new(450.0, 0.0)).0,
+            prob: 0.2,
+        };
+        let out = cons.filter(vec![c1, c2, c3], &c, &tok);
+        let probs: Vec<f64> = out.iter().map(|c| c.prob).collect();
+        assert_eq!(probs, vec![0.5, 0.3, 0.2]);
+    }
+}

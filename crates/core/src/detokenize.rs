@@ -1,0 +1,346 @@
+//! Detokenization — tokens back to GPS points (§7).
+//!
+//! Offline, the training fixes inside every token cell are clustered with
+//! DBSCAN on (position, travel heading); each cluster's centroid and mean
+//! heading are stored as the token's metadata. Online, an imputed token is
+//! replaced by:
+//!
+//! 1. the centroid of the cluster whose heading best matches the token's
+//!    travel direction, when the token has ≥ 2 clusters (Figure 8a);
+//! 2. the single cluster's centroid when there is exactly one (Figure 8b);
+//! 3. the cell centroid when the token never had enough data (Figure 8c) —
+//!    rare, since the model does not propose unseen tokens.
+
+use crate::cluster::{cluster_count, dbscan, DirectedPoint};
+use crate::config::DetokConfig;
+use crate::tokenize::Tokenizer;
+use kamel_geo::{angle_between_deg, bearing_deg, Xy};
+use kamel_hexgrid::CellId;
+use kamel_trajstore::TokenTrajectory;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One direction cluster inside a token cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterInfo {
+    /// Cluster centroid in planar meters.
+    pub centroid: Xy,
+    /// Circular-mean travel heading of the cluster, degrees from north.
+    pub heading_deg: f64,
+    /// Number of member fixes.
+    pub count: usize,
+}
+
+/// Per-token metadata computed offline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TokenMeta {
+    /// Direction clusters (may be empty when the cell had too little data).
+    pub clusters: Vec<ClusterInfo>,
+    /// Centroid of all fixes in the cell (the Figure 8b fallback).
+    pub data_centroid: Option<Xy>,
+    /// Total fixes observed in the cell.
+    pub n_points: usize,
+}
+
+/// The Detokenization module.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Detokenizer {
+    meta: HashMap<CellId, TokenMeta>,
+}
+
+/// Cap on fixes clustered per cell: DBSCAN here is O(n²) and a few hundred
+/// samples pin down road geometry within a 75 m hexagon.
+const MAX_POINTS_PER_CELL: usize = 400;
+
+impl Detokenizer {
+    /// Builds token metadata from tokenized training trajectories (the §7
+    /// offline operation, triggered when training data is uploaded).
+    pub fn build<'a>(
+        trajectories: impl IntoIterator<Item = &'a TokenTrajectory>,
+        cfg: &DetokConfig,
+    ) -> Self {
+        // Gather per-cell directed fixes.
+        let mut per_cell: HashMap<CellId, Vec<DirectedPoint>> = HashMap::new();
+        for traj in trajectories {
+            let n = traj.len();
+            for i in 0..n {
+                let heading = heading_at(&traj.xy, i);
+                let Some(heading_deg) = heading else { continue };
+                per_cell.entry(traj.cells[i]).or_default().push(DirectedPoint {
+                    pos: traj.xy[i],
+                    heading_deg,
+                });
+            }
+        }
+        let mut meta = HashMap::with_capacity(per_cell.len());
+        for (cell, mut points) in per_cell {
+            let n_points = points.len();
+            if points.len() > MAX_POINTS_PER_CELL {
+                // Deterministic stride subsample.
+                let stride = points.len() / MAX_POINTS_PER_CELL + 1;
+                points = points.iter().step_by(stride).copied().collect();
+            }
+            let labels = dbscan(&points, cfg.eps_xy_m, cfg.eps_heading_deg, cfg.min_pts);
+            let k = cluster_count(&labels);
+            let mut clusters = Vec::with_capacity(k);
+            for c in 0..k {
+                let members: Vec<&DirectedPoint> = points
+                    .iter()
+                    .zip(&labels)
+                    .filter(|(_, l)| **l == Some(c))
+                    .map(|(p, _)| p)
+                    .collect();
+                if members.is_empty() {
+                    continue;
+                }
+                clusters.push(ClusterInfo {
+                    centroid: mean_pos(members.iter().map(|p| p.pos)),
+                    heading_deg: circular_mean_deg(members.iter().map(|p| p.heading_deg)),
+                    count: members.len(),
+                });
+            }
+            meta.insert(
+                cell,
+                TokenMeta {
+                    clusters,
+                    data_centroid: if points.is_empty() {
+                        None
+                    } else {
+                        Some(mean_pos(points.iter().map(|p| p.pos)))
+                    },
+                    n_points,
+                },
+            );
+        }
+        Self { meta }
+    }
+
+    /// Number of tokens with metadata.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// True when no metadata has been built.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Metadata for a token, when available.
+    pub fn meta(&self, cell: CellId) -> Option<&TokenMeta> {
+        self.meta.get(&cell)
+    }
+
+    /// Online detokenization of a whole token sequence: each token becomes a
+    /// planar point per the three-way rule above. The caller supplies the
+    /// tokenizer for cell centroids and neighbor-based travel directions.
+    pub fn detokenize(&self, tokens: &[CellId], tokenizer: &Tokenizer) -> Vec<Xy> {
+        (0..tokens.len())
+            .map(|i| self.point_for(tokens, i, tokenizer))
+            .collect()
+    }
+
+    /// The output point for `tokens[i]`.
+    pub fn point_for(&self, tokens: &[CellId], i: usize, tokenizer: &Tokenizer) -> Xy {
+        let cell = tokens[i];
+        let cell_centroid = tokenizer.centroid(cell);
+        let Some(meta) = self.meta.get(&cell) else {
+            return cell_centroid; // Figure 8c: no data at all
+        };
+        match meta.clusters.len() {
+            0 => meta.data_centroid.unwrap_or(cell_centroid),
+            1 => meta.clusters[0].centroid,
+            _ => {
+                // Token direction = average of incoming and outgoing angles
+                // (via the neighbor token centroids).
+                let here = cell_centroid;
+                let incoming = i
+                    .checked_sub(1)
+                    .map(|j| tokenizer.centroid(tokens[j]))
+                    .and_then(|p| bearing_deg(p, here));
+                let outgoing = tokens
+                    .get(i + 1)
+                    .map(|&c| tokenizer.centroid(c))
+                    .and_then(|p| bearing_deg(here, p));
+                let direction = match (incoming, outgoing) {
+                    (Some(a), Some(b)) => Some(circular_mean_deg([a, b].into_iter())),
+                    (Some(a), None) => Some(a),
+                    (None, Some(b)) => Some(b),
+                    (None, None) => None,
+                };
+                match direction {
+                    Some(dir) => {
+                        meta.clusters
+                            .iter()
+                            .min_by(|a, b| {
+                                angle_between_deg(a.heading_deg, dir)
+                                    .partial_cmp(&angle_between_deg(b.heading_deg, dir))
+                                    .expect("finite angles")
+                            })
+                            .expect("≥2 clusters")
+                            .centroid
+                    }
+                    None => meta.data_centroid.unwrap_or(cell_centroid),
+                }
+            }
+        }
+    }
+}
+
+/// Travel heading at fix `i`: bearing from the previous to the next fix
+/// (one-sided at the ends). `None` for single-point trajectories or
+/// zero-length steps.
+fn heading_at(xy: &[Xy], i: usize) -> Option<f64> {
+    let n = xy.len();
+    if n < 2 {
+        return None;
+    }
+    let (a, b) = if i == 0 {
+        (xy[0], xy[1])
+    } else if i == n - 1 {
+        (xy[n - 2], xy[n - 1])
+    } else {
+        (xy[i - 1], xy[i + 1])
+    };
+    bearing_deg(a, b)
+}
+
+fn mean_pos(points: impl Iterator<Item = Xy>) -> Xy {
+    let mut n = 0usize;
+    let (mut sx, mut sy) = (0.0, 0.0);
+    for p in points {
+        sx += p.x;
+        sy += p.y;
+        n += 1;
+    }
+    Xy::new(sx / n as f64, sy / n as f64)
+}
+
+/// Circular mean of headings in degrees.
+fn circular_mean_deg(angles: impl Iterator<Item = f64>) -> f64 {
+    let (mut s, mut c) = (0.0, 0.0);
+    for a in angles {
+        let r = a.to_radians();
+        s += r.sin();
+        c += r.cos();
+    }
+    kamel_geo::normalize_deg(s.atan2(c).to_degrees())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KamelConfig;
+    use kamel_geo::LatLng;
+
+    fn tokenizer() -> Tokenizer {
+        Tokenizer::new(LatLng::new(41.15, -8.61), &KamelConfig::default())
+    }
+
+    /// Builds one TokenTrajectory that walks a straight line at `offset_y`.
+    fn line_traj(tok: &Tokenizer, offset_y: f64, n: usize, step: f64) -> TokenTrajectory {
+        let xy: Vec<Xy> = (0..n).map(|i| Xy::new(i as f64 * step, offset_y)).collect();
+        let cells = xy.iter().map(|p| tok.cell_of_xy(*p)).collect();
+        let t = (0..n).map(|i| i as f64 * 5.0).collect();
+        TokenTrajectory::new(cells, xy, t)
+    }
+
+    #[test]
+    fn single_cluster_returns_cluster_centroid() {
+        let tok = tokenizer();
+        // Eastbound traffic slightly north of the hex centers.
+        let trajs: Vec<TokenTrajectory> =
+            (0..6).map(|_| line_traj(&tok, 20.0, 40, 20.0)).collect();
+        let detok = Detokenizer::build(trajs.iter(), &DetokConfig::default());
+        assert!(!detok.is_empty());
+        let cell = tok.cell_of_xy(Xy::new(400.0, 20.0));
+        let meta = detok.meta(cell).expect("cell has data");
+        assert!(!meta.clusters.is_empty());
+        let p = detok.point_for(&[cell], 0, &tok);
+        // The returned point reflects the data (y ≈ 20), not the raw cell
+        // centroid.
+        assert!((p.y - 20.0).abs() < 15.0, "got {p:?}");
+    }
+
+    #[test]
+    fn unseen_token_falls_back_to_cell_centroid() {
+        let tok = tokenizer();
+        let detok = Detokenizer::default();
+        let cell = tok.cell_of_xy(Xy::new(777.0, 777.0));
+        assert_eq!(detok.point_for(&[cell], 0, &tok), tok.centroid(cell));
+    }
+
+    #[test]
+    fn two_direction_cell_picks_matching_cluster() {
+        let tok = tokenizer();
+        let cfg = KamelConfig::default();
+        // Crossing roads through the origin cell: eastbound traffic along
+        // y=+25, northbound along x=+25 (offset so the two clusters have
+        // clearly different centroids).
+        let mut trajs = Vec::new();
+        for _ in 0..8 {
+            trajs.push(line_traj(&tok, 25.0, 30, 20.0)); // eastbound
+        }
+        for _ in 0..8 {
+            // northbound: swap axes
+            let xy: Vec<Xy> = (0..30).map(|i| Xy::new(25.0, i as f64 * 20.0 - 300.0)).collect();
+            let cells = xy.iter().map(|p| tok.cell_of_xy(*p)).collect();
+            let t = (0..30).map(|i| i as f64 * 5.0).collect();
+            trajs.push(TokenTrajectory::new(cells, xy, t));
+        }
+        let detok = Detokenizer::build(trajs.iter(), &cfg.detok);
+        let cross_cell = tok.cell_of_xy(Xy::new(25.0, 25.0));
+        let meta = detok.meta(cross_cell).expect("crossing cell has data");
+        if meta.clusters.len() >= 2 {
+            // Traveling east through the cell: pick the eastbound cluster.
+            let west = tok.cell_of_xy(Xy::new(-180.0, 25.0));
+            let east = tok.cell_of_xy(Xy::new(230.0, 25.0));
+            let p_east = detok.point_for(&[west, cross_cell, east], 1, &tok);
+            let east_cluster = meta
+                .clusters
+                .iter()
+                .min_by(|a, b| {
+                    angle_between_deg(a.heading_deg, 90.0)
+                        .partial_cmp(&angle_between_deg(b.heading_deg, 90.0))
+                        .unwrap()
+                })
+                .unwrap();
+            assert_eq!(p_east, east_cluster.centroid);
+        }
+    }
+
+    #[test]
+    fn heading_at_handles_ends() {
+        let xy = vec![Xy::new(0.0, 0.0), Xy::new(10.0, 0.0), Xy::new(20.0, 0.0)];
+        assert_eq!(heading_at(&xy, 0), Some(90.0));
+        assert_eq!(heading_at(&xy, 1), Some(90.0));
+        assert_eq!(heading_at(&xy, 2), Some(90.0));
+        assert_eq!(heading_at(&[Xy::new(0.0, 0.0)], 0), None);
+    }
+
+    #[test]
+    fn circular_mean_wraps() {
+        let m = circular_mean_deg([350.0, 10.0].into_iter());
+        assert!(!(1.0..=359.0).contains(&m), "mean {m}");
+        let m2 = circular_mean_deg([80.0, 100.0].into_iter());
+        assert!((m2 - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detokenize_maps_every_token() {
+        let tok = tokenizer();
+        let trajs: Vec<TokenTrajectory> =
+            (0..5).map(|_| line_traj(&tok, 0.0, 30, 25.0)).collect();
+        let detok = Detokenizer::build(trajs.iter(), &DetokConfig::default());
+        let tokens: Vec<CellId> = {
+            let mut cells = trajs[0].dedup_cells();
+            cells.truncate(5);
+            cells
+        };
+        let pts = detok.detokenize(&tokens, &tok);
+        assert_eq!(pts.len(), tokens.len());
+        // Points track the street (y ≈ 0 within cell size).
+        for p in pts {
+            assert!(p.y.abs() < 75.0);
+        }
+    }
+}

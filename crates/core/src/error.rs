@@ -1,0 +1,52 @@
+//! KAMEL error type.
+
+use std::fmt;
+
+/// Errors surfaced by the KAMEL public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KamelError {
+    /// The system was asked to impute before any model was trained.
+    NotTrained,
+    /// The input trajectory has too few points to define a gap.
+    TrajectoryTooShort {
+        /// Number of points received.
+        got: usize,
+    },
+    /// A configuration value is invalid.
+    InvalidConfig(String),
+    /// Model (de)serialization failed.
+    Persistence(String),
+}
+
+impl fmt::Display for KamelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KamelError::NotTrained => {
+                write!(f, "no trained models: feed training trajectories first")
+            }
+            KamelError::TrajectoryTooShort { got } => {
+                write!(f, "trajectory has {got} points; imputation needs at least 2")
+            }
+            KamelError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            KamelError::Persistence(msg) => write!(f, "persistence error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KamelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(KamelError::NotTrained.to_string().contains("train"));
+        assert!(KamelError::TrajectoryTooShort { got: 1 }
+            .to_string()
+            .contains('1'));
+        assert!(KamelError::InvalidConfig("beam_size = 0".into())
+            .to_string()
+            .contains("beam_size"));
+    }
+}

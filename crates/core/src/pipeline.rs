@@ -1,0 +1,846 @@
+//! The assembled KAMEL system (Figure 1).
+//!
+//! [`Kamel`] owns the five modules and exposes the architecture's two
+//! entry points:
+//!
+//! * [`Kamel::train`] — feed a batch of training trajectories: tokenize,
+//!   store, rebuild detokenization clusters, infer the speed cap, and run
+//!   pyramid maintenance (all offline work, §4.2).
+//! * [`Kamel::impute`] / [`Kamel::impute_batch`] / [`Kamel::impute_stream`]
+//!   — impute sparse trajectories using only precomputed models (the online
+//!   path, which never rescans trajectory data, §4.1).
+//!
+//! Internally the state sits behind a [`parking_lot::RwLock`], so an
+//! `Arc<Kamel>` can serve online imputation from many threads while a
+//! background thread periodically trains on new batches — the paper's
+//! "scheduled as a background process … without causing any downtime".
+
+use crate::config::KamelConfig;
+use crate::constraints::SpatialConstraints;
+use crate::detokenize::Detokenizer;
+use crate::error::KamelError;
+use crate::impute::{GapFiller, SegmentOutcome};
+use crate::partition::Repository;
+use crate::tokenize::Tokenizer;
+use kamel_geo::{BBox, GpsPoint, LatLng, Trajectory, Xy};
+use kamel_hexgrid::CellId;
+use kamel_lm::MaskedTokenModel;
+use kamel_trajstore::TrajStore;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// Report for one imputed gap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GapReport {
+    /// Planar distance between the gap's endpoints in meters.
+    pub gap_m: f64,
+    /// Number of points inserted into the output for this gap.
+    pub points_inserted: usize,
+    /// The multipoint imputation outcome (tokens, failure flag, calls).
+    pub outcome: SegmentOutcome,
+    /// Whether a pyramid model covered this gap (false → straight-line
+    /// fallback before the imputer even ran).
+    pub had_model: bool,
+}
+
+/// The result of imputing one sparse trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImputedTrajectory {
+    /// The dense output trajectory: all original fixes plus imputed points,
+    /// in time order.
+    pub trajectory: Trajectory,
+    /// One report per gap that required imputation.
+    pub gaps: Vec<GapReport>,
+}
+
+impl ImputedTrajectory {
+    /// Fraction of gaps imputed by a straight line (the paper's failure
+    /// rate, §8). `None` when the trajectory had no gaps.
+    pub fn failure_rate(&self) -> Option<f64> {
+        if self.gaps.is_empty() {
+            return None;
+        }
+        let failed = self.gaps.iter().filter(|g| g.outcome.failed).count();
+        Some(failed as f64 / self.gaps.len() as f64)
+    }
+
+    /// Total model calls across all gaps.
+    pub fn model_calls(&self) -> usize {
+        self.gaps.iter().map(|g| g.outcome.model_calls).sum()
+    }
+
+    /// Number of imputed (non-original) points.
+    pub fn imputed_points(&self) -> usize {
+        self.gaps.iter().map(|g| g.points_inserted).sum()
+    }
+}
+
+/// Snapshot of system state for reporting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KamelStats {
+    /// Trajectories in the store.
+    pub stored_trajectories: usize,
+    /// Total tokens in the store.
+    pub stored_tokens: u64,
+    /// Models in the repository (single + pair + global).
+    pub models: usize,
+    /// Token cells with detokenization metadata.
+    pub detok_cells: usize,
+    /// Inferred maximum speed (m/s) used by the constraints.
+    pub max_speed_mps: f64,
+}
+
+/// Everything built from training data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct State {
+    tokenizer: Tokenizer,
+    store: TrajStore,
+    repo: Repository,
+    detok: Detokenizer,
+    /// Capped sample of observed per-fix speeds (m/s) for the §5.1 cap.
+    speed_sample: Vec<f64>,
+    max_speed_mps: f64,
+}
+
+/// Cap on the retained speed sample.
+const SPEED_SAMPLE_CAP: usize = 50_000;
+/// Padding applied around the first batch's MBR when rooting the pyramid.
+const ROOT_PAD_FRACTION: f64 = 0.25;
+
+/// The KAMEL system.
+pub struct Kamel {
+    config: KamelConfig,
+    inner: RwLock<Option<State>>,
+}
+
+impl Kamel {
+    /// Creates an untrained system.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid (use
+    /// [`KamelConfig::validate`] to check beforehand).
+    pub fn new(config: KamelConfig) -> Self {
+        config.validate().expect("invalid KAMEL configuration");
+        Self {
+            config,
+            inner: RwLock::new(None),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &KamelConfig {
+        &self.config
+    }
+
+    /// True once at least one training batch has been processed.
+    pub fn is_trained(&self) -> bool {
+        self.inner.read().is_some()
+    }
+
+    /// Current system statistics, when trained.
+    pub fn stats(&self) -> Option<KamelStats> {
+        let guard = self.inner.read();
+        guard.as_ref().map(|s| KamelStats {
+            stored_trajectories: s.store.len(),
+            stored_tokens: s.store.total_tokens(),
+            models: s.repo.model_count(),
+            detok_cells: s.detok.len(),
+            max_speed_mps: s.max_speed_mps,
+        })
+    }
+
+    /// Summaries of every model in the repository (empty before training).
+    pub fn model_summaries(&self) -> Vec<crate::partition::ModelSummary> {
+        self.inner
+            .read()
+            .as_ref()
+            .map(|s| s.repo.summaries())
+            .unwrap_or_default()
+    }
+
+    /// Feeds a batch of training trajectories (the offline path): tokenizes
+    /// and stores them, refreshes the speed cap and detokenization
+    /// clusters, and runs pyramid maintenance over the affected region.
+    pub fn train(&self, trajectories: &[Trajectory]) {
+        let batch: Vec<&Trajectory> = trajectories.iter().filter(|t| t.len() >= 2).collect();
+        if batch.is_empty() {
+            return;
+        }
+        let mut guard = self.inner.write();
+        if guard.is_none() {
+            let origin = batch[0].points[0].pos;
+            *guard = Some(State {
+                tokenizer: Tokenizer::new(origin, &self.config),
+                store: TrajStore::new((self.config.cell_edge_m * 8.0).max(300.0)),
+                repo: Repository::new(
+                    padded_bbox(&batch, &Tokenizer::new(origin, &self.config)),
+                    &self.config,
+                ),
+                detok: Detokenizer::default(),
+                speed_sample: Vec::new(),
+                max_speed_mps: 30.0,
+            });
+        }
+        let state = guard.as_mut().expect("initialized above");
+        // Tokenize + store, tracking the dirty region.
+        let mut dirty: Option<BBox> = None;
+        for traj in &batch {
+            let tt = state.tokenizer.tokenize(traj);
+            if let Some(bb) = tt.bbox() {
+                dirty = Some(match dirty {
+                    Some(d) => d.union(&bb),
+                    None => bb,
+                });
+            }
+            // Speed observations for the §5.1 cap.
+            if state.speed_sample.len() < SPEED_SAMPLE_CAP {
+                for w in traj.points.windows(2) {
+                    if let Some(v) = w[0].speed_to(&w[1]) {
+                        if v.is_finite() && v < 120.0 {
+                            state.speed_sample.push(v);
+                        }
+                    }
+                }
+                state.speed_sample.truncate(SPEED_SAMPLE_CAP);
+            }
+            state.store.insert(tt);
+        }
+        let Some(dirty) = dirty else { return };
+        // Speed cap: 95th percentile of observed speeds × slack.
+        state.max_speed_mps = percentile(&mut state.speed_sample.clone(), 0.95)
+            .map_or(30.0, |p| (p * self.config.speed_slack).max(3.0));
+        // Re-root the pyramid if the data outgrew it (rebuilds all models
+        // from the store, which still holds everything).
+        let root = state.repo.root_bbox();
+        let full_rebuild = !root.contains_bbox(&dirty);
+        if full_rebuild {
+            let grown = grow_bbox(root.union(&dirty), ROOT_PAD_FRACTION);
+            state.repo = Repository::new(grown, &self.config);
+        }
+        // Detokenization clusters (offline §7 operation): full rebuild from
+        // the store, in id order — HashMap iteration order varies across
+        // processes and DBSCAN border-point assignment is order-sensitive,
+        // so sorting keeps training bit-reproducible run to run.
+        let mut stored: Vec<_> = state.store.iter().collect();
+        stored.sort_by_key(|(id, _)| **id);
+        state.detok =
+            Detokenizer::build(stored.into_iter().map(|(_, t)| t), &self.config.detok);
+        // Pyramid maintenance (§4.2) or the global-model ablation.
+        if self.config.disable_partitioning {
+            state.repo.train_global(&state.store, &self.config.engine);
+        } else {
+            let region = if full_rebuild {
+                state.repo.root_bbox()
+            } else {
+                dirty
+            };
+            state
+                .repo
+                .maintain(&state.store, &region, &self.config.engine);
+        }
+    }
+
+    /// Imputes one sparse trajectory (the online path).
+    ///
+    /// This is a total function: trajectories with fewer than two points
+    /// pass through unchanged, and gaps no model covers are imputed by a
+    /// straight line and reported as failures — exactly the paper's
+    /// fallback semantics (§4.1, §6).
+    pub fn impute(&self, sparse: &Trajectory) -> ImputedTrajectory {
+        let guard = self.inner.read();
+        let Some(state) = guard.as_ref() else {
+            return linear_only(sparse, &self.config);
+        };
+        if sparse.len() < 2 {
+            return ImputedTrajectory {
+                trajectory: sparse.clone(),
+                gaps: Vec::new(),
+            };
+        }
+        let tokenizer = &state.tokenizer;
+        let gap_threshold = tokenizer.effective_max_gap_m(self.config.max_gap_m);
+        let constraints = SpatialConstraints::new(state.max_speed_mps, &self.config);
+        // Anchors: one (cell, fix) per run of consecutive same-cell fixes.
+        let anchors = anchors_of(sparse, tokenizer);
+        // Whole-trajectory model (§4.1), falling back to per-gap retrieval.
+        let traj_bbox = BBox::of_points(anchors.iter().map(|a| a.xy)).expect("non-empty");
+        let whole_model = state.repo.find_model(&traj_bbox);
+        let mut out_points: Vec<GpsPoint> = Vec::with_capacity(sparse.len() * 2);
+        let mut gaps = Vec::new();
+        for (i, anchor) in anchors.iter().enumerate() {
+            // Emit every original fix of this run.
+            for p in &sparse.points[anchor.first_idx..=anchor.last_idx] {
+                out_points.push(*p);
+            }
+            let Some(next) = anchors.get(i + 1) else { break };
+            let gap_m = anchor.xy.dist(&next.xy);
+            if gap_m <= gap_threshold {
+                continue; // no imputation needed
+            }
+            let prev_cell = i.checked_sub(1).map(|j| anchors[j].cell);
+            // Speed of the preceding sparse segment, for the adaptive §5.1
+            // speed policy.
+            let preceding_speed_mps = i.checked_sub(1).and_then(|j| {
+                let dt = anchor.t - anchors[j].t;
+                if dt > 0.0 {
+                    Some(anchors[j].xy.dist(&anchor.xy) / dt)
+                } else {
+                    None
+                }
+            });
+            let next_cell = anchors.get(i + 2).map(|a| a.cell);
+            // Resolve a model for this gap.
+            let gap_bbox = grow_bbox(BBox::new(anchor.xy, next.xy), 0.3);
+            let model: Option<&dyn MaskedTokenModel> = match &whole_model {
+                Some((_, m)) => Some(*m as &dyn MaskedTokenModel),
+                None => state
+                    .repo
+                    .find_model(&gap_bbox)
+                    .map(|(_, m)| m as &dyn MaskedTokenModel),
+            };
+            let (outcome, had_model) = match model {
+                Some(model) => {
+                    let filler = GapFiller {
+                        model,
+                        constraints: &constraints,
+                        tokenizer,
+                        config: &self.config,
+                        preceding_speed_mps,
+                    };
+                    (
+                        filler.fill(
+                            anchor.cell,
+                            next.cell,
+                            anchor.t,
+                            next.t,
+                            prev_cell,
+                            next_cell,
+                        ),
+                        true,
+                    )
+                }
+                None => (
+                    SegmentOutcome {
+                        tokens: vec![anchor.cell, next.cell],
+                        failed: true,
+                        model_calls: 0,
+                        failure_reason: Some(crate::impute::FailureReason::NoModel),
+                    },
+                    false,
+                ),
+            };
+            // Materialize the gap's interior points.
+            let interior: Vec<Xy> = if outcome.failed {
+                straight_line_points(anchor.xy, next.xy, self.config.max_gap_m)
+            } else {
+                let inner_tokens = &outcome.tokens[1..outcome.tokens.len() - 1];
+                state
+                    .detok
+                    .detokenize(&outcome.tokens, tokenizer)
+                    .into_iter()
+                    .skip(1)
+                    .take(inner_tokens.len())
+                    .collect()
+            };
+            let timed = time_points(anchor.xy, next.xy, anchor.t, next.t, &interior);
+            let points_inserted = timed.len();
+            for (xy, t) in timed {
+                out_points.push(GpsPoint::new(tokenizer.projection().to_latlng(xy), t));
+            }
+            gaps.push(GapReport {
+                gap_m,
+                points_inserted,
+                outcome,
+                had_model,
+            });
+        }
+        ImputedTrajectory {
+            trajectory: Trajectory::new(out_points),
+            gaps,
+        }
+    }
+
+    /// Bulk offline imputation.
+    pub fn impute_batch(&self, sparse: &[Trajectory]) -> Vec<ImputedTrajectory> {
+        sparse.iter().map(|t| self.impute(t)).collect()
+    }
+
+    /// Online/streaming imputation: lazily imputes each incoming trajectory
+    /// as the stream yields it.
+    pub fn impute_stream<'a, I>(&'a self, stream: I) -> impl Iterator<Item = ImputedTrajectory> + 'a
+    where
+        I: IntoIterator<Item = Trajectory> + 'a,
+    {
+        stream.into_iter().map(move |t| self.impute(&t))
+    }
+
+    /// Serializes the full trained state (config + store + models +
+    /// detokenization metadata) to JSON.
+    pub fn to_json(&self) -> Result<String, KamelError> {
+        let guard = self.inner.read();
+        let doc = PersistedKamel {
+            config: self.config.clone(),
+            state: guard.clone(),
+        };
+        serde_json::to_string(&doc).map_err(|e| KamelError::Persistence(e.to_string()))
+    }
+
+    /// Persists the full trained state to a file (see [`Kamel::to_json`]).
+    pub fn save_to_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), KamelError> {
+        let json = self.to_json()?;
+        std::fs::write(path.as_ref(), json).map_err(|e| {
+            KamelError::Persistence(format!("write {}: {e}", path.as_ref().display()))
+        })
+    }
+
+    /// Restores a system persisted with [`Kamel::save_to_file`].
+    pub fn load_from_file(path: impl AsRef<std::path::Path>) -> Result<Self, KamelError> {
+        let json = std::fs::read_to_string(path.as_ref()).map_err(|e| {
+            KamelError::Persistence(format!("read {}: {e}", path.as_ref().display()))
+        })?;
+        Self::from_json(&json)
+    }
+
+    /// Restores a system serialized with [`Kamel::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, KamelError> {
+        let doc: PersistedKamel =
+            serde_json::from_str(json).map_err(|e| KamelError::Persistence(e.to_string()))?;
+        doc.config.validate()?;
+        Ok(Self {
+            config: doc.config,
+            inner: RwLock::new(doc.state),
+        })
+    }
+}
+
+/// Serialized form of a trained system.
+#[derive(Serialize, Deserialize)]
+struct PersistedKamel {
+    config: KamelConfig,
+    state: Option<State>,
+}
+
+/// One dedup-run anchor.
+struct Anchor {
+    cell: CellId,
+    xy: Xy,
+    t: f64,
+    first_idx: usize,
+    last_idx: usize,
+}
+
+fn anchors_of(sparse: &Trajectory, tokenizer: &Tokenizer) -> Vec<Anchor> {
+    let mut anchors: Vec<Anchor> = Vec::with_capacity(sparse.len());
+    for (idx, p) in sparse.points.iter().enumerate() {
+        let xy = tokenizer.projection().to_xy(p.pos);
+        let cell = tokenizer.cell_of_xy(xy);
+        match anchors.last_mut() {
+            Some(last) if last.cell == cell => last.last_idx = idx,
+            _ => anchors.push(Anchor {
+                cell,
+                xy,
+                t: p.t,
+                first_idx: idx,
+                last_idx: idx,
+            }),
+        }
+    }
+    anchors
+}
+
+/// Interior points of a straight-line fallback, spaced at `max_gap`.
+fn straight_line_points(a: Xy, b: Xy, max_gap_m: f64) -> Vec<Xy> {
+    let d = a.dist(&b);
+    let n = (d / max_gap_m).ceil() as usize;
+    (1..n).map(|i| a.lerp(&b, i as f64 / n as f64)).collect()
+}
+
+/// Assigns timestamps to interior points, linear in cumulative distance
+/// between the gap endpoints.
+fn time_points(a: Xy, b: Xy, t_a: f64, t_b: f64, interior: &[Xy]) -> Vec<(Xy, f64)> {
+    if interior.is_empty() {
+        return Vec::new();
+    }
+    let mut cum = Vec::with_capacity(interior.len() + 1);
+    let mut total = 0.0;
+    let mut prev = a;
+    for p in interior {
+        total += prev.dist(p);
+        cum.push(total);
+        prev = *p;
+    }
+    total += prev.dist(&b);
+    if total <= 0.0 {
+        return interior.iter().map(|p| (*p, t_a)).collect();
+    }
+    interior
+        .iter()
+        .zip(cum)
+        .map(|(p, c)| (*p, t_a + (t_b - t_a) * c / total))
+        .collect()
+}
+
+/// Pure straight-line imputation used before any training.
+fn linear_only(sparse: &Trajectory, config: &KamelConfig) -> ImputedTrajectory {
+    if sparse.len() < 2 {
+        return ImputedTrajectory {
+            trajectory: sparse.clone(),
+            gaps: Vec::new(),
+        };
+    }
+    // Without a tokenizer we still honour the output contract: interpolate
+    // in geodetic space directly (valid at city scale).
+    let mut points = Vec::with_capacity(sparse.len() * 2);
+    let mut gaps = Vec::new();
+    for w in sparse.points.windows(2) {
+        points.push(w[0]);
+        let gap_m = w[0].pos.fast_dist_m(&w[1].pos);
+        if gap_m > config.max_gap_m {
+            let n = (gap_m / config.max_gap_m).ceil() as usize;
+            for i in 1..n {
+                let f = i as f64 / n as f64;
+                points.push(GpsPoint::new(
+                    w[0].pos.lerp(&w[1].pos, f),
+                    w[0].t + (w[1].t - w[0].t) * f,
+                ));
+            }
+            gaps.push(GapReport {
+                gap_m,
+                points_inserted: n.saturating_sub(1),
+                outcome: SegmentOutcome {
+                    tokens: Vec::new(),
+                    failed: true,
+                    model_calls: 0,
+                    failure_reason: Some(crate::impute::FailureReason::NoModel),
+                },
+                had_model: false,
+            });
+        }
+    }
+    points.push(*sparse.points.last().expect("len >= 2"));
+    ImputedTrajectory {
+        trajectory: Trajectory::new(points),
+        gaps,
+    }
+}
+
+fn padded_bbox(batch: &[&Trajectory], tokenizer: &Tokenizer) -> BBox {
+    let bb = BBox::of_points(
+        batch
+            .iter()
+            .flat_map(|t| t.points.iter().map(|p| tokenizer.projection().to_xy(p.pos))),
+    )
+    .expect("non-empty batch");
+    grow_bbox(bb, ROOT_PAD_FRACTION)
+}
+
+fn grow_bbox(bb: BBox, fraction: f64) -> BBox {
+    let dx = (bb.width() * fraction).max(1.0);
+    let dy = (bb.height() * fraction).max(1.0);
+    BBox::new(
+        Xy::new(bb.min.x - dx, bb.min.y - dy),
+        Xy::new(bb.max.x + dx, bb.max.y + dy),
+    )
+}
+
+/// In-place percentile of a sample (`None` when empty). `q` in [0, 1].
+fn percentile(sample: &mut [f64], q: f64) -> Option<f64> {
+    if sample.is_empty() {
+        return None;
+    }
+    let idx = ((sample.len() - 1) as f64 * q).round() as usize;
+    sample
+        .select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("finite speeds"));
+    Some(sample[idx])
+}
+
+/// Cell-size auto-tuning (§3.2): trains a throwaway system per candidate
+/// hexagon edge on a training subsample and scores imputation accuracy on a
+/// held-out validation subsample; returns the edge with the best recall
+/// proxy.
+///
+/// `delta_m` is the accuracy threshold δ and `sparse_m` the sparsification
+/// distance used for validation.
+pub fn tune_cell_size(
+    training: &[Trajectory],
+    candidate_edges_m: &[f64],
+    base: &KamelConfig,
+    delta_m: f64,
+    sparse_m: f64,
+) -> f64 {
+    tune_cell_size_detailed(training, candidate_edges_m, base, delta_m, sparse_m)
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+        .map_or(base.cell_edge_m, |(edge, _)| edge)
+}
+
+/// Like [`tune_cell_size`] but returns the full `(edge, validation score)`
+/// curve — the data behind the paper's Figure 3(d) accuracy-vs-cell-size
+/// plot. Sizes that could not be scored are omitted.
+pub fn tune_cell_size_detailed(
+    training: &[Trajectory],
+    candidate_edges_m: &[f64],
+    base: &KamelConfig,
+    delta_m: f64,
+    sparse_m: f64,
+) -> Vec<(f64, f64)> {
+    assert!(!candidate_edges_m.is_empty(), "no candidate sizes");
+    if training.len() < 5 {
+        return vec![(base.cell_edge_m, 0.0)];
+    }
+    // 80/20 split of the (sub)sample.
+    let n_val = (training.len() / 5).max(1);
+    let (train_part, val_part) = training.split_at(training.len() - n_val);
+    let mut curve = Vec::with_capacity(candidate_edges_m.len());
+    for &edge in candidate_edges_m {
+        let cfg = KamelConfig {
+            cell_edge_m: edge,
+            ..base.clone()
+        };
+        if cfg.validate().is_err() {
+            continue;
+        }
+        let kamel = Kamel::new(cfg);
+        kamel.train(train_part);
+        let mut score_sum = 0.0;
+        let mut scored = 0usize;
+        for gt in val_part {
+            if gt.len() < 3 {
+                continue;
+            }
+            let sparse = gt.sparsify(sparse_m);
+            if sparse.len() >= gt.len() {
+                continue; // nothing was removed; no signal
+            }
+            let imputed = kamel.impute(&sparse);
+            score_sum += recall_proxy(gt, &imputed.trajectory, delta_m);
+            scored += 1;
+        }
+        if scored > 0 {
+            curve.push((edge, score_sum / scored as f64));
+        }
+    }
+    curve
+}
+
+/// Fraction of ground-truth fixes within `delta_m` of the imputed polyline
+/// (a light-weight recall used only for tuning; the evaluation crate
+/// implements the paper's full discretized metrics).
+fn recall_proxy(gt: &Trajectory, imputed: &Trajectory, delta_m: f64) -> f64 {
+    if gt.is_empty() || imputed.is_empty() {
+        return 0.0;
+    }
+    let origin = gt.points[0].pos;
+    let proj = kamel_geo::LocalProjection::new(LatLng::new(origin.lat, origin.lng));
+    let line: Vec<Xy> = imputed.points.iter().map(|p| proj.to_xy(p.pos)).collect();
+    let hits = gt
+        .points
+        .iter()
+        .filter(|p| {
+            kamel_geo::point_to_polyline_distance(proj.to_xy(p.pos), &line) <= delta_m
+        })
+        .count();
+    hits as f64 / gt.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamel_geo::GpsPoint;
+
+    /// A corpus of trips along one straight street, fixes every ~84 m.
+    fn street_corpus(n: usize) -> Vec<Trajectory> {
+        (0..n)
+            .map(|_| {
+                Trajectory::new(
+                    (0..30)
+                        .map(|i| {
+                            GpsPoint::from_parts(41.15, -8.61 + i as f64 * 0.001, i as f64 * 10.0)
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn trained() -> Kamel {
+        let kamel = Kamel::new(
+            KamelConfig::builder()
+                .model_threshold_k(50)
+                .pyramid_height(3)
+                .build(),
+        );
+        kamel.train(&street_corpus(40));
+        kamel
+    }
+
+    #[test]
+    fn train_builds_models_and_stats() {
+        let kamel = trained();
+        assert!(kamel.is_trained());
+        let stats = kamel.stats().expect("stats");
+        assert!(stats.models >= 1, "no models: {stats:?}");
+        assert_eq!(stats.stored_trajectories, 40);
+        assert!(stats.detok_cells > 5);
+        assert!(stats.max_speed_mps > 3.0 && stats.max_speed_mps < 60.0);
+    }
+
+    #[test]
+    fn impute_fills_a_street_gap() {
+        let kamel = trained();
+        // Sparse trajectory along the street with one ~1.7 km gap.
+        let sparse = Trajectory::new(vec![
+            GpsPoint::from_parts(41.15, -8.610, 0.0),
+            GpsPoint::from_parts(41.15, -8.609, 10.0),
+            GpsPoint::from_parts(41.15, -8.589, 210.0),
+            GpsPoint::from_parts(41.15, -8.588, 220.0),
+        ]);
+        let result = kamel.impute(&sparse);
+        assert_eq!(result.gaps.len(), 1);
+        let gap = &result.gaps[0];
+        assert!(gap.had_model, "no model for gap");
+        assert!(!gap.outcome.failed, "imputation failed: {:?}", gap.outcome);
+        assert!(gap.points_inserted >= 5, "too few points: {gap:?}");
+        // Output is time-ordered and contains all originals.
+        let ts: Vec<f64> = result.trajectory.points.iter().map(|p| p.t).collect();
+        for w in ts.windows(2) {
+            assert!(w[1] >= w[0], "timestamps not monotone: {ts:?}");
+        }
+        assert!(result.trajectory.len() >= sparse.len() + gap.points_inserted);
+        // Imputed points stay on the street (lat ≈ 41.15).
+        for p in &result.trajectory.points {
+            assert!((p.pos.lat - 41.15).abs() < 0.002, "off-street point {p:?}");
+        }
+    }
+
+    #[test]
+    fn untrained_system_falls_back_to_linear() {
+        let kamel = Kamel::new(KamelConfig::default());
+        let sparse = Trajectory::new(vec![
+            GpsPoint::from_parts(41.15, -8.61, 0.0),
+            GpsPoint::from_parts(41.15, -8.60, 100.0),
+        ]);
+        let result = kamel.impute(&sparse);
+        assert_eq!(result.failure_rate(), Some(1.0));
+        assert!(result.trajectory.len() > 2, "linear fallback materializes points");
+    }
+
+    #[test]
+    fn short_trajectories_pass_through() {
+        let kamel = trained();
+        let single = Trajectory::new(vec![GpsPoint::from_parts(41.15, -8.61, 0.0)]);
+        let result = kamel.impute(&single);
+        assert_eq!(result.trajectory, single);
+        assert!(result.gaps.is_empty());
+        let empty = kamel.impute(&Trajectory::default());
+        assert!(empty.trajectory.is_empty());
+    }
+
+    #[test]
+    fn small_gaps_require_no_imputation() {
+        let kamel = trained();
+        let dense = Trajectory::new(
+            (0..10)
+                .map(|i| GpsPoint::from_parts(41.15, -8.61 + i as f64 * 0.0005, i as f64 * 5.0))
+                .collect(),
+        );
+        let result = kamel.impute(&dense);
+        assert!(result.gaps.is_empty());
+        assert_eq!(result.trajectory.len(), dense.len());
+    }
+
+    #[test]
+    fn batch_and_stream_agree() {
+        let kamel = trained();
+        let sparse: Vec<Trajectory> = street_corpus(3)
+            .into_iter()
+            .map(|t| t.sparsify(800.0))
+            .collect();
+        let batch = kamel.impute_batch(&sparse);
+        let streamed: Vec<ImputedTrajectory> =
+            kamel.impute_stream(sparse.clone()).collect();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn persistence_roundtrip_preserves_behaviour() {
+        let kamel = trained();
+        let sparse = street_corpus(1)[0].sparsify(900.0);
+        let before = kamel.impute(&sparse);
+        let json = kamel.to_json().expect("serialize");
+        let restored = Kamel::from_json(&json).expect("deserialize");
+        let after = restored.impute(&sparse);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn model_summaries_match_stats() {
+        let kamel = trained();
+        let summaries = kamel.model_summaries();
+        assert_eq!(summaries.len(), kamel.stats().unwrap().models);
+        assert!(!summaries.is_empty());
+        let untrained = Kamel::new(KamelConfig::default());
+        assert!(untrained.model_summaries().is_empty());
+    }
+
+    #[test]
+    fn file_persistence_roundtrip() {
+        let kamel = trained();
+        let path = std::env::temp_dir().join("kamel_test_model.json");
+        kamel.save_to_file(&path).expect("save");
+        let restored = Kamel::load_from_file(&path).expect("load");
+        let sparse = street_corpus(1)[0].sparsify(900.0);
+        assert_eq!(kamel.impute(&sparse), restored.impute(&sparse));
+        std::fs::remove_file(&path).ok();
+        // Missing file surfaces a persistence error.
+        assert!(matches!(
+            Kamel::load_from_file(&path),
+            Err(crate::error::KamelError::Persistence(_))
+        ));
+    }
+
+    #[test]
+    fn stats_none_before_training() {
+        let kamel = Kamel::new(KamelConfig::default());
+        assert!(!kamel.is_trained());
+        assert!(kamel.stats().is_none());
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let mut v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&mut v, 0.0), Some(1.0));
+        assert_eq!(percentile(&mut v, 1.0), Some(5.0));
+        assert_eq!(percentile(&mut v, 0.5), Some(3.0));
+        assert_eq!(percentile(&mut [], 0.5), None);
+    }
+
+    #[test]
+    fn straight_line_spacing() {
+        let pts = straight_line_points(Xy::new(0.0, 0.0), Xy::new(350.0, 0.0), 100.0);
+        assert_eq!(pts.len(), 3); // 87.5, 175, 262.5
+        for w in pts.windows(2) {
+            assert!(w[0].dist(&w[1]) <= 100.0);
+        }
+    }
+
+    #[test]
+    fn time_points_are_monotone() {
+        let interior = vec![Xy::new(100.0, 0.0), Xy::new(200.0, 0.0)];
+        let timed = time_points(Xy::new(0.0, 0.0), Xy::new(300.0, 0.0), 0.0, 30.0, &interior);
+        assert_eq!(timed.len(), 2);
+        assert!((timed[0].1 - 10.0).abs() < 1e-9);
+        assert!((timed[1].1 - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tune_cell_size_picks_a_candidate() {
+        let corpus = street_corpus(30);
+        let base = KamelConfig::builder()
+            .model_threshold_k(50)
+            .pyramid_height(3)
+            .build();
+        let edge = tune_cell_size(&corpus, &[50.0, 75.0, 150.0], &base, 50.0, 500.0);
+        assert!([50.0, 75.0, 150.0].contains(&edge));
+    }
+}

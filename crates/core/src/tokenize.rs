@@ -1,0 +1,214 @@
+//! Tokenization — the gateway module (§3).
+//!
+//! Converts GPS points to grid-cell tokens and back. Every input (training
+//! or sparse) passes through here first. The hexagonal grid is the default
+//! (§3.1); a square grid is available for the §8.5 comparison. Cell-size
+//! auto-tuning (§3.2) lives in [`crate::pipeline::tune_cell_size`], which
+//! needs the full train/impute loop.
+
+use crate::config::{GridKind, KamelConfig};
+use kamel_geo::{LatLng, LocalProjection, Trajectory, Xy};
+use kamel_hexgrid::{CellId, HexGrid, SquareGrid, Tessellation};
+use kamel_trajstore::TokenTrajectory;
+use serde::{Deserialize, Serialize};
+
+/// A concrete tessellation choice (enum instead of `dyn` so the tokenizer
+/// stays `Clone + Serialize`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum GridChoice {
+    Hex(HexGrid),
+    Square(SquareGrid),
+}
+
+impl GridChoice {
+    fn as_tess(&self) -> &dyn Tessellation {
+        match self {
+            GridChoice::Hex(g) => g,
+            GridChoice::Square(g) => g,
+        }
+    }
+}
+
+/// The Tokenization module: a local projection plus a tessellation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tokenizer {
+    proj: LocalProjection,
+    grid: GridChoice,
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer anchored at `origin` using the grid configured in
+    /// `config`. For squares the edge is area-matched to the configured hex
+    /// edge, exactly as the paper sizes its S2 comparison (§8.5).
+    pub fn new(origin: LatLng, config: &KamelConfig) -> Self {
+        let grid = match config.grid {
+            GridKind::Hex => GridChoice::Hex(HexGrid::new(config.cell_edge_m)),
+            GridKind::Square => {
+                GridChoice::Square(SquareGrid::area_matched_to_hex(config.cell_edge_m))
+            }
+        };
+        Self {
+            proj: LocalProjection::new(origin),
+            grid,
+        }
+    }
+
+    /// Creates a hex tokenizer with an explicit edge length (used by the
+    /// cell-size tuner).
+    pub fn hex(origin: LatLng, edge_m: f64) -> Self {
+        Self {
+            proj: LocalProjection::new(origin),
+            grid: GridChoice::Hex(HexGrid::new(edge_m)),
+        }
+    }
+
+    /// The local projection in use.
+    pub fn projection(&self) -> &LocalProjection {
+        &self.proj
+    }
+
+    /// The underlying tessellation.
+    pub fn grid(&self) -> &dyn Tessellation {
+        self.grid.as_tess()
+    }
+
+    /// Token of a geodetic coordinate.
+    pub fn cell_of_latlng(&self, p: LatLng) -> CellId {
+        self.grid().cell_of(self.proj.to_xy(p))
+    }
+
+    /// Token of a planar point.
+    pub fn cell_of_xy(&self, p: Xy) -> CellId {
+        self.grid().cell_of(p)
+    }
+
+    /// Planar centroid of a token.
+    pub fn centroid(&self, cell: CellId) -> Xy {
+        self.grid().centroid(cell)
+    }
+
+    /// Geodetic centroid of a token.
+    pub fn centroid_latlng(&self, cell: CellId) -> LatLng {
+        self.proj.to_latlng(self.centroid(cell))
+    }
+
+    /// Planar distance between two token centroids in meters.
+    pub fn centroid_distance_m(&self, a: CellId, b: CellId) -> f64 {
+        self.centroid(a).dist(&self.centroid(b))
+    }
+
+    /// The gap threshold actually used by FindFirstGap-style checks.
+    ///
+    /// The paper states `max_gap` in meters (default 100 m) but measures
+    /// gaps in *token* steps in its Figure 6 walk-through ("within two
+    /// tokens from each other"): two grid-adjacent tokens can never be a
+    /// gap, even when their centroid spacing exceeds the configured meters
+    /// (75 m hexagons have ~130 m neighbor spacing). The effective
+    /// threshold is therefore the configured value, floored at just above
+    /// one neighbor step — otherwise imputation could never terminate.
+    pub fn effective_max_gap_m(&self, configured_m: f64) -> f64 {
+        configured_m.max(self.grid().neighbor_spacing_m() * 1.05)
+    }
+
+    /// Tokenizes a trajectory into the store record: per-fix cells, planar
+    /// positions, and timestamps.
+    pub fn tokenize(&self, traj: &Trajectory) -> TokenTrajectory {
+        let mut cells = Vec::with_capacity(traj.len());
+        let mut xy = Vec::with_capacity(traj.len());
+        let mut t = Vec::with_capacity(traj.len());
+        for p in &traj.points {
+            let planar = self.proj.to_xy(p.pos);
+            cells.push(self.grid().cell_of(planar));
+            xy.push(planar);
+            t.push(p.t);
+        }
+        TokenTrajectory::new(cells, xy, t)
+    }
+
+    /// The token sentence for a trajectory: cells with consecutive
+    /// duplicates collapsed, as the language models consume them (§3).
+    pub fn sentence(&self, traj: &Trajectory) -> Vec<CellId> {
+        self.tokenize(traj).dedup_cells()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamel_geo::GpsPoint;
+
+    fn config() -> KamelConfig {
+        KamelConfig::default()
+    }
+
+    fn east_traj(n: usize, spacing_deg: f64) -> Trajectory {
+        Trajectory::new(
+            (0..n)
+                .map(|i| GpsPoint::from_parts(41.15, -8.61 + i as f64 * spacing_deg, i as f64 * 10.0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn tokenize_emits_one_token_per_fix() {
+        let tok = Tokenizer::new(LatLng::new(41.15, -8.61), &config());
+        let traj = east_traj(10, 0.002);
+        let tt = tok.tokenize(&traj);
+        assert_eq!(tt.len(), 10);
+        assert_eq!(tt.t[3], 30.0);
+    }
+
+    #[test]
+    fn nearby_points_share_a_token() {
+        let tok = Tokenizer::new(LatLng::new(41.15, -8.61), &config());
+        // Two fixes ~8 m apart fall in the same 75 m hexagon almost surely.
+        let a = tok.cell_of_latlng(LatLng::new(41.15, -8.6100));
+        let b = tok.cell_of_latlng(LatLng::new(41.15, -8.60990));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sentence_collapses_consecutive_duplicates() {
+        let tok = Tokenizer::new(LatLng::new(41.15, -8.61), &config());
+        // Dense fixes: many consecutive fixes share cells.
+        let traj = east_traj(100, 0.0001); // ~8.4 m spacing
+        let tt = tok.tokenize(&traj);
+        let sentence = tok.sentence(&traj);
+        assert!(sentence.len() < tt.len());
+        for w in sentence.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn centroid_roundtrip_is_close() {
+        let tok = Tokenizer::new(LatLng::new(41.15, -8.61), &config());
+        let p = LatLng::new(41.157, -8.603);
+        let cell = tok.cell_of_latlng(p);
+        let c = tok.centroid_latlng(cell);
+        // Centroid within the circumradius (= hex edge).
+        assert!(p.fast_dist_m(&c) <= 75.0 + 1e-6);
+        // And the centroid maps back to the same cell.
+        assert_eq!(tok.cell_of_latlng(c), cell);
+    }
+
+    #[test]
+    fn square_grid_is_area_matched() {
+        let cfg = KamelConfig::builder().grid(GridKind::Square).build();
+        let tok = Tokenizer::new(LatLng::new(41.15, -8.61), &cfg);
+        assert_eq!(tok.grid().kind(), "square");
+        assert!((tok.grid().edge_len_m() - 120.9).abs() < 1.0);
+    }
+
+    #[test]
+    fn centroid_distance_is_symmetric() {
+        let tok = Tokenizer::new(LatLng::new(41.15, -8.61), &config());
+        let a = tok.cell_of_latlng(LatLng::new(41.15, -8.61));
+        let b = tok.cell_of_latlng(LatLng::new(41.16, -8.60));
+        assert_eq!(
+            tok.centroid_distance_m(a, b),
+            tok.centroid_distance_m(b, a)
+        );
+        assert_eq!(tok.centroid_distance_m(a, a), 0.0);
+    }
+}

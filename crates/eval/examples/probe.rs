@@ -1,0 +1,128 @@
+//! Internal debugging probe (not part of the public example set).
+
+use kamel::{Kamel, KamelConfig};
+use kamel_roadsim::{Dataset, DatasetScale};
+
+fn run(label: &str, cfg: KamelConfig, dataset: &Dataset) {
+    let kamel = Kamel::new(cfg);
+    kamel.train(&dataset.train);
+    let (mut no_model, mut failed, mut ok, mut calls) = (0, 0, 0, 0);
+    let (mut budget, mut nocand) = (0, 0);
+    for gt in dataset.test.iter().take(15) {
+        let sparse = gt.sparsify(1_000.0);
+        let out = kamel.impute(&sparse);
+        for g in &out.gaps {
+            calls += g.outcome.model_calls;
+            if !g.had_model {
+                no_model += 1;
+            } else if g.outcome.failed {
+                failed += 1;
+                match g.outcome.failure_reason {
+                    Some(kamel::impute::FailureReason::BudgetExhausted) => budget += 1,
+                    Some(kamel::impute::FailureReason::NoValidCandidates) => nocand += 1,
+                    _ => {}
+                }
+            } else {
+                ok += 1;
+            }
+        }
+    }
+    // Metrics over all trajectories vs only fully-successful ones.
+    let proj = dataset.projection();
+    let mut all = kamel_eval::MetricsAccumulator::default();
+    let mut clean = kamel_eval::MetricsAccumulator::default();
+    for gt in dataset.test.iter().take(15) {
+        let sparse = gt.sparsify(1_000.0);
+        let out = kamel.impute(&sparse);
+        all.add_pair(gt, &out.trajectory, &proj, 100.0, 50.0);
+        if out.gaps.iter().all(|g| !g.outcome.failed) {
+            clean.add_pair(gt, &out.trajectory, &proj, 100.0, 50.0);
+        }
+    }
+    println!(
+        "{label:<28} models={:>3} ok={ok:>3} fail={failed:>3} (budget={budget} nocand={nocand}) nomodel={no_model:>2} calls={calls} | all r={:.3} p={:.3} clean r={:.3} p={:.3}",
+        kamel.stats().map_or(0, |s| s.models),
+        all.recall(), all.precision(), clean.recall(), clean.precision()
+    );
+}
+
+fn deviations(dataset: &Dataset) {
+    let kamel = Kamel::new(
+        KamelConfig::builder()
+            .pyramid_height(3)
+            .pyramid_maintained(3)
+            .model_threshold_k(150)
+            .build(),
+    );
+    kamel.train(&dataset.train);
+    let proj = dataset.projection();
+    let mut hist = [0usize; 8]; // 0-10,10-25,25-50,50-75,75-100,100-150,150-300,300+
+    for gt in dataset.test.iter().take(15) {
+        let sparse = gt.sparsify(1_000.0);
+        let out = kamel.impute(&sparse);
+        if out.gaps.iter().any(|g| g.outcome.failed) {
+            continue;
+        }
+        let gt_line: Vec<kamel_geo::Xy> = gt.points.iter().map(|p| proj.to_xy(p.pos)).collect();
+        let imp_line: Vec<kamel_geo::Xy> =
+            out.trajectory.points.iter().map(|p| proj.to_xy(p.pos)).collect();
+        for q in kamel_geo::discretize(&imp_line, 100.0) {
+            let d = kamel_geo::point_to_polyline_distance(q, &gt_line);
+            let bucket = match d {
+                d if d < 10.0 => 0,
+                d if d < 25.0 => 1,
+                d if d < 50.0 => 2,
+                d if d < 75.0 => 3,
+                d if d < 100.0 => 4,
+                d if d < 150.0 => 5,
+                d if d < 300.0 => 6,
+                _ => 7,
+            };
+            hist[bucket] += 1;
+        }
+    }
+    println!("imputed-point deviation histogram (m): {hist:?} (0-10,10-25,25-50,50-75,75-100,100-150,150-300,300+)");
+}
+
+fn main() {
+    let dataset = Dataset::porto_like(DatasetScale::Small);
+    println!(
+        "train {} trajs / {} pts; test {}",
+        dataset.train.len(),
+        dataset.train_points(),
+        dataset.test.len()
+    );
+    let base = || {
+        KamelConfig::builder()
+            .pyramid_height(3)
+            .pyramid_maintained(3)
+            .model_threshold_k(150)
+    };
+    deviations(&dataset);
+    run("beam default", base().build(), &dataset);
+    run(
+        "iterative",
+        base()
+            .multipoint(kamel::MultipointStrategy::Iterative)
+            .build(),
+        &dataset,
+    );
+    run("maxgap 280", base().max_gap_m(280.0).build(), &dataset);
+    run("topk 25", base().top_k(25).build(), &dataset);
+    run(
+        "iter maxgap280 topk25",
+        base()
+            .multipoint(kamel::MultipointStrategy::Iterative)
+            .max_gap_m(280.0)
+            .top_k(25)
+            .build(),
+        &dataset,
+    );
+    run("budget 256", base().max_model_calls(256).build(), &dataset);
+    run("no constraints", base().disable_constraints(true).build(), &dataset);
+    run(
+        "global model",
+        base().disable_partitioning(true).build(),
+        &dataset,
+    );
+}

@@ -1,0 +1,31 @@
+//! Evaluation metrics and experiment harness for the KAMEL reproduction.
+//!
+//! Implements the paper's §8 performance metrics exactly:
+//!
+//! * **Recall** — discretize the ground-truth trajectory at `max_gap`
+//!   spacing; the recall is the fraction of those points within the
+//!   accuracy threshold δ of the imputed trajectory polyline.
+//! * **Precision** — symmetric: discretize the imputed trajectory and
+//!   measure against the ground truth polyline.
+//! * **Failure rate** — fraction of gap segments imputed by a straight
+//!   line.
+//! * **Time overhead** — wall-clock training and imputation time.
+//!
+//! [`harness`] runs a technique over a dataset (sparsify → impute → score),
+//! optionally in parallel across test trajectories, and powers every figure
+//! regeneration in `kamel-bench`. [`roadtype`] adds the §8.4 straight/curved
+//! segment classification.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod mapinfer;
+pub mod metrics;
+pub mod roadtype;
+
+pub use harness::{
+    train_kamel, train_trimpute, EvalContext, KamelImputer, TechniqueResult,
+};
+pub use mapinfer::{compare_maps, infer_map, rasterize_network, InferredMap, MapInferConfig, MapQuality};
+pub use metrics::{MetricsAccumulator, PointMetrics};
+pub use roadtype::{classify_segments, RoadClass};

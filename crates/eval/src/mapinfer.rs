@@ -1,0 +1,323 @@
+//! Density-based map inference — the application KAMEL exists to serve.
+//!
+//! The paper's §1 motivation: when the road network is unknown or
+//! untrusted, map inference must reconstruct it from trajectories, and
+//! sparse trajectories reveal almost nothing. This module implements the
+//! standard density-threshold inference step (the common core of the map
+//! inference literature the paper cites): rasterize trajectories onto a
+//! fine grid, keep cells crossed by enough evidence, prune isolated noise,
+//! and score the inferred map against the hidden ground-truth network with
+//! the GEO-style matched recall/precision used in map-inference evaluation.
+
+use kamel_geo::{discretize, LocalProjection, Trajectory, Xy};
+use kamel_roadsim::RoadNetwork;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Map-inference parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MapInferConfig {
+    /// Raster cell size in meters.
+    pub cell_m: f64,
+    /// Minimum trajectory passes through a cell to call it road.
+    pub min_evidence: u32,
+    /// Drop inferred cells with no inferred 8-neighborhood support
+    /// (single-cell GPS-noise specks).
+    pub prune_isolated: bool,
+}
+
+impl Default for MapInferConfig {
+    fn default() -> Self {
+        Self {
+            cell_m: 25.0,
+            min_evidence: 1,
+            prune_isolated: true,
+        }
+    }
+}
+
+/// An inferred (or rasterized ground-truth) map: the set of road cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferredMap {
+    /// Raster cell size in meters.
+    pub cell_m: f64,
+    cells: HashSet<(i32, i32)>,
+}
+
+impl InferredMap {
+    /// Number of road cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when nothing was inferred.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// True when the cell containing `p` is marked as road.
+    pub fn contains(&self, p: Xy) -> bool {
+        self.cells.contains(&key(p, self.cell_m))
+    }
+
+    /// True when `cell` or any 8-neighbor within `tolerance` cells is road.
+    fn near(&self, cell: (i32, i32), tolerance: i32) -> bool {
+        for dx in -tolerance..=tolerance {
+            for dy in -tolerance..=tolerance {
+                if self.cells.contains(&(cell.0 + dx, cell.1 + dy)) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+fn key(p: Xy, cell_m: f64) -> (i32, i32) {
+    ((p.x / cell_m).floor() as i32, (p.y / cell_m).floor() as i32)
+}
+
+/// Infers a road map from trajectories: cells crossed by at least
+/// `min_evidence` distinct trajectories become road.
+pub fn infer_map(
+    trajectories: &[Trajectory],
+    proj: &LocalProjection,
+    config: &MapInferConfig,
+) -> InferredMap {
+    assert!(config.cell_m > 0.0, "cell size must be positive");
+    let mut evidence: HashMap<(i32, i32), u32> = HashMap::new();
+    for traj in trajectories {
+        let line: Vec<Xy> = traj.points.iter().map(|p| proj.to_xy(p.pos)).collect();
+        if line.is_empty() {
+            continue;
+        }
+        // Each trajectory contributes at most one unit of evidence per cell.
+        let mut touched: HashSet<(i32, i32)> = HashSet::new();
+        if line.len() == 1 {
+            touched.insert(key(line[0], config.cell_m));
+        } else {
+            for p in discretize(&line, config.cell_m * 0.8) {
+                touched.insert(key(p, config.cell_m));
+            }
+        }
+        for cell in touched {
+            *evidence.entry(cell).or_insert(0) += 1;
+        }
+    }
+    let mut cells: HashSet<(i32, i32)> = evidence
+        .iter()
+        .filter(|(_, &count)| count >= config.min_evidence)
+        .map(|(&cell, _)| cell)
+        .collect();
+    if config.prune_isolated {
+        let original = cells.clone();
+        cells.retain(|&(x, y)| {
+            (-1..=1).any(|dx| {
+                (-1..=1)
+                    .any(|dy| (dx != 0 || dy != 0) && original.contains(&(x + dx, y + dy)))
+            })
+        });
+    }
+    InferredMap {
+        cell_m: config.cell_m,
+        cells,
+    }
+}
+
+/// Rasterizes the true road network at the same cell size (the inference
+/// target).
+pub fn rasterize_network(
+    network: &RoadNetwork,
+    config: &MapInferConfig,
+) -> InferredMap {
+    let mut cells = HashSet::new();
+    for (a, b) in network.edges() {
+        let line = vec![network.node(a), network.node(b)];
+        for p in discretize(&line, config.cell_m * 0.8) {
+            cells.insert(key(p, config.cell_m));
+        }
+    }
+    InferredMap {
+        cell_m: config.cell_m,
+        cells,
+    }
+}
+
+/// Matched-coverage quality of an inferred map against the rasterized
+/// truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MapQuality {
+    /// Fraction of true road cells within `tolerance` cells of an inferred
+    /// cell (how much of the network was discovered).
+    pub road_recall: f64,
+    /// Fraction of inferred cells within `tolerance` cells of a true road
+    /// cell (how much of the inference is real road).
+    pub road_precision: f64,
+    /// Harmonic mean of the two.
+    pub f1: f64,
+}
+
+/// Scores `inferred` against `truth` with a ±`tolerance_cells` match
+/// window.
+///
+/// # Panics
+/// Panics when the two maps use different cell sizes.
+pub fn compare_maps(inferred: &InferredMap, truth: &InferredMap, tolerance_cells: i32) -> MapQuality {
+    assert_eq!(
+        inferred.cell_m, truth.cell_m,
+        "maps must share a raster cell size"
+    );
+    let recall = if truth.is_empty() {
+        0.0
+    } else {
+        truth
+            .cells
+            .iter()
+            .filter(|&&c| inferred.near(c, tolerance_cells))
+            .count() as f64
+            / truth.len() as f64
+    };
+    let precision = if inferred.is_empty() {
+        0.0
+    } else {
+        inferred
+            .cells
+            .iter()
+            .filter(|&&c| truth.near(c, tolerance_cells))
+            .count() as f64
+            / inferred.len() as f64
+    };
+    let f1 = if recall + precision > 0.0 {
+        2.0 * recall * precision / (recall + precision)
+    } else {
+        0.0
+    };
+    MapQuality {
+        road_recall: recall,
+        road_precision: precision,
+        f1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamel_geo::{GpsPoint, LatLng};
+    use kamel_roadsim::{generate_city, CityConfig};
+
+    fn proj() -> LocalProjection {
+        LocalProjection::new(LatLng::new(41.15, -8.61))
+    }
+
+    fn line_traj(y: f64, n: usize, step: f64) -> Trajectory {
+        let p = proj();
+        Trajectory::new(
+            (0..n)
+                .map(|i| GpsPoint::new(p.to_latlng(Xy::new(i as f64 * step, y)), i as f64))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn dense_trajectory_infers_its_street() {
+        let cfg = MapInferConfig::default();
+        let trajs = vec![line_traj(0.0, 50, 20.0), line_traj(2.0, 50, 20.0)];
+        let map = infer_map(&trajs, &proj(), &cfg);
+        assert!(!map.is_empty());
+        // Every point along the street is marked.
+        for i in 0..40 {
+            assert!(map.contains(Xy::new(i as f64 * 25.0, 0.0)), "cell {i}");
+        }
+        // A parallel street 500 m away is not.
+        assert!(!map.contains(Xy::new(100.0, 500.0)));
+    }
+
+    #[test]
+    fn evidence_threshold_filters_noise() {
+        let cfg = MapInferConfig {
+            min_evidence: 2,
+            prune_isolated: false,
+            ..MapInferConfig::default()
+        };
+        // One trajectory only: below the 2-pass threshold everywhere.
+        let map = infer_map(&[line_traj(0.0, 50, 20.0)], &proj(), &cfg);
+        assert!(map.is_empty());
+        // Two passes over the same street clear it.
+        let map2 = infer_map(
+            &[line_traj(0.0, 50, 20.0), line_traj(1.0, 50, 20.0)],
+            &proj(),
+            &cfg,
+        );
+        assert!(!map2.is_empty());
+    }
+
+    #[test]
+    fn isolated_specks_are_pruned() {
+        let cfg = MapInferConfig::default();
+        let p = proj();
+        // A single stationary fix far from anything.
+        let speck = Trajectory::new(vec![GpsPoint::new(p.to_latlng(Xy::new(5_000.0, 5_000.0)), 0.0)]);
+        let map = infer_map(&[line_traj(0.0, 50, 20.0), speck], &p, &cfg);
+        assert!(!map.contains(Xy::new(5_000.0, 5_000.0)), "speck survived");
+        assert!(map.contains(Xy::new(200.0, 0.0)));
+    }
+
+    #[test]
+    fn perfect_inference_scores_one() {
+        let net = generate_city(&CityConfig {
+            cols: 5,
+            rows: 5,
+            jitter_m: 0.0,
+            street_removal_prob: 0.0,
+            roundabouts: 0,
+            diagonals: 0,
+            ring_road: false,
+            overpass: false,
+            ..CityConfig::default()
+        });
+        let cfg = MapInferConfig::default();
+        let truth = rasterize_network(&net, &cfg);
+        let q = compare_maps(&truth, &truth, 1);
+        assert_eq!(q.road_recall, 1.0);
+        assert_eq!(q.road_precision, 1.0);
+        assert_eq!(q.f1, 1.0);
+    }
+
+    #[test]
+    fn partial_inference_scores_between() {
+        let net = generate_city(&CityConfig {
+            cols: 5,
+            rows: 5,
+            jitter_m: 0.0,
+            street_removal_prob: 0.0,
+            roundabouts: 0,
+            diagonals: 0,
+            ring_road: false,
+            overpass: false,
+            ..CityConfig::default()
+        });
+        let cfg = MapInferConfig::default();
+        let truth = rasterize_network(&net, &cfg);
+        // Infer from one street only.
+        let map = infer_map(&[line_traj(0.0, 40, 15.0)], &proj(), &cfg);
+        let q = compare_maps(&map, &truth, 1);
+        assert!(q.road_recall > 0.0 && q.road_recall < 0.5, "{q:?}");
+        assert!(q.road_precision > 0.8, "{q:?}");
+        assert!(q.f1 > 0.0 && q.f1 < 1.0);
+    }
+
+    #[test]
+    fn empty_maps_score_zero() {
+        let cfg = MapInferConfig::default();
+        let empty = infer_map(&[], &proj(), &cfg);
+        let truth = InferredMap {
+            cell_m: cfg.cell_m,
+            cells: [(0, 0)].into_iter().collect(),
+        };
+        let q = compare_maps(&empty, &truth, 1);
+        assert_eq!(q.road_recall, 0.0);
+        assert_eq!(q.road_precision, 0.0);
+        assert_eq!(q.f1, 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Road-type classification for the §8.4 straight-vs-curved experiments.
+//!
+//! A test-trajectory gap segment is **straight** when the Euclidean
+//! distance between its two endpoints matches their road-network distance
+//! within a small threshold (the paper uses 5 m on clean data; with
+//! simulated GPS noise a slightly larger tolerance keeps the same
+//! separation), otherwise it is **curved**. The classifier is the only
+//! evaluation component (besides map matching) allowed to see the hidden
+//! network.
+
+use crate::metrics::MetricsAccumulator;
+use kamel_baselines::TrajectoryImputer;
+use kamel_geo::{LocalProjection, Trajectory, Xy};
+use kamel_roadsim::{Dataset, RoadNetwork};
+use serde::{Deserialize, Serialize};
+
+/// Segment class per §8.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoadClass {
+    /// Network distance ≈ Euclidean distance.
+    Straight,
+    /// The road detours relative to the chord.
+    Curved,
+}
+
+/// Classifies the gap between two planar points.
+pub fn classify_gap(net: &RoadNetwork, a: Xy, b: Xy, tolerance_m: f64) -> Option<RoadClass> {
+    let euclid = a.dist(&b);
+    let network = net.network_distance(a, b)?;
+    Some(if (network - euclid).abs() <= tolerance_m {
+        RoadClass::Straight
+    } else {
+        RoadClass::Curved
+    })
+}
+
+/// Classifies every sparse-gap segment of a trajectory.
+pub fn classify_segments(
+    net: &RoadNetwork,
+    proj: &LocalProjection,
+    sparse: &Trajectory,
+    tolerance_m: f64,
+) -> Vec<Option<RoadClass>> {
+    sparse
+        .points
+        .windows(2)
+        .map(|w| classify_gap(net, proj.to_xy(w[0].pos), proj.to_xy(w[1].pos), tolerance_m))
+        .collect()
+}
+
+/// Per-class accumulators for one technique.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoadTypeMetrics {
+    /// Metrics over straight segments.
+    pub straight: MetricsAccumulator,
+    /// Metrics over curved segments.
+    pub curved: MetricsAccumulator,
+}
+
+/// Evaluates a technique per road class: each test trajectory is
+/// sparsified, each gap classified against the network, and the gap's
+/// ground-truth sub-trajectory (by timestamp window) scored against the
+/// imputed sub-trajectory.
+pub fn evaluate_by_road_type(
+    imputer: &dyn TrajectoryImputer,
+    dataset: &Dataset,
+    max_gap_m: f64,
+    delta_m: f64,
+    sparse_m: f64,
+    tolerance_m: f64,
+    limit: usize,
+) -> RoadTypeMetrics {
+    let proj = dataset.projection();
+    let mut out = RoadTypeMetrics::default();
+    for gt in dataset
+        .test
+        .iter()
+        .filter(|t| t.len() >= 3)
+        .take(if limit == 0 { usize::MAX } else { limit })
+    {
+        let sparse = gt.sparsify(sparse_m);
+        let imputed = imputer.impute(&sparse);
+        let classes = classify_segments(&dataset.network, &proj, &sparse, tolerance_m);
+        for (w, class) in sparse.points.windows(2).zip(classes) {
+            let Some(class) = class else { continue };
+            let (t0, t1) = (w[0].t, w[1].t);
+            let gt_seg = slice_by_time(gt, t0, t1);
+            let imp_seg = slice_by_time(&imputed.trajectory, t0, t1);
+            if gt_seg.len() < 2 || imp_seg.len() < 2 {
+                continue;
+            }
+            let acc = match class {
+                RoadClass::Straight => &mut out.straight,
+                RoadClass::Curved => &mut out.curved,
+            };
+            acc.add_pair(&gt_seg, &imp_seg, &proj, max_gap_m, delta_m);
+            acc.add_failures(1, usize::from(is_straight_line_output(&imp_seg, &proj)));
+        }
+    }
+    out
+}
+
+/// Points of `traj` with timestamps in `[t0, t1]` (inclusive).
+fn slice_by_time(traj: &Trajectory, t0: f64, t1: f64) -> Trajectory {
+    Trajectory::new(
+        traj.points
+            .iter()
+            .filter(|p| p.t >= t0 - 1e-9 && p.t <= t1 + 1e-9)
+            .copied()
+            .collect(),
+    )
+}
+
+/// Heuristic failure detector for techniques that don't expose per-segment
+/// flags at this granularity: an output segment whose every interior point
+/// sits within a few meters of the endpoint chord is a straight-line
+/// imputation.
+fn is_straight_line_output(seg: &Trajectory, proj: &LocalProjection) -> bool {
+    if seg.len() <= 2 {
+        return true;
+    }
+    let a = proj.to_xy(seg.points[0].pos);
+    let b = proj.to_xy(seg.points[seg.len() - 1].pos);
+    seg.points[1..seg.len() - 1].iter().all(|p| {
+        kamel_geo::polyline::point_to_segment_distance(proj.to_xy(p.pos), a, b) < 3.0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamel_roadsim::{generate_city, CityConfig};
+
+    fn grid_net() -> RoadNetwork {
+        generate_city(&CityConfig {
+            cols: 8,
+            rows: 8,
+            spacing_m: 150.0,
+            jitter_m: 0.0,
+            street_removal_prob: 0.0,
+            diagonals: 0,
+            roundabouts: 0,
+            ring_road: false,
+            overpass: false,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn straight_along_a_street() {
+        let net = grid_net();
+        let class = classify_gap(&net, Xy::new(0.0, 0.0), Xy::new(600.0, 0.0), 15.0);
+        assert_eq!(class, Some(RoadClass::Straight));
+    }
+
+    #[test]
+    fn curved_around_a_corner() {
+        let net = grid_net();
+        // Diagonal endpoints: network must go around the block (~2x chord).
+        let class = classify_gap(&net, Xy::new(0.0, 0.0), Xy::new(600.0, 600.0), 15.0);
+        assert_eq!(class, Some(RoadClass::Curved));
+    }
+
+    #[test]
+    fn disconnected_points_unclassified() {
+        let net = RoadNetwork::new();
+        assert_eq!(classify_gap(&net, Xy::new(0.0, 0.0), Xy::new(1.0, 1.0), 5.0), None);
+    }
+
+    #[test]
+    fn straight_line_detector() {
+        use kamel_geo::{GpsPoint, LatLng};
+        let proj = LocalProjection::new(LatLng::new(41.15, -8.61));
+        let straight = Trajectory::new(
+            (0..5)
+                .map(|i| GpsPoint::new(proj.to_latlng(Xy::new(i as f64 * 100.0, 0.0)), i as f64))
+                .collect(),
+        );
+        assert!(is_straight_line_output(&straight, &proj));
+        let mut curved = straight.clone();
+        curved.points[2] = GpsPoint::new(proj.to_latlng(Xy::new(200.0, 80.0)), 2.0);
+        assert!(!is_straight_line_output(&curved, &proj));
+    }
+}

@@ -1,0 +1,144 @@
+//! Axis-aligned bounding boxes in the local planar frame.
+//!
+//! Used by the Partitioning module (§4.1): the pyramid retrieval finds the
+//! smallest cell fully enclosing a trajectory's minimum bounding rectangle.
+
+use crate::point::Xy;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle in planar meters. `min` is the south-west
+/// corner, `max` the north-east corner; both edges are inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    /// South-west corner.
+    pub min: Xy,
+    /// North-east corner.
+    pub max: Xy,
+}
+
+impl BBox {
+    /// Creates a bounding box from two corners, normalizing the ordering.
+    pub fn new(a: Xy, b: Xy) -> Self {
+        Self {
+            min: Xy::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Xy::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The minimum bounding rectangle of a non-empty point set.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn of_points<I: IntoIterator<Item = Xy>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = BBox::new(first, first);
+        for p in it {
+            bb.expand(p);
+        }
+        Some(bb)
+    }
+
+    /// Grows the box to include `p`.
+    pub fn expand(&mut self, p: Xy) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Grows the box to include all of `other`.
+    pub fn union(&self, other: &BBox) -> BBox {
+        BBox {
+            min: Xy::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Xy::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// True when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Xy) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True when `other` lies entirely inside or on the boundary of `self`.
+    #[inline]
+    pub fn contains_bbox(&self, other: &BBox) -> bool {
+        self.contains(other.min) && self.contains(other.max)
+    }
+
+    /// True when the two boxes share any point.
+    #[inline]
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// Width in meters (east-west extent).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height in meters (north-south extent).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Geometric center of the box.
+    #[inline]
+    pub fn center(&self) -> Xy {
+        Xy::new(
+            (self.min.x + self.max.x) * 0.5,
+            (self.min.y + self.max.y) * 0.5,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_corners() {
+        let bb = BBox::new(Xy::new(5.0, -1.0), Xy::new(-2.0, 3.0));
+        assert_eq!(bb.min, Xy::new(-2.0, -1.0));
+        assert_eq!(bb.max, Xy::new(5.0, 3.0));
+    }
+
+    #[test]
+    fn of_points_handles_empty_and_singleton() {
+        assert!(BBox::of_points(std::iter::empty()).is_none());
+        let bb = BBox::of_points([Xy::new(1.0, 2.0)]).unwrap();
+        assert_eq!(bb.min, bb.max);
+        assert!(bb.contains(Xy::new(1.0, 2.0)));
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let outer = BBox::new(Xy::new(0.0, 0.0), Xy::new(10.0, 10.0));
+        let inner = BBox::new(Xy::new(2.0, 2.0), Xy::new(8.0, 8.0));
+        let overlapping = BBox::new(Xy::new(8.0, 8.0), Xy::new(12.0, 12.0));
+        let disjoint = BBox::new(Xy::new(20.0, 20.0), Xy::new(30.0, 30.0));
+        assert!(outer.contains_bbox(&inner));
+        assert!(!inner.contains_bbox(&outer));
+        assert!(outer.intersects(&overlapping));
+        assert!(!outer.intersects(&disjoint));
+        // Boundary point counts as contained.
+        assert!(outer.contains(Xy::new(10.0, 10.0)));
+    }
+
+    #[test]
+    fn union_and_dims() {
+        let a = BBox::new(Xy::new(0.0, 0.0), Xy::new(1.0, 1.0));
+        let b = BBox::new(Xy::new(4.0, -2.0), Xy::new(5.0, 0.5));
+        let u = a.union(&b);
+        assert_eq!(u.min, Xy::new(0.0, -2.0));
+        assert_eq!(u.max, Xy::new(5.0, 1.0));
+        assert_eq!(u.width(), 5.0);
+        assert_eq!(u.height(), 3.0);
+        assert_eq!(u.center(), Xy::new(2.5, -0.5));
+    }
+}

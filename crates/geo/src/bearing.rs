@@ -1,0 +1,79 @@
+//! Bearings and angle arithmetic for the direction constraints (§5.1).
+
+use crate::point::Xy;
+
+/// Normalizes an angle in degrees to `[0, 360)`.
+#[inline]
+pub fn normalize_deg(deg: f64) -> f64 {
+    let d = deg % 360.0;
+    if d < 0.0 {
+        d + 360.0
+    } else {
+        d
+    }
+}
+
+/// Planar bearing from `a` to `b` in degrees, measured clockwise from north.
+///
+/// Returns `None` when the points coincide (bearing undefined).
+pub fn bearing_deg(a: Xy, b: Xy) -> Option<f64> {
+    let (dx, dy) = a.delta(&b);
+    if dx == 0.0 && dy == 0.0 {
+        return None;
+    }
+    // atan2(east, north) gives the compass bearing.
+    Some(normalize_deg(dx.atan2(dy).to_degrees()))
+}
+
+/// Smallest absolute difference between two bearings, in `[0, 180]` degrees.
+#[inline]
+pub fn angle_between_deg(a: f64, b: f64) -> f64 {
+    let d = (normalize_deg(a) - normalize_deg(b)).abs();
+    if d > 180.0 {
+        360.0 - d
+    } else {
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinal_bearings() {
+        let o = Xy::new(0.0, 0.0);
+        assert_eq!(bearing_deg(o, Xy::new(0.0, 1.0)).unwrap(), 0.0); // north
+        assert_eq!(bearing_deg(o, Xy::new(1.0, 0.0)).unwrap(), 90.0); // east
+        assert_eq!(bearing_deg(o, Xy::new(0.0, -1.0)).unwrap(), 180.0); // south
+        assert_eq!(bearing_deg(o, Xy::new(-1.0, 0.0)).unwrap(), 270.0); // west
+    }
+
+    #[test]
+    fn coincident_points_have_no_bearing() {
+        let p = Xy::new(5.0, 5.0);
+        assert!(bearing_deg(p, p).is_none());
+    }
+
+    #[test]
+    fn normalize_wraps_both_directions() {
+        assert_eq!(normalize_deg(370.0), 10.0);
+        assert_eq!(normalize_deg(-10.0), 350.0);
+        assert_eq!(normalize_deg(720.0), 0.0);
+        assert_eq!(normalize_deg(0.0), 0.0);
+    }
+
+    #[test]
+    fn angle_between_is_symmetric_and_wraps() {
+        assert_eq!(angle_between_deg(10.0, 350.0), 20.0);
+        assert_eq!(angle_between_deg(350.0, 10.0), 20.0);
+        assert_eq!(angle_between_deg(0.0, 180.0), 180.0);
+        assert_eq!(angle_between_deg(45.0, 45.0), 0.0);
+    }
+
+    #[test]
+    fn diagonal_bearing() {
+        let b = bearing_deg(Xy::new(0.0, 0.0), Xy::new(1.0, 1.0)).unwrap();
+        assert!((b - 45.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,83 @@
+//! Distance functions on the sphere.
+
+use crate::point::LatLng;
+
+/// Mean Earth radius in meters (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// Great-circle distance between two coordinates in meters (haversine).
+///
+/// Numerically stable for small separations; exact enough for trajectory
+/// work everywhere on the globe.
+pub fn haversine_m(a: LatLng, b: LatLng) -> f64 {
+    let (lat1, lng1) = (a.lat.to_radians(), a.lng.to_radians());
+    let (lat2, lng2) = (b.lat.to_radians(), b.lng.to_radians());
+    let dlat = lat2 - lat1;
+    let dlng = lng2 - lng1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlng / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_M * h.sqrt().asin()
+}
+
+/// Fast equirectangular approximation of the distance in meters.
+///
+/// Projects onto a plane using the mean latitude; error is negligible for the
+/// city-scale (< ~50 km) separations KAMEL operates on, and it is several
+/// times cheaper than the haversine in hot loops (tokenization, constraints,
+/// metrics).
+#[inline]
+pub fn equirectangular_m(a: LatLng, b: LatLng) -> f64 {
+    let mean_lat = ((a.lat + b.lat) * 0.5).to_radians();
+    let dx = (b.lng - a.lng).to_radians() * mean_lat.cos();
+    let dy = (b.lat - a.lat).to_radians();
+    EARTH_RADIUS_M * dx.hypot(dy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Porto city hall to Porto São Bento station is roughly 560 m.
+    #[test]
+    fn haversine_known_city_distance() {
+        let a = LatLng::new(41.1496, -8.6110);
+        let b = LatLng::new(41.1456, -8.6104);
+        let d = haversine_m(a, b);
+        assert!((400.0..600.0).contains(&d), "unexpected distance {d}");
+    }
+
+    #[test]
+    fn zero_distance_for_identical_points() {
+        let p = LatLng::new(-6.2, 106.8);
+        assert_eq!(haversine_m(p, p), 0.0);
+        assert_eq!(equirectangular_m(p, p), 0.0);
+    }
+
+    #[test]
+    fn equirectangular_matches_haversine_at_city_scale() {
+        let a = LatLng::new(41.15, -8.61);
+        for (dlat, dlng) in [(0.01, 0.0), (0.0, 0.02), (0.03, -0.02), (-0.05, 0.05)] {
+            let b = LatLng::new(a.lat + dlat, a.lng + dlng);
+            let h = haversine_m(a, b);
+            let e = equirectangular_m(a, b);
+            let rel = (h - e).abs() / h.max(1.0);
+            assert!(rel < 1e-3, "relative error {rel} for offset {dlat},{dlng}");
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = LatLng::new(41.15, -8.61);
+        let b = LatLng::new(41.20, -8.55);
+        assert!((haversine_m(a, b) - haversine_m(b, a)).abs() < 1e-9);
+        assert!((equirectangular_m(a, b) - equirectangular_m(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antimeridian_safe_haversine() {
+        let a = LatLng::new(0.0, 179.95);
+        let b = LatLng::new(0.0, -179.95);
+        // Haversine handles wrap-around correctly: ~11.1 km, not ~40000 km.
+        let d = haversine_m(a, b);
+        assert!((10_000.0..13_000.0).contains(&d), "got {d}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Geographic primitives for the KAMEL trajectory imputation system.
+//!
+//! This crate provides the low-level spatial math every other KAMEL crate
+//! builds on: coordinates ([`LatLng`], projected [`Xy`] meters, timestamped
+//! [`GpsPoint`]s), great-circle and fast planar distances, a local
+//! equirectangular projection ([`LocalProjection`]), bearings and angle
+//! arithmetic, axis-aligned [`BBox`]es, the speed-constraint [`Ellipse`] from
+//! the paper's Spatial Constraints module (§5.1), and polyline utilities
+//! (length, discretization, point-to-polyline distance) used by the
+//! evaluation metrics (§8).
+//!
+//! Everything here is dependency-free numerical code; `f64` throughout.
+
+#![warn(missing_docs)]
+
+pub mod bbox;
+pub mod bearing;
+pub mod dist;
+pub mod ellipse;
+pub mod point;
+pub mod polyline;
+pub mod proj;
+pub mod trajectory;
+
+pub use bbox::BBox;
+pub use bearing::{angle_between_deg, bearing_deg, normalize_deg};
+pub use dist::{equirectangular_m, haversine_m, EARTH_RADIUS_M};
+pub use ellipse::Ellipse;
+pub use point::{GpsPoint, LatLng, Xy};
+pub use polyline::{
+    directed_hausdorff_m, discretize, hausdorff_m, mean_deviation_m,
+    point_to_polyline_distance, polyline_length, resample_by_time, Polyline,
+};
+pub use proj::LocalProjection;
+pub use trajectory::Trajectory;

@@ -1,0 +1,193 @@
+//! Coordinate types: geodetic [`LatLng`], projected planar [`Xy`], and
+//! timestamped [`GpsPoint`].
+
+use serde::{Deserialize, Serialize};
+
+/// A WGS-84 geodetic coordinate in decimal degrees.
+///
+/// Latitude is positive north, longitude positive east. Construction does not
+/// validate ranges (trajectory data is noisy); use [`LatLng::is_valid`] when
+/// validation matters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatLng {
+    /// Latitude in degrees, nominally in `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, nominally in `[-180, 180]`.
+    pub lng: f64,
+}
+
+impl LatLng {
+    /// Creates a new coordinate from latitude and longitude in degrees.
+    #[inline]
+    pub const fn new(lat: f64, lng: f64) -> Self {
+        Self { lat, lng }
+    }
+
+    /// Returns true when both components are finite and within geodetic range.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.lat.is_finite()
+            && self.lng.is_finite()
+            && (-90.0..=90.0).contains(&self.lat)
+            && (-180.0..=180.0).contains(&self.lng)
+    }
+
+    /// Great-circle distance to `other` in meters (haversine).
+    #[inline]
+    pub fn haversine_m(&self, other: &LatLng) -> f64 {
+        crate::dist::haversine_m(*self, *other)
+    }
+
+    /// Fast planar approximation of the distance to `other` in meters.
+    ///
+    /// Accurate to well under 0.1% for city-scale separations, which is the
+    /// regime KAMEL operates in (gaps up to a few kilometers).
+    #[inline]
+    pub fn fast_dist_m(&self, other: &LatLng) -> f64 {
+        crate::dist::equirectangular_m(*self, *other)
+    }
+
+    /// Linear interpolation between `self` (t=0) and `other` (t=1).
+    ///
+    /// Valid for the short city-scale spans KAMEL deals with, where the
+    /// planar approximation holds.
+    #[inline]
+    pub fn lerp(&self, other: &LatLng, t: f64) -> LatLng {
+        LatLng::new(
+            self.lat + (other.lat - self.lat) * t,
+            self.lng + (other.lng - self.lng) * t,
+        )
+    }
+}
+
+/// A point in a local planar projection, in meters.
+///
+/// Produced by [`crate::LocalProjection`]; x grows east, y grows north.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Xy {
+    /// Meters east of the projection origin.
+    pub x: f64,
+    /// Meters north of the projection origin.
+    pub y: f64,
+}
+
+impl Xy {
+    /// Creates a planar point from east/north offsets in meters.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other` in meters.
+    #[inline]
+    pub fn dist(&self, other: &Xy) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared Euclidean distance; avoids the sqrt when only comparing.
+    #[inline]
+    pub fn dist_sq(&self, other: &Xy) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Vector from `self` to `other`.
+    #[inline]
+    pub fn delta(&self, other: &Xy) -> (f64, f64) {
+        (other.x - self.x, other.y - self.y)
+    }
+
+    /// Linear interpolation between `self` (t=0) and `other` (t=1).
+    #[inline]
+    pub fn lerp(&self, other: &Xy, t: f64) -> Xy {
+        Xy::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+}
+
+/// A single GPS fix: a coordinate plus a timestamp in seconds.
+///
+/// Timestamps are relative seconds (trip-relative or epoch — KAMEL only ever
+/// uses differences, per the speed constraint of §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpsPoint {
+    /// The fix location.
+    pub pos: LatLng,
+    /// Timestamp in seconds; only differences are meaningful.
+    pub t: f64,
+}
+
+impl GpsPoint {
+    /// Creates a GPS fix at `pos` observed at time `t` seconds.
+    #[inline]
+    pub const fn new(pos: LatLng, t: f64) -> Self {
+        Self { pos, t }
+    }
+
+    /// Convenience constructor from raw components.
+    #[inline]
+    pub const fn from_parts(lat: f64, lng: f64, t: f64) -> Self {
+        Self {
+            pos: LatLng::new(lat, lng),
+            t,
+        }
+    }
+
+    /// Ground speed in m/s implied by moving from `self` to `next`.
+    ///
+    /// Returns `None` when the time difference is non-positive (out-of-order
+    /// or duplicated fixes), which callers must treat as unusable.
+    pub fn speed_to(&self, next: &GpsPoint) -> Option<f64> {
+        let dt = next.t - self.t;
+        if dt <= 0.0 {
+            return None;
+        }
+        Some(self.pos.fast_dist_m(&next.pos) / dt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latlng_validity() {
+        assert!(LatLng::new(41.15, -8.61).is_valid());
+        assert!(!LatLng::new(91.0, 0.0).is_valid());
+        assert!(!LatLng::new(0.0, 181.0).is_valid());
+        assert!(!LatLng::new(f64::NAN, 0.0).is_valid());
+    }
+
+    #[test]
+    fn latlng_lerp_endpoints_and_midpoint() {
+        let a = LatLng::new(10.0, 20.0);
+        let b = LatLng::new(11.0, 22.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let mid = a.lerp(&b, 0.5);
+        assert!((mid.lat - 10.5).abs() < 1e-12);
+        assert!((mid.lng - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xy_distance() {
+        let a = Xy::new(0.0, 0.0);
+        let b = Xy::new(3.0, 4.0);
+        assert!((a.dist(&b) - 5.0).abs() < 1e-12);
+        assert!((a.dist_sq(&b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speed_requires_forward_time() {
+        let a = GpsPoint::from_parts(41.0, -8.0, 0.0);
+        let b = GpsPoint::from_parts(41.0, -7.999, 10.0);
+        let v = a.speed_to(&b).unwrap();
+        assert!(v > 0.0 && v < 20.0, "implausible speed {v}");
+        assert!(b.speed_to(&a).is_none());
+        let dup = GpsPoint::from_parts(41.0, -8.0, 0.0);
+        assert!(a.speed_to(&dup).is_none());
+    }
+}

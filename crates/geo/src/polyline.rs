@@ -1,0 +1,271 @@
+//! Polyline utilities in the planar frame.
+//!
+//! The evaluation metrics (§8) discretize ground-truth and imputed
+//! trajectories by placing points every `max_gap` meters along the polyline,
+//! then measure how many discretized points of one polyline fall within the
+//! accuracy threshold δ of the other. This module provides those primitives
+//! plus length, resampling, and point-to-polyline distance.
+
+/// A planar polyline, represented as an ordered point list.
+pub type Polyline = Vec<crate::point::Xy>;
+
+use crate::point::Xy;
+
+/// Total length of a polyline in meters. Zero for fewer than two points.
+pub fn polyline_length(line: &[Xy]) -> f64 {
+    line.windows(2).map(|w| w[0].dist(&w[1])).sum()
+}
+
+/// Places points along `line` at every `interval` meters of arc length,
+/// always including the first and last vertices.
+///
+/// This is the discretization operator from the paper's Recall/Precision
+/// definitions. Returns the original endpoints (or an empty vector) when the
+/// line has fewer than two points. `interval` must be positive.
+pub fn discretize(line: &[Xy], interval: f64) -> Vec<Xy> {
+    assert!(interval > 0.0, "discretization interval must be positive");
+    match line.len() {
+        0 => return Vec::new(),
+        1 => return vec![line[0]],
+        _ => {}
+    }
+    let mut out = Vec::with_capacity((polyline_length(line) / interval) as usize + 2);
+    out.push(line[0]);
+    // Distance along the current segment already covered since the last
+    // emitted sample.
+    let mut carried = 0.0;
+    for w in line.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let seg = a.dist(&b);
+        if seg == 0.0 {
+            continue;
+        }
+        let mut along = interval - carried;
+        while along <= seg {
+            out.push(a.lerp(&b, along / seg));
+            along += interval;
+        }
+        carried = seg - (along - interval);
+    }
+    let last = *line.last().expect("len >= 2");
+    // Avoid duplicating the final vertex when the arc length is an exact
+    // multiple of the interval.
+    if out.last().is_none_or(|p| p.dist(&last) > 1e-9) {
+        out.push(last);
+    }
+    out
+}
+
+/// Shortest distance from `p` to any segment of `line`, in meters.
+///
+/// Returns `f64::INFINITY` for an empty polyline.
+pub fn point_to_polyline_distance(p: Xy, line: &[Xy]) -> f64 {
+    if line.is_empty() {
+        return f64::INFINITY;
+    }
+    if line.len() == 1 {
+        return p.dist(&line[0]);
+    }
+    line.windows(2)
+        .map(|w| point_to_segment_distance(p, w[0], w[1]))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Distance from `p` to the closed segment `[a, b]`.
+pub fn point_to_segment_distance(p: Xy, a: Xy, b: Xy) -> f64 {
+    let (abx, aby) = a.delta(&b);
+    let len_sq = abx * abx + aby * aby;
+    if len_sq == 0.0 {
+        return p.dist(&a);
+    }
+    let (apx, apy) = a.delta(&p);
+    let t = ((apx * abx + apy * aby) / len_sq).clamp(0.0, 1.0);
+    p.dist(&a.lerp(&b, t))
+}
+
+/// Directed Hausdorff distance from `a` to `b`: the worst deviation of any
+/// `a` sample (at `sample_m` spacing) from polyline `b`.
+///
+/// Complements the paper's discretized recall/precision: where those count
+/// the fraction of points within δ, Hausdorff reports the single worst
+/// excursion — useful for spotting imputations that are mostly right but
+/// take one bad detour. `f64::INFINITY` when either polyline is empty.
+pub fn directed_hausdorff_m(a: &[Xy], b: &[Xy], sample_m: f64) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return f64::INFINITY;
+    }
+    discretize(a, sample_m)
+        .into_iter()
+        .map(|p| point_to_polyline_distance(p, b))
+        .fold(0.0, f64::max)
+}
+
+/// Symmetric Hausdorff distance between two polylines.
+pub fn hausdorff_m(a: &[Xy], b: &[Xy], sample_m: f64) -> f64 {
+    directed_hausdorff_m(a, b, sample_m).max(directed_hausdorff_m(b, a, sample_m))
+}
+
+/// Mean deviation of `a`'s discretized samples from polyline `b`, meters.
+pub fn mean_deviation_m(a: &[Xy], b: &[Xy], sample_m: f64) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return f64::INFINITY;
+    }
+    let samples = discretize(a, sample_m);
+    let n = samples.len() as f64;
+    samples
+        .into_iter()
+        .map(|p| point_to_polyline_distance(p, b))
+        .sum::<f64>()
+        / n
+}
+
+/// Resamples a timestamped planar path at a fixed period, interpolating
+/// positions linearly in time.
+///
+/// Used by the training-data-density experiment (Fig. 12-V): the 1 s dense
+/// ground truth is resampled at 15/30/60 s. `points` are `(position, time)`
+/// pairs with non-decreasing times; the first and last fixes are always kept.
+pub fn resample_by_time(points: &[(Xy, f64)], period_s: f64) -> Vec<(Xy, f64)> {
+    assert!(period_s > 0.0, "resampling period must be positive");
+    if points.len() < 2 {
+        return points.to_vec();
+    }
+    let t0 = points[0].1;
+    let t_end = points[points.len() - 1].1;
+    let mut out = vec![points[0]];
+    let mut t = t0 + period_s;
+    let mut i = 0;
+    while t < t_end {
+        while i + 1 < points.len() && points[i + 1].1 < t {
+            i += 1;
+        }
+        let (p0, ta) = points[i];
+        let (p1, tb) = points[i + 1];
+        let frac = if tb > ta { (t - ta) / (tb - ta) } else { 0.0 };
+        out.push((p0.lerp(&p1, frac.clamp(0.0, 1.0)), t));
+        t += period_s;
+    }
+    out.push(points[points.len() - 1]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight(n: usize, step: f64) -> Vec<Xy> {
+        (0..n).map(|i| Xy::new(i as f64 * step, 0.0)).collect()
+    }
+
+    #[test]
+    fn length_of_straight_line() {
+        assert_eq!(polyline_length(&straight(5, 10.0)), 40.0);
+        assert_eq!(polyline_length(&[]), 0.0);
+        assert_eq!(polyline_length(&[Xy::new(1.0, 1.0)]), 0.0);
+    }
+
+    #[test]
+    fn discretize_spacing_is_uniform() {
+        let line = straight(11, 10.0); // 100 m total
+        let pts = discretize(&line, 25.0);
+        // 0, 25, 50, 75, 100
+        assert_eq!(pts.len(), 5);
+        for (i, p) in pts.iter().enumerate() {
+            assert!((p.x - 25.0 * i as f64).abs() < 1e-9, "point {i} at {p:?}");
+        }
+    }
+
+    #[test]
+    fn discretize_always_includes_endpoints() {
+        let line = vec![Xy::new(0.0, 0.0), Xy::new(0.0, 33.0)];
+        let pts = discretize(&line, 10.0);
+        assert_eq!(pts[0], line[0]);
+        assert_eq!(*pts.last().unwrap(), line[1]);
+        assert_eq!(pts.len(), 5); // 0,10,20,30,33
+    }
+
+    #[test]
+    fn discretize_spans_vertices() {
+        // Samples must continue across vertices, not restart at each one.
+        let line = vec![Xy::new(0.0, 0.0), Xy::new(7.0, 0.0), Xy::new(14.0, 0.0)];
+        let pts = discretize(&line, 4.0);
+        let xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
+        assert_eq!(xs, vec![0.0, 4.0, 8.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn discretize_degenerate_inputs() {
+        assert!(discretize(&[], 5.0).is_empty());
+        let single = discretize(&[Xy::new(1.0, 2.0)], 5.0);
+        assert_eq!(single, vec![Xy::new(1.0, 2.0)]);
+        // Zero-length segments are skipped without emitting duplicates.
+        let dup = vec![Xy::new(0.0, 0.0), Xy::new(0.0, 0.0), Xy::new(10.0, 0.0)];
+        let pts = discretize(&dup, 5.0);
+        assert_eq!(pts.len(), 3);
+    }
+
+    #[test]
+    fn point_to_polyline_basics() {
+        let line = vec![Xy::new(0.0, 0.0), Xy::new(10.0, 0.0)];
+        assert_eq!(point_to_polyline_distance(Xy::new(5.0, 3.0), &line), 3.0);
+        assert_eq!(point_to_polyline_distance(Xy::new(-4.0, 0.0), &line), 4.0);
+        assert_eq!(point_to_polyline_distance(Xy::new(13.0, 4.0), &line), 5.0);
+        assert_eq!(
+            point_to_polyline_distance(Xy::new(1.0, 1.0), &[]),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn segment_distance_degenerate_segment() {
+        let a = Xy::new(2.0, 2.0);
+        assert_eq!(point_to_segment_distance(Xy::new(5.0, 6.0), a, a), 5.0);
+    }
+
+    #[test]
+    fn hausdorff_identity_and_offset() {
+        let a = vec![Xy::new(0.0, 0.0), Xy::new(1000.0, 0.0)];
+        assert_eq!(hausdorff_m(&a, &a, 50.0), 0.0);
+        let shifted = vec![Xy::new(0.0, 30.0), Xy::new(1000.0, 30.0)];
+        assert!((hausdorff_m(&a, &shifted, 50.0) - 30.0).abs() < 1e-9);
+        // A single detour dominates the symmetric distance.
+        let detour = vec![
+            Xy::new(0.0, 0.0),
+            Xy::new(500.0, 200.0),
+            Xy::new(1000.0, 0.0),
+        ];
+        let h = hausdorff_m(&a, &detour, 25.0);
+        assert!((150.0..=200.0).contains(&h), "got {h}");
+        // Mean deviation is far below the worst excursion.
+        assert!(mean_deviation_m(&detour, &a, 25.0) < h);
+        // Empty inputs.
+        assert_eq!(hausdorff_m(&[], &a, 50.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn directed_hausdorff_is_asymmetric() {
+        // b covers a, but a covers only half of b: directed distances differ.
+        let a = vec![Xy::new(0.0, 0.0), Xy::new(500.0, 0.0)];
+        let b = vec![Xy::new(0.0, 0.0), Xy::new(1000.0, 0.0)];
+        assert!(directed_hausdorff_m(&a, &b, 50.0) < 1e-9);
+        assert!((directed_hausdorff_m(&b, &a, 50.0) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_by_time_keeps_ends_and_period() {
+        let pts: Vec<(Xy, f64)> = (0..=60)
+            .map(|s| (Xy::new(s as f64, 0.0), s as f64))
+            .collect();
+        let sampled = resample_by_time(&pts, 15.0);
+        let times: Vec<f64> = sampled.iter().map(|(_, t)| *t).collect();
+        assert_eq!(times, vec![0.0, 15.0, 30.0, 45.0, 60.0]);
+        // Positions interpolate linearly.
+        assert!((sampled[1].0.x - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_short_input_passthrough() {
+        let pts = vec![(Xy::new(0.0, 0.0), 0.0)];
+        assert_eq!(resample_by_time(&pts, 10.0), pts);
+    }
+}

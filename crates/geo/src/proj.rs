@@ -1,0 +1,118 @@
+//! Local equirectangular projection.
+//!
+//! The hexagonal/square tessellations, the spatial constraints, and the road
+//! simulator all work in a planar frame. KAMEL's spatial extent is city-scale
+//! (the paper's datasets span ~500–660 km²), where an equirectangular
+//! projection centered on the area of interest is accurate to centimeters —
+//! far below GPS noise — and both directions are closed-form.
+
+use crate::point::{LatLng, Xy};
+use serde::{Deserialize, Serialize};
+
+/// An equirectangular projection anchored at a reference coordinate.
+///
+/// Maps [`LatLng`] to planar meters ([`Xy`]) and back. The scale factor is
+/// fixed at the anchor latitude, so accuracy degrades slowly as points move
+/// away from the anchor; for < 100 km extents the error is negligible for
+/// trajectory imputation purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalProjection {
+    origin: LatLng,
+    /// Meters per degree of longitude at the anchor latitude.
+    m_per_deg_lng: f64,
+    /// Meters per degree of latitude (constant on the sphere).
+    m_per_deg_lat: f64,
+}
+
+impl LocalProjection {
+    /// Creates a projection anchored at `origin`.
+    ///
+    /// # Panics
+    /// Panics if `origin` is not a valid coordinate or lies on a pole
+    /// (longitude scale would be zero).
+    pub fn new(origin: LatLng) -> Self {
+        assert!(origin.is_valid(), "projection origin must be valid: {origin:?}");
+        assert!(
+            origin.lat.abs() < 89.9,
+            "projection origin too close to a pole: {origin:?}"
+        );
+        let m_per_deg_lat = crate::dist::EARTH_RADIUS_M * std::f64::consts::PI / 180.0;
+        let m_per_deg_lng = m_per_deg_lat * origin.lat.to_radians().cos();
+        Self {
+            origin,
+            m_per_deg_lng,
+            m_per_deg_lat,
+        }
+    }
+
+    /// The anchor coordinate this projection is centered on.
+    #[inline]
+    pub fn origin(&self) -> LatLng {
+        self.origin
+    }
+
+    /// Projects a geodetic coordinate to planar meters.
+    #[inline]
+    pub fn to_xy(&self, p: LatLng) -> Xy {
+        Xy::new(
+            (p.lng - self.origin.lng) * self.m_per_deg_lng,
+            (p.lat - self.origin.lat) * self.m_per_deg_lat,
+        )
+    }
+
+    /// Inverse projection from planar meters back to geodetic degrees.
+    #[inline]
+    pub fn to_latlng(&self, p: Xy) -> LatLng {
+        LatLng::new(
+            self.origin.lat + p.y / self.m_per_deg_lat,
+            self.origin.lng + p.x / self.m_per_deg_lng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_exact_to_float_precision() {
+        let proj = LocalProjection::new(LatLng::new(41.15, -8.61));
+        for (lat, lng) in [(41.15, -8.61), (41.2, -8.5), (41.0, -8.7), (41.3, -8.61)] {
+            let p = LatLng::new(lat, lng);
+            let back = proj.to_latlng(proj.to_xy(p));
+            assert!((back.lat - p.lat).abs() < 1e-10);
+            assert!((back.lng - p.lng).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn projected_distance_matches_haversine() {
+        let proj = LocalProjection::new(LatLng::new(-6.2, 106.8));
+        let a = LatLng::new(-6.21, 106.81);
+        let b = LatLng::new(-6.25, 106.90);
+        let planar = proj.to_xy(a).dist(&proj.to_xy(b));
+        let sphere = crate::dist::haversine_m(a, b);
+        let rel = (planar - sphere).abs() / sphere;
+        assert!(rel < 2e-3, "relative error {rel}");
+    }
+
+    #[test]
+    fn origin_maps_to_zero() {
+        let o = LatLng::new(41.15, -8.61);
+        let proj = LocalProjection::new(o);
+        let xy = proj.to_xy(o);
+        assert_eq!(xy, Xy::new(0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "pole")]
+    fn rejects_polar_origin() {
+        let _ = LocalProjection::new(LatLng::new(89.95, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "valid")]
+    fn rejects_invalid_origin() {
+        let _ = LocalProjection::new(LatLng::new(f64::NAN, 0.0));
+    }
+}

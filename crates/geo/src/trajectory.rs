@@ -1,0 +1,228 @@
+//! The trajectory type shared by every KAMEL crate.
+
+use crate::point::{GpsPoint, LatLng};
+use crate::proj::LocalProjection;
+use crate::{BBox, Xy};
+use serde::{Deserialize, Serialize};
+
+/// An ordered sequence of GPS fixes for one moving object.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// The fixes, in non-decreasing time order.
+    pub points: Vec<GpsPoint>,
+}
+
+impl Trajectory {
+    /// Wraps a point list as a trajectory.
+    pub fn new(points: Vec<GpsPoint>) -> Self {
+        Self { points }
+    }
+
+    /// Number of fixes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the trajectory holds no fixes.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total elapsed time in seconds (0 for fewer than two fixes).
+    pub fn duration_s(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) => (b.t - a.t).max(0.0),
+            _ => 0.0,
+        }
+    }
+
+    /// Total travelled length in meters, using the fast planar distance.
+    pub fn length_m(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].pos.fast_dist_m(&w[1].pos))
+            .sum()
+    }
+
+    /// Projects all fixes to the planar frame.
+    pub fn to_xy(&self, proj: &LocalProjection) -> Vec<Xy> {
+        self.points.iter().map(|p| proj.to_xy(p.pos)).collect()
+    }
+
+    /// Minimum bounding rectangle in the planar frame (`None` when empty).
+    pub fn bbox(&self, proj: &LocalProjection) -> Option<BBox> {
+        BBox::of_points(self.points.iter().map(|p| proj.to_xy(p.pos)))
+    }
+
+    /// Mean ground speed in m/s over the whole trajectory (`None` when the
+    /// duration is zero).
+    pub fn mean_speed_mps(&self) -> Option<f64> {
+        let d = self.duration_s();
+        if d <= 0.0 {
+            return None;
+        }
+        Some(self.length_m() / d)
+    }
+
+    /// Sparsifies per the paper's protocol (§8 "Datasets"): keep the first
+    /// fix, drop every following fix within `sparse_distance_m`, keep the
+    /// next, and so on. The last fix is always kept so the trajectory keeps
+    /// its full extent.
+    pub fn sparsify(&self, sparse_distance_m: f64) -> Trajectory {
+        assert!(sparse_distance_m > 0.0, "sparse distance must be positive");
+        if self.points.len() <= 2 {
+            return self.clone();
+        }
+        let mut kept = vec![self.points[0]];
+        let mut anchor = self.points[0].pos;
+        for p in &self.points[1..self.points.len() - 1] {
+            if anchor.fast_dist_m(&p.pos) >= sparse_distance_m {
+                kept.push(*p);
+                anchor = p.pos;
+            }
+        }
+        kept.push(self.points[self.points.len() - 1]);
+        Trajectory::new(kept)
+    }
+
+    /// Splits the trajectory wherever consecutive fixes are more than
+    /// `max_gap_s` seconds apart. Real trip logs often concatenate multiple
+    /// trips per vehicle id; imputing across a parked-overnight gap is
+    /// meaningless, so ingest paths split first. Pieces with fewer than two
+    /// fixes are dropped.
+    pub fn split_by_time_gap(&self, max_gap_s: f64) -> Vec<Trajectory> {
+        assert!(max_gap_s > 0.0, "time-gap threshold must be positive");
+        let mut out = Vec::new();
+        let mut current: Vec<GpsPoint> = Vec::new();
+        for p in &self.points {
+            if let Some(last) = current.last() {
+                if p.t - last.t > max_gap_s {
+                    if current.len() >= 2 {
+                        out.push(Trajectory::new(std::mem::take(&mut current)));
+                    } else {
+                        current.clear();
+                    }
+                }
+            }
+            current.push(*p);
+        }
+        if current.len() >= 2 {
+            out.push(Trajectory::new(current));
+        }
+        out
+    }
+
+    /// Resamples the trajectory at a fixed period (linear interpolation in
+    /// time). Used by the training-density experiment (Fig. 12-V).
+    pub fn resample(&self, period_s: f64) -> Trajectory {
+        if self.points.len() < 2 {
+            return self.clone();
+        }
+        let timed: Vec<(Xy, f64)> = self
+            .points
+            .iter()
+            .map(|p| (Xy::new(p.pos.lng, p.pos.lat), p.t))
+            .collect();
+        let sampled = crate::polyline::resample_by_time(&timed, period_s);
+        Trajectory::new(
+            sampled
+                .into_iter()
+                .map(|(xy, t)| GpsPoint::new(LatLng::new(xy.y, xy.x), t))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn east_line(n: usize, spacing_deg: f64, dt: f64) -> Trajectory {
+        Trajectory::new(
+            (0..n)
+                .map(|i| GpsPoint::from_parts(41.0, -8.0 + i as f64 * spacing_deg, i as f64 * dt))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn duration_and_length() {
+        let t = east_line(5, 0.001, 10.0);
+        assert_eq!(t.duration_s(), 40.0);
+        // 0.001 deg lng at lat 41 ≈ 84 m; 4 segments ≈ 336 m.
+        let len = t.length_m();
+        assert!((300.0..380.0).contains(&len), "len {len}");
+        assert!(t.mean_speed_mps().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn sparsify_keeps_endpoints_and_enforces_distance() {
+        // ~84 m point spacing; 250 m sparsity keeps every 3rd point.
+        let t = east_line(20, 0.001, 15.0);
+        let s = t.sparsify(250.0);
+        assert_eq!(s.points[0], t.points[0]);
+        assert_eq!(*s.points.last().unwrap(), *t.points.last().unwrap());
+        assert!(s.len() < t.len());
+        // Every consecutive kept pair (except possibly the tail) is at least
+        // the sparse distance apart.
+        for w in s.points[..s.len() - 1].windows(2) {
+            assert!(w[0].pos.fast_dist_m(&w[1].pos) >= 249.0);
+        }
+    }
+
+    #[test]
+    fn sparsify_degenerate_inputs() {
+        let empty = Trajectory::default();
+        assert!(empty.sparsify(100.0).is_empty());
+        let two = east_line(2, 0.001, 10.0);
+        assert_eq!(two.sparsify(1.0).len(), 2);
+    }
+
+    #[test]
+    fn resample_reduces_density() {
+        let t = east_line(61, 0.0001, 1.0); // 1 Hz, 60 s
+        let r = t.resample(15.0);
+        assert_eq!(r.len(), 5); // 0, 15, 30, 45, 60
+        assert_eq!(r.points[0], t.points[0]);
+        assert_eq!(*r.points.last().unwrap(), *t.points.last().unwrap());
+    }
+
+    #[test]
+    fn split_by_time_gap_cuts_concatenated_trips() {
+        let mut points = Vec::new();
+        for i in 0..5 {
+            points.push(GpsPoint::from_parts(41.0, -8.0 + i as f64 * 0.001, i as f64 * 10.0));
+        }
+        // 2 hours parked, then a second trip.
+        for i in 0..4 {
+            points.push(GpsPoint::from_parts(
+                41.1,
+                -8.0 + i as f64 * 0.001,
+                7_200.0 + i as f64 * 10.0,
+            ));
+        }
+        let traj = Trajectory::new(points);
+        let pieces = traj.split_by_time_gap(600.0);
+        assert_eq!(pieces.len(), 2);
+        assert_eq!(pieces[0].len(), 5);
+        assert_eq!(pieces[1].len(), 4);
+        // No split when the threshold is generous.
+        assert_eq!(traj.split_by_time_gap(10_000.0).len(), 1);
+        // Singleton pieces are dropped.
+        let lonely = Trajectory::new(vec![
+            GpsPoint::from_parts(41.0, -8.0, 0.0),
+            GpsPoint::from_parts(41.0, -8.0, 10_000.0),
+        ]);
+        assert!(lonely.split_by_time_gap(600.0).is_empty());
+    }
+
+    #[test]
+    fn bbox_covers_all_points() {
+        let t = east_line(10, 0.001, 10.0);
+        let proj = LocalProjection::new(LatLng::new(41.0, -8.0));
+        let bb = t.bbox(&proj).unwrap();
+        for p in &t.points {
+            assert!(bb.contains(proj.to_xy(p.pos)));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Grid cell identifiers.
+//!
+//! A [`CellId`] packs a cell's two integer grid coordinates (axial `q, r` for
+//! hexagons, column/row for squares) into one `u64`, mirroring how H3/S2
+//! expose opaque 64-bit indexes. The id is what the Tokenization module
+//! emits as the "token" for a GPS point (§3).
+
+use serde::{Deserialize, Serialize};
+
+/// An opaque 64-bit cell identifier within one tessellation.
+///
+/// Ids are only meaningful relative to the grid that produced them (same
+/// grid kind and edge length), exactly like raw H3 indexes are only
+/// meaningful at their resolution.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct CellId(pub u64);
+
+impl CellId {
+    /// Packs two signed 32-bit grid coordinates into an id.
+    #[inline]
+    pub fn from_coords(a: i32, b: i32) -> Self {
+        CellId(((a as u32 as u64) << 32) | (b as u32 as u64))
+    }
+
+    /// Unpacks the two signed grid coordinates.
+    #[inline]
+    pub fn coords(self) -> (i32, i32) {
+        (((self.0 >> 32) as u32) as i32, (self.0 as u32) as i32)
+    }
+}
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (a, b) = self.coords();
+        write!(f, "cell({a},{b})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_positive_negative_and_extremes() {
+        for (a, b) in [
+            (0, 0),
+            (1, -1),
+            (-1, 1),
+            (i32::MAX, i32::MIN),
+            (i32::MIN, i32::MAX),
+            (12345, -67890),
+        ] {
+            assert_eq!(CellId::from_coords(a, b).coords(), (a, b));
+        }
+    }
+
+    #[test]
+    fn distinct_coords_distinct_ids() {
+        assert_ne!(CellId::from_coords(1, 2), CellId::from_coords(2, 1));
+        assert_ne!(CellId::from_coords(0, 1), CellId::from_coords(1, 0));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(CellId::from_coords(3, -4).to_string(), "cell(3,-4)");
+    }
+}

@@ -1,0 +1,329 @@
+//! Pointy-top hexagonal grid in axial coordinates.
+//!
+//! Standard axial/cube hex math (Amit Patel's formulation): a hexagon with
+//! edge length `e` has its center at
+//! `x = e * sqrt(3) * (q + r/2)`, `y = e * 3/2 * r`.
+//! Pixel→hex uses the inverse transform followed by cube rounding. Lines are
+//! drawn by sampling the cube-space lerp, exactly like H3's `gridPathCells`.
+
+use crate::cell::CellId;
+use crate::Tessellation;
+use kamel_geo::Xy;
+use serde::{Deserialize, Serialize};
+
+const SQRT3: f64 = 1.732_050_807_568_877_2;
+
+/// A flat hexagonal tessellation of the plane (pointy-top orientation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HexGrid {
+    edge_m: f64,
+}
+
+impl HexGrid {
+    /// Creates a grid with hexagon edge length `edge_m` meters (the paper's
+    /// `H`; default 75 m per §8).
+    ///
+    /// # Panics
+    /// Panics when the edge length is not strictly positive and finite.
+    pub fn new(edge_m: f64) -> Self {
+        assert!(
+            edge_m.is_finite() && edge_m > 0.0,
+            "hex edge length must be positive, got {edge_m}"
+        );
+        Self { edge_m }
+    }
+
+    /// Axial coordinates of the cell containing `p`.
+    fn axial_of(&self, p: Xy) -> (i32, i32) {
+        let q = (SQRT3 / 3.0 * p.x - p.y / 3.0) / self.edge_m;
+        let r = (2.0 / 3.0 * p.y) / self.edge_m;
+        cube_round(q, r)
+    }
+
+    fn center_of_axial(&self, q: i32, r: i32) -> Xy {
+        let qf = q as f64;
+        let rf = r as f64;
+        Xy::new(
+            self.edge_m * SQRT3 * (qf + rf / 2.0),
+            self.edge_m * 1.5 * rf,
+        )
+    }
+}
+
+/// Rounds fractional axial coordinates to the containing hexagon using cube
+/// rounding (ensures `q + r + s == 0` is preserved).
+fn cube_round(qf: f64, rf: f64) -> (i32, i32) {
+    let sf = -qf - rf;
+    let mut q = qf.round();
+    let mut r = rf.round();
+    let s = sf.round();
+    let dq = (q - qf).abs();
+    let dr = (r - rf).abs();
+    let ds = (s - sf).abs();
+    if dq > dr && dq > ds {
+        q = -r - s;
+    } else if dr > ds {
+        r = -q - s;
+    }
+    (q as i32, r as i32)
+}
+
+/// Cube distance between two axial cells: the minimum number of edge steps.
+fn hex_distance(a: (i32, i32), b: (i32, i32)) -> u32 {
+    let dq = (a.0 - b.0) as i64;
+    let dr = (a.1 - b.1) as i64;
+    let ds = -dq - dr;
+    ((dq.abs() + dr.abs() + ds.abs()) / 2) as u32
+}
+
+/// The six axial direction offsets.
+const DIRS: [(i32, i32); 6] = [(1, 0), (1, -1), (0, -1), (-1, 0), (-1, 1), (0, 1)];
+
+impl Tessellation for HexGrid {
+    fn cell_of(&self, p: Xy) -> CellId {
+        let (q, r) = self.axial_of(p);
+        CellId::from_coords(q, r)
+    }
+
+    fn centroid(&self, cell: CellId) -> Xy {
+        let (q, r) = cell.coords();
+        self.center_of_axial(q, r)
+    }
+
+    fn neighbors(&self, cell: CellId) -> Vec<CellId> {
+        let (q, r) = cell.coords();
+        DIRS.iter()
+            .map(|&(dq, dr)| CellId::from_coords(q + dq, r + dr))
+            .collect()
+    }
+
+    fn grid_distance(&self, a: CellId, b: CellId) -> u32 {
+        hex_distance(a.coords(), b.coords())
+    }
+
+    fn line(&self, a: CellId, b: CellId) -> Vec<CellId> {
+        let n = self.grid_distance(a, b);
+        if n == 0 {
+            return vec![a];
+        }
+        let (aq, ar) = a.coords();
+        let (bq, br) = b.coords();
+        let mut out = Vec::with_capacity(n as usize + 1);
+        let mut last = None;
+        for i in 0..=n {
+            let t = i as f64 / n as f64;
+            // Nudge off exact edge midpoints for deterministic rounding.
+            let qf = aq as f64 + (bq - aq) as f64 * t + 1e-6;
+            let rf = ar as f64 + (br - ar) as f64 * t + 1e-6;
+            let cell = {
+                let (q, r) = cube_round(qf, rf);
+                CellId::from_coords(q, r)
+            };
+            if last != Some(cell) {
+                out.push(cell);
+                last = Some(cell);
+            }
+        }
+        // Guarantee exact endpoints despite the epsilon nudge.
+        if out[0] != a {
+            out[0] = a;
+        }
+        if *out.last().expect("non-empty") != b {
+            out.push(b);
+        }
+        out
+    }
+
+    fn disk(&self, center: CellId, radius: u32) -> Vec<CellId> {
+        let (cq, cr) = center.coords();
+        let rad = radius as i32;
+        let mut out = Vec::with_capacity((3 * radius * (radius + 1) + 1) as usize);
+        for dq in -rad..=rad {
+            let lo = (-rad).max(-dq - rad);
+            let hi = rad.min(-dq + rad);
+            for dr in lo..=hi {
+                out.push(CellId::from_coords(cq + dq, cr + dr));
+            }
+        }
+        out
+    }
+
+    fn ring(&self, center: CellId, radius: u32) -> Vec<CellId> {
+        if radius == 0 {
+            return vec![center];
+        }
+        // Standard hex-ring walk: start `radius` steps out in direction 4,
+        // then walk `radius` cells along each of the six sides.
+        let (cq, cr) = center.coords();
+        let r = radius as i32;
+        let (mut q, mut rr) = (cq + DIRS[4].0 * r, cr + DIRS[4].1 * r);
+        let mut out = Vec::with_capacity(6 * radius as usize);
+        for &(dq, dr) in &DIRS {
+            for _ in 0..radius {
+                out.push(CellId::from_coords(q, rr));
+                q += dq;
+                rr += dr;
+            }
+        }
+        out
+    }
+
+    fn edge_len_m(&self) -> f64 {
+        self.edge_m
+    }
+
+    fn neighbor_spacing_m(&self) -> f64 {
+        self.edge_m * SQRT3
+    }
+
+    fn kind(&self) -> &'static str {
+        "hex"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_is_cell_zero() {
+        let g = HexGrid::new(75.0);
+        assert_eq!(g.cell_of(Xy::new(0.0, 0.0)), CellId::from_coords(0, 0));
+        assert_eq!(g.centroid(CellId::from_coords(0, 0)), Xy::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn point_roundtrip_within_circumradius() {
+        let g = HexGrid::new(75.0);
+        for (x, y) in [
+            (10.0, 10.0),
+            (-433.0, 912.0),
+            (12_345.6, -9_876.5),
+            (0.1, -0.1),
+        ] {
+            let p = Xy::new(x, y);
+            let c = g.cell_of(p);
+            // Any point in a hexagon is within the circumradius (= edge) of
+            // its centroid.
+            assert!(
+                g.centroid(c).dist(&p) <= g.edge_len_m() + 1e-9,
+                "point ({x},{y})"
+            );
+        }
+    }
+
+    #[test]
+    fn all_neighbors_equidistant_from_center() {
+        // The paper's §3.1 rationale: every neighbor shares identical
+        // geometry with the center cell.
+        let g = HexGrid::new(75.0);
+        let c = g.cell_of(Xy::new(500.0, 500.0));
+        let center = g.centroid(c);
+        let expected = g.neighbor_spacing_m();
+        for n in g.neighbors(c) {
+            let d = g.centroid(n).dist(&center);
+            assert!((d - expected).abs() < 1e-6, "spacing {d} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn six_distinct_neighbors() {
+        let g = HexGrid::new(75.0);
+        let c = CellId::from_coords(3, -2);
+        let ns = g.neighbors(c);
+        assert_eq!(ns.len(), 6);
+        let mut unique = ns.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 6);
+        assert!(!ns.contains(&c));
+    }
+
+    #[test]
+    fn distance_matches_axial_math() {
+        let g = HexGrid::new(50.0);
+        let a = CellId::from_coords(0, 0);
+        assert_eq!(g.grid_distance(a, a), 0);
+        assert_eq!(g.grid_distance(a, CellId::from_coords(1, 0)), 1);
+        assert_eq!(g.grid_distance(a, CellId::from_coords(2, -1)), 2);
+        assert_eq!(g.grid_distance(a, CellId::from_coords(-3, 3)), 3);
+        assert_eq!(g.grid_distance(a, CellId::from_coords(2, 2)), 4);
+    }
+
+    #[test]
+    fn line_is_connected_and_endpoint_exact() {
+        let g = HexGrid::new(75.0);
+        let a = g.cell_of(Xy::new(0.0, 0.0));
+        let b = g.cell_of(Xy::new(2000.0, 1300.0));
+        let line = g.line(a, b);
+        assert_eq!(line[0], a);
+        assert_eq!(*line.last().unwrap(), b);
+        for w in line.windows(2) {
+            assert_eq!(
+                g.grid_distance(w[0], w[1]),
+                1,
+                "line must step between adjacent cells"
+            );
+        }
+    }
+
+    #[test]
+    fn line_degenerate() {
+        let g = HexGrid::new(75.0);
+        let a = CellId::from_coords(4, 4);
+        assert_eq!(g.line(a, a), vec![a]);
+    }
+
+    #[test]
+    fn disk_sizes_follow_hex_numbers() {
+        let g = HexGrid::new(75.0);
+        let c = CellId::from_coords(0, 0);
+        // |disk(r)| = 3r(r+1) + 1
+        assert_eq!(g.disk(c, 0).len(), 1);
+        assert_eq!(g.disk(c, 1).len(), 7);
+        assert_eq!(g.disk(c, 2).len(), 19);
+        assert_eq!(g.disk(c, 3).len(), 37);
+        // Every member is within the radius.
+        for m in g.disk(c, 3) {
+            assert!(g.grid_distance(c, m) <= 3);
+        }
+    }
+
+    #[test]
+    fn ring_walk_matches_disk_filter() {
+        let g = HexGrid::new(75.0);
+        let c = CellId::from_coords(3, -5);
+        for radius in 1u32..=4 {
+            let mut walked = g.ring(c, radius);
+            walked.sort();
+            walked.dedup();
+            assert_eq!(walked.len(), 6 * radius as usize, "radius {radius}");
+            for m in &walked {
+                assert_eq!(g.grid_distance(c, *m), radius);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_edge() {
+        let _ = HexGrid::new(0.0);
+    }
+
+    #[test]
+    fn smaller_edge_means_more_cells() {
+        // Cell-size optimization (§3.2) depends on this monotonicity.
+        let coarse = HexGrid::new(200.0);
+        let fine = HexGrid::new(25.0);
+        let pts: Vec<Xy> = (0..100)
+            .map(|i| Xy::new((i % 10) as f64 * 40.0, (i / 10) as f64 * 40.0))
+            .collect();
+        let count = |g: &HexGrid| {
+            let mut cells: Vec<CellId> = pts.iter().map(|p| g.cell_of(*p)).collect();
+            cells.sort();
+            cells.dedup();
+            cells.len()
+        };
+        assert!(count(&fine) > count(&coarse));
+    }
+}

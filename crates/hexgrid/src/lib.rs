@@ -1,0 +1,113 @@
+//! Flat hexagonal and square tessellations for KAMEL's Tokenization module.
+//!
+//! The paper tokenizes GPS points with Uber's H3 flat hexagonal grid (§3.1)
+//! and compares against Google S2 squares (§8.5). What the algorithms rely on
+//! is the abstract tessellation contract — point → cell id, cell → centroid,
+//! neighbors, grid lines — not the specific icosahedral projection of H3, so
+//! this crate implements both grids over a [`kamel_geo::LocalProjection`]
+//! planar frame behind the [`Tessellation`] trait:
+//!
+//! * [`HexGrid`] — pointy-top hexagons in axial coordinates with a
+//!   configurable edge length (the paper's `H`, default 75 m). All six
+//!   neighbors of a cell are equidistant from its centroid, the property the
+//!   paper's §3.1 rationale hinges on.
+//! * [`SquareGrid`] — an S2-style square grid (default edge 120 m so the cell
+//!   area matches a 75 m hexagon, exactly as §8.5 configures it).
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod hex;
+pub mod square;
+
+pub use cell::CellId;
+pub use hex::HexGrid;
+pub use square::SquareGrid;
+
+use kamel_geo::Xy;
+
+/// A space tessellation: the contract KAMEL's Tokenization/Detokenization
+/// modules require from a grid (§3, §7).
+pub trait Tessellation: Send + Sync {
+    /// Maps a planar point to the id of the cell containing it.
+    fn cell_of(&self, p: Xy) -> CellId;
+
+    /// The centroid of a cell in planar meters.
+    fn centroid(&self, cell: CellId) -> Xy;
+
+    /// The ids of all cells sharing an edge with `cell`
+    /// (6 for hexagons, 4 for squares).
+    fn neighbors(&self, cell: CellId) -> Vec<CellId>;
+
+    /// Number of grid steps between two cells (0 when equal).
+    fn grid_distance(&self, a: CellId, b: CellId) -> u32;
+
+    /// The cells crossed when walking the straight segment between the two
+    /// cell centers (inclusive of both ends, in order, no repeats).
+    fn line(&self, a: CellId, b: CellId) -> Vec<CellId>;
+
+    /// All cells within `radius` grid steps of `center` (inclusive).
+    fn disk(&self, center: CellId, radius: u32) -> Vec<CellId>;
+
+    /// The cells at exactly `radius` grid steps from `center` (the hollow
+    /// ring). Default implementation filters [`Tessellation::disk`];
+    /// implementations may override with a direct walk.
+    fn ring(&self, center: CellId, radius: u32) -> Vec<CellId> {
+        self.disk(center, radius)
+            .into_iter()
+            .filter(|&c| self.grid_distance(center, c) == radius)
+            .collect()
+    }
+
+    /// The configured edge length in meters.
+    fn edge_len_m(&self) -> f64;
+
+    /// Typical center-to-center spacing between edge neighbors, in meters.
+    /// For hexagons this is `sqrt(3) * edge`; for squares it is `edge`.
+    fn neighbor_spacing_m(&self) -> f64;
+
+    /// A short human-readable name ("hex" / "square") used in experiment
+    /// reports.
+    fn kind(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    fn check_contract(grid: &dyn Tessellation) {
+        let p = Xy::new(1234.5, -678.9);
+        let c = grid.cell_of(p);
+        // The centroid of a point's cell must be near the point.
+        let d = grid.centroid(c).dist(&p);
+        assert!(
+            d <= grid.neighbor_spacing_m(),
+            "{}: centroid {d} m from point",
+            grid.kind()
+        );
+        // Neighbor symmetry: if b is a's neighbor, a is b's neighbor.
+        for n in grid.neighbors(c) {
+            assert!(
+                grid.neighbors(n).contains(&c),
+                "{}: asymmetric neighbor",
+                grid.kind()
+            );
+            assert_eq!(grid.grid_distance(c, n), 1);
+        }
+        // Disk radius 0 is the cell itself.
+        assert_eq!(grid.disk(c, 0), vec![c]);
+        // Ring radius 0 is the cell itself; ring 2 ∪ ring 1 ∪ ring 0 = disk 2.
+        assert_eq!(grid.ring(c, 0), vec![c]);
+        let mut rings: Vec<_> = (0..=2).flat_map(|r| grid.ring(c, r)).collect();
+        rings.sort();
+        let mut disk = grid.disk(c, 2);
+        disk.sort();
+        assert_eq!(rings, disk, "{}: rings must tile the disk", grid.kind());
+    }
+
+    #[test]
+    fn hex_and_square_satisfy_contract() {
+        check_contract(&HexGrid::new(75.0));
+        check_contract(&SquareGrid::new(120.0));
+    }
+}

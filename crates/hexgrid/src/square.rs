@@ -1,0 +1,218 @@
+//! Square (S2-style) grid used for the grid-type comparison (§8.5).
+//!
+//! The paper sets the square edge to 120 m so the cell area matches a 75 m
+//! hexagon; [`SquareGrid::area_matched_to_hex`] reproduces that sizing for
+//! any hex edge.
+
+use crate::cell::CellId;
+use crate::Tessellation;
+use kamel_geo::Xy;
+use serde::{Deserialize, Serialize};
+
+/// A square tessellation of the plane with a fixed edge length.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SquareGrid {
+    edge_m: f64,
+}
+
+impl SquareGrid {
+    /// Creates a grid of squares with side `edge_m` meters.
+    ///
+    /// # Panics
+    /// Panics when the edge length is not strictly positive and finite.
+    pub fn new(edge_m: f64) -> Self {
+        assert!(
+            edge_m.is_finite() && edge_m > 0.0,
+            "square edge length must be positive, got {edge_m}"
+        );
+        Self { edge_m }
+    }
+
+    /// Edge length giving the same cell area as a hexagon with edge
+    /// `hex_edge_m`: `sqrt(3*sqrt(3)/2) * e ≈ 1.612 e` (75 m → ~120.9 m,
+    /// matching the paper's 120 m configuration).
+    pub fn area_matched_to_hex(hex_edge_m: f64) -> Self {
+        let hex_area = 1.5 * 3.0_f64.sqrt() * hex_edge_m * hex_edge_m;
+        Self::new(hex_area.sqrt())
+    }
+
+    fn col_row(&self, p: Xy) -> (i32, i32) {
+        (
+            (p.x / self.edge_m).floor() as i32,
+            (p.y / self.edge_m).floor() as i32,
+        )
+    }
+}
+
+impl Tessellation for SquareGrid {
+    fn cell_of(&self, p: Xy) -> CellId {
+        let (c, r) = self.col_row(p);
+        CellId::from_coords(c, r)
+    }
+
+    fn centroid(&self, cell: CellId) -> Xy {
+        let (c, r) = cell.coords();
+        Xy::new(
+            (c as f64 + 0.5) * self.edge_m,
+            (r as f64 + 0.5) * self.edge_m,
+        )
+    }
+
+    fn neighbors(&self, cell: CellId) -> Vec<CellId> {
+        let (c, r) = cell.coords();
+        vec![
+            CellId::from_coords(c + 1, r),
+            CellId::from_coords(c - 1, r),
+            CellId::from_coords(c, r + 1),
+            CellId::from_coords(c, r - 1),
+        ]
+    }
+
+    fn grid_distance(&self, a: CellId, b: CellId) -> u32 {
+        // Edge-adjacency metric for a 4-connected grid: Manhattan distance.
+        let (ac, ar) = a.coords();
+        let (bc, br) = b.coords();
+        ((ac as i64 - bc as i64).abs() + (ar as i64 - br as i64).abs()) as u32
+    }
+
+    fn line(&self, a: CellId, b: CellId) -> Vec<CellId> {
+        // 4-connected digital line: walk the segment between centers,
+        // stepping one axis at a time toward the target (supercover-lite).
+        if a == b {
+            return vec![a];
+        }
+        let (mut c, mut r) = a.coords();
+        let (bc, br) = b.coords();
+        let mut out = vec![a];
+        let start = self.centroid(a);
+        let end = self.centroid(b);
+        while (c, r) != (bc, br) {
+            // Choose the axis step whose resulting center lies closest to
+            // the ideal segment.
+            let candidates = [
+                (c + (bc - c).signum(), r, bc != c),
+                (c, r + (br - r).signum(), br != r),
+            ];
+            let (nc, nr) = candidates
+                .iter()
+                .filter(|&&(_, _, valid)| valid)
+                .map(|&(cc, rr, _)| (cc, rr))
+                .min_by(|&p1, &p2| {
+                    let d1 = seg_dist(self.centroid(CellId::from_coords(p1.0, p1.1)), start, end);
+                    let d2 = seg_dist(self.centroid(CellId::from_coords(p2.0, p2.1)), start, end);
+                    d1.partial_cmp(&d2).expect("finite distances")
+                })
+                .expect("at least one axis differs");
+            c = nc;
+            r = nr;
+            out.push(CellId::from_coords(c, r));
+        }
+        out
+    }
+
+    fn disk(&self, center: CellId, radius: u32) -> Vec<CellId> {
+        let (cc, cr) = center.coords();
+        let rad = radius as i32;
+        let mut out = Vec::with_capacity((2 * radius * (radius + 1) + 1) as usize);
+        for dc in -rad..=rad {
+            let rem = rad - dc.abs();
+            for dr in -rem..=rem {
+                out.push(CellId::from_coords(cc + dc, cr + dr));
+            }
+        }
+        out
+    }
+
+    fn edge_len_m(&self) -> f64 {
+        self.edge_m
+    }
+
+    fn neighbor_spacing_m(&self) -> f64 {
+        // Corner of a square is sqrt(2)/2 * edge from the center; use the
+        // circumradius so the centroid-proximity contract holds everywhere.
+        self.edge_m * std::f64::consts::SQRT_2
+    }
+
+    fn kind(&self) -> &'static str {
+        "square"
+    }
+}
+
+fn seg_dist(p: Xy, a: Xy, b: Xy) -> f64 {
+    kamel_geo::polyline::point_to_segment_distance(p, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_of_floors_toward_negative() {
+        let g = SquareGrid::new(100.0);
+        assert_eq!(g.cell_of(Xy::new(50.0, 50.0)), CellId::from_coords(0, 0));
+        assert_eq!(g.cell_of(Xy::new(-1.0, -1.0)), CellId::from_coords(-1, -1));
+        assert_eq!(g.cell_of(Xy::new(250.0, -150.0)), CellId::from_coords(2, -2));
+    }
+
+    #[test]
+    fn centroid_is_cell_center() {
+        let g = SquareGrid::new(100.0);
+        assert_eq!(
+            g.centroid(CellId::from_coords(0, 0)),
+            Xy::new(50.0, 50.0)
+        );
+        assert_eq!(
+            g.centroid(CellId::from_coords(-1, 2)),
+            Xy::new(-50.0, 250.0)
+        );
+    }
+
+    #[test]
+    fn four_neighbors_manhattan_distance() {
+        let g = SquareGrid::new(100.0);
+        let c = CellId::from_coords(5, 5);
+        assert_eq!(g.neighbors(c).len(), 4);
+        assert_eq!(g.grid_distance(c, CellId::from_coords(7, 2)), 5);
+    }
+
+    #[test]
+    fn line_is_4_connected_and_hits_endpoints() {
+        let g = SquareGrid::new(100.0);
+        let a = CellId::from_coords(0, 0);
+        let b = CellId::from_coords(5, 3);
+        let line = g.line(a, b);
+        assert_eq!(line[0], a);
+        assert_eq!(*line.last().unwrap(), b);
+        assert_eq!(line.len(), 9); // Manhattan distance + 1
+        for w in line.windows(2) {
+            assert_eq!(g.grid_distance(w[0], w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn disk_is_manhattan_ball() {
+        let g = SquareGrid::new(100.0);
+        let c = CellId::from_coords(0, 0);
+        assert_eq!(g.disk(c, 1).len(), 5);
+        assert_eq!(g.disk(c, 2).len(), 13);
+        for m in g.disk(c, 2) {
+            assert!(g.grid_distance(c, m) <= 2);
+        }
+    }
+
+    #[test]
+    fn area_matching_reproduces_papers_120m() {
+        let g = SquareGrid::area_matched_to_hex(75.0);
+        assert!(
+            (g.edge_len_m() - 120.9).abs() < 1.0,
+            "got {}",
+            g.edge_len_m()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nan_edge() {
+        let _ = SquareGrid::new(f64::NAN);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the tessellations.
+
+use kamel_geo::Xy;
+use kamel_hexgrid::{CellId, HexGrid, SquareGrid, Tessellation};
+use proptest::prelude::*;
+
+proptest! {
+    /// A point always lies within the circumradius of its cell centroid.
+    #[test]
+    fn hex_point_within_circumradius(x in -50_000.0..50_000.0f64, y in -50_000.0..50_000.0f64,
+                                     edge in 10.0..500.0f64) {
+        let g = HexGrid::new(edge);
+        let p = Xy::new(x, y);
+        let c = g.cell_of(p);
+        prop_assert!(g.centroid(c).dist(&p) <= edge + 1e-6);
+    }
+
+    /// Cell assignment is stable: the centroid maps back to the same cell.
+    #[test]
+    fn hex_centroid_roundtrip(q in -1000i32..1000, r in -1000i32..1000, edge in 10.0..500.0f64) {
+        let g = HexGrid::new(edge);
+        let c = CellId::from_coords(q, r);
+        prop_assert_eq!(g.cell_of(g.centroid(c)), c);
+    }
+
+    /// Hex distance is a metric: symmetric and triangle inequality holds.
+    #[test]
+    fn hex_distance_is_metric(a in (-200i32..200, -200i32..200),
+                              b in (-200i32..200, -200i32..200),
+                              c in (-200i32..200, -200i32..200)) {
+        let g = HexGrid::new(75.0);
+        let (ca, cb, cc) = (
+            CellId::from_coords(a.0, a.1),
+            CellId::from_coords(b.0, b.1),
+            CellId::from_coords(c.0, c.1),
+        );
+        prop_assert_eq!(g.grid_distance(ca, cb), g.grid_distance(cb, ca));
+        prop_assert!(g.grid_distance(ca, cc) <= g.grid_distance(ca, cb) + g.grid_distance(cb, cc));
+        prop_assert_eq!(g.grid_distance(ca, ca), 0);
+    }
+
+    /// Lines between any two cells are connected chains of neighbors with the
+    /// right endpoints.
+    #[test]
+    fn hex_line_connected(a in (-300i32..300, -300i32..300), b in (-300i32..300, -300i32..300)) {
+        let g = HexGrid::new(75.0);
+        let ca = CellId::from_coords(a.0, a.1);
+        let cb = CellId::from_coords(b.0, b.1);
+        let line = g.line(ca, cb);
+        prop_assert_eq!(line[0], ca);
+        prop_assert_eq!(*line.last().unwrap(), cb);
+        for w in line.windows(2) {
+            prop_assert_eq!(g.grid_distance(w[0], w[1]), 1);
+        }
+    }
+
+    /// Square grid: same contract.
+    #[test]
+    fn square_point_within_circumradius(x in -50_000.0..50_000.0f64, y in -50_000.0..50_000.0f64,
+                                        edge in 10.0..500.0f64) {
+        let g = SquareGrid::new(edge);
+        let p = Xy::new(x, y);
+        let c = g.cell_of(p);
+        prop_assert!(g.centroid(c).dist(&p) <= g.neighbor_spacing_m() / 2.0 * 1.0001 + 1e-6);
+    }
+
+    #[test]
+    fn square_line_connected(a in (-300i32..300, -300i32..300), b in (-300i32..300, -300i32..300)) {
+        let g = SquareGrid::new(120.0);
+        let ca = CellId::from_coords(a.0, a.1);
+        let cb = CellId::from_coords(b.0, b.1);
+        let line = g.line(ca, cb);
+        prop_assert_eq!(line[0], ca);
+        prop_assert_eq!(*line.last().unwrap(), cb);
+        prop_assert_eq!(line.len() as u32, g.grid_distance(ca, cb) + 1);
+        for w in line.windows(2) {
+            prop_assert_eq!(g.grid_distance(w[0], w[1]), 1);
+        }
+    }
+
+    /// Rings tile disks exactly, for both tessellations.
+    #[test]
+    fn rings_tile_the_disk(q in -200i32..200, r in -200i32..200, radius in 0u32..6) {
+        for grid in [&HexGrid::new(75.0) as &dyn Tessellation, &SquareGrid::new(120.0)] {
+            let c = CellId::from_coords(q, r);
+            let mut from_rings: Vec<CellId> =
+                (0..=radius).flat_map(|k| grid.ring(c, k)).collect();
+            from_rings.sort();
+            from_rings.dedup();
+            let mut disk = grid.disk(c, radius);
+            disk.sort();
+            prop_assert_eq!(from_rings, disk, "{} radius {}", grid.kind(), radius);
+        }
+    }
+
+    /// Disks contain exactly the cells within the radius.
+    #[test]
+    fn hex_disk_membership(radius in 0u32..8) {
+        let g = HexGrid::new(75.0);
+        let c = CellId::from_coords(0, 0);
+        let disk = g.disk(c, radius);
+        prop_assert_eq!(disk.len() as u32, 3 * radius * (radius + 1) + 1);
+        for m in disk {
+            prop_assert!(g.grid_distance(c, m) <= radius);
+        }
+    }
+}

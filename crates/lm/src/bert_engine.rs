@@ -1,0 +1,253 @@
+//! The BERT engine: KAMEL's paper-faithful masked-token model.
+//!
+//! Wraps [`kamel_nn::BertMlmModel`] with a [`Vocab`]: training maps cell
+//! keys to dense ids, brackets sequences with `[CLS]`/`[SEP]`, and runs the
+//! standard MLM recipe; prediction inserts `[MASK]` at the gap and reads the
+//! head's distribution back as cell keys.
+
+use crate::vocab::Vocab;
+use crate::{Candidate, MaskedTokenModel};
+use kamel_nn::{BertConfig, BertMlmModel, MlmBatcher, TrainOptions, Trainer};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Model scale presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BertScale {
+    /// 32 hidden / 2 layers / 2 heads: seconds to train, for tests and the
+    /// quickstart.
+    Tiny,
+    /// 64 hidden / 4 layers / 4 heads: minutes to train.
+    Small,
+    /// The paper's 768 / 12 / 12 deployment scale (TPU-class training; not
+    /// used by the test suite).
+    Paper,
+}
+
+/// Hyper-parameters for training a [`BertMlm`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BertEngineConfig {
+    /// Architecture scale.
+    pub scale: BertScale,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Sequences per optimizer step.
+    pub batch_size: usize,
+    /// Embedding dropout during training (0 disables; BERT's corpus-scale
+    /// default is 0.1).
+    pub dropout: f32,
+    /// RNG seed (initialization + masking): training is deterministic.
+    pub seed: u64,
+}
+
+impl Default for BertEngineConfig {
+    fn default() -> Self {
+        Self {
+            scale: BertScale::Small,
+            epochs: 15,
+            lr: 1e-3,
+            batch_size: 8,
+            dropout: 0.0,
+            seed: 0xBEB7,
+        }
+    }
+}
+
+impl BertEngineConfig {
+    /// A fast configuration for unit and integration tests.
+    pub fn for_tests() -> Self {
+        Self {
+            scale: BertScale::Tiny,
+            epochs: 12,
+            lr: 3e-3,
+            batch_size: 8,
+            dropout: 0.0,
+            seed: 0xBEB7,
+        }
+    }
+
+    fn bert_config(&self, vocab_size: usize) -> BertConfig {
+        match self.scale {
+            BertScale::Tiny => BertConfig::tiny(vocab_size),
+            BertScale::Small => BertConfig::small(vocab_size),
+            BertScale::Paper => BertConfig::paper(vocab_size),
+        }
+    }
+}
+
+/// A trained BERT masked-token model over cell keys.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BertMlm {
+    vocab: Vocab,
+    model: BertMlmModel,
+    trained_tokens: u64,
+}
+
+impl BertMlm {
+    /// Builds the vocabulary, initializes the network, and runs MLM training
+    /// over the corpus.
+    pub fn train(config: &BertEngineConfig, corpus: &[Vec<u64>]) -> Self {
+        let mut vocab = Vocab::new();
+        let mut sequences: Vec<Vec<u32>> = Vec::with_capacity(corpus.len());
+        let mut trained_tokens = 0u64;
+        for seq in corpus {
+            trained_tokens += seq.len() as u64;
+            let mut ids = Vec::with_capacity(seq.len() + 2);
+            ids.push(Vocab::CLS);
+            ids.extend(seq.iter().map(|&k| vocab.get_or_insert(k)));
+            ids.push(Vocab::SEP);
+            sequences.push(ids);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let bert_config = config.bert_config(vocab.total_len().max(Vocab::FIRST_REGULAR as usize + 1));
+        let mut model = BertMlmModel::new(bert_config, &mut rng);
+        if !sequences.is_empty() && !vocab.is_empty() {
+            let trainer = Trainer::new(
+                MlmBatcher::new(Vocab::MASK, vocab.regular_range()),
+                TrainOptions {
+                    epochs: config.epochs,
+                    lr: config.lr,
+                    batch_size: config.batch_size,
+                    mask_prob: 0.15,
+                    warmup_frac: 0.1,
+                    dropout: config.dropout,
+                    seed: config.seed,
+                },
+            );
+            trainer.train(&mut model, &sequences);
+        }
+        Self {
+            vocab,
+            model,
+            trained_tokens,
+        }
+    }
+
+    /// The vocabulary this model was trained with.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Trainable parameter count of the underlying network.
+    pub fn param_count(&mut self) -> usize {
+        self.model.param_count()
+    }
+}
+
+impl MaskedTokenModel for BertMlm {
+    fn predict_masked(&self, seq: &[u64], pos: usize, top_k: usize) -> Vec<Candidate> {
+        assert!(pos < seq.len(), "mask position {pos} out of range");
+        if top_k == 0 || self.vocab.is_empty() {
+            return Vec::new();
+        }
+        // [CLS] seq [SEP], with the slot replaced by [MASK].
+        let mut ids = Vec::with_capacity(seq.len() + 2);
+        ids.push(Vocab::CLS);
+        for (i, &key) in seq.iter().enumerate() {
+            ids.push(if i == pos {
+                Vocab::MASK
+            } else {
+                self.vocab.id_of(key)
+            });
+        }
+        ids.push(Vocab::SEP);
+        // Clamp to the model's window around the mask if the sequence is
+        // long (imputation sequences are short, but be safe).
+        let max_len = self.model.config.max_seq_len;
+        let (ids, mask_index) = if ids.len() <= max_len {
+            (ids, pos + 1)
+        } else {
+            let mask_at = pos + 1;
+            let half = max_len / 2;
+            let start = mask_at.saturating_sub(half).min(ids.len() - max_len);
+            (ids[start..start + max_len].to_vec(), mask_at - start)
+        };
+        let probs = self.model.predict(&ids, mask_index);
+        // Rank regular tokens only.
+        let mut scored: Vec<(u32, f32)> = probs
+            .iter()
+            .enumerate()
+            .skip(Vocab::FIRST_REGULAR as usize)
+            .map(|(id, &p)| (id as u32, p))
+            .collect();
+        scored.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite probabilities")
+                .then(a.0.cmp(&b.0))
+        });
+        let regular_mass: f32 = scored.iter().map(|(_, p)| p).sum();
+        if regular_mass <= 0.0 {
+            return Vec::new();
+        }
+        scored
+            .into_iter()
+            .take(top_k)
+            .filter_map(|(id, p)| {
+                self.vocab.key_of(id).map(|key| Candidate {
+                    key,
+                    prob: (p / regular_mass) as f64,
+                })
+            })
+            .collect()
+    }
+
+    fn vocab_len(&self) -> usize {
+        self.vocab.regular_len()
+    }
+
+    fn trained_tokens(&self) -> u64 {
+        self.trained_tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_deterministic_chain() {
+        let corpus: Vec<Vec<u64>> = (0..40).map(|_| vec![11u64, 22, 33, 44]).collect();
+        let model = BertMlm::train(&BertEngineConfig::for_tests(), &corpus);
+        let preds = model.predict_masked(&[11, 22, 0, 44], 2, 4);
+        assert!(!preds.is_empty());
+        assert_eq!(preds[0].key, 33, "predictions: {preds:?}");
+    }
+
+    #[test]
+    fn candidate_probs_are_normalized_over_regulars() {
+        let corpus: Vec<Vec<u64>> = (0..20).map(|_| vec![1u64, 2, 3]).collect();
+        let model = BertMlm::train(&BertEngineConfig::for_tests(), &corpus);
+        let all = model.predict_masked(&[1, 0, 3], 1, usize::MAX);
+        let sum: f64 = all.iter().map(|c| c.prob).sum();
+        assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+    }
+
+    #[test]
+    fn empty_corpus_predicts_nothing() {
+        let model = BertMlm::train(&BertEngineConfig::for_tests(), &[]);
+        assert!(model.predict_masked(&[5, 0, 6], 1, 3).is_empty());
+        assert_eq!(model.vocab_len(), 0);
+    }
+
+    #[test]
+    fn unknown_context_tokens_do_not_panic() {
+        let corpus: Vec<Vec<u64>> = (0..10).map(|_| vec![1u64, 2, 3]).collect();
+        let model = BertMlm::train(&BertEngineConfig::for_tests(), &corpus);
+        let preds = model.predict_masked(&[777, 0, 888], 1, 3);
+        assert!(!preds.is_empty());
+    }
+
+    #[test]
+    fn long_sequences_are_windowed() {
+        let corpus: Vec<Vec<u64>> = (0..5).map(|_| vec![1u64, 2, 3]).collect();
+        let model = BertMlm::train(&BertEngineConfig::for_tests(), &corpus);
+        // Tiny config caps sequences at 64; feed 200 with the mask deep
+        // inside.
+        let long: Vec<u64> = (0..200).map(|i| 1 + (i % 3) as u64).collect();
+        let preds = model.predict_masked(&long, 150, 2);
+        assert!(!preds.is_empty());
+    }
+}

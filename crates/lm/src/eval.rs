@@ -1,0 +1,129 @@
+//! Intrinsic model-quality measures: masked-prediction accuracy and
+//! perplexity over a held-out corpus.
+//!
+//! These are the standard MLM diagnostics (the trajectory-level §8 metrics
+//! live in `kamel-eval`); the cell-size auto-tuner and the engine tests use
+//! them to compare models without running full imputation.
+
+use crate::MaskedTokenModel;
+
+/// Result of a masked-prediction evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlmQuality {
+    /// Fraction of masked slots whose true token was ranked first.
+    pub top1_accuracy: f64,
+    /// Fraction of masked slots whose true token appeared in the top k.
+    pub topk_accuracy: f64,
+    /// Perplexity `exp(-mean log P(true token))`; unranked true tokens are
+    /// assigned a small floor probability.
+    pub perplexity: f64,
+    /// Number of slots evaluated.
+    pub slots: usize,
+}
+
+/// Probability floor for true tokens the model did not rank at all.
+const FLOOR_PROB: f64 = 1e-6;
+
+/// Evaluates a model by masking every interior position of every held-out
+/// sequence and checking the prediction against the true token.
+pub fn masked_quality(
+    model: &dyn MaskedTokenModel,
+    held_out: &[Vec<u64>],
+    top_k: usize,
+) -> MlmQuality {
+    assert!(top_k >= 1, "top_k must be at least 1");
+    let mut slots = 0usize;
+    let mut top1 = 0usize;
+    let mut topk = 0usize;
+    let mut log_prob_sum = 0.0f64;
+    for seq in held_out {
+        if seq.len() < 3 {
+            continue;
+        }
+        for pos in 1..seq.len() - 1 {
+            let truth = seq[pos];
+            let preds = model.predict_masked(seq, pos, top_k);
+            slots += 1;
+            if preds.first().is_some_and(|c| c.key == truth) {
+                top1 += 1;
+            }
+            match preds.iter().find(|c| c.key == truth) {
+                Some(c) => {
+                    topk += 1;
+                    log_prob_sum += c.prob.max(FLOOR_PROB).ln();
+                }
+                None => log_prob_sum += FLOOR_PROB.ln(),
+            }
+        }
+    }
+    if slots == 0 {
+        return MlmQuality {
+            top1_accuracy: 0.0,
+            topk_accuracy: 0.0,
+            perplexity: f64::INFINITY,
+            slots: 0,
+        };
+    }
+    MlmQuality {
+        top1_accuracy: top1 as f64 / slots as f64,
+        topk_accuracy: topk as f64 / slots as f64,
+        perplexity: (-log_prob_sum / slots as f64).exp(),
+        slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineConfig, NgramConfig};
+
+    fn chain_corpus(n: usize) -> Vec<Vec<u64>> {
+        (0..n).map(|_| vec![10u64, 20, 30, 40, 50, 60]).collect()
+    }
+
+    #[test]
+    fn deterministic_chain_scores_perfectly() {
+        let model = EngineConfig::Ngram(NgramConfig::default()).train(&chain_corpus(20));
+        let q = masked_quality(&model, &chain_corpus(3), 5);
+        assert_eq!(q.slots, 12); // 4 interior slots × 3 sequences
+        assert_eq!(q.top1_accuracy, 1.0);
+        assert_eq!(q.topk_accuracy, 1.0);
+        assert!(q.perplexity < 1.6, "perplexity {}", q.perplexity);
+    }
+
+    #[test]
+    fn shuffled_held_out_scores_poorly() {
+        let model = EngineConfig::Ngram(NgramConfig::default()).train(&chain_corpus(20));
+        // Reverse-order sequences: transitions never seen.
+        let reversed = vec![vec![60u64, 50, 40, 30, 20, 10]; 3];
+        let q = masked_quality(&model, &reversed, 5);
+        assert!(q.top1_accuracy < 0.5, "accuracy {}", q.top1_accuracy);
+        assert!(q.perplexity > 2.0);
+    }
+
+    #[test]
+    fn accuracy_orders_models_by_training_size() {
+        let small = EngineConfig::Ngram(NgramConfig::default()).train(&chain_corpus(1));
+        let large = EngineConfig::Ngram(NgramConfig::default()).train(&chain_corpus(30));
+        // Mix in noise so the small model has competition.
+        let mut noisy = chain_corpus(1);
+        noisy.push(vec![10, 99, 30, 98, 50, 97]);
+        let small_noisy = EngineConfig::Ngram(NgramConfig::default()).train(&noisy);
+        let held = chain_corpus(3);
+        let q_large = masked_quality(&large, &held, 3);
+        let q_small = masked_quality(&small_noisy, &held, 3);
+        assert!(q_large.top1_accuracy >= q_small.top1_accuracy);
+        let _ = small;
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let model = EngineConfig::Ngram(NgramConfig::default()).train(&chain_corpus(5));
+        let q = masked_quality(&model, &[], 3);
+        assert_eq!(q.slots, 0);
+        assert!(q.perplexity.is_infinite());
+        // Two-token sequences have no interior slot.
+        let q2 = masked_quality(&model, &[vec![10, 20]], 3);
+        assert_eq!(q2.slots, 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Masked-token language models for KAMEL.
+//!
+//! KAMEL treats a trajectory as a sentence of hexagonal-cell tokens and asks
+//! a language model to fill a masked slot (§1–2). This crate defines that
+//! contract and provides two interchangeable engines:
+//!
+//! * [`BertMlm`] — the paper's engine: the from-scratch BERT of
+//!   [`kamel_nn`] trained on tokenized trajectories with the standard MLM
+//!   recipe. Faithful but CPU-expensive; used by the quickstart, tests, and
+//!   the dedicated BERT benchmarks.
+//! * [`NgramMlm`] — a bidirectional interpolated n-gram MLM. It estimates
+//!   `P(token | left context, right context)` from trajectory counts, which
+//!   is the same conditional the BERT head produces for a masked slot. It
+//!   trains in milliseconds, making the paper's full evaluation sweeps
+//!   feasible on CPU (see DESIGN.md §2, substitution 2).
+//!
+//! Both are wrapped in the serializable [`TrainedModel`] enum so KAMEL's
+//! model repository (§4) can persist them, and both are built through
+//! [`EngineConfig`], the trainer the Partitioning module invokes per
+//! pyramid cell.
+//!
+//! Tokens at this layer are opaque `u64` keys (KAMEL passes raw
+//! `CellId`s); each model maintains its own [`Vocab`] internally.
+
+#![warn(missing_docs)]
+
+pub mod bert_engine;
+pub mod eval;
+pub mod ngram;
+pub mod vocab;
+
+pub use bert_engine::{BertEngineConfig, BertMlm, BertScale};
+pub use eval::{masked_quality, MlmQuality};
+pub use ngram::{NgramConfig, NgramMlm};
+pub use vocab::Vocab;
+
+use serde::{Deserialize, Serialize};
+
+/// A candidate token for a masked slot, with its model probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The opaque token key (a KAMEL cell id).
+    pub key: u64,
+    /// Model probability of this token filling the slot.
+    pub prob: f64,
+}
+
+/// The contract KAMEL's imputation modules require: given a token sequence
+/// with one masked slot, return a ranked probability distribution over
+/// candidate tokens ("calling BERT", §2).
+pub trait MaskedTokenModel: Send + Sync {
+    /// Predicts the `top_k` most likely tokens for position `pos` of `seq`
+    /// (the value at `seq[pos]` is ignored — it is the masked slot).
+    /// Candidates are sorted by descending probability.
+    ///
+    /// Implementations must tolerate out-of-vocabulary context tokens.
+    fn predict_masked(&self, seq: &[u64], pos: usize, top_k: usize) -> Vec<Candidate>;
+
+    /// Number of distinct regular tokens this model was trained on.
+    fn vocab_len(&self) -> usize;
+
+    /// Total number of training tokens seen (the paper's "training data
+    /// factor" numerator, §1 challenge 2).
+    fn trained_tokens(&self) -> u64;
+}
+
+/// A trained model in serializable form, as stored in the model repository.
+// Boxed variants: the engines differ hugely in inline size, and the
+// repository stores many of these.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum TrainedModel {
+    /// Bidirectional n-gram engine.
+    Ngram(Box<NgramMlm>),
+    /// BERT engine.
+    Bert(Box<BertMlm>),
+}
+
+impl MaskedTokenModel for TrainedModel {
+    fn predict_masked(&self, seq: &[u64], pos: usize, top_k: usize) -> Vec<Candidate> {
+        match self {
+            TrainedModel::Ngram(m) => m.predict_masked(seq, pos, top_k),
+            TrainedModel::Bert(m) => m.predict_masked(seq, pos, top_k),
+        }
+    }
+
+    fn vocab_len(&self) -> usize {
+        match self {
+            TrainedModel::Ngram(m) => m.vocab_len(),
+            TrainedModel::Bert(m) => m.vocab_len(),
+        }
+    }
+
+    fn trained_tokens(&self) -> u64 {
+        match self {
+            TrainedModel::Ngram(m) => m.trained_tokens(),
+            TrainedModel::Bert(m) => m.trained_tokens(),
+        }
+    }
+}
+
+/// Which engine the Partitioning module trains for each pyramid cell, with
+/// its hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum EngineConfig {
+    /// Train [`NgramMlm`] models (default for large sweeps).
+    Ngram(NgramConfig),
+    /// Train [`BertMlm`] models (the paper's engine).
+    Bert(BertEngineConfig),
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::Ngram(NgramConfig::default())
+    }
+}
+
+impl EngineConfig {
+    /// Trains a model of the configured kind on a corpus of token-key
+    /// sequences.
+    pub fn train(&self, corpus: &[Vec<u64>]) -> TrainedModel {
+        match self {
+            EngineConfig::Ngram(cfg) => TrainedModel::Ngram(Box::new(NgramMlm::train(cfg, corpus))),
+            EngineConfig::Bert(cfg) => TrainedModel::Bert(Box::new(BertMlm::train(cfg, corpus))),
+        }
+    }
+
+    /// Short engine name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineConfig::Ngram(_) => "ngram",
+            EngineConfig::Bert(_) => "bert",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Both engines learn the same trivial chain corpus and rank the true
+    /// missing token first.
+    #[test]
+    fn engines_agree_on_a_chain_corpus() {
+        let corpus: Vec<Vec<u64>> = (0..30).map(|_| vec![100, 200, 300, 400, 500]).collect();
+        for engine in [
+            EngineConfig::Ngram(NgramConfig::default()),
+            EngineConfig::Bert(BertEngineConfig::for_tests()),
+        ] {
+            let model = engine.train(&corpus);
+            let preds = model.predict_masked(&[100, 200, 0, 400, 500], 2, 3);
+            assert!(!preds.is_empty(), "{} produced nothing", engine.name());
+            assert_eq!(
+                preds[0].key, 300,
+                "{} failed to learn the chain: {preds:?}",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn trained_model_roundtrips_through_serde() {
+        let corpus: Vec<Vec<u64>> = (0..10).map(|_| vec![7, 8, 9]).collect();
+        let model = EngineConfig::default().train(&corpus);
+        let json = serde_json::to_string(&model).expect("serialize");
+        let back: TrainedModel = serde_json::from_str(&json).expect("deserialize");
+        let a = model.predict_masked(&[7, 0, 9], 1, 2);
+        let b = back.predict_masked(&[7, 0, 9], 1, 2);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.key, y.key);
+            assert!((x.prob - y.prob).abs() < 1e-12);
+        }
+    }
+}

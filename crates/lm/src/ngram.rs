@@ -1,0 +1,437 @@
+//! Bidirectional interpolated n-gram masked-token model.
+//!
+//! For a masked slot with left neighbor `p` and right neighbor `n`, the
+//! model scores each candidate `c` as an interpolation of
+//! `P(c | p, n)` (skip-trigram), `P(c | p)` (forward bigram),
+//! `P(c | n)` (backward bigram) and `P(c)` (unigram). This is exactly the
+//! conditional a masked-LM head learns for one slot given its immediate
+//! bidirectional context, estimated by counting instead of gradient descent
+//! — the CPU-scale substitution documented in DESIGN.md §2.
+
+use crate::vocab::Vocab;
+use crate::{Candidate, MaskedTokenModel};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Interpolation weights and candidate limits for [`NgramMlm`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NgramConfig {
+    /// Weight of the skip-trigram conditional `P(c | prev, next)` (adjacent
+    /// context).
+    pub tri_weight: f64,
+    /// Weight of the long-range route conditional `P(c | left, right)`:
+    /// how often `c` appeared *between* the two context tokens in training
+    /// sentences, within [`NgramConfig::between_window`] positions. This is
+    /// the counting analogue of BERT's bidirectional attention on the whole
+    /// segment — it is what keeps multi-token imputation on the route
+    /// instead of on locally-confident detours.
+    pub between_weight: f64,
+    /// Weight of the forward bigram conditional `P(c | prev)`.
+    pub fwd_weight: f64,
+    /// Weight of the backward bigram conditional `P(c | next)`.
+    pub bwd_weight: f64,
+    /// Weight of the unigram prior `P(c)`.
+    pub uni_weight: f64,
+    /// Maximum token span counted by the between table.
+    pub between_window: usize,
+    /// Drop context-table entries observed fewer than this many times after
+    /// training (0 keeps everything). City-scale corpora accumulate long
+    /// tails of one-off co-occurrences; pruning them bounds model memory
+    /// with negligible accuracy impact.
+    pub prune_below: u32,
+}
+
+impl Default for NgramConfig {
+    fn default() -> Self {
+        Self {
+            tri_weight: 0.40,
+            between_weight: 0.32,
+            fwd_weight: 0.11,
+            bwd_weight: 0.11,
+            uni_weight: 0.06,
+            between_window: 24,
+            prune_below: 0,
+        }
+    }
+}
+
+/// Packs an ordered id pair into one map key.
+#[inline]
+fn pair_key(a: u32, b: u32) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+/// Count table: context id → (candidate id → count).
+type CondCounts = HashMap<u32, HashMap<u32, u32>>;
+
+/// The trained bidirectional n-gram model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NgramMlm {
+    config: NgramConfig,
+    vocab: Vocab,
+    /// Unigram counts per id.
+    uni: HashMap<u32, u32>,
+    /// Total regular tokens seen.
+    total: u64,
+    /// `fwd[prev][cur]`: count of `cur` following `prev`.
+    fwd: CondCounts,
+    /// `bwd[next][cur]`: count of `cur` preceding `next`.
+    bwd: CondCounts,
+    /// `tri[(prev,next)][cur]`: count of `cur` between `prev` and `next`.
+    tri: HashMap<u64, HashMap<u32, u32>>,
+    /// `between[(a,b)][cur]`: count of `cur` occurring strictly between `a`
+    /// and `b` in a sentence, with the whole span within `between_window`.
+    between: HashMap<u64, HashMap<u32, u32>>,
+}
+
+impl NgramMlm {
+    /// Counts all n-gram statistics over a corpus of token-key sequences.
+    pub fn train(config: &NgramConfig, corpus: &[Vec<u64>]) -> Self {
+        let mut vocab = Vocab::new();
+        let mut uni: HashMap<u32, u32> = HashMap::new();
+        let mut fwd: CondCounts = HashMap::new();
+        let mut bwd: CondCounts = HashMap::new();
+        let mut tri: HashMap<u64, HashMap<u32, u32>> = HashMap::new();
+        let mut between: HashMap<u64, HashMap<u32, u32>> = HashMap::new();
+        let window = config.between_window.max(2);
+        let mut total = 0u64;
+        let mut ids = Vec::new();
+        for seq in corpus {
+            ids.clear();
+            ids.extend(seq.iter().map(|&k| vocab.get_or_insert(k)));
+            total += ids.len() as u64;
+            for &id in &ids {
+                *uni.entry(id).or_insert(0) += 1;
+            }
+            for w in ids.windows(2) {
+                *fwd.entry(w[0]).or_default().entry(w[1]).or_insert(0) += 1;
+                *bwd.entry(w[1]).or_default().entry(w[0]).or_insert(0) += 1;
+            }
+            for w in ids.windows(3) {
+                *tri.entry(pair_key(w[0], w[2]))
+                    .or_default()
+                    .entry(w[1])
+                    .or_insert(0) += 1;
+            }
+            // Route co-occurrence: every token strictly between a pair of
+            // anchors whose span fits the window.
+            let n = ids.len();
+            for i in 0..n {
+                for k in (i + 2)..n.min(i + window + 1) {
+                    let key = pair_key(ids[i], ids[k]);
+                    let entry = between.entry(key).or_default();
+                    for &mid in &ids[i + 1..k] {
+                        *entry.entry(mid).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let mut model = Self {
+            config: *config,
+            vocab,
+            uni,
+            total,
+            fwd,
+            bwd,
+            tri,
+            between,
+        };
+        if config.prune_below > 1 {
+            model.prune(config.prune_below);
+        }
+        model
+    }
+
+    /// Drops all conditional-count entries below `min_count` and empty
+    /// contexts. Unigram counts are kept (they are the fallback).
+    pub fn prune(&mut self, min_count: u32) {
+        let prune_cond = |table: &mut CondCounts| {
+            for counts in table.values_mut() {
+                counts.retain(|_, c| *c >= min_count);
+            }
+            table.retain(|_, counts| !counts.is_empty());
+        };
+        prune_cond(&mut self.fwd);
+        prune_cond(&mut self.bwd);
+        for counts in self.tri.values_mut() {
+            counts.retain(|_, c| *c >= min_count);
+        }
+        self.tri.retain(|_, counts| !counts.is_empty());
+        for counts in self.between.values_mut() {
+            counts.retain(|_, c| *c >= min_count);
+        }
+        self.between.retain(|_, counts| !counts.is_empty());
+    }
+
+    /// Total entries across all conditional tables — the memory the
+    /// model's transition statistics occupy (vocabulary excluded).
+    pub fn table_entries(&self) -> usize {
+        self.fwd.values().map(|c| c.len()).sum::<usize>()
+            + self.bwd.values().map(|c| c.len()).sum::<usize>()
+            + self.tri.values().map(|c| c.len()).sum::<usize>()
+            + self.between.values().map(|c| c.len()).sum::<usize>()
+    }
+
+    /// The model's vocabulary (cell-key ↔ id mapping).
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    fn cond_prob(table: &CondCounts, ctx: u32, cand: u32) -> f64 {
+        match table.get(&ctx) {
+            Some(counts) => {
+                let total: u32 = counts.values().sum();
+                if total == 0 {
+                    0.0
+                } else {
+                    *counts.get(&cand).unwrap_or(&0) as f64 / total as f64
+                }
+            }
+            None => 0.0,
+        }
+    }
+
+    fn between_prob(&self, a: u32, b: u32, cand: u32) -> f64 {
+        match self.between.get(&pair_key(a, b)) {
+            Some(counts) => {
+                let total: u32 = counts.values().sum();
+                if total == 0 {
+                    0.0
+                } else {
+                    *counts.get(&cand).unwrap_or(&0) as f64 / total as f64
+                }
+            }
+            None => 0.0,
+        }
+    }
+
+    fn tri_prob(&self, prev: u32, next: u32, cand: u32) -> f64 {
+        match self.tri.get(&pair_key(prev, next)) {
+            Some(counts) => {
+                let total: u32 = counts.values().sum();
+                if total == 0 {
+                    0.0
+                } else {
+                    *counts.get(&cand).unwrap_or(&0) as f64 / total as f64
+                }
+            }
+            None => 0.0,
+        }
+    }
+
+    fn uni_prob(&self, cand: u32) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            *self.uni.get(&cand).unwrap_or(&0) as f64 / self.total as f64
+        }
+    }
+}
+
+impl MaskedTokenModel for NgramMlm {
+    fn predict_masked(&self, seq: &[u64], pos: usize, top_k: usize) -> Vec<Candidate> {
+        assert!(pos < seq.len(), "mask position {pos} out of range");
+        if top_k == 0 || self.vocab.is_empty() {
+            return Vec::new();
+        }
+        let prev = if pos > 0 {
+            Some(self.vocab.id_of(seq[pos - 1]))
+        } else {
+            None
+        };
+        let next = if pos + 1 < seq.len() {
+            Some(self.vocab.id_of(seq[pos + 1]))
+        } else {
+            None
+        };
+        // Candidate set: everything the context tables have seen in this
+        // context. Falls back to the global unigram head when the context is
+        // entirely novel.
+        let mut cand_ids: Vec<u32> = Vec::new();
+        if let (Some(p), Some(n)) = (prev, next) {
+            if let Some(counts) = self.tri.get(&pair_key(p, n)) {
+                cand_ids.extend(counts.keys());
+            }
+            if let Some(counts) = self.between.get(&pair_key(p, n)) {
+                cand_ids.extend(counts.keys());
+            }
+        }
+        if let Some(p) = prev {
+            if let Some(counts) = self.fwd.get(&p) {
+                cand_ids.extend(counts.keys());
+            }
+        }
+        if let Some(n) = next {
+            if let Some(counts) = self.bwd.get(&n) {
+                cand_ids.extend(counts.keys());
+            }
+        }
+        cand_ids.sort_unstable();
+        cand_ids.dedup();
+        if cand_ids.is_empty() {
+            // Novel context: rank by unigram frequency.
+            let mut by_freq: Vec<(u32, u32)> =
+                self.uni.iter().map(|(&id, &c)| (id, c)).collect();
+            by_freq.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            cand_ids.extend(by_freq.into_iter().take(top_k * 4).map(|(id, _)| id));
+        }
+        let cfg = &self.config;
+        let mut scored: Vec<(u32, f64)> = cand_ids
+            .into_iter()
+            .map(|c| {
+                let mut s = cfg.uni_weight * self.uni_prob(c);
+                if let (Some(p), Some(n)) = (prev, next) {
+                    s += cfg.tri_weight * self.tri_prob(p, n, c);
+                    s += cfg.between_weight * self.between_prob(p, n, c);
+                }
+                if let Some(p) = prev {
+                    s += cfg.fwd_weight * Self::cond_prob(&self.fwd, p, c);
+                }
+                if let Some(n) = next {
+                    s += cfg.bwd_weight * Self::cond_prob(&self.bwd, n, c);
+                }
+                (c, s)
+            })
+            .collect();
+        let norm: f64 = scored.iter().map(|(_, s)| s).sum();
+        if norm <= 0.0 {
+            return Vec::new();
+        }
+        scored.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite scores")
+                .then(a.0.cmp(&b.0))
+        });
+        scored
+            .into_iter()
+            .take(top_k)
+            .filter_map(|(id, s)| {
+                self.vocab.key_of(id).map(|key| Candidate {
+                    key,
+                    prob: s / norm,
+                })
+            })
+            .collect()
+    }
+
+    fn vocab_len(&self) -> usize {
+        self.vocab.regular_len()
+    }
+
+    fn trained_tokens(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_corpus() -> Vec<Vec<u64>> {
+        (0..20).map(|_| vec![10u64, 20, 30, 40, 50]).collect()
+    }
+
+    #[test]
+    fn learns_deterministic_chain() {
+        let m = NgramMlm::train(&NgramConfig::default(), &chain_corpus());
+        let preds = m.predict_masked(&[20, 0, 40], 1, 5);
+        assert_eq!(preds[0].key, 30);
+        assert!(preds[0].prob > 0.5);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_over_candidates() {
+        // Branching corpus: after 10, go to 20 (75%) or 21 (25%).
+        let mut corpus = vec![vec![10u64, 20, 30]; 3];
+        corpus.push(vec![10, 21, 30]);
+        let m = NgramMlm::train(&NgramConfig::default(), &corpus);
+        let preds = m.predict_masked(&[10, 0, 30], 1, 10);
+        let sum: f64 = preds.iter().map(|c| c.prob).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        assert_eq!(preds[0].key, 20);
+        assert!(preds[0].prob > preds[1].prob);
+    }
+
+    #[test]
+    fn respects_branch_frequencies() {
+        let mut corpus = Vec::new();
+        for _ in 0..9 {
+            corpus.push(vec![1u64, 2, 3]);
+        }
+        corpus.push(vec![1u64, 7, 3]);
+        let m = NgramMlm::train(&NgramConfig::default(), &corpus);
+        let preds = m.predict_masked(&[1, 0, 3], 1, 2);
+        assert_eq!(preds[0].key, 2);
+        assert_eq!(preds[1].key, 7);
+        assert!(preds[0].prob > 5.0 * preds[1].prob);
+    }
+
+    #[test]
+    fn edge_positions_use_one_sided_context() {
+        let m = NgramMlm::train(&NgramConfig::default(), &chain_corpus());
+        // Mask at the start: only the right context (20) is available.
+        let start = m.predict_masked(&[0, 20, 30], 0, 3);
+        assert_eq!(start[0].key, 10);
+        // Mask at the end: only the left context (40).
+        let end = m.predict_masked(&[30, 40, 0], 2, 3);
+        assert_eq!(end[0].key, 50);
+    }
+
+    #[test]
+    fn unknown_context_falls_back_to_unigrams() {
+        let m = NgramMlm::train(&NgramConfig::default(), &chain_corpus());
+        // Context keys never seen in training.
+        let preds = m.predict_masked(&[999, 0, 888], 1, 3);
+        assert!(!preds.is_empty());
+        // The most frequent tokens are all equally frequent in the chain; a
+        // valid chain member must be returned.
+        assert!([10u64, 20, 30, 40, 50].contains(&preds[0].key));
+    }
+
+    #[test]
+    fn empty_model_returns_nothing() {
+        let m = NgramMlm::train(&NgramConfig::default(), &[]);
+        assert!(m.predict_masked(&[1, 0, 2], 1, 5).is_empty());
+        assert_eq!(m.vocab_len(), 0);
+        assert_eq!(m.trained_tokens(), 0);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        // 6 distinct successors of token 1.
+        let corpus: Vec<Vec<u64>> = (0..6).map(|i| vec![1u64, 100 + i, 3]).collect();
+        let m = NgramMlm::train(&NgramConfig::default(), &corpus);
+        assert_eq!(m.predict_masked(&[1, 0, 3], 1, 3).len(), 3);
+        assert_eq!(m.predict_masked(&[1, 0, 3], 1, 100).len(), 6);
+        assert!(m.predict_masked(&[1, 0, 3], 1, 0).is_empty());
+    }
+
+    #[test]
+    fn pruning_shrinks_tables_but_keeps_strong_transitions() {
+        // 20 passes over the chain + 1 noise sentence.
+        let mut corpus = chain_corpus();
+        corpus.push(vec![77u64, 88, 99]);
+        let full = NgramMlm::train(&NgramConfig::default(), &corpus);
+        let pruned = NgramMlm::train(
+            &NgramConfig {
+                prune_below: 5,
+                ..NgramConfig::default()
+            },
+            &corpus,
+        );
+        assert!(pruned.table_entries() < full.table_entries());
+        // The heavily-observed chain still predicts perfectly...
+        let preds = pruned.predict_masked(&[20, 0, 40], 1, 3);
+        assert_eq!(preds[0].key, 30);
+        // ...while the singleton noise context lost its entries.
+        let noise = pruned.predict_masked(&[77, 0, 99], 1, 3);
+        assert!(noise.is_empty() || noise[0].key != 88);
+    }
+
+    #[test]
+    fn trained_tokens_counts_corpus_volume() {
+        let m = NgramMlm::train(&NgramConfig::default(), &chain_corpus());
+        assert_eq!(m.trained_tokens(), 100);
+        assert_eq!(m.vocab_len(), 5);
+    }
+}

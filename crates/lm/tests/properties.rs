@@ -1,0 +1,96 @@
+//! Property-based tests for the language-model engines.
+
+use kamel_lm::{EngineConfig, MaskedTokenModel, NgramConfig, NgramMlm};
+use proptest::prelude::*;
+
+/// Strategy: a corpus of random-walk sentences over a small token space.
+fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(1u64..40, 3..20),
+        1..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Predictions are sorted by probability, deduplicated, and sum ≤ 1.
+    #[test]
+    fn predictions_are_a_ranked_subdistribution(
+        corpus in corpus_strategy(),
+        ctx in proptest::collection::vec(1u64..40, 3..8),
+        pos in 1usize..6,
+        top_k in 1usize..12,
+    ) {
+        prop_assume!(pos < ctx.len() - 1);
+        let model = NgramMlm::train(&NgramConfig::default(), &corpus);
+        let preds = model.predict_masked(&ctx, pos, top_k);
+        prop_assert!(preds.len() <= top_k);
+        let total: f64 = preds.iter().map(|c| c.prob).sum();
+        prop_assert!(total <= 1.0 + 1e-9, "probability mass {total}");
+        for w in preds.windows(2) {
+            prop_assert!(w[0].prob >= w[1].prob, "not sorted");
+        }
+        let mut keys: Vec<u64> = preds.iter().map(|c| c.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), preds.len(), "duplicate candidates");
+        for c in &preds {
+            prop_assert!(c.prob >= 0.0 && c.prob.is_finite());
+        }
+    }
+
+    /// Training and prediction are deterministic functions of the corpus.
+    #[test]
+    fn engine_is_deterministic(corpus in corpus_strategy()) {
+        let a = NgramMlm::train(&NgramConfig::default(), &corpus);
+        let b = NgramMlm::train(&NgramConfig::default(), &corpus);
+        let ctx = [1u64, 2, 3, 4, 5];
+        let pa = a.predict_masked(&ctx, 2, 8);
+        let pb = b.predict_masked(&ctx, 2, 8);
+        prop_assert_eq!(pa.len(), pb.len());
+        for (x, y) in pa.iter().zip(&pb) {
+            prop_assert_eq!(x.key, y.key);
+            prop_assert!((x.prob - y.prob).abs() < 1e-12);
+        }
+    }
+
+    /// Serde roundtrip preserves predictions exactly for arbitrary corpora.
+    #[test]
+    fn serde_roundtrip_is_exact(corpus in corpus_strategy()) {
+        let model = EngineConfig::Ngram(NgramConfig::default()).train(&corpus);
+        let json = serde_json::to_string(&model).expect("serialize");
+        let back: kamel_lm::TrainedModel = serde_json::from_str(&json).expect("deserialize");
+        let ctx = [3u64, 7, 11];
+        let pa = model.predict_masked(&ctx, 1, 10);
+        let pb = back.predict_masked(&ctx, 1, 10);
+        prop_assert_eq!(pa.len(), pb.len());
+        for (x, y) in pa.iter().zip(&pb) {
+            prop_assert_eq!(x.key, y.key);
+            prop_assert!((x.prob - y.prob).abs() < 1e-12);
+        }
+    }
+
+    /// Every predicted key appeared somewhere in the training corpus.
+    #[test]
+    fn predictions_come_from_the_vocabulary(corpus in corpus_strategy()) {
+        let model = NgramMlm::train(&NgramConfig::default(), &corpus);
+        let seen: std::collections::HashSet<u64> =
+            corpus.iter().flatten().copied().collect();
+        let ctx = [2u64, 9, 17, 25];
+        for c in model.predict_masked(&ctx, 2, 20) {
+            prop_assert!(seen.contains(&c.key), "unknown token {}", c.key);
+        }
+    }
+
+    /// Token volume accounting is exact.
+    #[test]
+    fn trained_tokens_counts_the_corpus(corpus in corpus_strategy()) {
+        let model = NgramMlm::train(&NgramConfig::default(), &corpus);
+        let expected: u64 = corpus.iter().map(|s| s.len() as u64).sum();
+        prop_assert_eq!(model.trained_tokens(), expected);
+        let distinct: std::collections::HashSet<u64> =
+            corpus.iter().flatten().copied().collect();
+        prop_assert_eq!(model.vocab_len(), distinct.len());
+    }
+}

@@ -1,0 +1,41 @@
+//! From-scratch neural-network substrate for KAMEL's BERT model.
+//!
+//! The paper trains Google's original BERT architecture on tokenized
+//! trajectories (§8: 768 hidden / 12 heads / 12 layers on a Cloud TPU). This
+//! crate reimplements that architecture from first principles in pure Rust —
+//! no external ML dependency — at CPU-trainable scale:
+//!
+//! * [`matrix::Matrix`] — a dense row-major `f32` matrix with the BLAS-style
+//!   kernels a transformer needs (plain/transposed matmuls, broadcast row
+//!   ops).
+//! * [`layers`] — `Linear`, `Embedding`, `LayerNorm`, GELU, softmax; every
+//!   layer carries explicit `forward`/`backward` passes with gradient
+//!   accumulation, validated against finite differences in the test suite.
+//! * [`attention`] — multi-head scaled dot-product self-attention with
+//!   padding masks (the heart of BERT).
+//! * [`encoder`] — transformer encoder blocks (post-LayerNorm, as in the
+//!   original BERT).
+//! * [`bert`] — the full masked-language model: token + position embeddings,
+//!   encoder stack, vocab projection, masked cross-entropy.
+//! * [`optim`] — Adam with bias correction and optional weight decay.
+//! * [`train`] — the BERT MLM pretraining loop (15% masking with the 80/10/10
+//!   mask/random/keep split from Devlin et al.).
+//!
+//! The layer-by-layer backward design (rather than a taped autograd) keeps
+//! the code auditable and the memory profile flat, which matters when many
+//! pyramid-cell models are trained in one process (§4).
+
+#![warn(missing_docs)]
+
+pub mod attention;
+pub mod bert;
+pub mod encoder;
+pub mod layers;
+pub mod matrix;
+pub mod optim;
+pub mod train;
+
+pub use bert::{BertConfig, BertMlmModel};
+pub use matrix::Matrix;
+pub use optim::Adam;
+pub use train::{MlmBatcher, TrainOptions, Trainer};

@@ -1,0 +1,340 @@
+//! Dense row-major `f32` matrices with the kernels a transformer needs.
+//!
+//! Deliberately minimal: 2-D only (sequences are processed one at a time, so
+//! every activation is `[seq_len, features]`), no views, no broadcasting
+//! beyond row-vector ops. The three matmul variants (`NN`, `TN`, `NT`) cover
+//! every product in forward and backward passes without materializing
+//! transposes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from an explicit row-major buffer.
+    ///
+    /// # Panics
+    /// Panics when the buffer length does not equal `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} != {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Gaussian-initialized matrix with the given standard deviation
+    /// (Box–Muller over the supplied RNG; deterministic under a seeded RNG).
+    pub fn randn(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        while data.len() < rows * cols {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let mag = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(mag * theta.cos() * std);
+            if data.len() < rows * cols {
+                data.push(mag * theta.sin() * std);
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable slice of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable slice of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self × other` (`[m,k] × [k,n] → [m,n]`).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        // ikj loop order: streams through `other` rows, vectorizes the inner
+        // axpy over the output row.
+        for i in 0..m {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × other` (`[k,m]ᵀ × [k,n] → [m,n]`), without materializing the
+    /// transpose. Used for weight gradients (`dW = xᵀ · dy`).
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for kk in 0..k {
+            let a_row = &self.data[kk * m..(kk + 1) * m];
+            let b_row = &other.data[kk * n..(kk + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × otherᵀ` (`[m,k] × [n,k]ᵀ → [m,n]`), without materializing the
+    /// transpose. Used for input gradients (`dx = dy · Wᵀ`) and attention
+    /// scores (`Q · Kᵀ`).
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                *o = dot(a_row, b_row);
+            }
+        }
+        out
+    }
+
+    /// Element-wise `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise `self += scale * other`.
+    pub fn add_scaled(&mut self, other: &Matrix, scale: f32) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Adds a row vector to every row (bias broadcast).
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols);
+        for r in 0..self.rows {
+            for (a, b) in self.row_mut(r).iter_mut().zip(bias) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Sum of element-wise products (Frobenius inner product).
+    pub fn frobenius_dot(&self, other: &Matrix) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        dot(&self.data, &other.data)
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f32 {
+        dot(&self.data, &self.data)
+    }
+}
+
+/// Dense dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Chunked accumulation: lets LLVM vectorize and improves summation error.
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for i in 0..chunks {
+        for (lane, slot) in acc.iter_mut().enumerate() {
+            let idx = i * 8 + lane;
+            *slot += a[idx] * b[idx];
+        }
+    }
+    let mut s: f32 = acc.iter().sum();
+    for i in chunks * 8..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]); // aᵀ is 2x3
+        let b = m(3, 2, &[1., 0., 0., 1., 1., 1.]);
+        let tn = a.matmul_tn(&b);
+        // aᵀ = [[1,3,5],[2,4,6]]; aᵀ·b = [[1+5, 3+5],[2+6, 4+6]]
+        assert_eq!(tn.data(), &[6., 8., 8., 10.]);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(2, 3, &[1., 1., 1., 2., 0., 1.]); // bᵀ is 3x2
+        let nt = a.matmul_nt(&b);
+        assert_eq!(nt.data(), &[6., 5., 15., 14.]);
+    }
+
+    #[test]
+    fn three_matmul_variants_agree_on_random_input() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let a = Matrix::randn(4, 5, 1.0, &mut rng);
+        let b = Matrix::randn(5, 3, 1.0, &mut rng);
+        let c = a.matmul(&b);
+        // (aᵀ)ᵀ·b via matmul_tn with explicitly transposed a.
+        let at = Matrix::from_fn(5, 4, |r, c2| a.get(c2, r));
+        let c_tn = at.matmul_tn(&b);
+        let bt = Matrix::from_fn(3, 5, |r, c2| b.get(c2, r));
+        let c_nt = a.matmul_nt(&bt);
+        for i in 0..c.data().len() {
+            assert!((c.data()[i] - c_tn.data()[i]).abs() < 1e-4);
+            assert!((c.data()[i] - c_nt.data()[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn broadcast_and_scale() {
+        let mut a = Matrix::zeros(2, 3);
+        a.add_row_broadcast(&[1., 2., 3.]);
+        assert_eq!(a.data(), &[1., 2., 3., 1., 2., 3.]);
+        a.scale(2.0);
+        assert_eq!(a.row(1), &[2., 4., 6.]);
+    }
+
+    #[test]
+    fn randn_statistics_are_sane() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let m = Matrix::randn(100, 100, 0.5, &mut rng);
+        let mean: f32 = m.data().iter().sum::<f32>() / 10_000.0;
+        let var: f32 = m.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        let a: Vec<f32> = (0..19).map(|i| i as f32).collect();
+        let b = vec![1.0f32; 19];
+        assert_eq!(dot(&a, &b), (0..19).sum::<i32>() as f32);
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic road network and GPS trajectory simulator.
+//!
+//! Substitutes for the paper's Porto and Jakarta datasets (DESIGN.md §2,
+//! substitution 1). The simulator generates:
+//!
+//! * a hidden [`network::RoadNetwork`] — grid streets with jitter, diagonal
+//!   avenues, roundabouts, curved ring roads, and an overpass motif (the
+//!   road cases of the paper's Figure 5);
+//! * realistic trips over it ([`trips`]) — shortest-path routes driven at a
+//!   noisy speed, sampled at a configurable GPS period with position noise;
+//! * packaged [`dataset::Dataset`]s with the paper's 80/20 train/test split
+//!   and `porto_like` / `jakarta_like` presets matching the structural
+//!   contrasts the evaluation leans on (many short vs. few long
+//!   trajectories).
+//!
+//! The network is **never** exposed to KAMEL or TrImpute — only to the map
+//! matching reference and the road-type classifier, mirroring the paper's
+//! no-map evaluation setting.
+
+#![warn(missing_docs)]
+
+pub mod citygen;
+pub mod dataset;
+pub mod geojson;
+pub mod network;
+pub mod stats;
+pub mod trips;
+
+pub use citygen::{generate_city, CityConfig};
+pub use dataset::{Dataset, DatasetScale};
+pub use geojson::{network_to_geojson, trajectories_to_geojson};
+pub use network::RoadNetwork;
+pub use stats::{coverage, CoverageStats};
+pub use trips::{generate_trips, TripConfig};

@@ -1,0 +1,276 @@
+//! The road network graph: planar nodes, undirected weighted edges,
+//! Dijkstra routing, nearest-node lookup.
+
+use kamel_geo::{BBox, Xy};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One directed half-edge in the adjacency list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Target node index.
+    pub to: usize,
+    /// Edge length in meters.
+    pub len: f64,
+}
+
+/// An undirected road network in the planar frame.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    nodes: Vec<Xy>,
+    adj: Vec<Vec<Edge>>,
+}
+
+impl RoadNetwork {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node, returning its index.
+    pub fn add_node(&mut self, pos: Xy) -> usize {
+        self.nodes.push(pos);
+        self.adj.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    /// Adds an undirected edge between two nodes; length is their planar
+    /// distance. Self-loops and duplicate edges are ignored.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        if a == b || a >= self.nodes.len() || b >= self.nodes.len() {
+            return;
+        }
+        if self.adj[a].iter().any(|e| e.to == b) {
+            return;
+        }
+        let len = self.nodes[a].dist(&self.nodes[b]);
+        self.adj[a].push(Edge { to: b, len });
+        self.adj[b].push(Edge { to: a, len });
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Position of node `i`.
+    pub fn node(&self, i: usize) -> Xy {
+        self.nodes[i]
+    }
+
+    /// Neighbors of node `i`.
+    pub fn neighbors(&self, i: usize) -> &[Edge] {
+        &self.adj[i]
+    }
+
+    /// Iterates over every undirected edge as `(a, b)` node-index pairs with
+    /// `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(a, es)| es.iter().map(move |e| (a, e.to)))
+            .filter(|&(a, b)| a < b)
+    }
+
+    /// Total length of all edges in meters.
+    pub fn total_length_m(&self) -> f64 {
+        self.adj
+            .iter()
+            .flat_map(|es| es.iter().map(|e| e.len))
+            .sum::<f64>()
+            / 2.0
+    }
+
+    /// Bounding box of all nodes (`None` when empty).
+    pub fn bbox(&self) -> Option<BBox> {
+        BBox::of_points(self.nodes.iter().copied())
+    }
+
+    /// Index of the node closest to `p` (`None` when empty).
+    pub fn nearest_node(&self, p: Xy) -> Option<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.dist_sq(&p)
+                    .partial_cmp(&b.dist_sq(&p))
+                    .expect("finite coordinates")
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Dijkstra shortest path from `src` to `dst` as a node-index sequence
+    /// (inclusive). `None` when unreachable.
+    pub fn shortest_path(&self, src: usize, dst: usize) -> Option<Vec<usize>> {
+        if src >= self.nodes.len() || dst >= self.nodes.len() {
+            return None;
+        }
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let n = self.nodes.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut heap = BinaryHeap::new();
+        dist[src] = 0.0;
+        heap.push(HeapItem { cost: 0.0, node: src });
+        while let Some(HeapItem { cost, node }) = heap.pop() {
+            if node == dst {
+                break;
+            }
+            if cost > dist[node] {
+                continue;
+            }
+            for e in &self.adj[node] {
+                let next = cost + e.len;
+                if next < dist[e.to] {
+                    dist[e.to] = next;
+                    prev[e.to] = node;
+                    heap.push(HeapItem {
+                        cost: next,
+                        node: e.to,
+                    });
+                }
+            }
+        }
+        if dist[dst].is_infinite() {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Network (shortest-path) distance in meters between the nodes nearest
+    /// to two planar points. `None` when disconnected or empty.
+    ///
+    /// Used by the road-type classifier (§8.4): a test segment is "straight"
+    /// when its Euclidean and network distances agree within a threshold.
+    pub fn network_distance(&self, a: Xy, b: Xy) -> Option<f64> {
+        let na = self.nearest_node(a)?;
+        let nb = self.nearest_node(b)?;
+        let path = self.shortest_path(na, nb)?;
+        Some(
+            path.windows(2)
+                .map(|w| self.nodes[w[0]].dist(&self.nodes[w[1]]))
+                .sum(),
+        )
+    }
+}
+
+/// Min-heap item for Dijkstra.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapItem {
+    cost: f64,
+    node: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for a min-heap; costs are always finite here.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("finite path costs")
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3-node path graph: 0 —100m— 1 —100m— 2.
+    fn path3() -> RoadNetwork {
+        let mut net = RoadNetwork::new();
+        let a = net.add_node(Xy::new(0.0, 0.0));
+        let b = net.add_node(Xy::new(100.0, 0.0));
+        let c = net.add_node(Xy::new(200.0, 0.0));
+        net.add_edge(a, b);
+        net.add_edge(b, c);
+        net
+    }
+
+    #[test]
+    fn shortest_path_on_a_line() {
+        let net = path3();
+        assert_eq!(net.shortest_path(0, 2), Some(vec![0, 1, 2]));
+        assert_eq!(net.shortest_path(2, 0), Some(vec![2, 1, 0]));
+        assert_eq!(net.shortest_path(1, 1), Some(vec![1]));
+    }
+
+    #[test]
+    fn dijkstra_prefers_the_shorter_route() {
+        // Square with a diagonal shortcut.
+        let mut net = RoadNetwork::new();
+        let n00 = net.add_node(Xy::new(0.0, 0.0));
+        let n10 = net.add_node(Xy::new(100.0, 0.0));
+        let n01 = net.add_node(Xy::new(0.0, 100.0));
+        let n11 = net.add_node(Xy::new(100.0, 100.0));
+        net.add_edge(n00, n10);
+        net.add_edge(n10, n11);
+        net.add_edge(n00, n01);
+        net.add_edge(n01, n11);
+        net.add_edge(n00, n11); // diagonal, ~141 m < 200 m around
+        let path = net.shortest_path(n00, n11).unwrap();
+        assert_eq!(path, vec![n00, n11]);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut net = path3();
+        let lonely = net.add_node(Xy::new(9999.0, 9999.0));
+        assert_eq!(net.shortest_path(0, lonely), None);
+        assert!(net.network_distance(Xy::new(0.0, 0.0), Xy::new(9999.0, 9999.0)).is_none());
+    }
+
+    #[test]
+    fn nearest_node_and_network_distance() {
+        let net = path3();
+        assert_eq!(net.nearest_node(Xy::new(10.0, 5.0)), Some(0));
+        assert_eq!(net.nearest_node(Xy::new(160.0, -5.0)), Some(2));
+        let d = net
+            .network_distance(Xy::new(0.0, 1.0), Xy::new(200.0, -1.0))
+            .unwrap();
+        assert!((d - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let mut net = path3();
+        let edges_before = net.edge_count();
+        net.add_edge(0, 1);
+        net.add_edge(1, 1);
+        assert_eq!(net.edge_count(), edges_before);
+    }
+
+    #[test]
+    fn totals_and_bbox() {
+        let net = path3();
+        assert_eq!(net.node_count(), 3);
+        assert_eq!(net.edge_count(), 2);
+        assert!((net.total_length_m() - 200.0).abs() < 1e-9);
+        let bb = net.bbox().unwrap();
+        assert_eq!(bb.width(), 200.0);
+        assert_eq!(bb.height(), 0.0);
+    }
+}

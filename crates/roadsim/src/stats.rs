@@ -1,0 +1,167 @@
+//! Dataset coverage statistics.
+//!
+//! The comparative behaviour of every imputation technique hinges on how
+//! densely the training fleet covers the road network (the paper's Jakarta
+//! analysis leans on this). This module quantifies it: per-edge traversal
+//! counts, the fraction of network length ever observed, and points per
+//! covered kilometer — numbers used to calibrate the synthetic datasets and
+//! reported alongside experiments.
+
+use crate::network::RoadNetwork;
+use kamel_geo::{LocalProjection, Trajectory};
+use serde::{Deserialize, Serialize};
+
+/// Coverage summary of a trajectory set over a road network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoverageStats {
+    /// Fraction of network edges with at least one nearby fix.
+    pub edge_coverage: f64,
+    /// Mean fixes per covered edge.
+    pub mean_fixes_per_covered_edge: f64,
+    /// Median fixes per covered edge.
+    pub median_fixes_per_covered_edge: f64,
+    /// Total fixes observed.
+    pub total_fixes: u64,
+    /// Edges in the network.
+    pub edges: usize,
+}
+
+/// Computes coverage of `trajectories` over `network`: every fix is
+/// attributed to its nearest edge midpoint within `attach_radius_m`.
+pub fn coverage(
+    network: &RoadNetwork,
+    proj: &LocalProjection,
+    trajectories: &[Trajectory],
+    attach_radius_m: f64,
+) -> CoverageStats {
+    let edges: Vec<(usize, usize)> = network.edges().collect();
+    if edges.is_empty() {
+        return CoverageStats {
+            edge_coverage: 0.0,
+            mean_fixes_per_covered_edge: 0.0,
+            median_fixes_per_covered_edge: 0.0,
+            total_fixes: 0,
+            edges: 0,
+        };
+    }
+    let midpoints: Vec<kamel_geo::Xy> = edges
+        .iter()
+        .map(|&(a, b)| network.node(a).lerp(&network.node(b), 0.5))
+        .collect();
+    let mut counts = vec![0u64; edges.len()];
+    let mut total_fixes = 0u64;
+    for traj in trajectories {
+        for p in &traj.points {
+            total_fixes += 1;
+            let xy = proj.to_xy(p.pos);
+            // Nearest edge midpoint (datasets are small enough for a scan;
+            // a grid index would be the next step at larger scales).
+            let (best, d) = midpoints
+                .iter()
+                .enumerate()
+                .map(|(i, m)| (i, m.dist(&xy)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .expect("non-empty edges");
+            if d <= attach_radius_m {
+                counts[best] += 1;
+            }
+        }
+    }
+    let covered: Vec<u64> = counts.iter().copied().filter(|&c| c > 0).collect();
+    let edge_coverage = covered.len() as f64 / edges.len() as f64;
+    let mean = if covered.is_empty() {
+        0.0
+    } else {
+        covered.iter().sum::<u64>() as f64 / covered.len() as f64
+    };
+    let median = if covered.is_empty() {
+        0.0
+    } else {
+        let mut sorted = covered.clone();
+        sorted.sort_unstable();
+        sorted[sorted.len() / 2] as f64
+    };
+    CoverageStats {
+        edge_coverage,
+        mean_fixes_per_covered_edge: mean,
+        median_fixes_per_covered_edge: median,
+        total_fixes,
+        edges: edges.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::citygen::{generate_city, CityConfig};
+    use crate::dataset::{Dataset, DatasetScale};
+    use crate::trips::{generate_trips, TripConfig};
+    use kamel_geo::LatLng;
+
+    #[test]
+    fn no_trajectories_means_zero_coverage() {
+        let net = generate_city(&CityConfig {
+            cols: 5,
+            rows: 5,
+            roundabouts: 0,
+            ring_road: false,
+            overpass: false,
+            diagonals: 0,
+            ..CityConfig::default()
+        });
+        let proj = LocalProjection::new(LatLng::new(41.15, -8.61));
+        let stats = coverage(&net, &proj, &[], 120.0);
+        assert_eq!(stats.edge_coverage, 0.0);
+        assert_eq!(stats.total_fixes, 0);
+        assert!(stats.edges > 0);
+    }
+
+    #[test]
+    fn more_trips_cover_more_edges() {
+        let net = generate_city(&CityConfig {
+            cols: 8,
+            rows: 8,
+            ..CityConfig::default()
+        });
+        let proj = LocalProjection::new(LatLng::new(41.15, -8.61));
+        let few = generate_trips(
+            &net,
+            &TripConfig {
+                n_trips: 3,
+                min_trip_dist_m: 500.0,
+                ..TripConfig::default()
+            },
+            &proj,
+        );
+        let many = generate_trips(
+            &net,
+            &TripConfig {
+                n_trips: 60,
+                min_trip_dist_m: 500.0,
+                ..TripConfig::default()
+            },
+            &proj,
+        );
+        let c_few = coverage(&net, &proj, &few, 120.0);
+        let c_many = coverage(&net, &proj, &many, 120.0);
+        assert!(c_many.edge_coverage > c_few.edge_coverage);
+        assert!(c_few.edge_coverage > 0.0);
+    }
+
+    #[test]
+    fn preset_datasets_have_calibrated_coverage() {
+        // The evaluation's validity depends on these floors (EXPERIMENTS.md).
+        let porto = Dataset::porto_like(DatasetScale::Small);
+        let proj = porto.projection();
+        let c = coverage(&porto.network, &proj, &porto.train, 120.0);
+        assert!(c.edge_coverage > 0.4, "porto-like coverage {c:?}");
+        let jakarta = Dataset::jakarta_like(DatasetScale::Small);
+        let cj = coverage(&jakarta.network, &jakarta.projection(), &jakarta.train, 150.0);
+        assert!(cj.edge_coverage > 0.3, "jakarta-like coverage {cj:?}");
+        // Jakarta's 1 Hz sampling puts far more fixes on each covered edge.
+        assert!(
+            cj.mean_fixes_per_covered_edge > 3.0 * c.mean_fixes_per_covered_edge,
+            "porto {c:?} vs jakarta {cj:?}"
+        );
+    }
+}

@@ -1,0 +1,453 @@
+//! The raw trajectory store behind KAMEL's Partitioning module (§4).
+//!
+//! The paper keeps every tokenized training trajectory in a "simple
+//! trajectory store" (it cites TrajStore \[18\]) so the pyramid maintenance can
+//! (a) count tokens per spatial region to decide whether a cell earns a
+//! model, and (b) retrieve all trajectories enclosed in a region to train or
+//! enrich that cell's model. This crate provides exactly that: an in-memory
+//! store of [`TokenTrajectory`] records with a uniform-grid spatial index for
+//! bbox queries, plus serde persistence.
+
+#![warn(missing_docs)]
+
+use kamel_geo::{BBox, Xy};
+use kamel_hexgrid::CellId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One tokenized trajectory: parallel per-fix arrays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenTrajectory {
+    /// Token (grid cell) of each fix.
+    pub cells: Vec<CellId>,
+    /// Planar position of each fix.
+    pub xy: Vec<Xy>,
+    /// Timestamp of each fix in seconds.
+    pub t: Vec<f64>,
+}
+
+impl TokenTrajectory {
+    /// Builds a record, validating that the arrays are parallel.
+    pub fn new(cells: Vec<CellId>, xy: Vec<Xy>, t: Vec<f64>) -> Self {
+        assert!(
+            cells.len() == xy.len() && xy.len() == t.len(),
+            "parallel arrays must have equal length"
+        );
+        Self { cells, xy, t }
+    }
+
+    /// Number of fixes.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when there are no fixes.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The token sequence with consecutive duplicates collapsed — the
+    /// "sentence" the language model trains on (§3: consecutive fixes in the
+    /// same cell are one word).
+    pub fn dedup_cells(&self) -> Vec<CellId> {
+        let mut out: Vec<CellId> = Vec::with_capacity(self.cells.len());
+        for &c in &self.cells {
+            if out.last() != Some(&c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// Minimum bounding rectangle of the fixes (`None` when empty).
+    pub fn bbox(&self) -> Option<BBox> {
+        BBox::of_points(self.xy.iter().copied())
+    }
+}
+
+/// Identifier of a stored trajectory.
+pub type TrajId = u64;
+
+/// An in-memory trajectory store with a uniform-grid spatial index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrajStore {
+    grid_m: f64,
+    trajs: HashMap<TrajId, TokenTrajectory>,
+    bboxes: HashMap<TrajId, BBox>,
+    /// Index: coarse grid cell → trajectory ids whose bbox intersects it.
+    /// Serialized as a pair list because JSON map keys must be strings.
+    #[serde(with = "index_serde")]
+    index: HashMap<(i32, i32), Vec<TrajId>>,
+    next_id: TrajId,
+    total_tokens: u64,
+}
+
+impl Default for TrajStore {
+    fn default() -> Self {
+        Self::new(500.0)
+    }
+}
+
+impl TrajStore {
+    /// Creates a store whose index bucket size is `grid_m` meters.
+    pub fn new(grid_m: f64) -> Self {
+        assert!(grid_m > 0.0, "index grid size must be positive");
+        Self {
+            grid_m,
+            trajs: HashMap::new(),
+            bboxes: HashMap::new(),
+            index: HashMap::new(),
+            next_id: 0,
+            total_tokens: 0,
+        }
+    }
+
+    /// Inserts a trajectory, returning its id. Empty trajectories are
+    /// rejected with `None`.
+    pub fn insert(&mut self, traj: TokenTrajectory) -> Option<TrajId> {
+        let bbox = traj.bbox()?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.total_tokens += traj.len() as u64;
+        for key in self.grid_cells(&bbox) {
+            self.index.entry(key).or_default().push(id);
+        }
+        self.bboxes.insert(id, bbox);
+        self.trajs.insert(id, traj);
+        Some(id)
+    }
+
+    /// Number of stored trajectories.
+    pub fn len(&self) -> usize {
+        self.trajs.len()
+    }
+
+    /// True when the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.trajs.is_empty()
+    }
+
+    /// Total fixes across all trajectories.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// A stored trajectory by id.
+    pub fn get(&self, id: TrajId) -> Option<&TokenTrajectory> {
+        self.trajs.get(&id)
+    }
+
+    /// Iterates over all stored trajectories.
+    pub fn iter(&self) -> impl Iterator<Item = (&TrajId, &TokenTrajectory)> {
+        self.trajs.iter()
+    }
+
+    /// Ids of trajectories **fully enclosed** in `region` (the §4.2
+    /// enrichment query), in ascending id order for determinism.
+    pub fn enclosed_ids(&self, region: &BBox) -> Vec<TrajId> {
+        let mut out: Vec<TrajId> = self
+            .candidates(region)
+            .into_iter()
+            .filter(|id| region.contains_bbox(&self.bboxes[id]))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Trajectories fully enclosed in `region`.
+    pub fn enclosed(&self, region: &BBox) -> Vec<&TokenTrajectory> {
+        self.enclosed_ids(region)
+            .into_iter()
+            .map(|id| &self.trajs[&id])
+            .collect()
+    }
+
+    /// Maximal runs of consecutive fixes inside `region`, as cell
+    /// sequences, for every stored trajectory that intersects it. Runs
+    /// shorter than `min_len` fixes are dropped.
+    ///
+    /// This is the §4.2 training-corpus query: a model for a pyramid cell
+    /// must learn from *all* traffic through the cell — trajectories fully
+    /// enclosed in it *and* the in-region portions of trajectories passing
+    /// through — otherwise cells smaller than a typical trip starve.
+    pub fn clipped_cell_runs(&self, region: &BBox, min_len: usize) -> Vec<Vec<CellId>> {
+        let mut out = Vec::new();
+        for id in self.candidates(region) {
+            let traj = &self.trajs[&id];
+            let mut run: Vec<CellId> = Vec::new();
+            for (cell, xy) in traj.cells.iter().zip(&traj.xy) {
+                if region.contains(*xy) {
+                    run.push(*cell);
+                } else if !run.is_empty() {
+                    if run.len() >= min_len {
+                        out.push(std::mem::take(&mut run));
+                    } else {
+                        run.clear();
+                    }
+                }
+            }
+            if run.len() >= min_len {
+                out.push(run);
+            }
+        }
+        out
+    }
+
+    /// Number of fixes located inside `region` (the §4.1 model-threshold
+    /// count). Counts individual fixes, not whole trajectories, so partial
+    /// overlaps contribute.
+    pub fn token_count_in(&self, region: &BBox) -> u64 {
+        let mut count = 0u64;
+        for id in self.candidates(region) {
+            let traj = &self.trajs[&id];
+            if region.contains_bbox(&self.bboxes[&id]) {
+                count += traj.len() as u64;
+            } else {
+                count += traj.xy.iter().filter(|p| region.contains(**p)).count() as u64;
+            }
+        }
+        count
+    }
+
+    /// Removes a trajectory by id, returning it. The spatial index entry is
+    /// dropped lazily (queries always re-check the live bbox map), so
+    /// removal is O(1); call [`TrajStore::compact`] after bulk deletions to
+    /// reclaim index memory.
+    pub fn remove(&mut self, id: TrajId) -> Option<TokenTrajectory> {
+        let traj = self.trajs.remove(&id)?;
+        self.bboxes.remove(&id);
+        self.total_tokens -= traj.len() as u64;
+        Some(traj)
+    }
+
+    /// Rebuilds the spatial index, dropping entries for removed
+    /// trajectories and empty buckets.
+    pub fn compact(&mut self) {
+        for ids in self.index.values_mut() {
+            ids.retain(|id| self.bboxes.contains_key(id));
+        }
+        self.index.retain(|_, ids| !ids.is_empty());
+    }
+
+    /// Serializes the store to a JSON file.
+    pub fn save_to_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Restores a store persisted with [`TrajStore::save_to_file`].
+    pub fn load_from_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Candidate ids whose bbox intersects the region (deduplicated).
+    fn candidates(&self, region: &BBox) -> Vec<TrajId> {
+        let mut out = Vec::new();
+        for key in self.grid_cells(region) {
+            if let Some(ids) = self.index.get(&key) {
+                out.extend_from_slice(ids);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        // Stale entries from lazy removal are filtered here.
+        out.retain(|id| self.bboxes.get(id).is_some_and(|bb| region.intersects(bb)));
+        out
+    }
+
+    /// The coarse grid cells a bbox touches.
+    fn grid_cells(&self, bbox: &BBox) -> Vec<(i32, i32)> {
+        let x0 = (bbox.min.x / self.grid_m).floor() as i32;
+        let x1 = (bbox.max.x / self.grid_m).floor() as i32;
+        let y0 = (bbox.min.y / self.grid_m).floor() as i32;
+        let y1 = (bbox.max.y / self.grid_m).floor() as i32;
+        let mut out = Vec::with_capacity(((x1 - x0 + 1) * (y1 - y0 + 1)) as usize);
+        for x in x0..=x1 {
+            for y in y0..=y1 {
+                out.push((x, y));
+            }
+        }
+        out
+    }
+}
+
+/// Serializes the tuple-keyed index as a list of `(key, value)` pairs so it
+/// survives formats (like JSON) that require string map keys.
+mod index_serde {
+    use super::TrajId;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::HashMap;
+
+    type Pair<'a> = (&'a (i32, i32), &'a Vec<TrajId>);
+    type Index = HashMap<(i32, i32), Vec<TrajId>>;
+
+    pub fn serialize<S: Serializer>(map: &Index, ser: S) -> Result<S::Ok, S::Error> {
+        // Sort for stable output.
+        let mut pairs: Vec<Pair> = map.iter().collect();
+        pairs.sort_by_key(|(k, _)| **k);
+        pairs.serialize(ser)
+    }
+
+    type OwnedPair = ((i32, i32), Vec<TrajId>);
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<Index, D::Error> {
+        let pairs: Vec<OwnedPair> = Vec::deserialize(de)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(points: &[(f64, f64)]) -> TokenTrajectory {
+        let xy: Vec<Xy> = points.iter().map(|&(x, y)| Xy::new(x, y)).collect();
+        let cells: Vec<CellId> = xy
+            .iter()
+            .map(|p| CellId::from_coords((p.x / 75.0) as i32, (p.y / 75.0) as i32))
+            .collect();
+        let t: Vec<f64> = (0..xy.len()).map(|i| i as f64 * 10.0).collect();
+        TokenTrajectory::new(cells, xy, t)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut store = TrajStore::new(100.0);
+        let id = store.insert(traj(&[(0.0, 0.0), (50.0, 50.0)])).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.total_tokens(), 2);
+        assert_eq!(store.get(id).unwrap().len(), 2);
+        assert!(store.get(id + 1).is_none());
+    }
+
+    #[test]
+    fn empty_trajectory_rejected() {
+        let mut store = TrajStore::default();
+        assert!(store
+            .insert(TokenTrajectory::new(vec![], vec![], vec![]))
+            .is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn enclosed_requires_full_containment() {
+        let mut store = TrajStore::new(100.0);
+        let inside = store.insert(traj(&[(10.0, 10.0), (90.0, 90.0)])).unwrap();
+        let crossing = store
+            .insert(traj(&[(50.0, 50.0), (500.0, 500.0)]))
+            .unwrap();
+        let outside = store
+            .insert(traj(&[(900.0, 900.0), (950.0, 950.0)]))
+            .unwrap();
+        let region = BBox::new(Xy::new(0.0, 0.0), Xy::new(100.0, 100.0));
+        let ids = store.enclosed_ids(&region);
+        assert!(ids.contains(&inside));
+        assert!(!ids.contains(&crossing));
+        assert!(!ids.contains(&outside));
+    }
+
+    #[test]
+    fn token_count_counts_partial_overlaps_per_fix() {
+        let mut store = TrajStore::new(100.0);
+        // 3 fixes inside the region, 2 outside.
+        store.insert(traj(&[
+            (10.0, 10.0),
+            (20.0, 20.0),
+            (30.0, 30.0),
+            (500.0, 500.0),
+            (600.0, 600.0),
+        ]));
+        let region = BBox::new(Xy::new(0.0, 0.0), Xy::new(100.0, 100.0));
+        assert_eq!(store.token_count_in(&region), 3);
+    }
+
+    #[test]
+    fn index_handles_negative_coordinates() {
+        let mut store = TrajStore::new(100.0);
+        let id = store
+            .insert(traj(&[(-250.0, -250.0), (-150.0, -150.0)]))
+            .unwrap();
+        let region = BBox::new(Xy::new(-300.0, -300.0), Xy::new(-100.0, -100.0));
+        assert_eq!(store.enclosed_ids(&region), vec![id]);
+        assert_eq!(store.token_count_in(&region), 2);
+    }
+
+    #[test]
+    fn dedup_cells_collapses_runs() {
+        let t = TokenTrajectory::new(
+            vec![
+                CellId::from_coords(0, 0),
+                CellId::from_coords(0, 0),
+                CellId::from_coords(1, 0),
+                CellId::from_coords(0, 0),
+            ],
+            vec![Xy::default(); 4],
+            vec![0.0, 1.0, 2.0, 3.0],
+        );
+        let d = t.dedup_cells();
+        assert_eq!(
+            d,
+            vec![
+                CellId::from_coords(0, 0),
+                CellId::from_coords(1, 0),
+                CellId::from_coords(0, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn remove_and_compact() {
+        let mut store = TrajStore::new(100.0);
+        let a = store.insert(traj(&[(10.0, 10.0), (20.0, 20.0)])).unwrap();
+        let b = store.insert(traj(&[(30.0, 30.0), (40.0, 40.0)])).unwrap();
+        assert_eq!(store.total_tokens(), 4);
+        let removed = store.remove(a).expect("present");
+        assert_eq!(removed.len(), 2);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.total_tokens(), 2);
+        assert!(store.remove(a).is_none(), "double remove");
+        // Queries skip the stale index entry.
+        let region = BBox::new(Xy::new(0.0, 0.0), Xy::new(100.0, 100.0));
+        assert_eq!(store.enclosed_ids(&region), vec![b]);
+        assert_eq!(store.token_count_in(&region), 2);
+        store.compact();
+        assert_eq!(store.enclosed_ids(&region), vec![b]);
+    }
+
+    #[test]
+    fn file_persistence_roundtrip() {
+        let mut store = TrajStore::new(100.0);
+        store.insert(traj(&[(10.0, 10.0), (90.0, 90.0)]));
+        let path = std::env::temp_dir().join(format!("trajstore_{}.json", std::process::id()));
+        store.save_to_file(&path).expect("save");
+        let back = TrajStore::load_from_file(&path).expect("load");
+        assert_eq!(back.len(), store.len());
+        assert_eq!(back.total_tokens(), store.total_tokens());
+        std::fs::remove_file(&path).ok();
+        assert!(TrajStore::load_from_file(&path).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_queries() {
+        let mut store = TrajStore::new(100.0);
+        store.insert(traj(&[(10.0, 10.0), (90.0, 90.0)]));
+        store.insert(traj(&[(500.0, 500.0), (550.0, 560.0)]));
+        let json = serde_json::to_string(&store).unwrap();
+        let back: TrajStore = serde_json::from_str(&json).unwrap();
+        let region = BBox::new(Xy::new(0.0, 0.0), Xy::new(100.0, 100.0));
+        assert_eq!(
+            store.enclosed_ids(&region),
+            back.enclosed_ids(&region)
+        );
+        assert_eq!(store.total_tokens(), back.total_tokens());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel arrays")]
+    fn mismatched_arrays_rejected() {
+        let _ = TokenTrajectory::new(vec![CellId::from_coords(0, 0)], vec![], vec![0.0]);
+    }
+}

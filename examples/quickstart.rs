@@ -1,0 +1,85 @@
+//! Quickstart: train KAMEL on a synthetic city and impute a sparse
+//! trajectory.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The example mirrors the paper's Figure 1 flow: a batch of training
+//! trajectories goes in (tokenize → partition → train models → cluster for
+//! detokenization), then a sparse trajectory is imputed and scored against
+//! its dense ground truth.
+
+use kamel::{Kamel, KamelConfig};
+use kamel_eval::MetricsAccumulator;
+use kamel_roadsim::{Dataset, DatasetScale};
+
+fn main() {
+    // A small synthetic city standing in for the paper's Porto data
+    // (hidden road network + realistic GPS trips; see DESIGN.md).
+    println!("generating the synthetic city and trips...");
+    let dataset = Dataset::porto_like(DatasetScale::Small);
+    println!(
+        "  {} training trajectories, {} test trajectories, {:.0} points/trajectory",
+        dataset.train.len(),
+        dataset.test.len(),
+        dataset.mean_train_len()
+    );
+
+    // Train KAMEL. Defaults follow the paper (§8): 75 m hexagons, 100 m
+    // max_gap, beam size 10, 45° cones, cycle window 6. The pyramid is
+    // scaled to the simulated area.
+    let config = KamelConfig::builder()
+        .pyramid_height(3)
+        .pyramid_maintained(3)
+        .model_threshold_k(150)
+        .build();
+    let kamel = Kamel::new(config);
+    println!("training KAMEL...");
+    kamel.train(&dataset.train);
+    let stats = kamel.stats().expect("trained");
+    println!(
+        "  {} models in the pyramid repository, {} stored tokens, speed cap {:.1} m/s",
+        stats.models, stats.stored_tokens, stats.max_speed_mps
+    );
+
+    // Sparsify a held-out trajectory per the paper's protocol (1 km gaps)
+    // and impute it.
+    let ground_truth = dataset
+        .test
+        .iter()
+        .max_by_key(|t| t.len())
+        .expect("non-empty test split");
+    let sparse = ground_truth.sparsify(1_000.0);
+    println!(
+        "imputing: ground truth {} points -> sparse {} points",
+        ground_truth.len(),
+        sparse.len()
+    );
+    let result = kamel.impute(&sparse);
+    println!(
+        "  output {} points ({} imputed across {} gaps, {} model calls, failure rate {})",
+        result.trajectory.len(),
+        result.imputed_points(),
+        result.gaps.len(),
+        result.model_calls(),
+        result
+            .failure_rate()
+            .map_or("n/a".to_string(), |f| format!("{f:.2}")),
+    );
+
+    // Score with the paper's §8 metrics.
+    let mut acc = MetricsAccumulator::default();
+    acc.add_pair(
+        ground_truth,
+        &result.trajectory,
+        &dataset.projection(),
+        100.0,
+        50.0,
+    );
+    println!(
+        "  recall {:.3}, precision {:.3} (delta = 50 m)",
+        acc.recall(),
+        acc.precision()
+    );
+}

@@ -1,0 +1,78 @@
+//! Online mode: imputing a stream of incoming trajectories while training
+//! continues in the background.
+//!
+//! ```text
+//! cargo run --release --example streaming
+//! ```
+//!
+//! The paper's architecture (Figure 1) accepts sparse trajectories "in bulk
+//! offline mode or as a stream", and model building is "scheduled as a
+//! background process … without causing any downtime" (§4.2). KAMEL's state
+//! sits behind a read-write lock, so an `Arc<Kamel>` serves both roles at
+//! once: a trainer thread feeds new batches while the main thread drains an
+//! imputation stream.
+
+use kamel::{Kamel, KamelConfig};
+use kamel_roadsim::{Dataset, DatasetScale};
+use std::sync::Arc;
+
+fn main() {
+    let dataset = Dataset::porto_like(DatasetScale::Small);
+    let kamel = Arc::new(Kamel::new(
+        KamelConfig::builder()
+            .pyramid_height(3)
+            .pyramid_maintained(3)
+            .model_threshold_k(150)
+            .build(),
+    ));
+
+    // Bootstrap with the first half of the training data.
+    let half = dataset.train.len() / 2;
+    println!("bootstrapping with {half} trajectories...");
+    kamel.train(&dataset.train[..half]);
+
+    // Background trainer: feeds the remaining data in small batches, as if
+    // new trajectory uploads kept arriving.
+    let trainer = {
+        let kamel = Arc::clone(&kamel);
+        let batches: Vec<Vec<_>> = dataset.train[half..]
+            .chunks(10)
+            .map(|c| c.to_vec())
+            .collect();
+        std::thread::spawn(move || {
+            for batch in batches {
+                kamel.train(&batch);
+            }
+            kamel.stats().expect("trained")
+        })
+    };
+
+    // Meanwhile, impute a live stream of sparse trajectories.
+    let stream = dataset.test.iter().map(|t| t.sparsify(1_000.0));
+    let mut imputed_points = 0usize;
+    let mut gaps = 0usize;
+    let mut failures = 0usize;
+    for (i, result) in kamel.impute_stream(stream).enumerate() {
+        imputed_points += result.imputed_points();
+        gaps += result.gaps.len();
+        failures += result.gaps.iter().filter(|g| g.outcome.failed).count();
+        if i % 8 == 0 {
+            let models = kamel.stats().map_or(0, |s| s.models);
+            println!(
+                "  streamed #{i:>3}: +{} points ({} models trained so far)",
+                result.imputed_points(),
+                models
+            );
+        }
+    }
+    let final_stats = trainer.join().expect("trainer thread");
+    println!(
+        "\nstream done: {} trajectories, {gaps} gaps, {imputed_points} imputed points, \
+         {failures} straight-line fallbacks",
+        dataset.test.len()
+    );
+    println!(
+        "background training finished with {} models over {} trajectories",
+        final_stats.models, final_stats.stored_trajectories
+    );
+}

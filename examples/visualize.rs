@@ -1,0 +1,69 @@
+//! Visual inspection bundle: writes GeoJSON layers for the hidden network,
+//! a sparse trajectory, and its KAMEL imputation.
+//!
+//! ```text
+//! cargo run --release --example visualize
+//! ```
+//!
+//! Drop the three files this prints onto <https://geojson.io> (or QGIS /
+//! Kepler) to see the imputation follow streets through a gap the sparse
+//! input jumps over.
+
+use kamel::{Kamel, KamelConfig};
+use kamel_roadsim::{network_to_geojson, trajectories_to_geojson, Dataset, DatasetScale};
+
+fn main() {
+    let dataset = Dataset::porto_like(DatasetScale::Small);
+    let proj = dataset.projection();
+    let kamel = Kamel::new(
+        KamelConfig::builder()
+            .pyramid_height(3)
+            .pyramid_maintained(3)
+            .model_threshold_k(150)
+            .build(),
+    );
+    kamel.train(&dataset.train);
+
+    // Pick the longest held-out trip, sparsify at 1.5 km, impute.
+    let ground_truth = dataset
+        .test
+        .iter()
+        .max_by_key(|t| t.len())
+        .expect("non-empty test split")
+        .clone();
+    let sparse = ground_truth.sparsify(1_500.0);
+    let imputed = kamel.impute(&sparse);
+    println!(
+        "trajectory: {} ground-truth fixes -> {} sparse -> {} output points \
+         ({} imputed over {} gaps)",
+        ground_truth.len(),
+        sparse.len(),
+        imputed.trajectory.len(),
+        imputed.imputed_points(),
+        imputed.gaps.len()
+    );
+
+    let out_dir = std::env::temp_dir().join("kamel_visualize");
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let layers: [(&str, serde_json::Value); 4] = [
+        ("network.geojson", network_to_geojson(&dataset.network, &proj)),
+        (
+            "ground_truth.geojson",
+            trajectories_to_geojson(std::slice::from_ref(&ground_truth)),
+        ),
+        (
+            "sparse.geojson",
+            trajectories_to_geojson(std::slice::from_ref(&sparse)),
+        ),
+        (
+            "imputed.geojson",
+            trajectories_to_geojson(std::slice::from_ref(&imputed.trajectory)),
+        ),
+    ];
+    for (name, doc) in layers {
+        let path = out_dir.join(name);
+        std::fs::write(&path, serde_json::to_string(&doc).expect("serialize"))
+            .expect("write layer");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,75 @@
+//! End-to-end test of the paper's BERT engine: the full pipeline
+//! (tokenize → pyramid → BERT MLM → constraints → beam → detokenize) with
+//! the from-scratch transformer doing the predicting.
+//!
+//! Kept at street scale so the suite stays fast: a tiny BERT trains in
+//! seconds on a ~40-cell vocabulary.
+
+use kamel::{Kamel, KamelConfig};
+use kamel_geo::{GpsPoint, Trajectory};
+use kamel_lm::{BertEngineConfig, EngineConfig};
+
+/// Trips along one straight street, fixes every ~84 m.
+fn street_corpus(n: usize) -> Vec<Trajectory> {
+    (0..n)
+        .map(|_| {
+            Trajectory::new(
+                (0..25)
+                    .map(|i| GpsPoint::from_parts(41.15, -8.61 + i as f64 * 0.001, i as f64 * 10.0))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn bert_kamel() -> Kamel {
+    // A one-level pyramid (root only) so exactly one BERT is trained —
+    // per-cell BERTs would slow the suite without adding coverage; the
+    // pyramid mechanics are exercised by the n-gram integration tests.
+    Kamel::new(
+        KamelConfig::builder()
+            .pyramid_height(1)
+            .pyramid_maintained(1)
+            .model_threshold_k(40)
+            .engine(EngineConfig::Bert(BertEngineConfig::for_tests()))
+            .build(),
+    )
+}
+
+#[test]
+fn bert_engine_imputes_a_street_gap() {
+    let kamel = bert_kamel();
+    kamel.train(&street_corpus(30));
+    let stats = kamel.stats().expect("trained");
+    assert!(stats.models >= 1, "no BERT models trained");
+    // ~1.7 km gap along the street.
+    let sparse = Trajectory::new(vec![
+        GpsPoint::from_parts(41.15, -8.610, 0.0),
+        GpsPoint::from_parts(41.15, -8.609, 10.0),
+        GpsPoint::from_parts(41.15, -8.592, 180.0),
+        GpsPoint::from_parts(41.15, -8.591, 190.0),
+    ]);
+    let out = kamel.impute(&sparse);
+    assert_eq!(out.gaps.len(), 1);
+    assert!(
+        !out.gaps[0].outcome.failed,
+        "BERT engine failed the gap: {:?}",
+        out.gaps[0]
+    );
+    assert!(out.imputed_points() >= 8, "too few points: {out:?}");
+    // Imputed points stay on the street.
+    for p in &out.trajectory.points {
+        assert!((p.pos.lat - 41.15).abs() < 0.002, "stray point {p:?}");
+    }
+}
+
+#[test]
+fn bert_engine_state_roundtrips_through_persistence() {
+    let kamel = bert_kamel();
+    kamel.train(&street_corpus(20));
+    let sparse = street_corpus(1)[0].sparsify(900.0);
+    let before = kamel.impute(&sparse);
+    let json = kamel.to_json().expect("serialize BERT state");
+    let restored = Kamel::from_json(&json).expect("restore BERT state");
+    assert_eq!(before, restored.impute(&sparse));
+}

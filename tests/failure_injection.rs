@@ -1,0 +1,163 @@
+//! Failure injection: degenerate inputs, starved models, exhausted budgets.
+//! The system must degrade to the paper's straight-line fallback — never
+//! panic, never emit malformed output.
+
+use kamel::{Kamel, KamelConfig, MultipointStrategy};
+use kamel_geo::{GpsPoint, Trajectory};
+
+fn street(n: usize) -> Trajectory {
+    Trajectory::new(
+        (0..n)
+            .map(|i| GpsPoint::from_parts(41.15, -8.61 + i as f64 * 0.001, i as f64 * 10.0))
+            .collect(),
+    )
+}
+
+fn trained() -> Kamel {
+    let kamel = Kamel::new(
+        KamelConfig::builder()
+            .pyramid_height(3)
+            .model_threshold_k(50)
+            .build(),
+    );
+    kamel.train(&(0..30).map(|_| street(25)).collect::<Vec<_>>());
+    kamel
+}
+
+#[test]
+fn empty_training_batches_are_noops() {
+    let kamel = Kamel::new(KamelConfig::default());
+    kamel.train(&[]);
+    assert!(!kamel.is_trained());
+    // Batches of sub-minimal trajectories are also no-ops.
+    kamel.train(&[Trajectory::default(), street(1)]);
+    assert!(!kamel.is_trained());
+}
+
+#[test]
+fn degenerate_trajectories_pass_through() {
+    let kamel = trained();
+    for traj in [
+        Trajectory::default(),
+        street(1),
+        // Two identical fixes (zero-length trajectory).
+        Trajectory::new(vec![
+            GpsPoint::from_parts(41.15, -8.61, 0.0),
+            GpsPoint::from_parts(41.15, -8.61, 10.0),
+        ]),
+    ] {
+        let out = kamel.impute(&traj);
+        assert_eq!(out.trajectory.len(), traj.len());
+        assert!(out.gaps.is_empty());
+    }
+}
+
+#[test]
+fn zero_duration_gap_is_survivable() {
+    let kamel = trained();
+    // Two far-apart fixes with the same timestamp: the speed ellipse
+    // degenerates to the chord; imputation either follows the chord or
+    // fails to linear — both acceptable, neither may panic.
+    let sparse = Trajectory::new(vec![
+        GpsPoint::from_parts(41.15, -8.61, 50.0),
+        GpsPoint::from_parts(41.15, -8.59, 50.0),
+    ]);
+    let out = kamel.impute(&sparse);
+    assert_eq!(out.gaps.len(), 1);
+    assert!(out.trajectory.len() >= 2);
+}
+
+#[test]
+fn out_of_order_timestamps_do_not_panic() {
+    let kamel = trained();
+    let sparse = Trajectory::new(vec![
+        GpsPoint::from_parts(41.15, -8.61, 100.0),
+        GpsPoint::from_parts(41.15, -8.595, 0.0), // goes back in time
+    ]);
+    let out = kamel.impute(&sparse);
+    assert_eq!(out.gaps.len(), 1);
+}
+
+#[test]
+fn starved_model_threshold_fails_to_linear() {
+    // Threshold far above the corpus: no models are ever built.
+    let kamel = Kamel::new(
+        KamelConfig::builder()
+            .pyramid_height(3)
+            .model_threshold_k(1_000_000)
+            .build(),
+    );
+    kamel.train(&(0..10).map(|_| street(25)).collect::<Vec<_>>());
+    assert_eq!(kamel.stats().unwrap().models, 0);
+    let out = kamel.impute(&street(25).sparsify(900.0));
+    assert_eq!(out.failure_rate(), Some(1.0));
+    // The fallback still materializes a usable dense trajectory.
+    assert!(out.trajectory.len() > 10);
+}
+
+#[test]
+fn tiny_call_budget_reports_failures_not_hangs() {
+    let kamel = Kamel::new(
+        KamelConfig::builder()
+            .pyramid_height(3)
+            .model_threshold_k(50)
+            .max_model_calls(1)
+            .build(),
+    );
+    kamel.train(&(0..30).map(|_| street(25)).collect::<Vec<_>>());
+    let out = kamel.impute(&street(25).sparsify(1_500.0));
+    for gap in &out.gaps {
+        assert!(gap.outcome.model_calls <= 1);
+    }
+    // Large gaps cannot be filled in one call.
+    assert_eq!(out.failure_rate(), Some(1.0));
+}
+
+#[test]
+fn all_strategies_survive_a_hostile_gap() {
+    // A gap pointing away from all training data.
+    for strategy in [
+        MultipointStrategy::Beam,
+        MultipointStrategy::Iterative,
+        MultipointStrategy::Single,
+    ] {
+        let kamel = Kamel::new(
+            KamelConfig::builder()
+                .pyramid_height(3)
+                .model_threshold_k(50)
+                .multipoint(strategy)
+                .build(),
+        );
+        kamel.train(&(0..30).map(|_| street(25)).collect::<Vec<_>>());
+        let hostile = Trajectory::new(vec![
+            GpsPoint::from_parts(41.154, -8.61, 0.0),
+            GpsPoint::from_parts(41.146, -8.595, 2.0), // absurd speed needed
+        ]);
+        let out = kamel.impute(&hostile);
+        assert_eq!(out.gaps.len(), 1, "{strategy:?}");
+        assert!(out.trajectory.len() >= 2, "{strategy:?}");
+    }
+}
+
+#[test]
+fn invalid_persisted_state_is_rejected() {
+    assert!(Kamel::from_json("{").is_err());
+    assert!(Kamel::from_json("{\"bogus\": 1}").is_err());
+}
+
+#[test]
+fn anchor_dedup_handles_repeated_cells() {
+    let kamel = trained();
+    // Many fixes inside one cell followed by a jump: the run collapses to
+    // one anchor; output still carries all original fixes.
+    let mut points: Vec<GpsPoint> = (0..5)
+        .map(|i| GpsPoint::from_parts(41.15, -8.61 + i as f64 * 0.00002, i as f64))
+        .collect();
+    points.push(GpsPoint::from_parts(41.15, -8.595, 200.0));
+    let sparse = Trajectory::new(points.clone());
+    let out = kamel.impute(&sparse);
+    for p in &points {
+        assert!(out.trajectory.points.contains(p));
+    }
+    assert_eq!(out.gaps.len(), 1);
+}

@@ -1,0 +1,158 @@
+//! Partitioning integration: the pyramid repository across districts,
+//! boundary trajectories, incremental maintenance, and re-rooting.
+
+use kamel::partition::{ModelSelection, Repository};
+use kamel::{Kamel, KamelConfig, Tokenizer};
+use kamel_geo::{BBox, GpsPoint, LatLng, Trajectory, Xy};
+use kamel_lm::{EngineConfig, MaskedTokenModel};
+use kamel_trajstore::TrajStore;
+
+fn config() -> KamelConfig {
+    KamelConfig::builder()
+        .pyramid_height(3)
+        .pyramid_maintained(3)
+        .model_threshold_k(60)
+        .build()
+}
+
+/// A straight east-west street at `lat`, starting at `lng0`, `n` fixes
+/// ~84 m apart.
+fn street(lat: f64, lng0: f64, n: usize) -> Trajectory {
+    Trajectory::new(
+        (0..n)
+            .map(|i| GpsPoint::from_parts(lat, lng0 + i as f64 * 0.001, i as f64 * 10.0))
+            .collect(),
+    )
+}
+
+#[test]
+fn distinct_districts_get_distinct_models() {
+    let kamel = Kamel::new(config());
+    // Two districts ~11 km apart, each with its own dense street corpus.
+    let mut corpus = Vec::new();
+    for _ in 0..30 {
+        corpus.push(street(41.15, -8.61, 25)); // west district
+        corpus.push(street(41.25, -8.61, 25)); // north district
+    }
+    kamel.train(&corpus);
+    let stats = kamel.stats().expect("trained");
+    assert!(
+        stats.models >= 2,
+        "expected per-district models, got {}",
+        stats.models
+    );
+    // Each district imputes its own street.
+    for lat in [41.15, 41.25] {
+        let sparse = Trajectory::new(vec![
+            GpsPoint::from_parts(lat, -8.608, 0.0),
+            GpsPoint::from_parts(lat, -8.592, 160.0),
+        ]);
+        let out = kamel.impute(&sparse);
+        assert_eq!(out.gaps.len(), 1);
+        assert!(
+            !out.gaps[0].outcome.failed,
+            "district at lat {lat} failed: {:?}",
+            out.gaps[0]
+        );
+    }
+}
+
+#[test]
+fn incremental_training_extends_coverage() {
+    let kamel = Kamel::new(config());
+    let west: Vec<Trajectory> = (0..30).map(|_| street(41.15, -8.61, 25)).collect();
+    kamel.train(&west);
+    let sparse_east = Trajectory::new(vec![
+        GpsPoint::from_parts(41.15, -8.55, 0.0),
+        GpsPoint::from_parts(41.15, -8.534, 160.0),
+    ]);
+    // Before the east district is trained: straight-line fallback.
+    let before = kamel.impute(&sparse_east);
+    assert_eq!(before.failure_rate(), Some(1.0));
+    // Feed the east district (inside the padded root, ~5 km away) as a new
+    // batch; maintenance must add models there without retraining the west.
+    let east: Vec<Trajectory> = (0..30).map(|_| street(41.15, -8.55, 25)).collect();
+    kamel.train(&east);
+    let after = kamel.impute(&sparse_east);
+    assert!(
+        after.failure_rate().unwrap() < 1.0,
+        "east district still failing after training"
+    );
+}
+
+#[test]
+fn data_outside_the_root_triggers_rerooting() {
+    let kamel = Kamel::new(config());
+    kamel.train(&(0..30).map(|_| street(41.15, -8.61, 25)).collect::<Vec<_>>());
+    let models_before = kamel.stats().unwrap().models;
+    assert!(models_before >= 1);
+    // A far-away second city (~55 km north): outside the padded root.
+    kamel.train(&(0..30).map(|_| street(41.65, -8.61, 25)).collect::<Vec<_>>());
+    // Both cities impute successfully after the rebuild.
+    for lat in [41.15, 41.65] {
+        let sparse = Trajectory::new(vec![
+            GpsPoint::from_parts(lat, -8.608, 0.0),
+            GpsPoint::from_parts(lat, -8.592, 160.0),
+        ]);
+        let out = kamel.impute(&sparse);
+        assert!(
+            out.failure_rate().unwrap() < 1.0,
+            "city at lat {lat} unusable after re-rooting"
+        );
+    }
+}
+
+/// Direct repository-level checks of §4.1 retrieval order.
+#[test]
+fn repository_prefers_deepest_enclosing_model() {
+    let cfg = config();
+    let root = BBox::new(Xy::new(0.0, 0.0), Xy::new(1600.0, 1600.0));
+    let mut repo = Repository::new(root, &cfg);
+    let mut store = TrajStore::new(200.0);
+    let tokenizer = Tokenizer::hex(LatLng::new(41.15, -8.61), 75.0);
+    // Dense data in leaf cell (0,0) only: [0,400)^2.
+    for i in 0..40 {
+        let y = 40.0 + (i as f64 * 7.0) % 300.0;
+        let xy: Vec<Xy> = (0..5).map(|j| Xy::new(40.0 + j as f64 * 70.0, y)).collect();
+        let cells = xy.iter().map(|p| tokenizer.cell_of_xy(*p)).collect();
+        let t = (0..5).map(|j| j as f64 * 10.0).collect();
+        store.insert(kamel_trajstore::TokenTrajectory::new(cells, xy, t));
+    }
+    repo.maintain(&store, &root, &EngineConfig::default());
+    let query = BBox::new(Xy::new(50.0, 50.0), Xy::new(350.0, 350.0));
+    let (sel, model) = repo.find_model(&query).expect("model");
+    match sel {
+        ModelSelection::Single(key) => {
+            assert_eq!(key.level, repo.leaf_level(), "not the deepest level")
+        }
+        other => panic!("expected a single-cell model, got {other:?}"),
+    }
+    assert!(model.vocab_len() > 0);
+    // Metadata is reachable through the selection.
+    let entry = repo.entry(sel).expect("entry");
+    assert!(entry.meta.trained_tokens >= 60);
+}
+
+#[test]
+fn global_ablation_uses_one_model_everywhere() {
+    let kamel = Kamel::new(
+        KamelConfig::builder()
+            .pyramid_height(3)
+            .pyramid_maintained(3)
+            .model_threshold_k(60)
+            .disable_partitioning(true)
+            .build(),
+    );
+    let mut corpus = Vec::new();
+    for _ in 0..30 {
+        corpus.push(street(41.15, -8.61, 25));
+        corpus.push(street(41.25, -8.61, 25));
+    }
+    kamel.train(&corpus);
+    assert_eq!(kamel.stats().unwrap().models, 1);
+    let sparse = Trajectory::new(vec![
+        GpsPoint::from_parts(41.25, -8.608, 0.0),
+        GpsPoint::from_parts(41.25, -8.592, 160.0),
+    ]);
+    assert!(kamel.impute(&sparse).failure_rate().unwrap() < 1.0);
+}

@@ -1,0 +1,97 @@
+//! Online mode: streaming equals bulk, and imputation stays available while
+//! training runs concurrently (the paper's no-downtime property, §4.2).
+
+use kamel::{Kamel, KamelConfig};
+use kamel_geo::{GpsPoint, Trajectory};
+use kamel_roadsim::{Dataset, DatasetScale};
+use std::sync::Arc;
+
+fn config() -> KamelConfig {
+    KamelConfig::builder()
+        .pyramid_height(3)
+        .pyramid_maintained(3)
+        .model_threshold_k(150)
+        .build()
+}
+
+#[test]
+fn streaming_equals_bulk() {
+    let dataset = Dataset::porto_like(DatasetScale::Small);
+    let kamel = Kamel::new(config());
+    kamel.train(&dataset.train);
+    let sparse: Vec<Trajectory> = dataset
+        .test
+        .iter()
+        .take(10)
+        .map(|t| t.sparsify(1_000.0))
+        .collect();
+    let bulk = kamel.impute_batch(&sparse);
+    let streamed: Vec<_> = kamel.impute_stream(sparse.clone()).collect();
+    assert_eq!(bulk, streamed);
+}
+
+#[test]
+fn stream_is_lazy() {
+    let kamel = Kamel::new(config());
+    kamel.train(&[Trajectory::new(
+        (0..20)
+            .map(|i| GpsPoint::from_parts(41.15, -8.61 + i as f64 * 0.001, i as f64 * 10.0))
+            .collect(),
+    )]);
+    // An infinite stream: taking 3 must terminate.
+    let base = Trajectory::new(vec![
+        GpsPoint::from_parts(41.15, -8.61, 0.0),
+        GpsPoint::from_parts(41.15, -8.60, 100.0),
+    ]);
+    let infinite = std::iter::repeat(base);
+    let got: Vec<_> = kamel.impute_stream(infinite).take(3).collect();
+    assert_eq!(got.len(), 3);
+}
+
+#[test]
+fn concurrent_training_and_imputation() {
+    let dataset = Dataset::porto_like(DatasetScale::Small);
+    let kamel = Arc::new(Kamel::new(config()));
+    let half = dataset.train.len() / 2;
+    kamel.train(&dataset.train[..half]);
+
+    let trainer = {
+        let kamel = Arc::clone(&kamel);
+        let rest: Vec<Trajectory> = dataset.train[half..].to_vec();
+        std::thread::spawn(move || {
+            for chunk in rest.chunks(8) {
+                kamel.train(chunk);
+            }
+        })
+    };
+    let imputers: Vec<_> = (0..3)
+        .map(|shard| {
+            let kamel = Arc::clone(&kamel);
+            let work: Vec<Trajectory> = dataset
+                .test
+                .iter()
+                .skip(shard)
+                .step_by(3)
+                .take(6)
+                .map(|t| t.sparsify(1_000.0))
+                .collect();
+            std::thread::spawn(move || {
+                let mut gaps = 0usize;
+                for t in &work {
+                    gaps += kamel.impute(t).gaps.len();
+                }
+                gaps
+            })
+        })
+        .collect();
+    trainer.join().expect("trainer");
+    let total_gaps: usize = imputers.into_iter().map(|h| h.join().expect("imputer")).sum();
+    assert!(total_gaps > 0, "no gaps were processed concurrently");
+    // Post-conditions: the system absorbed all batches and stays usable.
+    assert_eq!(
+        kamel.stats().unwrap().stored_trajectories,
+        dataset.train.len()
+    );
+    let check = kamel.impute(&dataset.test[0].sparsify(1_000.0));
+    assert!(!check.trajectory.is_empty());
+}

@@ -1,0 +1,147 @@
+//! Cross-cutting system behaviours: grid parity, detokenization quality,
+//! speed-policy plumbing, and model-repository inspection — each through
+//! the public API only.
+
+use kamel::{GridKind, Kamel, KamelConfig, SpeedMode};
+use kamel_geo::{GpsPoint, LocalProjection, Trajectory};
+use kamel_roadsim::{Dataset, DatasetScale};
+
+fn base_config() -> kamel::KamelConfigBuilder {
+    KamelConfig::builder()
+        .pyramid_height(3)
+        .pyramid_maintained(3)
+        .model_threshold_k(150)
+}
+
+#[test]
+fn square_grid_works_end_to_end() {
+    let dataset = Dataset::porto_like(DatasetScale::Small);
+    let kamel = Kamel::new(base_config().grid(GridKind::Square).build());
+    kamel.train(&dataset.train);
+    let mut ok = 0usize;
+    let mut gaps = 0usize;
+    for gt in dataset.test.iter().take(10) {
+        let out = kamel.impute(&gt.sparsify(1_000.0));
+        gaps += out.gaps.len();
+        ok += out.gaps.iter().filter(|g| !g.outcome.failed).count();
+    }
+    assert!(gaps > 0);
+    assert!(
+        ok * 2 > gaps,
+        "square grid failed most gaps: {ok}/{gaps} succeeded"
+    );
+}
+
+#[test]
+fn detokenization_beats_raw_cell_centroids() {
+    // The §7 claim, measured: cluster-centroid output tracks the road more
+    // closely than naive hexagon centers would. We compare the imputed
+    // points' deviation from the ground truth against the deviation of the
+    // raw cell centroids of the same tokens.
+    let dataset = Dataset::porto_like(DatasetScale::Small);
+    let proj: LocalProjection = dataset.projection();
+    let kamel = Kamel::new(base_config().build());
+    kamel.train(&dataset.train);
+    let tokenizer = kamel::Tokenizer::hex(dataset.origin, 75.0);
+    let mut detok_dev = 0.0f64;
+    let mut centroid_dev = 0.0f64;
+    let mut n = 0usize;
+    for gt in dataset.test.iter().take(12) {
+        let sparse = gt.sparsify(1_000.0);
+        let out = kamel.impute(&sparse);
+        if out.gaps.iter().any(|g| g.outcome.failed) {
+            continue;
+        }
+        let gt_line: Vec<kamel_geo::Xy> =
+            gt.points.iter().map(|p| proj.to_xy(p.pos)).collect();
+        for p in &out.trajectory.points {
+            // Only imputed points (not original fixes).
+            if sparse.points.contains(p) {
+                continue;
+            }
+            let xy = proj.to_xy(p.pos);
+            detok_dev += kamel_geo::point_to_polyline_distance(xy, &gt_line);
+            let cell_center = tokenizer.centroid(tokenizer.cell_of_xy(xy));
+            centroid_dev += kamel_geo::point_to_polyline_distance(cell_center, &gt_line);
+            n += 1;
+        }
+    }
+    assert!(n > 20, "not enough imputed points to compare ({n})");
+    let (detok_mean, centroid_mean) = (detok_dev / n as f64, centroid_dev / n as f64);
+    assert!(
+        detok_mean < centroid_mean,
+        "detokenized points ({detok_mean:.1} m) should beat raw cell centers \
+         ({centroid_mean:.1} m)"
+    );
+}
+
+#[test]
+fn adaptive_speed_mode_runs_end_to_end() {
+    let dataset = Dataset::porto_like(DatasetScale::Small);
+    let kamel = Kamel::new(
+        base_config()
+            .speed_mode(SpeedMode::AdaptivePreceding { factor: 2.5 })
+            .build(),
+    );
+    kamel.train(&dataset.train);
+    let mut succeeded = 0usize;
+    for gt in dataset.test.iter().take(10) {
+        let out = kamel.impute(&gt.sparsify(1_000.0));
+        succeeded += out.gaps.iter().filter(|g| !g.outcome.failed).count();
+    }
+    assert!(succeeded > 5, "adaptive speed mode broke imputation");
+}
+
+#[test]
+fn model_summaries_expose_the_pyramid_layout() {
+    let dataset = Dataset::porto_like(DatasetScale::Small);
+    let kamel = Kamel::new(base_config().build());
+    kamel.train(&dataset.train);
+    let summaries = kamel.model_summaries();
+    assert_eq!(summaries.len(), kamel.stats().unwrap().models);
+    // Multiple levels and both model kinds appear on a whole city.
+    let levels: std::collections::HashSet<_> =
+        summaries.iter().filter_map(|s| s.level).collect();
+    assert!(levels.len() >= 2, "expected a multi-level pyramid: {levels:?}");
+    assert!(summaries.iter().any(|s| s.kind == "single"));
+    assert!(summaries.iter().any(|s| s.kind.starts_with("pair-")));
+    for s in &summaries {
+        assert!(s.vocab > 0);
+        assert!(s.trained_tokens > 0);
+        assert!(s.updates >= 1);
+    }
+}
+
+#[test]
+fn gap_reports_carry_actionable_failure_reasons() {
+    // An untrained-region gap must say *why* it failed.
+    let kamel = Kamel::new(base_config().build());
+    kamel.train(
+        &(0..30)
+            .map(|_| {
+                Trajectory::new(
+                    (0..20)
+                        .map(|i| {
+                            GpsPoint::from_parts(41.15, -8.61 + i as f64 * 0.001, i as f64 * 10.0)
+                        })
+                        .collect(),
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    // A gap perpendicular to all training data: the imputer has a model but
+    // no route knowledge.
+    let hostile = Trajectory::new(vec![
+        GpsPoint::from_parts(41.154, -8.605, 0.0),
+        GpsPoint::from_parts(41.146, -8.605, 120.0),
+    ]);
+    let out = kamel.impute(&hostile);
+    assert_eq!(out.gaps.len(), 1);
+    let gap = &out.gaps[0];
+    if gap.outcome.failed {
+        assert!(
+            gap.outcome.failure_reason.is_some(),
+            "failed gap without a reason: {gap:?}"
+        );
+    }
+}
