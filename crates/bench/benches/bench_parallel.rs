@@ -1,0 +1,168 @@
+//! Sequential-vs-parallel speedup of the three compute tiers: matmul
+//! kernels, per-cell pyramid maintenance, and batch imputation. Writes
+//! `BENCH_parallel.json` at the repo root so the perf trajectory is
+//! tracked across PRs.
+//!
+//! Run with `cargo bench --bench bench_parallel`. Not a criterion bench:
+//! each tier is timed best-of-N with `Instant` because the parallel paths
+//! are compared against their own sequential twins, and bit-identity is
+//! asserted along the way.
+
+use kamel::partition::Repository;
+use kamel::{Kamel, KamelConfig};
+use kamel_bench::{default_kamel_config, City};
+use kamel_geo::{BBox, Trajectory, Xy};
+use kamel_hexgrid::CellId;
+use kamel_lm::EngineConfig;
+use kamel_nn::Matrix;
+use kamel_roadsim::DatasetScale;
+use kamel_trajstore::{TokenTrajectory, TrajStore};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::json;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time of `f` in seconds.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn speedup(seq_s: f64, par_s: f64) -> f64 {
+    if par_s > 0.0 {
+        seq_s / par_s
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Matmul sweep: square NN products, sequential kernel vs the parallel one
+/// on the full thread budget.
+fn bench_matmul(budget: usize) -> Vec<serde_json::Value> {
+    let mut rows = Vec::new();
+    for size in [64usize, 128, 256, 384] {
+        let mut rng = ChaCha8Rng::seed_from_u64(size as u64);
+        let a = Matrix::randn(size, size, 1.0, &mut rng);
+        let b = Matrix::randn(size, size, 1.0, &mut rng);
+        let reps = if size <= 128 { 20 } else { 8 };
+        let (seq_s, seq) = best_of(reps, || a.matmul_seq(&b));
+        let (par_s, par) = best_of(reps, || a.matmul_par_with(&b, budget));
+        assert_eq!(seq.data(), par.data(), "parallel kernel diverged at {size}");
+        rows.push(json!({
+            "size": size,
+            "seq_s": seq_s,
+            "par_s": par_s,
+            "speedup": speedup(seq_s, par_s),
+        }));
+    }
+    rows
+}
+
+/// Inserts `n` short trajectories confined to `region` into the store
+/// (same synthetic traffic shape as the partition unit tests).
+fn fill_region(store: &mut TrajStore, region: BBox, n: usize) {
+    let w = region.width();
+    let h = region.height();
+    for i in 0..n {
+        let base_x = region.min.x + w * 0.2 + (i as f64 * 13.0) % (w * 0.6);
+        let base_y = region.min.y + h * 0.2 + (i as f64 * 7.0) % (h * 0.6);
+        let xy: Vec<Xy> = (0..5)
+            .map(|j| Xy::new(base_x + j as f64 * 5.0, base_y))
+            .collect();
+        let cells: Vec<CellId> = xy
+            .iter()
+            .map(|p| CellId::from_coords((p.x / 75.0) as i32, (p.y / 75.0) as i32))
+            .collect();
+        let t: Vec<f64> = (0..5).map(|j| j as f64).collect();
+        store.insert(TokenTrajectory::new(cells, xy, t));
+    }
+}
+
+/// One full `maintain` pass over a multi-cell pyramid, 1 worker vs budget.
+fn bench_maintain(budget: usize) -> serde_json::Value {
+    let root = BBox::new(Xy::new(0.0, 0.0), Xy::new(1600.0, 1600.0));
+    let config = KamelConfig::builder()
+        .pyramid_height(3)
+        .pyramid_maintained(3)
+        .model_threshold_k(10)
+        .build();
+    let mut store = TrajStore::new(200.0);
+    fill_region(&mut store, root, 2_000);
+    let engine = EngineConfig::default();
+    let (seq_s, seq_repo) = best_of(3, || {
+        let mut repo = Repository::new(root, &config);
+        repo.maintain_with_threads(&store, &root, &engine, 1);
+        repo
+    });
+    let (par_s, par_repo) = best_of(3, || {
+        let mut repo = Repository::new(root, &config);
+        repo.maintain_with_threads(&store, &root, &engine, budget);
+        repo
+    });
+    assert_eq!(
+        seq_repo.model_count(),
+        par_repo.model_count(),
+        "parallel maintenance diverged"
+    );
+    json!({
+        "models": seq_repo.model_count(),
+        "seq_s": seq_s,
+        "par_s": par_s,
+        "speedup": speedup(seq_s, par_s),
+    })
+}
+
+/// Batch imputation over the Porto analogue's test slice, 1 worker vs
+/// budget.
+fn bench_impute(budget: usize) -> serde_json::Value {
+    let dataset = City::Porto.dataset(DatasetScale::Small);
+    let kamel = Kamel::new(default_kamel_config().build());
+    kamel.train(&dataset.train);
+    let sparse: Vec<Trajectory> = dataset
+        .test
+        .iter()
+        .take(60)
+        .map(|t| t.sparsify(1_000.0))
+        .collect();
+    let (seq_s, seq) = best_of(3, || kamel.impute_batch_with_threads(&sparse, 1));
+    let (par_s, par) = best_of(3, || kamel.impute_batch_with_threads(&sparse, budget));
+    assert_eq!(seq, par, "parallel batch imputation diverged");
+    json!({
+        "trajectories": sparse.len(),
+        "seq_s": seq_s,
+        "par_s": par_s,
+        "speedup": speedup(seq_s, par_s),
+    })
+}
+
+fn main() {
+    let host = kamel_nn::available_threads();
+    let budget = kamel_nn::thread_budget();
+    eprintln!("bench_parallel: host threads = {host}, budget = {budget}");
+    let matmul = bench_matmul(budget);
+    eprintln!("matmul sweep done");
+    let maintain = bench_maintain(budget);
+    eprintln!("maintain pass done");
+    let impute = bench_impute(budget);
+    eprintln!("batch impute done");
+    let doc = json!({
+        "bench": "bench_parallel",
+        "host_threads": host,
+        "thread_budget": budget,
+        "matmul": matmul,
+        "maintain": maintain,
+        "impute_batch": impute,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialize"))
+        .expect("write BENCH_parallel.json");
+    println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
+    println!("wrote {path}");
+}

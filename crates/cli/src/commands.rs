@@ -33,6 +33,12 @@ fn config_from_flags(flags: &Flags) -> Result<KamelConfig, String> {
         .pyramid_height(flags.get_f64("--pyramid-height", 3.0)? as usize)
         .pyramid_maintained(flags.get_f64("--pyramid-maintained", 3.0)? as usize)
         .model_threshold_k(flags.get_f64("--threshold-k", 500.0)? as u64);
+    // 0 (the default) means "auto": resolve via KAMEL_THREADS, then
+    // hardware parallelism.
+    let threads = flags.get_f64("--threads", 0.0)? as usize;
+    if threads > 0 {
+        builder = builder.threads(Some(threads));
+    }
     if let Some(grid) = flags.get("--grid") {
         builder = builder.grid(match grid {
             "hex" => GridKind::Hex,
@@ -100,7 +106,8 @@ pub fn train(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             "kamel train --input FILE --model FILE [--append] [--cell-edge-m N] \
              [--max-gap-m N] [--beam-size N] [--grid hex|square] \
              [--engine ngram|bert|bert-tiny] [--pyramid-height N] \
-             [--pyramid-maintained N] [--threshold-k N] [--split-gap-s N]"
+             [--pyramid-maintained N] [--threshold-k N] [--split-gap-s N] \
+             [--threads N]"
         );
         return Ok(());
     }
@@ -143,10 +150,17 @@ pub fn train(args: &[String], out: &mut dyn Write) -> Result<(), String> {
 /// `kamel impute`: impute a sparse trajectory CSV with a trained model.
 pub fn impute(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     if args.iter().any(|a| a == "--help") {
-        let _ = writeln!(out, "kamel impute --model FILE --input FILE --output FILE");
+        let _ = writeln!(
+            out,
+            "kamel impute --model FILE --input FILE --output FILE [--threads N]"
+        );
         return Ok(());
     }
     let flags = Flags::parse(args, &[])?;
+    let threads = flags.get_f64("--threads", 0.0)? as usize;
+    if threads > 0 {
+        kamel::set_thread_budget(threads);
+    }
     let kamel = Kamel::load_from_file(flags.required("--model")?).map_err(|e| e.to_string())?;
     let sparse = open_trajectories(flags.required("--input")?)?;
     let results = kamel.impute_batch(&sparse);

@@ -119,6 +119,13 @@ pub struct KamelConfig {
     pub disable_partitioning: bool,
     /// Ablation switch (§8.7 "No Const."): accept every model prediction.
     pub disable_constraints: bool,
+    /// Process-wide worker-thread budget for the parallel execution layer
+    /// (matmul kernels, per-cell maintenance, batch imputation). `None`
+    /// resolves via the `KAMEL_THREADS` env var, then
+    /// `available_parallelism()`. Only execution speed changes — every
+    /// parallel path is bit-identical to its sequential counterpart.
+    #[serde(default)]
+    pub threads: Option<usize>,
 }
 
 impl Default for KamelConfig {
@@ -143,6 +150,7 @@ impl Default for KamelConfig {
             detok: DetokConfig::default(),
             disable_partitioning: false,
             disable_constraints: false,
+            threads: None,
         }
     }
 }
@@ -191,7 +199,19 @@ impl KamelConfig {
                 return fail("adaptive speed factor must be at least 1.0");
             }
         }
+        if self.threads == Some(0) {
+            return fail("threads must be at least 1 when set");
+        }
         Ok(())
+    }
+
+    /// The worker-thread count this configuration resolves to: the explicit
+    /// [`KamelConfig::threads`] knob when set, otherwise the process-wide
+    /// budget (env var or hardware parallelism).
+    pub fn effective_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(kamel_nn::thread_budget)
+            .max(1)
     }
 }
 
@@ -253,6 +273,8 @@ impl KamelConfigBuilder {
         disable_partitioning: bool,
         /// Enables the "No Const." ablation.
         disable_constraints: bool,
+        /// Sets the worker-thread budget (`None` = auto).
+        threads: Option<usize>,
     }
 
     /// Finishes the builder.
@@ -346,6 +368,21 @@ mod tests {
             crate::config::SpeedMode::AdaptivePreceding { factor } if factor == 2.0
         ));
         assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn threads_knob_validates_and_resolves() {
+        assert!(KamelConfig::builder().threads(Some(0)).try_build().is_err());
+        let c = KamelConfig::builder().threads(Some(3)).build();
+        assert_eq!(c.effective_threads(), 3);
+        // None resolves to the process-wide budget (always ≥ 1).
+        assert!(KamelConfig::default().effective_threads() >= 1);
+        // Configs persisted before the knob existed still deserialize.
+        let mut v: serde_json::Value =
+            serde_json::to_value(KamelConfig::default()).expect("serialize");
+        v.as_object_mut().unwrap().remove("threads");
+        let back: KamelConfig = serde_json::from_value(v).expect("deserialize");
+        assert_eq!(back.threads, None);
     }
 
     #[test]

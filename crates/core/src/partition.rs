@@ -15,7 +15,11 @@
 //! or pair that fully encloses a query rectangle and has a model (§4.1).
 //! Maintenance (§4.2) re-trains every maintained cell that intersects a new
 //! training batch from the trajectory store — functionally the paper's
-//! four-step incremental procedure, run as one batch pass.
+//! four-step incremental procedure, run as one batch pass. Cells are
+//! independent training jobs, so maintenance fans them out over a worker
+//! pool (see [`Repository::maintain_with_threads`]); results are applied in
+//! sorted key order, keeping repository state identical for every thread
+//! count.
 
 use crate::config::KamelConfig;
 use kamel_geo::{BBox, Xy};
@@ -300,9 +304,91 @@ impl Repository {
     /// the trajectory store as the corpus source (the store already holds
     /// old + new trajectories, which is the paper's "enrich" step).
     ///
+    /// Cell jobs run on the process-wide thread budget; see
+    /// [`Repository::maintain_with_threads`].
+    ///
     /// Returns the number of models built or refreshed.
     pub fn maintain(&mut self, store: &TrajStore, dirty: &BBox, engine: &EngineConfig) -> usize {
+        self.maintain_with_threads(store, dirty, engine, kamel_nn::thread_budget())
+    }
+
+    /// [`Repository::maintain`] with an explicit worker-thread count.
+    ///
+    /// Every affected cell is an independent training job (its own corpus,
+    /// its own seeded RNG), so jobs fan out over a crossbeam work queue.
+    /// Results are applied in sorted key order and each job is internally
+    /// deterministic, so the repository state is identical for every
+    /// `threads` value.
+    pub fn maintain_with_threads(
+        &mut self,
+        store: &TrajStore,
+        dirty: &BBox,
+        engine: &EngineConfig,
+        threads: usize,
+    ) -> usize {
+        let jobs = self.plan_jobs(dirty);
+        let threads = threads.clamp(1, jobs.len().max(1));
+        let mut builds: Vec<(PyramidKey, CellBuild)> = if threads <= 1 {
+            jobs.iter()
+                .map(|job| (job.key, build_cell(job, store, engine)))
+                .collect()
+        } else {
+            let (job_tx, job_rx) = crossbeam::channel::unbounded::<&CellJob>();
+            for job in &jobs {
+                let _ = job_tx.send(job);
+            }
+            drop(job_tx);
+            let (res_tx, res_rx) = crossbeam::channel::unbounded();
+            crossbeam::scope(|s| {
+                for _ in 0..threads {
+                    let job_rx = job_rx.clone();
+                    let res_tx = res_tx.clone();
+                    s.spawn(move |_| {
+                        while let Ok(job) = job_rx.recv() {
+                            if res_tx.send((job.key, build_cell(job, store, engine))).is_err() {
+                                return;
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("maintenance worker panicked");
+            drop(res_tx);
+            res_rx.into_iter().collect()
+        };
+        // Apply in sorted key order so repository state never depends on
+        // worker scheduling.
+        builds.sort_by_key(|(key, _)| *key);
         let mut built = 0usize;
+        for (key, build) in builds {
+            if let Some(entry) = build.single {
+                let cell = self.cells.entry(key).or_default();
+                let updates = cell.single.as_ref().map_or(0, |e| e.meta.updates) + 1;
+                cell.single = Some(with_updates(entry, updates));
+                built += 1;
+            }
+            if let Some(entry) = build.pair_east {
+                let cell = self.cells.entry(key).or_default();
+                let updates = cell.pair_east.as_ref().map_or(0, |e| e.meta.updates) + 1;
+                cell.pair_east = Some(with_updates(entry, updates));
+                built += 1;
+            }
+            if let Some(entry) = build.pair_south {
+                let cell = self.cells.entry(key).or_default();
+                let updates = cell.pair_south.as_ref().map_or(0, |e| e.meta.updates) + 1;
+                cell.pair_south = Some(with_updates(entry, updates));
+                built += 1;
+            }
+        }
+        built
+    }
+
+    /// Enumerates the training jobs for one maintenance pass: every
+    /// maintained-level cell intersecting `dirty`, with its region, token
+    /// threshold, and (where the grid has room) the east/south pair-region
+    /// unions precomputed so workers never touch `self`.
+    fn plan_jobs(&self, dirty: &BBox) -> Vec<CellJob> {
+        let mut jobs = Vec::new();
         for level in self.maintained_levels() {
             let n = 1u32 << level;
             // Cells at this level intersecting the dirty region.
@@ -315,56 +401,24 @@ impl Repository {
             for x in kmin.x..=kmax.x.min(n - 1) {
                 for y in kmin.y..=kmax.y.min(n - 1) {
                     let key = PyramidKey { level, x, y };
-                    built += self.maintain_cell(key, store, engine);
+                    let bbox = self.cell_bbox(key);
+                    // East neighbor pair (stored here, the west member).
+                    let east_union = (key.x + 1 < n)
+                        .then(|| bbox.union(&self.cell_bbox(PyramidKey { x: key.x + 1, ..key })));
+                    // South neighbor pair (stored here, the north member).
+                    let south_union = (key.y > 0)
+                        .then(|| bbox.union(&self.cell_bbox(PyramidKey { y: key.y - 1, ..key })));
+                    jobs.push(CellJob {
+                        key,
+                        bbox,
+                        threshold: self.threshold(level),
+                        east_union,
+                        south_union,
+                    });
                 }
             }
         }
-        built
-    }
-
-    /// Trains/refreshes one cell's single model and its east/south pair
-    /// models when their thresholds are met.
-    fn maintain_cell(&mut self, key: PyramidKey, store: &TrajStore, engine: &EngineConfig) -> usize {
-        let mut built = 0usize;
-        let bbox = self.cell_bbox(key);
-        let threshold = self.threshold(key.level);
-        if store.token_count_in(&bbox) >= threshold {
-            let entry = train_on_region(store, &bbox, engine);
-            if let Some(entry) = entry {
-                let cell = self.cells.entry(key).or_default();
-                let updates = cell.single.as_ref().map_or(0, |e| e.meta.updates) + 1;
-                cell.single = Some(with_updates(entry, updates));
-                built += 1;
-            }
-        }
-        // East neighbor pair (stored here, the west member).
-        let n = 1u32 << key.level;
-        if key.x + 1 < n {
-            let east = PyramidKey { x: key.x + 1, ..key };
-            let union = bbox.union(&self.cell_bbox(east));
-            if store.token_count_in(&union) >= 2 * threshold {
-                if let Some(entry) = train_on_region(store, &union, engine) {
-                    let cell = self.cells.entry(key).or_default();
-                    let updates = cell.pair_east.as_ref().map_or(0, |e| e.meta.updates) + 1;
-                    cell.pair_east = Some(with_updates(entry, updates));
-                    built += 1;
-                }
-            }
-        }
-        // South neighbor pair (stored here, the north member).
-        if key.y > 0 {
-            let south = PyramidKey { y: key.y - 1, ..key };
-            let union = bbox.union(&self.cell_bbox(south));
-            if store.token_count_in(&union) >= 2 * threshold {
-                if let Some(entry) = train_on_region(store, &union, engine) {
-                    let cell = self.cells.entry(key).or_default();
-                    let updates = cell.pair_south.as_ref().map_or(0, |e| e.meta.updates) + 1;
-                    cell.pair_south = Some(with_updates(entry, updates));
-                    built += 1;
-                }
-            }
-        }
-        built
+        jobs
     }
 
     /// Trains the single global model (the §8.7 "No Part." ablation).
@@ -384,6 +438,47 @@ impl Repository {
             },
         });
     }
+}
+
+/// One cell's maintenance work order, fully resolved from read-only
+/// repository state so it can be executed on any worker thread.
+struct CellJob {
+    key: PyramidKey,
+    bbox: BBox,
+    threshold: u64,
+    /// Region of this cell ∪ its east neighbor, when one exists.
+    east_union: Option<BBox>,
+    /// Region of this cell ∪ its south neighbor, when one exists.
+    south_union: Option<BBox>,
+}
+
+/// Freshly trained models for one cell (update counters not yet applied).
+#[derive(Default)]
+struct CellBuild {
+    single: Option<ModelEntry>,
+    pair_east: Option<ModelEntry>,
+    pair_south: Option<ModelEntry>,
+}
+
+/// Trains one cell's single model and its east/south pair models when
+/// their token thresholds are met. Pure function of the job, store, and
+/// engine — safe to run concurrently across cells.
+fn build_cell(job: &CellJob, store: &TrajStore, engine: &EngineConfig) -> CellBuild {
+    let mut build = CellBuild::default();
+    if store.token_count_in(&job.bbox) >= job.threshold {
+        build.single = train_on_region(store, &job.bbox, engine);
+    }
+    if let Some(union) = &job.east_union {
+        if store.token_count_in(union) >= 2 * job.threshold {
+            build.pair_east = train_on_region(store, union, engine);
+        }
+    }
+    if let Some(union) = &job.south_union {
+        if store.token_count_in(union) >= 2 * job.threshold {
+            build.pair_south = train_on_region(store, union, engine);
+        }
+    }
+    build
 }
 
 fn clamp_to(bbox: BBox, p: Xy) -> Xy {
@@ -635,6 +730,23 @@ mod tests {
                 "{s:?}"
             );
         }
+    }
+
+    #[test]
+    fn maintenance_is_thread_count_invariant() {
+        let cfg = config();
+        let mut store = TrajStore::new(200.0);
+        fill_region(&mut store, root(), 700);
+        let mut seq = Repository::new(root(), &cfg);
+        seq.maintain_with_threads(&store, &root(), &EngineConfig::default(), 1);
+        let mut par = Repository::new(root(), &cfg);
+        par.maintain_with_threads(&store, &root(), &EngineConfig::default(), 4);
+        assert!(seq.model_count() > 1, "want a multi-model pyramid");
+        assert_eq!(
+            serde_json::to_string(&seq).unwrap(),
+            serde_json::to_string(&par).unwrap(),
+            "repository state must not depend on the worker count"
+        );
     }
 
     #[test]

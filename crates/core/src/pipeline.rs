@@ -14,6 +14,11 @@
 //! `Arc<Kamel>` can serve online imputation from many threads while a
 //! background thread periodically trains on new batches — the paper's
 //! "scheduled as a background process … without causing any downtime".
+//! Both entry points also parallelize internally on the configured thread
+//! budget ([`KamelConfig::threads`], `KAMEL_THREADS`, or all hardware
+//! threads): training fans per-cell maintenance jobs over a worker pool and
+//! batch imputation imputes trajectories concurrently under the read lock —
+//! with results identical to single-threaded execution in both cases.
 
 use crate::config::KamelConfig;
 use crate::constraints::SpatialConstraints;
@@ -121,6 +126,9 @@ impl Kamel {
     /// [`KamelConfig::validate`] to check beforehand).
     pub fn new(config: KamelConfig) -> Self {
         config.validate().expect("invalid KAMEL configuration");
+        if let Some(n) = config.threads {
+            kamel_nn::set_thread_budget(n);
+        }
         Self {
             config,
             inner: RwLock::new(None),
@@ -234,9 +242,12 @@ impl Kamel {
             } else {
                 dirty
             };
-            state
-                .repo
-                .maintain(&state.store, &region, &self.config.engine);
+            state.repo.maintain_with_threads(
+                &state.store,
+                &region,
+                &self.config.engine,
+                self.config.effective_threads(),
+            );
         }
     }
 
@@ -360,9 +371,37 @@ impl Kamel {
         }
     }
 
-    /// Bulk offline imputation.
+    /// Bulk offline imputation. Trajectories are imputed concurrently on
+    /// the configured thread budget (imputation only reads shared state
+    /// under the read lock); output order matches input order and each
+    /// result is identical to a sequential [`Kamel::impute`] call.
     pub fn impute_batch(&self, sparse: &[Trajectory]) -> Vec<ImputedTrajectory> {
-        sparse.iter().map(|t| self.impute(t)).collect()
+        self.impute_batch_with_threads(sparse, self.config.effective_threads())
+    }
+
+    /// [`Kamel::impute_batch`] with an explicit worker-thread count.
+    pub fn impute_batch_with_threads(
+        &self,
+        sparse: &[Trajectory],
+        threads: usize,
+    ) -> Vec<ImputedTrajectory> {
+        let threads = threads.clamp(1, sparse.len().max(1));
+        if threads <= 1 {
+            return sparse.iter().map(|t| self.impute(t)).collect();
+        }
+        let mut out: Vec<Option<ImputedTrajectory>> = Vec::new();
+        out.resize_with(sparse.len(), || None);
+        let per = sparse.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for (in_chunk, out_chunk) in sparse.chunks(per).zip(out.chunks_mut(per)) {
+                s.spawn(move || {
+                    for (t, slot) in in_chunk.iter().zip(out_chunk) {
+                        *slot = Some(self.impute(t));
+                    }
+                });
+            }
+        });
+        out.into_iter().map(|o| o.expect("every slot filled")).collect()
     }
 
     /// Online/streaming imputation: lazily imputes each incoming trajectory
@@ -406,6 +445,9 @@ impl Kamel {
         let doc: PersistedKamel =
             serde_json::from_str(json).map_err(|e| KamelError::Persistence(e.to_string()))?;
         doc.config.validate()?;
+        if let Some(n) = doc.config.threads {
+            kamel_nn::set_thread_budget(n);
+        }
         Ok(Self {
             config: doc.config,
             inner: RwLock::new(doc.state),

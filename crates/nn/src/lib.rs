@@ -20,6 +20,10 @@
 //! * [`optim`] — Adam with bias correction and optional weight decay.
 //! * [`train`] — the BERT MLM pretraining loop (15% masking with the 80/10/10
 //!   mask/random/keep split from Devlin et al.).
+//! * [`threads`] — the process-wide worker-thread budget shared by the
+//!   parallel matmul kernels and the higher compute tiers (per-cell
+//!   training, batch imputation). Parallel paths are bit-identical to
+//!   their sequential counterparts, so the budget never changes results.
 //!
 //! The layer-by-layer backward design (rather than a taped autograd) keeps
 //! the code auditable and the memory profile flat, which matters when many
@@ -33,9 +37,11 @@ pub mod encoder;
 pub mod layers;
 pub mod matrix;
 pub mod optim;
+pub mod threads;
 pub mod train;
 
 pub use bert::{BertConfig, BertMlmModel};
 pub use matrix::Matrix;
 pub use optim::Adam;
+pub use threads::{available_threads, set_thread_budget, thread_budget};
 pub use train::{MlmBatcher, TrainOptions, Trainer};

@@ -5,7 +5,19 @@
 //! beyond row-vector ops. The three matmul variants (`NN`, `TN`, `NT`) cover
 //! every product in forward and backward passes without materializing
 //! transposes.
+//!
+//! Each variant has a sequential kernel (`*_seq`) and a row-partitioned
+//! multithreaded kernel (`*_par_with`) that splits the *output* rows into
+//! disjoint contiguous chunks, one scoped thread per chunk. Both paths run
+//! the same per-row block kernel, so every output element accumulates its
+//! products in the same order — parallel results are **bit-identical** to
+//! sequential ones (property-tested), which keeps seeded training
+//! deterministic under any thread budget. The plain `matmul`/`matmul_tn`/
+//! `matmul_nt` entry points auto-dispatch: big products fan out across the
+//! process-wide [`crate::threads::thread_budget`], small ones stay on the
+//! calling thread.
 
+use crate::threads;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -119,66 +131,106 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `self × other` (`[m,k] × [k,n] → [m,n]`).
+    /// `self × other` (`[m,k] × [k,n] → [m,n]`), auto-dispatching between
+    /// the sequential and row-partitioned parallel kernels. Results are
+    /// bit-identical either way.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let threads = auto_threads(self.rows, self.cols, other.cols);
+        if threads > 1 {
+            self.matmul_par_with(other, threads)
+        } else {
+            self.matmul_seq(other)
+        }
+    }
+
+    /// Sequential `self × other`.
+    pub fn matmul_seq(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        // ikj loop order: streams through `other` rows, vectorizes the inner
-        // axpy over the output row.
-        for i in 0..m {
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        nn_block(&self.data, &other.data, &mut out.data, 0, k, n);
+        out
+    }
+
+    /// Multithreaded `self × other` over `threads` scoped workers, each
+    /// owning a disjoint chunk of output rows. Bit-identical to
+    /// [`Matrix::matmul_seq`].
+    pub fn matmul_par_with(&self, other: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        let (a, b) = (&self.data, &other.data);
+        run_row_partitioned(&mut out.data, m, n, threads, |chunk, row0| {
+            nn_block(a, b, chunk, row0, k, n)
+        });
         out
     }
 
     /// `selfᵀ × other` (`[k,m]ᵀ × [k,n] → [m,n]`), without materializing the
-    /// transpose. Used for weight gradients (`dW = xᵀ · dy`).
+    /// transpose. Used for weight gradients (`dW = xᵀ · dy`). Auto-dispatches
+    /// like [`Matrix::matmul`].
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        let threads = auto_threads(self.cols, self.rows, other.cols);
+        if threads > 1 {
+            self.matmul_tn_par_with(other, threads)
+        } else {
+            self.matmul_tn_seq(other)
+        }
+    }
+
+    /// Sequential `selfᵀ × other`.
+    pub fn matmul_tn_seq(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        for kk in 0..k {
-            let a_row = &self.data[kk * m..(kk + 1) * m];
-            let b_row = &other.data[kk * n..(kk + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        tn_block(&self.data, &other.data, &mut out.data, 0, m, n, k);
+        out
+    }
+
+    /// Multithreaded `selfᵀ × other`; bit-identical to
+    /// [`Matrix::matmul_tn_seq`].
+    pub fn matmul_tn_par_with(&self, other: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        let (a, b) = (&self.data, &other.data);
+        run_row_partitioned(&mut out.data, m, n, threads, |chunk, row0| {
+            tn_block(a, b, chunk, row0, m, n, k)
+        });
         out
     }
 
     /// `self × otherᵀ` (`[m,k] × [n,k]ᵀ → [m,n]`), without materializing the
     /// transpose. Used for input gradients (`dx = dy · Wᵀ`) and attention
-    /// scores (`Q · Kᵀ`).
+    /// scores (`Q · Kᵀ`). Auto-dispatches like [`Matrix::matmul`].
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let threads = auto_threads(self.rows, self.cols, other.rows);
+        if threads > 1 {
+            self.matmul_nt_par_with(other, threads)
+        } else {
+            self.matmul_nt_seq(other)
+        }
+    }
+
+    /// Sequential `self × otherᵀ`.
+    pub fn matmul_nt_seq(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                *o = dot(a_row, b_row);
-            }
-        }
+        nt_block(&self.data, &other.data, &mut out.data, 0, k, n);
+        out
+    }
+
+    /// Multithreaded `self × otherᵀ`; bit-identical to
+    /// [`Matrix::matmul_nt_seq`].
+    pub fn matmul_nt_par_with(&self, other: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        let (a, b) = (&self.data, &other.data);
+        run_row_partitioned(&mut out.data, m, n, threads, |chunk, row0| {
+            nt_block(a, b, chunk, row0, k, n)
+        });
         out
     }
 
@@ -232,22 +284,147 @@ impl Matrix {
     }
 }
 
+/// Output-column block width for the NN kernel: the active stripe of the
+/// output row plus one stripe of a `b` row stays resident in L1 while the
+/// full `k` axis streams past it.
+const NN_COL_BLOCK: usize = 1024;
+
+/// Minimum fused multiply-adds a product must offer *per worker* before
+/// fanning out pays for thread spawn/join; below `2×` this, stay
+/// sequential.
+const PAR_MIN_OPS_PER_THREAD: usize = 1 << 16;
+
+/// Worker count for an `m × k × n` product under the process-wide budget:
+/// 1 (sequential) for small products, otherwise enough threads to give
+/// each at least [`PAR_MIN_OPS_PER_THREAD`] fused multiply-adds, capped by
+/// the budget and the row count.
+fn auto_threads(m: usize, k: usize, n: usize) -> usize {
+    let budget = threads::thread_budget();
+    if budget <= 1 || m < 2 {
+        return 1;
+    }
+    let ops = m.saturating_mul(k).saturating_mul(n);
+    if ops < 2 * PAR_MIN_OPS_PER_THREAD {
+        return 1;
+    }
+    budget.min(ops / PAR_MIN_OPS_PER_THREAD).min(m)
+}
+
+/// Splits `out` (row-major, `m × n`) into contiguous row chunks and runs
+/// `work(chunk, first_row)` on each, one scoped thread per chunk. With
+/// `threads <= 1` (or a degenerate shape) the single chunk runs on the
+/// calling thread. Chunks are disjoint, so any `work` that only depends on
+/// its own rows produces output identical to a single sequential pass.
+fn run_row_partitioned<F>(out: &mut [f32], m: usize, n: usize, threads: usize, work: F)
+where
+    F: Fn(&mut [f32], usize) + Sync,
+{
+    if m == 0 || n == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, m);
+    if threads == 1 {
+        work(out, 0);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (ci, chunk) in out.chunks_mut(rows_per * n).enumerate() {
+            let work = &work;
+            s.spawn(move || work(chunk, ci * rows_per));
+        }
+    });
+}
+
+/// NN kernel over one output-row chunk: `out[row0..][..rows] = a[row0..] × b`
+/// with `a: [m,k]`, `b: [k,n]`. ikj loop order (streams `b` rows,
+/// vectorizes the axpy over the output stripe), cache-blocked over output
+/// columns. Per output element the `k` axis accumulates in ascending order,
+/// so chunked execution is bit-identical to one sequential pass.
+fn nn_block(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    for ri in 0..rows {
+        let a_row = &a[(row0 + ri) * k..(row0 + ri + 1) * k];
+        let out_row = &mut out[ri * n..(ri + 1) * n];
+        let mut j0 = 0;
+        while j0 < n {
+            let j1 = (j0 + NN_COL_BLOCK).min(n);
+            // Dense-path assumption: activations are dense, so no
+            // zero-skip branch — it defeats vectorization and saves
+            // nothing on real inputs.
+            for (kk, &av) in a_row.iter().enumerate() {
+                let b_blk = &b[kk * n + j0..kk * n + j1];
+                for (o, &bv) in out_row[j0..j1].iter_mut().zip(b_blk) {
+                    *o += av * bv;
+                }
+            }
+            j0 = j1;
+        }
+    }
+}
+
+/// TN kernel over one output-row chunk: `out[row0..][..rows] = aᵀ[row0..] × b`
+/// with `a: [k,m]`, `b: [k,n]`. Keeps the sequential kernel's kij order
+/// (each `a`/`b` row pair is touched once per sweep) restricted to the
+/// chunk's columns of `a`; per output element the `k` axis accumulates in
+/// ascending order.
+fn tn_block(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, m: usize, n: usize, k: usize) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    for kk in 0..k {
+        let a_row = &a[kk * m + row0..kk * m + row0 + rows];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        // Dense-path assumption: no zero-skip (see `nn_block`).
+        for (ri, &av) in a_row.iter().enumerate() {
+            let out_row = &mut out[ri * n..(ri + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// NT kernel over one output-row chunk: `out[row0..][..rows] = a[row0..] × bᵀ`
+/// with `a: [m,k]`, `b: [n,k]`. Row-by-row dot products; already
+/// cache-friendly since both operands are traversed contiguously.
+fn nt_block(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    for ri in 0..rows {
+        let a_row = &a[(row0 + ri) * k..(row0 + ri + 1) * k];
+        let out_row = &mut out[ri * n..(ri + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o = dot(a_row, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
 /// Dense dot product of two equal-length slices.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    // Chunked accumulation: lets LLVM vectorize and improves summation error.
+    // 8-lane chunked accumulation: lets LLVM vectorize and improves
+    // summation error. `chunks_exact` keeps the hot loop bounds-check-free.
     let mut acc = [0.0f32; 8];
-    let chunks = a.len() / 8;
-    for i in 0..chunks {
-        for (lane, slot) in acc.iter_mut().enumerate() {
-            let idx = i * 8 + lane;
-            *slot += a[idx] * b[idx];
+    let a_chunks = a.chunks_exact(8);
+    let b_chunks = b.chunks_exact(8);
+    let a_rem = a_chunks.remainder();
+    let b_rem = b_chunks.remainder();
+    for (ca, cb) in a_chunks.zip(b_chunks) {
+        for (slot, (&x, &y)) in acc.iter_mut().zip(ca.iter().zip(cb)) {
+            *slot += x * y;
         }
     }
     let mut s: f32 = acc.iter().sum();
-    for i in chunks * 8..a.len() {
-        s += a[i] * b[i];
+    for (&x, &y) in a_rem.iter().zip(b_rem) {
+        s += x * y;
     }
     s
 }

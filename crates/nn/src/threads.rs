@@ -1,0 +1,76 @@
+//! Process-wide thread budget for the parallel execution layer.
+//!
+//! KAMEL's compute tiers — matmul kernels, per-cell pyramid training, and
+//! batch imputation — all draw worker threads from one process-wide budget
+//! so that nested parallelism cannot oversubscribe the host. The budget
+//! resolves in priority order:
+//!
+//! 1. an explicit [`set_thread_budget`] call (e.g. from `KamelConfig`'s
+//!    `threads` knob or the CLI's `--threads` flag),
+//! 2. the `KAMEL_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! The budget only controls *how many* workers run; every parallel code
+//! path in this workspace is bit-identical to its sequential counterpart,
+//! so the budget never affects results (asserted by the property tests in
+//! `crates/nn/tests/properties.rs` and `tests/parallel_determinism.rs`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable consulted when no explicit budget has been set.
+pub const THREADS_ENV: &str = "KAMEL_THREADS";
+
+/// 0 means "not resolved yet"; any positive value is the active budget.
+static BUDGET: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of hardware threads the host reports (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The active thread budget, resolving and caching the default on first
+/// use (see the module docs for the resolution order). Always at least 1.
+pub fn thread_budget() -> usize {
+    let cached = BUDGET.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let resolved = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(available_threads);
+    BUDGET.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the process-wide thread budget. Values are clamped to at
+/// least 1. Safe to call at any time; only execution parallelism changes,
+/// never results.
+pub fn set_thread_budget(threads: usize) {
+    BUDGET.store(threads.max(1), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_positive_and_settable() {
+        assert!(thread_budget() >= 1);
+        let before = thread_budget();
+        set_thread_budget(3);
+        assert_eq!(thread_budget(), 3);
+        set_thread_budget(0); // clamped
+        assert_eq!(thread_budget(), 1);
+        set_thread_budget(before);
+        assert_eq!(thread_budget(), before);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

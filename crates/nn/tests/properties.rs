@@ -124,6 +124,50 @@ proptest! {
         prop_assert!((num - dx.get(r, c)).abs() < 5e-2, "num {num} got {}", dx.get(r, c));
     }
 
+    /// The parallel NN kernel is bit-identical to the sequential one for
+    /// random shapes, seeds, and thread counts — the determinism contract
+    /// the whole parallel execution layer rests on.
+    #[test]
+    fn matmul_par_bit_identical(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24,
+        threads in 1usize..9, seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        let seq = a.matmul_seq(&b);
+        let par = a.matmul_par_with(&b, threads);
+        prop_assert_eq!(seq.data(), par.data());
+    }
+
+    /// Same bit-identity contract for the TN (transposed-left) kernel.
+    #[test]
+    fn matmul_tn_par_bit_identical(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24,
+        threads in 1usize..9, seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = Matrix::randn(k, m, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        let seq = a.matmul_tn_seq(&b);
+        let par = a.matmul_tn_par_with(&b, threads);
+        prop_assert_eq!(seq.data(), par.data());
+    }
+
+    /// Same bit-identity contract for the NT (transposed-right) kernel.
+    #[test]
+    fn matmul_nt_par_bit_identical(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24,
+        threads in 1usize..9, seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(n, k, 1.0, &mut rng);
+        let seq = a.matmul_nt_seq(&b);
+        let par = a.matmul_nt_par_with(&b, threads);
+        prop_assert_eq!(seq.data(), par.data());
+    }
+
     /// Dropout preserves expectation and its backward uses the same mask.
     #[test]
     fn dropout_expectation(seed in 0u64..1000, p in 0.0f32..0.9) {
