@@ -146,6 +146,22 @@ fn main() {
     let host = kamel_nn::available_threads();
     let budget = kamel_nn::thread_budget();
     eprintln!("bench_parallel: host threads = {host}, budget = {budget}");
+    // A sequential-vs-parallel comparison on one hardware thread measures
+    // scheduling overhead, not speedup. Say so loudly and tag the output
+    // instead of silently writing numbers that look like a regression.
+    let status = if host > 1 && budget > 1 {
+        "measured"
+    } else {
+        eprintln!(
+            "WARNING: bench_parallel is running with host_threads={host}, \
+             thread_budget={budget}.\n\
+             WARNING: parallel speedups measured here are NOT representative; \
+             the output will carry status \"measured-single-core\".\n\
+             WARNING: rerun on a multi-core host (and unset KAMEL_THREADS) \
+             for real numbers."
+        );
+        "measured-single-core"
+    };
     let matmul = bench_matmul(budget);
     eprintln!("matmul sweep done");
     let maintain = bench_maintain(budget);
@@ -154,6 +170,7 @@ fn main() {
     eprintln!("batch impute done");
     let doc = json!({
         "bench": "bench_parallel",
+        "status": status,
         "host_threads": host,
         "thread_budget": budget,
         "matmul": matmul,

@@ -1,0 +1,148 @@
+//! Throughput and latency of the `kamel-server` online serving layer.
+//!
+//! Boots a server on loopback over a freshly trained small model, drives
+//! it with concurrent keep-alive clients, and writes throughput plus
+//! latency percentiles (and a cache-on rerun) to `BENCH_serve.json` at
+//! the repo root.
+//!
+//! Run with `cargo bench --bench bench_serve`. Not a criterion bench:
+//! the unit of work is a full HTTP round trip against a live server, so
+//! wall-clock over a fixed request count is the honest measure.
+
+use kamel::{Kamel, KamelConfig};
+use kamel_bench::{default_kamel_config, City};
+use kamel_geo::Trajectory;
+use kamel_roadsim::DatasetScale;
+use kamel_server::{Client, ImputeEngine, Server, ServerConfig};
+use serde_json::json;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 50;
+
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Drives `CLIENTS` concurrent connections, each firing its share of
+/// requests drawn round-robin from `bodies`. Returns (elapsed, latencies).
+fn drive(addr: std::net::SocketAddr, bodies: &Arc<Vec<Vec<u8>>>) -> (f64, Vec<u64>) {
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let bodies = Arc::clone(bodies);
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                let mut client =
+                    Client::connect(addr, Duration::from_secs(60)).expect("connect");
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let body = &bodies[(c * REQUESTS_PER_CLIENT + i) % bodies.len()];
+                    let r0 = Instant::now();
+                    let resp = client.post_json("/v1/impute", body).expect("request");
+                    assert_eq!(resp.status, 200, "{}", resp.text());
+                    lat.push(r0.elapsed().as_micros() as u64);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    (elapsed, latencies)
+}
+
+fn summarize(elapsed_s: f64, latencies: &[u64], metrics: &kamel_server::Metrics) -> serde_json::Value {
+    let total = latencies.len();
+    json!({
+        "requests": total,
+        "elapsed_s": elapsed_s,
+        "throughput_rps": total as f64 / elapsed_s,
+        "latency_us": {
+            "p50": percentile_us(latencies, 0.50),
+            "p95": percentile_us(latencies, 0.95),
+            "p99": percentile_us(latencies, 0.99),
+            "max": latencies.last().copied().unwrap_or(0),
+        },
+        "cache_hit_rate": metrics.cache_hit_rate(),
+    })
+}
+
+fn run_scenario(kamel: &Arc<Kamel>, cache_entries: usize, bodies: &Arc<Vec<Vec<u8>>>) -> serde_json::Value {
+    let engine = Arc::new(ImputeEngine::new(Arc::clone(kamel)));
+    let config = ServerConfig {
+        workers: kamel_nn::thread_budget(),
+        handlers: CLIENTS * 2,
+        cache_entries,
+        deadline: Duration::from_secs(60),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", engine, config).expect("bind");
+    let (elapsed, latencies) = drive(server.local_addr(), bodies);
+    let summary = summarize(elapsed, &latencies, server.metrics());
+    server.shutdown();
+    summary
+}
+
+fn main() {
+    let host = kamel_nn::available_threads();
+    let budget = kamel_nn::thread_budget();
+    eprintln!("bench_serve: host threads = {host}, budget = {budget}");
+    let status = if host > 1 {
+        "measured"
+    } else {
+        eprintln!(
+            "WARNING: bench_serve is running on a single hardware thread; \
+             concurrency numbers are NOT representative and the output will \
+             carry status \"measured-single-core\"."
+        );
+        "measured-single-core"
+    };
+    let dataset = City::Porto.dataset(DatasetScale::Small);
+    let kamel = Kamel::new(default_kamel_config().build());
+    kamel.train(&dataset.train);
+    let kamel = Arc::new(kamel);
+    let sparse: Vec<Trajectory> = dataset
+        .test
+        .iter()
+        .take(40)
+        .map(|t| t.sparsify(1_000.0))
+        .collect();
+    let bodies: Arc<Vec<Vec<u8>>> = Arc::new(
+        sparse
+            .iter()
+            .map(|t| serde_json::to_vec(t).expect("serialize request"))
+            .collect(),
+    );
+    eprintln!("model trained; {} distinct request bodies", bodies.len());
+    // Cache off: every request pays full imputation.
+    let cold = run_scenario(&kamel, 0, &bodies);
+    eprintln!("cache-off scenario done");
+    // Cache on: the 40 distinct bodies repeat across 400 requests, so the
+    // steady state is cache-dominated.
+    let cached = run_scenario(&kamel, 1024, &bodies);
+    eprintln!("cache-on scenario done");
+    let doc = json!({
+        "bench": "bench_serve",
+        "status": status,
+        "host_threads": host,
+        "thread_budget": budget,
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "cache_off": cold,
+        "cache_on": cached,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialize"))
+        .expect("write BENCH_serve.json");
+    println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
+    println!("wrote {path}");
+}

@@ -301,6 +301,73 @@ pub fn export(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+/// `kamel serve`: the online imputation service (DESIGN.md §5).
+///
+/// Loads a trained model, binds the HTTP endpoint, and runs until SIGINT
+/// or SIGTERM, then drains in-flight requests before exiting.
+pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help") {
+        let _ = writeln!(
+            out,
+            "kamel serve --model FILE [--addr HOST:PORT] [--threads N] [--batch-max N]\n\
+             \x20           [--batch-wait-us N] [--cache-entries N] [--queue-cap N]\n\
+             \x20           [--deadline-ms N]\n\
+             serves POST /v1/impute, GET /healthz, GET /metrics until SIGTERM/ctrl-c"
+        );
+        return Ok(());
+    }
+    let flags = Flags::parse(args, &[])?;
+    let kamel = Kamel::load_from_file(flags.required("--model")?).map_err(|e| e.to_string())?;
+    if !kamel.is_trained() {
+        let _ = writeln!(out, "warning: model is untrained; serving linear fallback only");
+    }
+    // Batch workers default to the model's thread budget; --threads
+    // overrides for this process.
+    let threads = flags.get_f64("--threads", 0.0)? as usize;
+    let workers = if threads > 0 {
+        threads
+    } else {
+        kamel.config().effective_threads()
+    };
+    let config = kamel_server::ServerConfig {
+        workers,
+        handlers: (workers * 4).clamp(4, 64),
+        batch_max: (flags.get_f64("--batch-max", 16.0)? as usize).max(1),
+        batch_wait: std::time::Duration::from_micros(flags.get_f64("--batch-wait-us", 500.0)? as u64),
+        queue_cap: (flags.get_f64("--queue-cap", 256.0)? as usize).max(1),
+        cache_entries: flags.get_f64("--cache-entries", 1024.0)? as usize,
+        deadline: std::time::Duration::from_millis(
+            (flags.get_f64("--deadline-ms", 10_000.0)? as u64).max(1),
+        ),
+        idle_poll: std::time::Duration::from_millis(200),
+    };
+    let addr = flags.get("--addr").unwrap_or("127.0.0.1:8080");
+    let signals = kamel_server::install_signal_handlers();
+    let engine = std::sync::Arc::new(kamel_server::ImputeEngine::new(std::sync::Arc::new(kamel)));
+    let server = kamel_server::Server::bind(addr, engine, config.clone())
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    let _ = writeln!(
+        out,
+        "kamel-server listening on http://{} ({} workers, batch <= {}, wait {}us, \
+         cache {} entries, queue cap {})",
+        server.local_addr(),
+        config.workers,
+        config.batch_max,
+        config.batch_wait.as_micros(),
+        config.cache_entries,
+        config.queue_cap,
+    );
+    let _ = out.flush();
+    while !signals.is_tripped() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let _ = writeln!(out, "shutdown signal received; draining in-flight requests");
+    let _ = out.flush();
+    server.shutdown();
+    let _ = writeln!(out, "drained; goodbye");
+    Ok(())
+}
+
 /// `kamel evaluate`: the §8 metrics of a model against ground truth.
 pub fn evaluate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     if args.iter().any(|a| a == "--help") {

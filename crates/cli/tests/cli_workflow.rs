@@ -141,7 +141,7 @@ fn helpful_errors() {
 
 #[test]
 fn per_command_help() {
-    for cmd in ["generate", "train", "tune", "impute", "stats", "evaluate", "export"] {
+    for cmd in ["generate", "train", "tune", "impute", "serve", "stats", "evaluate", "export"] {
         let (code, out) = run(&[cmd, "--help"]);
         assert_eq!(code, 0, "{cmd}");
         assert!(out.contains(cmd), "{cmd}: {out}");

@@ -413,6 +413,29 @@ impl Kamel {
         stream.into_iter().map(move |t| self.impute(&t))
     }
 
+    /// The tokenized gap context of `sparse` under the trained tokenizer:
+    /// the dedup-run cell-id sequence (one cell per run of consecutive
+    /// same-cell fixes, exactly the anchors [`Kamel::impute`] works from)
+    /// and the planar span in meters between each consecutive anchor pair.
+    ///
+    /// Two sparse trajectories with equal gap context traverse the same
+    /// cells with the same gap geometry, which makes this the semantic part
+    /// of an online response-cache key (`kamel-server` combines it with a
+    /// digest of the raw fixes, since originals are echoed verbatim into
+    /// the imputed output). Returns `None` while untrained — no tokenizer
+    /// exists yet, so there is nothing stable to key on.
+    pub fn gap_context(&self, sparse: &Trajectory) -> Option<(Vec<CellId>, Vec<f64>)> {
+        let guard = self.inner.read();
+        let state = guard.as_ref()?;
+        let anchors = anchors_of(sparse, &state.tokenizer);
+        let cells = anchors.iter().map(|a| a.cell).collect();
+        let spans = anchors
+            .windows(2)
+            .map(|w| w[0].xy.dist(&w[1].xy))
+            .collect();
+        Some((cells, spans))
+    }
+
     /// Serializes the full trained state (config + store + models +
     /// detokenization metadata) to JSON.
     pub fn to_json(&self) -> Result<String, KamelError> {
@@ -846,6 +869,33 @@ mod tests {
         let kamel = Kamel::new(KamelConfig::default());
         assert!(!kamel.is_trained());
         assert!(kamel.stats().is_none());
+    }
+
+    #[test]
+    fn gap_context_keys_match_anchor_structure() {
+        let kamel = trained();
+        let sparse = Trajectory::new(vec![
+            GpsPoint::from_parts(41.15, -8.610, 0.0),
+            GpsPoint::from_parts(41.15, -8.609, 10.0),
+            GpsPoint::from_parts(41.15, -8.589, 210.0),
+        ]);
+        let (cells, spans) = kamel.gap_context(&sparse).expect("trained");
+        assert!(!cells.is_empty());
+        assert_eq!(spans.len(), cells.len() - 1);
+        assert!(spans.iter().all(|s| *s >= 0.0 && s.is_finite()));
+        // Same trajectory → same context; a shifted copy → different cells.
+        assert_eq!(kamel.gap_context(&sparse), Some((cells.clone(), spans)));
+        let shifted = Trajectory::new(
+            sparse
+                .points
+                .iter()
+                .map(|p| GpsPoint::from_parts(p.pos.lat + 0.01, p.pos.lng, p.t))
+                .collect(),
+        );
+        let (shifted_cells, _) = kamel.gap_context(&shifted).expect("trained");
+        assert_ne!(cells, shifted_cells);
+        // Untrained systems have no tokenizer, hence no context.
+        assert!(Kamel::new(KamelConfig::default()).gap_context(&sparse).is_none());
     }
 
     #[test]

@@ -43,5 +43,5 @@ pub mod train;
 pub use bert::{BertConfig, BertMlmModel};
 pub use matrix::Matrix;
 pub use optim::Adam;
-pub use threads::{available_threads, set_thread_budget, thread_budget};
+pub use threads::{available_threads, parse_thread_env, set_thread_budget, thread_budget, EnvBudget};
 pub use train::{MlmBatcher, TrainOptions, Trainer};

@@ -1,0 +1,556 @@
+//! Dynamic micro-batching with admission control.
+//!
+//! Concurrent single-trajectory requests are coalesced into one
+//! `impute_batch` call under a max-batch-size / max-wait policy, then the
+//! batch result is scattered back to the per-request tickets in submission
+//! order:
+//!
+//! ```text
+//!            submit()                    worker pool
+//! request ──► bounded FIFO queue ──► [collect ≤ batch_max, linger ≤ batch_wait]
+//!      │            │                        │ run_batch(inputs)
+//!      │            └─ full → Overloaded     ▼
+//!      ▼                (shed, 503)    scatter outputs to tickets (FIFO order)
+//!  Ticket::wait_deadline ◄──────────────────┘
+//! ```
+//!
+//! The batcher is generic over the request/response payloads and the
+//! [`BatchRunner`], so every queueing, lingering, shedding, and drain
+//! behaviour is unit-tested here with gated mock runners — no HTTP and no
+//! trained models involved.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Executes one coalesced batch. Implementations must return exactly one
+/// output per input, in input order.
+pub trait BatchRunner<I, O>: Send + Sync + 'static {
+    /// Runs the batch.
+    fn run_batch(&self, batch: Vec<I>) -> Vec<O>;
+}
+
+impl<I, O, F> BatchRunner<I, O> for F
+where
+    F: Fn(Vec<I>) -> Vec<O> + Send + Sync + 'static,
+{
+    fn run_batch(&self, batch: Vec<I>) -> Vec<O> {
+        self(batch)
+    }
+}
+
+/// Micro-batcher tuning knobs.
+#[derive(Debug, Clone)]
+pub struct BatcherConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Largest batch handed to the runner.
+    pub batch_max: usize,
+    /// How long a worker lingers for more requests after the first one.
+    pub batch_wait: Duration,
+    /// Admission-queue capacity; submissions beyond it are shed.
+    pub queue_cap: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            batch_max: 16,
+            batch_wait: Duration::from_micros(500),
+            queue_cap: 256,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is full; the caller should answer 503.
+    Overloaded,
+    /// The batcher is draining for shutdown; new work is refused.
+    Draining,
+}
+
+/// Why a ticket did not produce an output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitError {
+    /// The deadline passed before the batch completed.
+    Deadline,
+    /// The runner panicked or returned a short batch; no output exists.
+    Failed,
+}
+
+enum SlotState<O> {
+    Pending,
+    Ready(O),
+    Failed,
+}
+
+struct Slot<O> {
+    state: Mutex<SlotState<O>>,
+    ready: Condvar,
+}
+
+impl<O> Slot<O> {
+    fn fill(&self, state: SlotState<O>) {
+        *self.state.lock().unwrap() = state;
+        self.ready.notify_all();
+    }
+}
+
+/// A handle to one submitted request's eventual output.
+pub struct Ticket<O>(Arc<Slot<O>>);
+
+impl<O> std::fmt::Debug for Ticket<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Ticket")
+    }
+}
+
+impl<O> Ticket<O> {
+    /// Blocks until the output is ready or `deadline` passes. The batch
+    /// still completes server-side after a deadline miss; only this waiter
+    /// gives up.
+    pub fn wait_deadline(self, deadline: Instant) -> Result<O, WaitError> {
+        let mut state = self.0.state.lock().unwrap();
+        loop {
+            match std::mem::replace(&mut *state, SlotState::Pending) {
+                SlotState::Ready(out) => return Ok(out),
+                SlotState::Failed => return Err(WaitError::Failed),
+                SlotState::Pending => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(WaitError::Deadline);
+            }
+            let (guard, _) = self
+                .0
+                .ready
+                .wait_timeout(state, deadline - now)
+                .unwrap();
+            state = guard;
+        }
+    }
+}
+
+struct Queue<I, O> {
+    items: VecDeque<(I, Arc<Slot<O>>)>,
+    draining: bool,
+}
+
+struct Shared<I, O> {
+    queue: Mutex<Queue<I, O>>,
+    available: Condvar,
+    config: BatcherConfig,
+}
+
+/// The micro-batcher: a bounded FIFO queue drained by a fixed worker pool.
+pub struct Batcher<I, O> {
+    shared: Arc<Shared<I, O>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<I: Send + 'static, O: Send + 'static> Batcher<I, O> {
+    /// Starts the worker pool. `on_batch` observes the size of every batch
+    /// handed to the runner (for the batch-size histogram).
+    pub fn start(
+        config: BatcherConfig,
+        runner: Arc<dyn BatchRunner<I, O>>,
+        on_batch: impl Fn(usize) + Send + Sync + 'static,
+    ) -> Self {
+        assert!(config.workers >= 1, "batcher needs at least one worker");
+        assert!(config.batch_max >= 1, "batch_max must be at least 1");
+        assert!(config.queue_cap >= 1, "queue_cap must be at least 1");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                items: VecDeque::with_capacity(config.queue_cap),
+                draining: false,
+            }),
+            available: Condvar::new(),
+            config: config.clone(),
+        });
+        let on_batch: Arc<dyn Fn(usize) + Send + Sync> = Arc::new(on_batch);
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let runner = Arc::clone(&runner);
+                let on_batch = Arc::clone(&on_batch);
+                std::thread::Builder::new()
+                    .name(format!("kamel-batch-{i}"))
+                    .spawn(move || worker_loop(&shared, &*runner, &*on_batch))
+                    .expect("spawn batch worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Submits one request. Returns a [`Ticket`] for its output, or the
+    /// shedding decision when the queue is full or draining.
+    pub fn submit(&self, input: I) -> Result<Ticket<O>, SubmitError> {
+        let mut queue = self.shared.queue.lock().unwrap();
+        if queue.draining {
+            return Err(SubmitError::Draining);
+        }
+        if queue.items.len() >= self.shared.config.queue_cap {
+            return Err(SubmitError::Overloaded);
+        }
+        let slot = Arc::new(Slot {
+            state: Mutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+        });
+        queue.items.push_back((input, Arc::clone(&slot)));
+        drop(queue);
+        self.shared.available.notify_one();
+        Ok(Ticket(slot))
+    }
+
+    /// Current admission-queue depth (requests accepted but not yet picked
+    /// up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().items.len()
+    }
+
+    /// Drains and stops: refuses new submissions immediately, lets the
+    /// workers finish everything already queued, and joins them.
+    pub fn shutdown(mut self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.draining = true;
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<I, O> Drop for Batcher<I, O> {
+    fn drop(&mut self) {
+        // `shutdown` already joined; a dropped batcher must still release
+        // its workers instead of leaking them.
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.draining = true;
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop<I: 'static, O: 'static>(
+    shared: &Shared<I, O>,
+    runner: &dyn BatchRunner<I, O>,
+    on_batch: &(dyn Fn(usize) + Send + Sync),
+) {
+    loop {
+        let batch: Vec<(I, Arc<Slot<O>>)> = {
+            let mut queue = shared.queue.lock().unwrap();
+            // Wait for the first request (or the drain signal).
+            while queue.items.is_empty() {
+                if queue.draining {
+                    return;
+                }
+                queue = shared.available.wait(queue).unwrap();
+            }
+            // Linger for more, up to batch_wait past the first pickup —
+            // unless the batch is already full or the server is draining.
+            if !shared.config.batch_wait.is_zero() {
+                let deadline = Instant::now() + shared.config.batch_wait;
+                while queue.items.len() < shared.config.batch_max && !queue.draining {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, timeout) = shared
+                        .available
+                        .wait_timeout(queue, deadline - now)
+                        .unwrap();
+                    queue = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            let n = queue.items.len().min(shared.config.batch_max);
+            queue.items.drain(..n).collect()
+        };
+        // More work may remain queued (we took at most batch_max): hand it
+        // to an idle sibling while this worker runs the batch.
+        shared.available.notify_one();
+        on_batch(batch.len());
+        let (inputs, slots): (Vec<I>, Vec<Arc<Slot<O>>>) = batch.into_iter().unzip();
+        let outputs = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            runner.run_batch(inputs)
+        }));
+        match outputs {
+            Ok(outputs) => {
+                let got = outputs.len();
+                let mut outputs = outputs.into_iter();
+                for (i, slot) in slots.iter().enumerate() {
+                    match outputs.next() {
+                        Some(out) => slot.fill(SlotState::Ready(out)),
+                        None => {
+                            debug_assert!(false, "runner returned {got} outputs for {i}+ inputs");
+                            slot.fill(SlotState::Failed);
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                // A panicking runner must not hang the waiters.
+                for slot in &slots {
+                    slot.fill(SlotState::Failed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    fn far() -> Instant {
+        Instant::now() + Duration::from_secs(30)
+    }
+
+    /// A runner that doubles its inputs and records every batch size.
+    fn doubling(batches: Arc<Mutex<Vec<usize>>>) -> Arc<dyn BatchRunner<u64, u64>> {
+        Arc::new(move |batch: Vec<u64>| {
+            batches.lock().unwrap().push(batch.len());
+            batch.into_iter().map(|x| x * 2).collect()
+        })
+    }
+
+    #[test]
+    fn single_request_roundtrip() {
+        let batches = Arc::new(Mutex::new(Vec::new()));
+        let b = Batcher::start(
+            BatcherConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            doubling(Arc::clone(&batches)),
+            |_| {},
+        );
+        let ticket = b.submit(21).unwrap();
+        assert_eq!(ticket.wait_deadline(far()), Ok(42));
+        b.shutdown();
+        assert_eq!(batches.lock().unwrap().iter().sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn outputs_scatter_in_submission_order() {
+        let batches = Arc::new(Mutex::new(Vec::new()));
+        let b = Batcher::start(
+            BatcherConfig {
+                workers: 2,
+                batch_max: 8,
+                batch_wait: Duration::from_millis(5),
+                queue_cap: 64,
+            },
+            doubling(Arc::clone(&batches)),
+            |_| {},
+        );
+        let tickets: Vec<_> = (0..40u64).map(|i| b.submit(i).unwrap()).collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait_deadline(far()), Ok(i as u64 * 2));
+        }
+        b.shutdown();
+        let sizes = batches.lock().unwrap();
+        assert_eq!(sizes.iter().sum::<usize>(), 40);
+        assert!(sizes.iter().all(|&s| (1..=8).contains(&s)), "{sizes:?}");
+    }
+
+    #[test]
+    fn lingering_coalesces_concurrent_requests() {
+        let batches = Arc::new(Mutex::new(Vec::new()));
+        let b = Batcher::start(
+            BatcherConfig {
+                workers: 1,
+                batch_max: 32,
+                batch_wait: Duration::from_millis(80),
+                queue_cap: 64,
+            },
+            doubling(Arc::clone(&batches)),
+            |_| {},
+        );
+        // Submissions landing within the linger window join one batch.
+        let tickets: Vec<_> = (0..10u64).map(|i| b.submit(i).unwrap()).collect();
+        for t in tickets {
+            t.wait_deadline(far()).unwrap();
+        }
+        b.shutdown();
+        let sizes = batches.lock().unwrap();
+        assert!(
+            sizes.iter().any(|&s| s > 1),
+            "no coalescing happened: {sizes:?}"
+        );
+    }
+
+    /// A runner that blocks until released through a channel.
+    struct Gated {
+        entered: mpsc::SyncSender<()>,
+        release: Mutex<mpsc::Receiver<()>>,
+    }
+
+    impl BatchRunner<u64, u64> for Gated {
+        fn run_batch(&self, batch: Vec<u64>) -> Vec<u64> {
+            let _ = self.entered.send(());
+            let _ = self.release.lock().unwrap().recv();
+            batch
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_exactly_the_overflow() {
+        const CAP: usize = 4;
+        const OVERFLOW: usize = 3;
+        let (entered_tx, entered_rx) = mpsc::sync_channel(8);
+        let (release_tx, release_rx) = mpsc::sync_channel::<()>(8);
+        let b = Batcher::start(
+            BatcherConfig {
+                workers: 1,
+                batch_max: 1,
+                batch_wait: Duration::ZERO,
+                queue_cap: CAP,
+            },
+            Arc::new(Gated {
+                entered: entered_tx,
+                release: Mutex::new(release_rx),
+            }),
+            |_| {},
+        );
+        // First request occupies the (only) worker inside the gate …
+        let first = b.submit(0).unwrap();
+        entered_rx.recv().unwrap();
+        // … so the next CAP requests exactly fill the queue …
+        let queued: Vec<_> = (1..=CAP as u64).map(|i| b.submit(i).unwrap()).collect();
+        assert_eq!(b.queue_depth(), CAP);
+        // … and everything beyond is shed, deterministically.
+        for _ in 0..OVERFLOW {
+            assert_eq!(b.submit(99).unwrap_err(), SubmitError::Overloaded);
+        }
+        // Release the gate: the occupant and all queued requests complete.
+        for _ in 0..(1 + CAP) {
+            release_tx.send(()).unwrap();
+        }
+        assert_eq!(first.wait_deadline(far()), Ok(0));
+        for (i, t) in queued.into_iter().enumerate() {
+            assert_eq!(t.wait_deadline(far()), Ok(i as u64 + 1));
+        }
+        b.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work_and_refuses_new() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = Arc::clone(&done);
+        let b: Batcher<u64, u64> = Batcher::start(
+            BatcherConfig {
+                workers: 1,
+                batch_max: 4,
+                batch_wait: Duration::from_millis(50),
+                queue_cap: 64,
+            },
+            Arc::new(move |batch: Vec<u64>| {
+                std::thread::sleep(Duration::from_millis(10));
+                done2.fetch_add(batch.len(), Ordering::SeqCst);
+                batch
+            }),
+            |_| {},
+        );
+        let tickets: Vec<_> = (0..12u64).map(|i| b.submit(i).unwrap()).collect();
+        b.shutdown(); // drains everything already accepted
+        assert_eq!(done.load(Ordering::SeqCst), 12);
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait_deadline(far()), Ok(i as u64));
+        }
+    }
+
+    #[test]
+    fn draining_batcher_refuses_submissions() {
+        let b: Batcher<u64, u64> = Batcher::start(
+            BatcherConfig::default(),
+            Arc::new(|batch: Vec<u64>| batch),
+            |_| {},
+        );
+        {
+            b.shared.queue.lock().unwrap().draining = true;
+        }
+        assert_eq!(b.submit(1).unwrap_err(), SubmitError::Draining);
+    }
+
+    #[test]
+    fn deadline_miss_returns_deadline_error() {
+        let (release_tx, release_rx) = mpsc::sync_channel::<()>(1);
+        let (entered_tx, _entered_rx) = mpsc::sync_channel(1);
+        let b = Batcher::start(
+            BatcherConfig {
+                workers: 1,
+                batch_max: 1,
+                batch_wait: Duration::ZERO,
+                queue_cap: 4,
+            },
+            Arc::new(Gated {
+                entered: entered_tx,
+                release: Mutex::new(release_rx),
+            }),
+            |_| {},
+        );
+        let ticket = b.submit(7).unwrap();
+        let verdict = ticket.wait_deadline(Instant::now() + Duration::from_millis(20));
+        assert_eq!(verdict, Err(WaitError::Deadline));
+        release_tx.send(()).unwrap();
+        b.shutdown();
+    }
+
+    #[test]
+    fn panicking_runner_fails_tickets_instead_of_hanging() {
+        let b: Batcher<u64, u64> = Batcher::start(
+            BatcherConfig {
+                workers: 1,
+                batch_max: 4,
+                batch_wait: Duration::from_millis(5),
+                queue_cap: 8,
+            },
+            Arc::new(|_batch: Vec<u64>| -> Vec<u64> { panic!("boom") }),
+            |_| {},
+        );
+        let ticket = b.submit(1).unwrap();
+        assert_eq!(ticket.wait_deadline(far()), Err(WaitError::Failed));
+        // The worker survives the panic and keeps serving.
+        let ticket = b.submit(2).unwrap();
+        assert_eq!(ticket.wait_deadline(far()), Err(WaitError::Failed));
+        b.shutdown();
+    }
+
+    #[test]
+    fn on_batch_observes_every_batch() {
+        let observed = Arc::new(AtomicUsize::new(0));
+        let observed2 = Arc::clone(&observed);
+        let b: Batcher<u64, u64> = Batcher::start(
+            BatcherConfig {
+                workers: 2,
+                batch_max: 4,
+                batch_wait: Duration::from_millis(2),
+                queue_cap: 64,
+            },
+            Arc::new(|batch: Vec<u64>| batch),
+            move |n| {
+                observed2.fetch_add(n, Ordering::SeqCst);
+            },
+        );
+        let tickets: Vec<_> = (0..9u64).map(|i| b.submit(i).unwrap()).collect();
+        for t in tickets {
+            t.wait_deadline(far()).unwrap();
+        }
+        b.shutdown();
+        assert_eq!(observed.load(Ordering::SeqCst), 9);
+    }
+}

@@ -1,0 +1,142 @@
+//! A tiny blocking HTTP/1.1 client over `std::net::TcpStream`.
+//!
+//! Just enough to drive the server from the integration tests, the
+//! `bench_serve` load generator, and the CI smoke job — one connection,
+//! sequential keep-alive requests, `Content-Length` bodies only.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive connection to the server.
+pub struct Client {
+    stream: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects with a read/write timeout (applied per request).
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream: BufReader::new(stream),
+        })
+    }
+
+    /// Sends `GET path`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// Sends `POST path` with a JSON body.
+    pub fn post_json(&mut self, path: &str, body: &[u8]) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<ClientResponse> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: kamel\r\n");
+        if let Some(body) = body {
+            head.push_str("content-type: application/json\r\n");
+            head.push_str(&format!("content-length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        let stream = self.stream.get_mut();
+        stream.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            stream.write_all(body)?;
+        }
+        stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_data(format!("bad status line `{status_line}`")))?;
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad_data(format!("bad header `{line}`")))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let len: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| bad_data("response without content-length".into()))?;
+        let mut body = vec![0u8; len];
+        self.stream.read_exact(&mut body)?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// Reads one CRLF-terminated line, excluding the terminator.
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = Vec::with_capacity(64);
+        loop {
+            let mut byte = [0u8; 1];
+            let n = self.stream.read(&mut byte)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            if byte[0] == b'\n' {
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return String::from_utf8(line).map_err(|_| bad_data("non-UTF-8 line".into()));
+            }
+            line.push(byte[0]);
+        }
+    }
+}
+
+fn bad_data(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}

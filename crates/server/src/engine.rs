@@ -1,0 +1,106 @@
+//! The real [`WireService`]: JSON in, `Kamel` imputation, JSON out.
+//!
+//! This is the only module of the crate that touches serde or the trained
+//! system; everything else (framing, batching, caching, shedding,
+//! shutdown) is `std`-only and tested against stub services.
+
+use crate::server::{fnv1a, CacheKey, WireService};
+use kamel::{ImputedTrajectory, Kamel};
+use kamel_geo::Trajectory;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The `POST /v1/impute` response body.
+///
+/// The dense trajectory plus the per-request imputation summary (the
+/// fields a caller needs to judge the result without re-deriving them from
+/// the point list).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImputeResponse {
+    /// The dense output: all original fixes plus imputed points, in time
+    /// order.
+    pub trajectory: Trajectory,
+    /// Number of gaps that required imputation.
+    pub gap_count: usize,
+    /// Number of imputed (non-original) points.
+    pub imputed_points: usize,
+    /// Gaps that fell back to a straight line (the paper's failures, §8).
+    pub failed_gaps: usize,
+    /// Total masked-language-model calls across all gaps.
+    pub model_calls: usize,
+}
+
+impl ImputeResponse {
+    /// Builds the wire response for one imputation result.
+    pub fn from_result(result: ImputedTrajectory) -> Self {
+        Self {
+            gap_count: result.gaps.len(),
+            imputed_points: result.imputed_points(),
+            failed_gaps: result.gaps.iter().filter(|g| g.outcome.failed).count(),
+            model_calls: result.model_calls(),
+            trajectory: result.trajectory,
+        }
+    }
+}
+
+/// [`WireService`] over a shared trained system.
+///
+/// Batches assembled by the server's micro-batcher go straight to
+/// [`Kamel::impute_batch`], so a burst of concurrent single-trajectory
+/// requests costs one batched call — and produces outputs identical to
+/// imputing each request alone (batch imputation is order-preserving and
+/// per-trajectory independent).
+pub struct ImputeEngine {
+    kamel: Arc<Kamel>,
+}
+
+impl ImputeEngine {
+    /// Wraps a (typically trained) system.
+    pub fn new(kamel: Arc<Kamel>) -> Self {
+        Self { kamel }
+    }
+
+    /// The underlying system.
+    pub fn kamel(&self) -> &Arc<Kamel> {
+        &self.kamel
+    }
+}
+
+impl WireService for ImputeEngine {
+    type Job = Trajectory;
+    type Out = ImputedTrajectory;
+
+    fn parse(&self, body: &[u8]) -> Result<Trajectory, String> {
+        let sparse: Trajectory =
+            serde_json::from_slice(body).map_err(|e| format!("invalid trajectory JSON: {e}"))?;
+        for (i, p) in sparse.points.iter().enumerate() {
+            if !p.pos.lat.is_finite() || !p.pos.lng.is_finite() || !p.t.is_finite() {
+                return Err(format!("fix {i} has a non-finite coordinate or timestamp"));
+            }
+        }
+        Ok(sparse)
+    }
+
+    fn cache_key(&self, job: &Trajectory) -> Option<CacheKey> {
+        // Untrained systems have no tokenizer, so jobs are uncacheable
+        // (and the linear fallback is cheap anyway).
+        let (cells, spans) = self.kamel.gap_context(job)?;
+        let digest = fnv1a(job.points.iter().flat_map(|p| {
+            [p.pos.lat.to_bits(), p.pos.lng.to_bits(), p.t.to_bits()]
+        }));
+        Some(CacheKey {
+            cells: cells.into_iter().map(|c| c.0).collect(),
+            spans: spans.into_iter().map(f64::to_bits).collect(),
+            digest,
+        })
+    }
+
+    fn run_batch(&self, jobs: Vec<Trajectory>) -> Vec<ImputedTrajectory> {
+        self.kamel.impute_batch(&jobs)
+    }
+
+    fn render(&self, out: &ImputedTrajectory) -> Vec<u8> {
+        serde_json::to_vec(&ImputeResponse::from_result(out.clone()))
+            .unwrap_or_else(|e| format!("{{\"error\":\"render failed: {e}\"}}").into_bytes())
+    }
+}

@@ -1,0 +1,357 @@
+//! Minimal HTTP/1.1 framing over `std::io` streams.
+//!
+//! Supports exactly what the imputation service needs: request-line +
+//! headers + `Content-Length` bodies, keep-alive connections, and plain
+//! (non-chunked) responses. No external dependencies — the build
+//! environment has no crates registry, so the wire protocol is hand-rolled
+//! on `std` and covered by unit tests against in-memory streams.
+
+use std::io::{BufRead, Write};
+
+/// Hard cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on a request body.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (with query string, if any).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` was present).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked to close the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadError {
+    /// The peer closed the connection before sending a request line —
+    /// the normal end of a keep-alive connection, not an error to report.
+    ConnectionClosed,
+    /// The socket read timed out with no request bytes pending — an idle
+    /// keep-alive connection. The caller should poll its shutdown flag and
+    /// try again.
+    Idle,
+    /// The request violated the protocol or a size cap; the response
+    /// status and message to answer with before closing.
+    Bad(u16, String),
+    /// The underlying transport failed mid-request.
+    Io(String),
+}
+
+/// Reads one request from `stream`. Blocks until a full request arrives,
+/// the peer closes, or the stream errors (honouring any read timeout set
+/// on the underlying socket).
+pub fn read_request(stream: &mut impl BufRead) -> Result<Request, ReadError> {
+    let mut line = Vec::with_capacity(256);
+    read_line_crlf(stream, &mut line, true)?;
+    let request_line = String::from_utf8(line)
+        .map_err(|_| ReadError::Bad(400, "request line is not UTF-8".into()))?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => {
+            return Err(ReadError::Bad(
+                400,
+                format!("malformed request line `{request_line}`"),
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Bad(505, format!("unsupported version {version}")));
+    }
+    let mut headers = Vec::with_capacity(8);
+    let mut head_bytes = request_line.len();
+    loop {
+        let mut line = Vec::with_capacity(64);
+        read_line_crlf(stream, &mut line, false)?;
+        if line.is_empty() {
+            break;
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ReadError::Bad(431, "request head too large".into()));
+        }
+        let text = String::from_utf8(line)
+            .map_err(|_| ReadError::Bad(400, "header is not UTF-8".into()))?;
+        let Some((name, value)) = text.split_once(':') else {
+            return Err(ReadError::Bad(400, format!("malformed header `{text}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| ReadError::Bad(400, format!("bad content-length `{len}`")))?;
+        if len > MAX_BODY_BYTES {
+            return Err(ReadError::Bad(413, "request body too large".into()));
+        }
+        let mut body = vec![0u8; len];
+        stream
+            .read_exact(&mut body)
+            .map_err(|e| ReadError::Io(format!("reading body: {e}")))?;
+        request.body = body;
+    } else if request.header("transfer-encoding").is_some() {
+        return Err(ReadError::Bad(501, "chunked bodies are not supported".into()));
+    }
+    Ok(request)
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, excluding the
+/// terminator. `at_start` distinguishes a clean connection close (no bytes
+/// at all before EOF) from a truncated request.
+fn read_line_crlf(
+    stream: &mut impl BufRead,
+    line: &mut Vec<u8>,
+    at_start: bool,
+) -> Result<(), ReadError> {
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return if at_start && line.is_empty() {
+                    Err(ReadError::ConnectionClosed)
+                } else {
+                    Err(ReadError::Io("connection closed mid-request".into()))
+                };
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(());
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_HEAD_BYTES {
+                    return Err(ReadError::Bad(431, "request line too long".into()));
+                }
+            }
+            Err(e) => {
+                let timed_out = matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                );
+                return if timed_out && at_start && line.is_empty() {
+                    Err(ReadError::Idle)
+                } else {
+                    Err(ReadError::Io(e.to_string()))
+                };
+            }
+        }
+    }
+}
+
+/// An HTTP response under construction.
+pub struct Response {
+    /// Status code (200, 503, …).
+    pub status: u16,
+    /// Extra headers beyond `Content-Length`/`Content-Type`/`Connection`.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A response with the given status and plain-text body.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+            content_type: "text/plain; charset=utf-8",
+        }
+    }
+
+    /// A 200 response with a JSON body.
+    pub fn json(body: Vec<u8>) -> Self {
+        Self {
+            status: 200,
+            headers: Vec::new(),
+            body,
+            content_type: "application/json",
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serializes and writes the response. `close` controls the
+    /// `Connection` header (and must match what the caller then does with
+    /// the socket).
+    pub fn write_to(&self, stream: &mut impl Write, close: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            b"POST /v1/impute HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/impute");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.body, b"");
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn bare_lf_lines_are_tolerated() {
+        let req = parse(b"GET / HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn clean_eof_is_connection_closed() {
+        assert_eq!(parse(b"").unwrap_err(), ReadError::ConnectionClosed);
+    }
+
+    #[test]
+    fn truncated_request_is_io_error() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err(),
+            ReadError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn garbage_and_bad_lengths_are_4xx() {
+        assert!(matches!(parse(b"GARBAGE\r\n\r\n").unwrap_err(),
+            ReadError::Bad(400, _)));
+        assert!(matches!(
+            parse(b"NOT A REQUEST\r\n\r\n").unwrap_err(),
+            ReadError::Bad(505, _), // three tokens, but not HTTP/1.x
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").unwrap_err(),
+            ReadError::Bad(400, _)
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/2.0\r\n\r\n").unwrap_err(),
+            ReadError::Bad(505, _)
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_up_front() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(
+            parse(raw.as_bytes()).unwrap_err(),
+            ReadError::Bad(413, _)
+        ));
+    }
+
+    #[test]
+    fn response_roundtrips_through_the_parser() {
+        let mut wire = Vec::new();
+        Response::json(b"{\"ok\":true}".to_vec())
+            .with_header("x-kamel-cache", "hit")
+            .write_to(&mut wire, false)
+            .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 11\r\n"), "{text}");
+        assert!(text.contains("x-kamel-cache: hit\r\n"), "{text}");
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn retry_after_headers_render() {
+        let mut wire = Vec::new();
+        Response::text(503, "overloaded")
+            .with_header("retry-after", "1")
+            .write_to(&mut wire, true)
+            .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+    }
+}

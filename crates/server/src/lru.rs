@@ -1,0 +1,222 @@
+//! A fixed-capacity LRU map for the online imputation cache.
+//!
+//! Implemented as a slab of doubly-linked entries plus a `HashMap` from key
+//! to slab slot, so `get`/`insert` are O(1) and nothing is allocated per
+//! touch. The cache keeps its own hit/miss counters because the serving
+//! metrics report a cache hit rate over the process lifetime, not just the
+//! currently-resident entries.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A least-recently-used cache with `get`/`insert` in O(1).
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot.
+    tail: usize,
+    /// Slots freed by eviction, reusable by the next insert.
+    free: Vec<usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries. A capacity of 0
+    /// disables the cache: every lookup misses and inserts are dropped.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(4096)),
+            slab: Vec::with_capacity(capacity.min(4096)),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime (hits, misses) counts over all lookups.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Looks up `key`, marking the entry most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(slot) => {
+                self.hits += 1;
+                self.detach(slot);
+                self.attach_front(slot);
+                Some(&self.slab[slot].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry when
+    /// at capacity. Replacing an existing key refreshes its recency.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(slot) = self.map.get(&key).copied() {
+            self.slab[slot].value = value;
+            self.detach(slot);
+            self.attach_front(slot);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL, "non-empty cache has a tail");
+            self.detach(lru);
+            self.map.remove(&self.slab[lru].key.clone());
+            self.free.push(lru);
+        }
+        let entry = Entry {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = entry;
+                slot
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.attach_front(slot);
+    }
+
+    /// Unlinks `slot` from the recency list.
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = NIL;
+    }
+
+    /// Links `slot` in as the most-recently-used entry.
+    fn attach_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        match self.head {
+            NIL => self.tail = slot,
+            h => self.slab[h].prev = slot,
+        }
+        self.head = slot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "a");
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.counters(), (1, 1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(c.get(&1), Some(&10));
+        c.insert(3, 30);
+        assert_eq!(c.get(&2), None, "2 was evicted");
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&3), Some(&30));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh: 2 is now LRU
+        c.insert(3, 30);
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.get(&2), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+        assert_eq!(c.counters(), (0, 1));
+    }
+
+    #[test]
+    fn capacity_one_churns_correctly() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        for i in 0..100 {
+            c.insert(i, i * 2);
+            assert_eq!(c.get(&i), Some(&(i * 2)));
+            if i > 0 {
+                assert_eq!(c.get(&(i - 1)), None);
+            }
+        }
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_reuses_slab_slots() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        for i in 0..1000 {
+            c.insert(i, i);
+        }
+        assert_eq!(c.len(), 3);
+        assert!(c.slab.len() <= 4, "slab grew past capacity: {}", c.slab.len());
+        for i in 997..1000 {
+            assert_eq!(c.get(&i), Some(&i));
+        }
+    }
+}

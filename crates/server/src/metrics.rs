@@ -1,0 +1,255 @@
+//! Serving metrics: lock-free counters and fixed-bucket histograms,
+//! rendered as a Prometheus-style text page for `GET /metrics`.
+//!
+//! Everything is plain atomics so the hot path (one request) costs a
+//! handful of relaxed increments; `render` reads whatever is current
+//! without stopping the world.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (inclusive) of the request-latency buckets, in
+/// microseconds. The final implicit bucket is +Inf.
+pub const LATENCY_BUCKETS_US: [u64; 12] = [
+    250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000,
+];
+
+/// Upper bounds (inclusive) of the imputation batch-size buckets. The
+/// final implicit bucket is +Inf.
+pub const BATCH_BUCKETS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// A fixed-bucket histogram of `u64` observations.
+pub struct Histogram<const N: usize> {
+    bounds: [u64; N],
+    buckets: [AtomicU64; N],
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl<const N: usize> Histogram<N> {
+    /// Creates a histogram with the given inclusive upper bounds.
+    pub fn new(bounds: [u64; N]) -> Self {
+        Self {
+            bounds,
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        match self.bounds.iter().position(|&b| value <= b) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Renders cumulative `_bucket`/`_sum`/`_count` lines for `name`.
+    fn render_into(&self, name: &str, out: &mut String) {
+        use std::fmt::Write;
+        let mut cumulative = 0u64;
+        for (bound, bucket) in self.bounds.iter().zip(&self.buckets) {
+            cumulative += bucket.load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += self.overflow.load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", self.sum());
+        let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+}
+
+/// All serving metrics, shared via `Arc` between handlers and `/metrics`.
+pub struct Metrics {
+    /// Requests fully processed, by outcome.
+    pub requests_ok: AtomicU64,
+    /// Malformed requests (bad method/path/JSON) answered 4xx.
+    pub requests_bad: AtomicU64,
+    /// Requests shed by admission control (503).
+    pub requests_shed: AtomicU64,
+    /// Requests that missed their deadline (504).
+    pub requests_deadline: AtomicU64,
+    /// Imputation cache hits.
+    pub cache_hits: AtomicU64,
+    /// Imputation cache misses.
+    pub cache_misses: AtomicU64,
+    /// Current admission-queue depth.
+    pub queue_depth: AtomicU64,
+    /// End-to-end `/v1/impute` handling latency in microseconds.
+    pub latency_us: Histogram<12>,
+    /// Trajectories per `impute_batch` call made by the micro-batcher.
+    pub batch_size: Histogram<8>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self {
+            requests_ok: AtomicU64::new(0),
+            requests_bad: AtomicU64::new(0),
+            requests_shed: AtomicU64::new(0),
+            requests_deadline: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            latency_us: Histogram::new(LATENCY_BUCKETS_US),
+            batch_size: Histogram::new(BATCH_BUCKETS),
+        }
+    }
+
+    /// Lifetime cache hit rate in [0, 1] (`None` before any lookup).
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let total = hits + self.cache_misses.load(Ordering::Relaxed);
+        if total == 0 {
+            None
+        } else {
+            Some(hits as f64 / total as f64)
+        }
+    }
+
+    /// The `GET /metrics` page.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(2048);
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        counter(
+            &mut out,
+            "kamel_requests_ok_total",
+            "Imputation requests answered 200.",
+            self.requests_ok.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "kamel_requests_bad_total",
+            "Malformed requests answered 4xx.",
+            self.requests_bad.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "kamel_requests_shed_total",
+            "Requests shed by admission control (503).",
+            self.requests_shed.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "kamel_requests_deadline_total",
+            "Requests that missed their deadline (504).",
+            self.requests_deadline.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "kamel_cache_hits_total",
+            "Imputation cache hits.",
+            self.cache_hits.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "kamel_cache_misses_total",
+            "Imputation cache misses.",
+            self.cache_misses.load(Ordering::Relaxed),
+        );
+        let _ = writeln!(out, "# HELP kamel_cache_hit_rate Lifetime cache hit rate.");
+        let _ = writeln!(out, "# TYPE kamel_cache_hit_rate gauge");
+        let _ = writeln!(
+            out,
+            "kamel_cache_hit_rate {:.6}",
+            self.cache_hit_rate().unwrap_or(0.0)
+        );
+        let _ = writeln!(out, "# HELP kamel_queue_depth Current admission-queue depth.");
+        let _ = writeln!(out, "# TYPE kamel_queue_depth gauge");
+        let _ = writeln!(
+            out,
+            "kamel_queue_depth {}",
+            self.queue_depth.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP kamel_request_latency_us /v1/impute handling latency (µs)."
+        );
+        let _ = writeln!(out, "# TYPE kamel_request_latency_us histogram");
+        self.latency_us.render_into("kamel_request_latency_us", &mut out);
+        let _ = writeln!(
+            out,
+            "# HELP kamel_batch_size Trajectories per micro-batched impute_batch call."
+        );
+        let _ = writeln!(out, "# TYPE kamel_batch_size histogram");
+        self.batch_size.render_into("kamel_batch_size", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h: Histogram<3> = Histogram::new([10, 100, 1000]);
+        h.observe(5);
+        h.observe(10); // inclusive upper bound
+        h.observe(500);
+        h.observe(5000); // overflow
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 5515);
+        let mut s = String::new();
+        h.render_into("x", &mut s);
+        assert!(s.contains("x_bucket{le=\"10\"} 2"), "{s}");
+        assert!(s.contains("x_bucket{le=\"100\"} 2"), "{s}");
+        assert!(s.contains("x_bucket{le=\"1000\"} 3"), "{s}");
+        assert!(s.contains("x_bucket{le=\"+Inf\"} 4"), "{s}");
+        assert!(s.contains("x_count 4"), "{s}");
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_and_mixed() {
+        let m = Metrics::new();
+        assert_eq!(m.cache_hit_rate(), None);
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(m.cache_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn render_mentions_every_series() {
+        let m = Metrics::new();
+        m.requests_ok.fetch_add(2, Ordering::Relaxed);
+        m.latency_us.observe(1234);
+        m.batch_size.observe(4);
+        let page = m.render();
+        for series in [
+            "kamel_requests_ok_total 2",
+            "kamel_requests_shed_total 0",
+            "kamel_cache_hit_rate",
+            "kamel_queue_depth 0",
+            "kamel_request_latency_us_count 1",
+            "kamel_batch_size_count 1",
+        ] {
+            assert!(page.contains(series), "missing {series} in:\n{page}");
+        }
+    }
+}

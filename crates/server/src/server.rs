@@ -1,0 +1,774 @@
+//! The online imputation service: accept loop, connection handlers,
+//! routing, response cache, and graceful shutdown.
+//!
+//! The HTTP machinery is generic over a [`WireService`] — parse, batch
+//! execution, cache keying, and rendering live behind that trait — so
+//! everything in this module runs (and is tested) against stub services
+//! with no trained models involved. `crates/server/src/engine.rs` provides
+//! the real implementation over an `Arc<Kamel>`.
+//!
+//! Threading model:
+//!
+//! * 1 accept thread — non-blocking accept + shutdown poll, hands sockets
+//!   to a bounded channel;
+//! * N connection handlers — read requests (keep-alive), route, and for
+//!   `/v1/impute` park on a batcher [`crate::batcher::Ticket`];
+//! * M batch workers (inside [`crate::batcher::Batcher`]) — coalesce
+//!   queued trajectories and run the engine's `impute_batch`.
+//!
+//! Shutdown: trip the flag → the accept thread stops accepting and exits →
+//! handlers finish the request in flight on each connection, then close it
+//! → the batcher drains everything already admitted → all threads join.
+
+use crate::batcher::{Batcher, BatcherConfig, SubmitError, WaitError};
+use crate::http::{read_request, ReadError, Request, Response};
+use crate::lru::LruCache;
+use crate::metrics::Metrics;
+use crate::shutdown::ShutdownFlag;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Cache key for one imputation request: the tokenized gap context (the
+/// dedup-run cell-id sequence and the planar span of each inter-anchor
+/// gap), plus a digest of the raw fix bytes. The context is the semantic
+/// key — same cells, same gaps, same answer shape — while the digest
+/// guarantees a hit is byte-identical to recomputing (original fixes are
+/// echoed verbatim into the response, so token-equal but coordinate-
+/// different requests must not share an entry).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Dedup-run cell ids along the trajectory.
+    pub cells: Vec<u64>,
+    /// Inter-anchor span of every candidate gap, as `f64` bit patterns.
+    pub spans: Vec<u64>,
+    /// FNV-1a digest of the raw request fixes.
+    pub digest: u64,
+}
+
+/// FNV-1a over a word stream (for [`CacheKey::digest`]).
+pub fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in words {
+        for byte in word.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// The imputation backend as the HTTP layer sees it.
+pub trait WireService: Send + Sync + 'static {
+    /// A parsed, validated request payload (one sparse trajectory).
+    type Job: Send + 'static;
+    /// The imputation result for one job.
+    type Out: Send + 'static;
+
+    /// Parses a request body. `Err` becomes a 400 with the message.
+    fn parse(&self, body: &[u8]) -> Result<Self::Job, String>;
+    /// The cache key for a job, or `None` when this job is uncacheable
+    /// (e.g. the system is untrained, so no tokenizer exists yet).
+    fn cache_key(&self, job: &Self::Job) -> Option<CacheKey>;
+    /// Imputes a coalesced batch; one output per input, in input order.
+    fn run_batch(&self, jobs: Vec<Self::Job>) -> Vec<Self::Out>;
+    /// Renders one output as a JSON body.
+    fn render(&self, out: &Self::Out) -> Vec<u8>;
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Batch workers executing `run_batch` (the imputation compute pool;
+    /// size it from the process thread budget).
+    pub workers: usize,
+    /// Connection-handler threads (each parks cheaply on a ticket while a
+    /// batch runs, so this can comfortably exceed `workers`).
+    pub handlers: usize,
+    /// Largest coalesced batch.
+    pub batch_max: usize,
+    /// How long the batcher lingers for more requests after the first.
+    pub batch_wait: Duration,
+    /// Admission-queue capacity; beyond it requests are shed with 503.
+    pub queue_cap: usize,
+    /// Response-cache capacity in entries; 0 disables the cache.
+    pub cache_entries: usize,
+    /// Per-request deadline; a miss is answered 504.
+    pub deadline: Duration,
+    /// Socket read timeout — the shutdown-poll period for idle keep-alive
+    /// connections.
+    pub idle_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            handlers: 8,
+            batch_max: 16,
+            batch_wait: Duration::from_micros(500),
+            queue_cap: 256,
+            cache_entries: 1024,
+            deadline: Duration::from_secs(10),
+            idle_poll: Duration::from_millis(200),
+        }
+    }
+}
+
+type ResponseCache = Mutex<LruCache<CacheKey, Arc<Vec<u8>>>>;
+
+struct Shared<S: WireService> {
+    service: Arc<S>,
+    metrics: Arc<Metrics>,
+    cache: ResponseCache,
+    config: ServerConfig,
+    flag: ShutdownFlag,
+}
+
+/// A running server. Dropping it without [`Server::shutdown`] aborts
+/// without draining; call `shutdown` for the graceful path.
+pub struct Server {
+    addr: SocketAddr,
+    flag: ShutdownFlag,
+    metrics: Arc<Metrics>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    handler_threads: Vec<std::thread::JoinHandle<()>>,
+    shutdown_batcher: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving.
+    pub fn bind<S: WireService>(
+        addr: &str,
+        service: Arc<S>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Self::serve(listener, service, config)
+    }
+
+    /// Starts serving on an already-bound listener.
+    pub fn serve<S: WireService>(
+        listener: TcpListener,
+        service: Arc<S>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let metrics = Arc::new(Metrics::new());
+        let flag = ShutdownFlag::new();
+        let shared = Arc::new(Shared {
+            service: Arc::clone(&service),
+            metrics: Arc::clone(&metrics),
+            cache: Mutex::new(LruCache::new(config.cache_entries)),
+            config: config.clone(),
+            flag: flag.clone(),
+        });
+        // The imputation pool: batch workers behind the admission queue.
+        let batch_metrics = Arc::clone(&metrics);
+        let batcher: Arc<Batcher<S::Job, S::Out>> = Arc::new(Batcher::start(
+            BatcherConfig {
+                workers: config.workers.max(1),
+                batch_max: config.batch_max.max(1),
+                batch_wait: config.batch_wait,
+                queue_cap: config.queue_cap.max(1),
+            },
+            Arc::new(BatchAdapter(Arc::clone(&service))),
+            move |n| batch_metrics.batch_size.observe(n as u64),
+        ));
+        // Connection handlers drain a bounded socket channel.
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.handlers.max(1) * 2);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let handler_threads = (0..config.handlers.max(1))
+            .map(|i| {
+                let conn_rx = Arc::clone(&conn_rx);
+                let shared = Arc::clone(&shared);
+                let batcher = Arc::clone(&batcher);
+                std::thread::Builder::new()
+                    .name(format!("kamel-http-{i}"))
+                    .spawn(move || handler_loop(&conn_rx, &shared, &batcher))
+                    .expect("spawn connection handler")
+            })
+            .collect();
+        // The accept thread owns `conn_tx`; dropping it on shutdown
+        // disconnects the handlers' channel.
+        let accept_flag = flag.clone();
+        let poll = config.idle_poll.min(Duration::from_millis(50));
+        let accept_thread = std::thread::Builder::new()
+            .name("kamel-accept".into())
+            .spawn(move || {
+                accept_loop(&listener, &conn_tx, &accept_flag, poll);
+                drop(conn_tx);
+            })
+            .expect("spawn accept thread");
+        // Draining the batcher must wait until the handlers are done
+        // (they hold tickets); keep it behind a closure for `shutdown`.
+        let shutdown_batcher: Box<dyn FnOnce() + Send> = Box::new(move || {
+            match Arc::try_unwrap(batcher) {
+                Ok(batcher) => batcher.shutdown(),
+                Err(_) => unreachable!("all handler threads joined before the batcher drain"),
+            }
+        });
+        Ok(Server {
+            addr,
+            flag,
+            metrics,
+            accept_thread: Some(accept_thread),
+            handler_threads,
+            shutdown_batcher: Some(shutdown_batcher),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metrics (shared with the handlers).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Requests a graceful shutdown without waiting (e.g. from a signal
+    /// watcher); follow up with [`Server::shutdown`] to drain and join.
+    pub fn request_shutdown(&self) {
+        self.flag.trip();
+    }
+
+    /// Graceful shutdown: stop accepting, finish every request in flight,
+    /// drain the admitted queue, and join all threads.
+    pub fn shutdown(mut self) {
+        self.flag.trip();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.handler_threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(drain) = self.shutdown_batcher.take() {
+            drain();
+        }
+    }
+}
+
+/// Adapts a [`WireService`] to the batcher's runner trait.
+struct BatchAdapter<S>(Arc<S>);
+
+impl<S: WireService> crate::batcher::BatchRunner<S::Job, S::Out> for BatchAdapter<S> {
+    fn run_batch(&self, batch: Vec<S::Job>) -> Vec<S::Out> {
+        self.0.run_batch(batch)
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    conn_tx: &mpsc::SyncSender<TcpStream>,
+    flag: &ShutdownFlag,
+    poll: Duration,
+) {
+    while !flag.is_tripped() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if conn_tx.send(stream).is_err() {
+                    return; // handlers are gone; nothing to serve
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(poll);
+            }
+            Err(_) => std::thread::sleep(poll),
+        }
+    }
+}
+
+fn handler_loop<S: WireService>(
+    conn_rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    shared: &Shared<S>,
+    batcher: &Batcher<S::Job, S::Out>,
+) {
+    loop {
+        // Holding the receiver lock only while dequeueing.
+        let conn = conn_rx.lock().unwrap().recv();
+        match conn {
+            Ok(stream) => handle_connection(stream, shared, batcher),
+            Err(_) => return, // accept thread exited and the queue is dry
+        }
+    }
+}
+
+fn handle_connection<S: WireService>(
+    stream: TcpStream,
+    shared: &Shared<S>,
+    batcher: &Batcher<S::Job, S::Out>,
+) {
+    if stream.set_nonblocking(false).is_err()
+        || stream
+            .set_read_timeout(Some(shared.config.idle_poll))
+            .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shared.flag.is_tripped() {
+            return; // draining: no further requests on this connection
+        }
+        match read_request(&mut reader) {
+            Ok(request) => {
+                let close = request.wants_close();
+                let response = route(&request, shared, batcher);
+                // A shed or draining response also closes the connection so
+                // the client re-establishes after backing off.
+                let close = close || response.status == 503;
+                if response.write_to(&mut write_half, close).is_err() || close {
+                    return;
+                }
+            }
+            Err(ReadError::Idle) => continue, // poll the shutdown flag
+            Err(ReadError::ConnectionClosed) => return,
+            Err(ReadError::Bad(status, msg)) => {
+                let _ = Response::text(status, msg).write_to(&mut write_half, true);
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+        }
+    }
+}
+
+fn route<S: WireService>(
+    request: &Request,
+    shared: &Shared<S>,
+    batcher: &Batcher<S::Job, S::Out>,
+) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/impute") => impute(&request.body, shared, batcher),
+        ("GET", "/healthz") => {
+            if shared.flag.is_tripped() {
+                Response::text(503, "draining\n")
+            } else {
+                Response::text(200, "ok\n")
+            }
+        }
+        ("GET", "/metrics") => {
+            // The queue-depth gauge is sampled at scrape time.
+            shared
+                .metrics
+                .queue_depth
+                .store(batcher.queue_depth() as u64, Ordering::Relaxed);
+            Response::text(200, shared.metrics.render())
+        }
+        (_, "/v1/impute") | (_, "/healthz") | (_, "/metrics") => {
+            Response::text(405, "method not allowed\n")
+        }
+        _ => Response::text(404, "not found\n"),
+    }
+}
+
+fn impute<S: WireService>(
+    body: &[u8],
+    shared: &Shared<S>,
+    batcher: &Batcher<S::Job, S::Out>,
+) -> Response {
+    let start = Instant::now();
+    let metrics = &shared.metrics;
+    let job = match shared.service.parse(body) {
+        Ok(job) => job,
+        Err(msg) => {
+            metrics.requests_bad.fetch_add(1, Ordering::Relaxed);
+            return Response::text(400, format!("bad request: {msg}\n"));
+        }
+    };
+    // Cache lookup (only when enabled and the job is keyable).
+    let key = if shared.config.cache_entries > 0 {
+        shared.service.cache_key(&job)
+    } else {
+        None
+    };
+    if let Some(key) = &key {
+        let hit = shared.cache.lock().unwrap().get(key).cloned();
+        if let Some(bytes) = hit {
+            metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+            observe_latency(metrics, start);
+            return Response::json(bytes.as_ref().clone()).with_header("x-kamel-cache", "hit");
+        }
+        metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+    // Admission + micro-batching.
+    let ticket = match batcher.submit(job) {
+        Ok(ticket) => ticket,
+        Err(SubmitError::Overloaded) => {
+            metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
+            observe_latency(metrics, start);
+            return Response::text(503, "overloaded: admission queue full\n")
+                .with_header("retry-after", "1");
+        }
+        Err(SubmitError::Draining) => {
+            metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
+            observe_latency(metrics, start);
+            return Response::text(503, "draining: server is shutting down\n")
+                .with_header("retry-after", "1");
+        }
+    };
+    match ticket.wait_deadline(start + shared.config.deadline) {
+        Ok(out) => {
+            let bytes = shared.service.render(&out);
+            if let Some(key) = key {
+                shared
+                    .cache
+                    .lock()
+                    .unwrap()
+                    .insert(key, Arc::new(bytes.clone()));
+            }
+            metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+            observe_latency(metrics, start);
+            Response::json(bytes).with_header("x-kamel-cache", "miss")
+        }
+        Err(WaitError::Deadline) => {
+            metrics.requests_deadline.fetch_add(1, Ordering::Relaxed);
+            observe_latency(metrics, start);
+            Response::text(504, "deadline exceeded\n")
+        }
+        Err(WaitError::Failed) => {
+            metrics.requests_bad.fetch_add(1, Ordering::Relaxed);
+            observe_latency(metrics, start);
+            Response::text(500, "imputation failed\n")
+        }
+    }
+}
+
+fn observe_latency(metrics: &Metrics, start: Instant) {
+    metrics
+        .latency_us
+        .observe(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A stub backend: jobs are UTF-8 strings, imputation is uppercasing.
+    /// Bodies starting with `nokey:` are uncacheable; empty bodies fail to
+    /// parse. A gate (when installed) blocks `run_batch` until released.
+    struct StubService {
+        batches: Mutex<Vec<usize>>,
+        calls: AtomicUsize,
+        gate: Option<(mpsc::SyncSender<()>, Mutex<mpsc::Receiver<()>>)>,
+    }
+
+    impl StubService {
+        fn new() -> Self {
+            Self {
+                batches: Mutex::new(Vec::new()),
+                calls: AtomicUsize::new(0),
+                gate: None,
+            }
+        }
+    }
+
+    impl WireService for StubService {
+        type Job = String;
+        type Out = String;
+
+        fn parse(&self, body: &[u8]) -> Result<String, String> {
+            let text = std::str::from_utf8(body).map_err(|e| e.to_string())?;
+            if text.is_empty() {
+                return Err("empty body".into());
+            }
+            Ok(text.to_string())
+        }
+
+        fn cache_key(&self, job: &String) -> Option<CacheKey> {
+            if job.starts_with("nokey:") {
+                return None;
+            }
+            Some(CacheKey {
+                cells: vec![job.len() as u64],
+                spans: Vec::new(),
+                digest: fnv1a(job.bytes().map(|b| b as u64)),
+            })
+        }
+
+        fn run_batch(&self, jobs: Vec<String>) -> Vec<String> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            self.batches.lock().unwrap().push(jobs.len());
+            if let Some((entered, release)) = &self.gate {
+                let _ = entered.send(());
+                let _ = release.lock().unwrap().recv();
+            }
+            jobs.into_iter().map(|j| j.to_uppercase()).collect()
+        }
+
+        fn render(&self, out: &String) -> Vec<u8> {
+            out.clone().into_bytes()
+        }
+    }
+
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            handlers: 8,
+            batch_max: 8,
+            batch_wait: Duration::from_millis(2),
+            queue_cap: 32,
+            cache_entries: 64,
+            deadline: Duration::from_secs(5),
+            idle_poll: Duration::from_millis(50),
+        }
+    }
+
+    fn start(service: Arc<StubService>, config: ServerConfig) -> Server {
+        Server::bind("127.0.0.1:0", service, config).expect("bind")
+    }
+
+    fn client(server: &Server) -> Client {
+        Client::connect(server.local_addr(), Duration::from_secs(5)).expect("connect")
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let server = start(Arc::new(StubService::new()), test_config());
+        let mut c = client(&server);
+        let health = c.get("/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert_eq!(health.text(), "ok\n");
+        assert_eq!(c.get("/nope").unwrap().status, 404);
+        assert_eq!(c.post_json("/healthz", b"x").unwrap().status, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn impute_roundtrip_and_keepalive() {
+        let server = start(Arc::new(StubService::new()), test_config());
+        let mut c = client(&server);
+        for i in 0..5 {
+            let body = format!("nokey:hello-{i}");
+            let resp = c.post_json("/v1/impute", body.as_bytes()).unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.text());
+            assert_eq!(resp.text(), body.to_uppercase());
+            assert_eq!(resp.header("x-kamel-cache"), Some("miss"));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_bodies_get_400() {
+        let server = start(Arc::new(StubService::new()), test_config());
+        let mut c = client(&server);
+        let resp = c.post_json("/v1/impute", b"").unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(resp.text().contains("empty body"), "{}", resp.text());
+        let ok = c.post_json("/v1/impute", b"nokey:still-works").unwrap();
+        assert_eq!(ok.status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn second_identical_request_hits_the_cache() {
+        let service = Arc::new(StubService::new());
+        let server = start(Arc::clone(&service), test_config());
+        let mut c = client(&server);
+        let first = c.post_json("/v1/impute", b"cache-me").unwrap();
+        assert_eq!(first.header("x-kamel-cache"), Some("miss"));
+        let second = c.post_json("/v1/impute", b"cache-me").unwrap();
+        assert_eq!(second.header("x-kamel-cache"), Some("hit"));
+        assert_eq!(first.body, second.body, "hit must be byte-identical");
+        assert_eq!(service.calls.load(Ordering::SeqCst), 1, "no recompute");
+        // Metrics recorded the hit.
+        assert_eq!(
+            server.metrics().cache_hits.load(Ordering::Relaxed),
+            1
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn cache_disabled_never_hits() {
+        let service = Arc::new(StubService::new());
+        let server = start(
+            Arc::clone(&service),
+            ServerConfig {
+                cache_entries: 0,
+                ..test_config()
+            },
+        );
+        let mut c = client(&server);
+        for _ in 0..2 {
+            let resp = c.post_json("/v1/impute", b"cache-me").unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.header("x-kamel-cache"), Some("miss"));
+        }
+        assert_eq!(service.calls.load(Ordering::SeqCst), 2);
+        assert_eq!(server.metrics().cache_hits.load(Ordering::Relaxed), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_all_get_their_own_answers() {
+        let service = Arc::new(StubService::new());
+        let server = start(Arc::clone(&service), test_config());
+        let addr = server.local_addr();
+        let threads: Vec<_> = (0..12)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr, Duration::from_secs(5)).unwrap();
+                    let body = format!("nokey:client-{i}");
+                    let resp = c.post_json("/v1/impute", body.as_bytes()).unwrap();
+                    assert_eq!(resp.status, 200);
+                    assert_eq!(resp.text(), body.to_uppercase());
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Coalescing happened across at least one batch (not 12 singleton
+        // calls is not guaranteed under scheduling variance, so only assert
+        // the totals line up).
+        let total: usize = service.batches.lock().unwrap().iter().sum();
+        assert_eq!(total, 12);
+        server.shutdown();
+    }
+
+    #[test]
+    fn overload_sheds_exactly_the_overflow_with_503() {
+        const CAP: usize = 4;
+        const OVERFLOW: usize = 3;
+        let (entered_tx, entered_rx) = mpsc::sync_channel(64);
+        let (release_tx, release_rx) = mpsc::sync_channel::<()>(64);
+        let mut service = StubService::new();
+        service.gate = Some((entered_tx, Mutex::new(release_rx)));
+        let server = start(
+            Arc::new(service),
+            ServerConfig {
+                workers: 1,
+                handlers: 2 + CAP + OVERFLOW,
+                batch_max: 1,
+                batch_wait: Duration::ZERO,
+                queue_cap: CAP,
+                cache_entries: 0,
+                ..test_config()
+            },
+        );
+        let addr = server.local_addr();
+        let request_thread = |i: usize| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr, Duration::from_secs(10)).unwrap();
+                let body = format!("nokey:req-{i}");
+                c.post_json("/v1/impute", body.as_bytes()).unwrap().status
+            })
+        };
+        // One request occupies the single gated batch worker…
+        let occupant = request_thread(0);
+        entered_rx.recv().unwrap();
+        // …then CAP requests fill the admission queue exactly.
+        let queued: Vec<_> = (1..=CAP).map(request_thread).collect();
+        let depth_deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let depth = {
+                let mut c = Client::connect(addr, Duration::from_secs(5)).unwrap();
+                let page = c.get("/metrics").unwrap().text();
+                page.lines()
+                    .find(|l| l.starts_with("kamel_queue_depth "))
+                    .and_then(|l| l.rsplit(' ').next()?.parse::<usize>().ok())
+                    .unwrap_or(0)
+            };
+            if depth == CAP {
+                break;
+            }
+            assert!(
+                Instant::now() < depth_deadline,
+                "queue never filled (depth {depth})"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Every further request is shed: exactly OVERFLOW 503s.
+        let shed: Vec<_> = (0..OVERFLOW)
+            .map(|i| request_thread(100 + i))
+            .map(|t| t.join().unwrap())
+            .collect();
+        assert_eq!(shed, vec![503; OVERFLOW]);
+        // Release the gate: occupant + queued all complete with 200.
+        for _ in 0..(1 + CAP) {
+            release_tx.send(()).unwrap();
+        }
+        assert_eq!(occupant.join().unwrap(), 200);
+        for t in queued {
+            assert_eq!(t.join().unwrap(), 200);
+        }
+        assert_eq!(
+            server.metrics().requests_shed.load(Ordering::Relaxed),
+            OVERFLOW as u64
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_page_reflects_traffic() {
+        let server = start(Arc::new(StubService::new()), test_config());
+        let mut c = client(&server);
+        c.post_json("/v1/impute", b"nokey:x").unwrap();
+        c.post_json("/v1/impute", b"keyed").unwrap();
+        c.post_json("/v1/impute", b"keyed").unwrap();
+        let page = c.get("/metrics").unwrap().text();
+        assert!(page.contains("kamel_requests_ok_total 3"), "{page}");
+        assert!(page.contains("kamel_cache_hits_total 1"), "{page}");
+        assert!(page.contains("kamel_cache_misses_total 1"), "{page}");
+        assert!(page.contains("kamel_request_latency_us_count 3"), "{page}");
+        assert!(page.contains("kamel_batch_size"), "{page}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_in_flight_requests() {
+        let (entered_tx, entered_rx) = mpsc::sync_channel(64);
+        let (release_tx, release_rx) = mpsc::sync_channel::<()>(64);
+        let mut service = StubService::new();
+        service.gate = Some((entered_tx, Mutex::new(release_rx)));
+        let server = start(
+            Arc::new(service),
+            ServerConfig {
+                workers: 1,
+                batch_max: 1,
+                batch_wait: Duration::ZERO,
+                ..test_config()
+            },
+        );
+        let addr = server.local_addr();
+        // An in-flight request, parked inside the gated engine.
+        let inflight = std::thread::spawn(move || {
+            let mut c = Client::connect(addr, Duration::from_secs(10)).unwrap();
+            c.post_json("/v1/impute", b"nokey:inflight")
+                .unwrap()
+                .status
+        });
+        entered_rx.recv().unwrap();
+        // Begin shutdown from another thread while the request is in
+        // flight, then release the engine so the drain can finish.
+        server.request_shutdown();
+        let drain = std::thread::spawn(move || server.shutdown());
+        std::thread::sleep(Duration::from_millis(50));
+        release_tx.send(()).unwrap();
+        assert_eq!(inflight.join().unwrap(), 200, "in-flight request drained");
+        drain.join().unwrap();
+        // New connections are refused (accept loop is gone).
+        assert!(Client::connect(addr, Duration::from_millis(300)).is_err());
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_sensitive() {
+        assert_eq!(fnv1a([]), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a([1]), fnv1a([2]));
+        assert_ne!(fnv1a([1, 2]), fnv1a([2, 1]));
+        assert_eq!(fnv1a([7, 8, 9]), fnv1a([7, 8, 9]));
+    }
+}

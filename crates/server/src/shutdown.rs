@@ -1,0 +1,117 @@
+//! Graceful-shutdown plumbing.
+//!
+//! A [`ShutdownFlag`] is a shared boolean the accept loop polls between
+//! `accept` attempts and connection handlers consult before reading the
+//! next keep-alive request. [`install_signal_handlers`] arms SIGINT
+//! (ctrl-c) and SIGTERM to trip the process-wide flag — via a direct
+//! `signal(2)` FFI declaration, since the build environment has no crates
+//! registry for a signal crate and an atomic store is async-signal-safe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared "stop now" flag.
+#[derive(Clone, Default)]
+pub struct ShutdownFlag(Arc<AtomicBool>);
+
+impl ShutdownFlag {
+    /// Creates an untripped flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the flag; idempotent.
+    pub fn trip(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// True once tripped.
+    pub fn is_tripped(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// The flag tripped by SIGINT/SIGTERM. Process-wide because a signal
+/// handler cannot capture state.
+static SIGNAL_TRIPPED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    use super::SIGNAL_TRIPPED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        SIGNAL_TRIPPED.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        // `signal(2)` from the libc that std already links. The handler
+        // address is passed as the platform's `sighandler_t` (a pointer-
+        // sized integer).
+        unsafe extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub(super) fn install() {
+        // No signal story off unix; shutdown still works via
+        // `ShutdownFlag::trip` (e.g. from a test or an admin thread).
+    }
+}
+
+/// Arms SIGINT/SIGTERM to request a graceful shutdown, and returns a flag
+/// view that also reflects those signals. Safe to call more than once.
+pub fn install_signal_handlers() -> SignalFlag {
+    sys::install();
+    SignalFlag
+}
+
+/// A read-only view of the process signal flag.
+#[derive(Clone, Copy)]
+pub struct SignalFlag;
+
+impl SignalFlag {
+    /// True once SIGINT or SIGTERM arrived.
+    pub fn is_tripped(&self) -> bool {
+        SIGNAL_TRIPPED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_trips_once_and_stays() {
+        let f = ShutdownFlag::new();
+        assert!(!f.is_tripped());
+        let g = f.clone();
+        f.trip();
+        assert!(f.is_tripped());
+        assert!(g.is_tripped(), "clones share the flag");
+        f.trip();
+        assert!(f.is_tripped());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn signal_handler_installation_is_idempotent() {
+        let a = install_signal_handlers();
+        let _b = install_signal_handlers();
+        // The flag itself is only tripped by a real signal; here we only
+        // assert installation does not crash and the view is readable.
+        let _ = a.is_tripped();
+    }
+}

@@ -450,4 +450,110 @@ mod tests {
     fn mismatched_arrays_rejected() {
         let _ = TokenTrajectory::new(vec![CellId::from_coords(0, 0)], vec![], vec![0.0]);
     }
+
+    #[test]
+    fn empty_store_answers_every_query_empty() {
+        let store = TrajStore::new(100.0);
+        let region = BBox::new(Xy::new(0.0, 0.0), Xy::new(1000.0, 1000.0));
+        assert!(store.is_empty());
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.total_tokens(), 0);
+        assert!(store.enclosed_ids(&region).is_empty());
+        assert!(store.enclosed(&region).is_empty());
+        assert_eq!(store.token_count_in(&region), 0);
+        assert!(store.clipped_cell_runs(&region, 1).is_empty());
+        assert!(store.get(0).is_none());
+        assert_eq!(store.iter().count(), 0);
+        let mut store = store;
+        assert!(store.remove(0).is_none());
+        store.compact(); // no-op on empty must not panic
+    }
+
+    #[test]
+    fn enclosed_ids_are_ascending_and_deduplicated() {
+        let mut store = TrajStore::new(100.0);
+        // Each trajectory spans several index buckets, so its id is listed
+        // in multiple buckets and the query must deduplicate.
+        let ids: Vec<TrajId> = (0..5)
+            .map(|i| {
+                let off = i as f64 * 10.0;
+                store
+                    .insert(traj(&[(off, off), (350.0 + off, 350.0 + off)]))
+                    .unwrap()
+            })
+            .collect();
+        let region = BBox::new(Xy::new(-50.0, -50.0), Xy::new(450.0, 450.0));
+        let got = store.enclosed_ids(&region);
+        assert_eq!(got, ids, "ascending insertion order, no duplicates");
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+        // The same guarantee survives a serde roundtrip (HashMap iteration
+        // order must never leak into query results).
+        let back: TrajStore =
+            serde_json::from_str(&serde_json::to_string(&store).unwrap()).unwrap();
+        assert_eq!(back.enclosed_ids(&region), ids);
+    }
+
+    #[test]
+    fn clipped_cell_runs_splits_at_region_exits() {
+        let mut store = TrajStore::new(100.0);
+        // In (2 fixes) → out (1 fix) → in (3 fixes): two runs.
+        store.insert(traj(&[
+            (10.0, 10.0),
+            (20.0, 20.0),
+            (500.0, 500.0),
+            (30.0, 30.0),
+            (40.0, 40.0),
+            (50.0, 50.0),
+        ]));
+        let region = BBox::new(Xy::new(0.0, 0.0), Xy::new(100.0, 100.0));
+        let runs = store.clipped_cell_runs(&region, 1);
+        let mut lens: Vec<usize> = runs.iter().map(Vec::len).collect();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![2, 3]);
+        // min_len drops the shorter run but keeps the longer one.
+        let runs = store.clipped_cell_runs(&region, 3);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len(), 3);
+        // Runs preserve the original cell order.
+        let expected: Vec<CellId> = [(30.0, 30.0), (40.0, 40.0), (50.0, 50.0)]
+            .iter()
+            .map(|&(x, y)| CellId::from_coords((x / 75.0) as i32, (y / 75.0) as i32))
+            .collect();
+        assert_eq!(runs[0], expected);
+    }
+
+    #[test]
+    fn clipped_cell_runs_cover_enclosed_and_crossing_traffic() {
+        let mut store = TrajStore::new(100.0);
+        // Fully enclosed: one run with every fix.
+        store.insert(traj(&[(10.0, 10.0), (20.0, 20.0), (30.0, 30.0)]));
+        // Crossing: only the in-region prefix contributes.
+        store.insert(traj(&[(60.0, 60.0), (80.0, 80.0), (900.0, 900.0)]));
+        // Disjoint: contributes nothing.
+        store.insert(traj(&[(800.0, 800.0), (850.0, 850.0)]));
+        let region = BBox::new(Xy::new(0.0, 0.0), Xy::new(100.0, 100.0));
+        let runs = store.clipped_cell_runs(&region, 1);
+        let mut lens: Vec<usize> = runs.iter().map(Vec::len).collect();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![2, 3], "enclosed run + clipped crossing run");
+        // Total in-region fixes agree with the token count query.
+        assert_eq!(
+            store.token_count_in(&region),
+            lens.iter().sum::<usize>() as u64
+        );
+    }
+
+    #[test]
+    fn insert_query_roundtrip_preserves_payload() {
+        let mut store = TrajStore::new(100.0);
+        let original = traj(&[(10.0, 10.0), (90.0, 40.0), (95.0, 95.0)]);
+        let id = store.insert(original.clone()).unwrap();
+        // Lookup by id and by region return the same untouched record.
+        assert_eq!(store.get(id), Some(&original));
+        let region = BBox::new(Xy::new(0.0, 0.0), Xy::new(100.0, 100.0));
+        assert_eq!(store.enclosed(&region), vec![&original]);
+        // Removal returns exactly what was inserted.
+        assert_eq!(store.remove(id), Some(original));
+        assert!(store.enclosed(&region).is_empty());
+    }
 }
