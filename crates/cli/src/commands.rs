@@ -1,6 +1,7 @@
 //! The CLI subcommands.
 
 use crate::csvio::{read_trajectories, write_trajectories};
+use crate::progress::{progress_path, TrainProgress};
 use crate::Flags;
 use kamel::pipeline::tune_cell_size_detailed;
 use kamel::{GridKind, Kamel, KamelConfig, KamelConfigBuilder};
@@ -9,7 +10,8 @@ use kamel_eval::EvalContext;
 use kamel_lm::{BertEngineConfig, EngineConfig, NgramConfig};
 use kamel_roadsim::{Dataset, DatasetScale};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, Write};
+use std::path::Path;
 
 fn open_trajectories(path: &str) -> Result<Vec<kamel_geo::Trajectory>, String> {
     let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
@@ -17,10 +19,12 @@ fn open_trajectories(path: &str) -> Result<Vec<kamel_geo::Trajectory>, String> {
 }
 
 fn save_trajectories(path: &str, trajs: &[kamel_geo::Trajectory]) -> Result<(), String> {
-    let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
-    let mut writer = BufWriter::new(file);
-    write_trajectories(&mut writer, trajs)?;
-    writer.flush().map_err(|e| e.to_string())
+    // Buffer the CSV and publish it with the checkpoint layer's temp-file +
+    // rename helper: a crash mid-save leaves the previous file, never a
+    // torn one.
+    let mut buf = Vec::new();
+    write_trajectories(&mut buf, trajs)?;
+    kamel::checkpoint::write_file_atomic(path, &buf).map_err(|e| format!("write {path}: {e}"))
 }
 
 /// Shared KAMEL options exposed on `train`.
@@ -99,6 +103,10 @@ pub fn generate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
 }
 
 /// `kamel train`: train (or extend) a model from a trajectory CSV.
+///
+/// With `--checkpoint-every N` the run saves a model checkpoint (plus a
+/// `<model>.progress` record) every `N` trajectories; after a crash,
+/// `--resume` continues from the last checkpoint instead of restarting.
 pub fn train(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     if args.iter().any(|a| a == "--help") {
         let _ = writeln!(
@@ -107,14 +115,25 @@ pub fn train(args: &[String], out: &mut dyn Write) -> Result<(), String> {
              [--max-gap-m N] [--beam-size N] [--grid hex|square] \
              [--engine ngram|bert|bert-tiny] [--pyramid-height N] \
              [--pyramid-maintained N] [--threshold-k N] [--split-gap-s N] \
-             [--threads N]"
+             [--threads N] [--checkpoint-every N] [--resume] \
+             [--stop-after N] [--throttle-ms N]\n\
+             --checkpoint-every N  save the model every N trajectories\n\
+             --resume              continue an interrupted checkpointed run\n\
+             --stop-after N        exit cleanly at the first checkpoint >= N \
+             trajectories (testing hook)\n\
+             --throttle-ms N       sleep N ms after each checkpoint (testing hook)"
         );
         return Ok(());
     }
-    let flags = Flags::parse(args, &["--append"])?;
+    let flags = Flags::parse(args, &["--append", "--resume"])?;
     let input = flags.required("--input")?;
     let model_path = flags.required("--model")?;
-    let mut trajectories = open_trajectories(input)?;
+    // Read the input once as raw bytes: the digest binds resume to the
+    // exact file content, and the parser reads from the same buffer.
+    let raw = std::fs::read(input).map_err(|e| format!("open {input}: {e}"))?;
+    let input_digest = kamel::checkpoint::fnv1a64(&raw);
+    let mut trajectories =
+        read_trajectories(BufReader::new(raw.as_slice())).map_err(|e| format!("{input}: {e}"))?;
     // Messy logs concatenate trips per vehicle id; split at long time gaps
     // before training when asked.
     let split_gap_s = flags.get_f64("--split-gap-s", 0.0)?;
@@ -127,20 +146,107 @@ pub fn train(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     if trajectories.is_empty() {
         return Err(format!("{input}: no trajectories"));
     }
-    // --append continues training an existing model; otherwise start fresh
-    // with the configured options.
-    let kamel = if flags.has("--append") {
-        Kamel::load_from_file(model_path).map_err(|e| e.to_string())?
+    let total = trajectories.len();
+    let checkpoint_every = flags.get_f64("--checkpoint-every", 0.0)? as usize;
+    let stop_after = flags.get_f64("--stop-after", 0.0)? as usize;
+    let throttle_ms = flags.get_f64("--throttle-ms", 0.0)? as u64;
+    let ppath = progress_path(model_path);
+
+    // Resolve the starting model, resume position, and checkpoint cadence.
+    let (kamel, start, every, base_stored) = if flags.has("--resume") {
+        let Some(record) = TrainProgress::load(&ppath)? else {
+            if Path::new(model_path).exists() {
+                let _ = writeln!(
+                    out,
+                    "nothing to resume: {model_path} has no progress record \
+                     (the previous run completed)"
+                );
+                return Ok(());
+            }
+            return Err(format!(
+                "--resume: no progress record at {} and no model at {model_path}; \
+                 run without --resume to start fresh",
+                ppath.display()
+            ));
+        };
+        if record.input_digest != input_digest {
+            return Err(format!(
+                "--resume: {input} is not the interrupted run's input (digest mismatch); \
+                 restore the original file or retrain without --resume"
+            ));
+        }
+        let kamel = Kamel::load_from_file(model_path).map_err(|e| e.to_string())?;
+        // The checkpoint, not the record, is the authority on progress: a
+        // crash can land between the model save and the record save, so
+        // recompute the consumed count from the model itself.
+        let stored = kamel.stats().map_or(0, |s| s.stored_trajectories);
+        let consumed = stored.saturating_sub(record.base_stored);
+        if consumed > total {
+            return Err(format!(
+                "--resume: checkpoint is ahead of the input ({consumed} > {total} \
+                 trajectories); the input file shrank since the interrupted run"
+            ));
+        }
+        let every = if checkpoint_every > 0 {
+            checkpoint_every
+        } else {
+            record.checkpoint_every
+        };
+        let _ = writeln!(out, "resuming {model_path} at trajectory {consumed}/{total}");
+        (kamel, consumed, every, record.base_stored)
+    } else if flags.has("--append") {
+        // --append continues training an existing model.
+        let kamel = Kamel::load_from_file(model_path).map_err(|e| e.to_string())?;
+        let base = kamel.stats().map_or(0, |s| s.stored_trajectories);
+        (kamel, 0, checkpoint_every, base)
     } else {
-        Kamel::new(config_from_flags(&flags)?)
+        (Kamel::new(config_from_flags(&flags)?), 0, checkpoint_every, 0)
     };
-    kamel.train(&trajectories);
-    kamel.save_to_file(model_path).map_err(|e| e.to_string())?;
+
+    if start >= total {
+        // The interrupted run had already consumed the whole input; the
+        // crash landed after the final checkpoint but before cleanup.
+        let _ = std::fs::remove_file(&ppath);
+    } else if every == 0 && stop_after == 0 {
+        // Single-shot path: train everything, save once.
+        kamel.train(&trajectories[start..]);
+        kamel.save_to_file(model_path).map_err(|e| e.to_string())?;
+        let _ = std::fs::remove_file(&ppath);
+    } else {
+        let chunk = if every == 0 { total } else { every };
+        let mut consumed = start;
+        while consumed < total {
+            let end = (consumed + chunk).min(total);
+            kamel.train(&trajectories[consumed..end]);
+            consumed = end;
+            kamel.save_to_file(model_path).map_err(|e| e.to_string())?;
+            TrainProgress {
+                input_digest,
+                consumed,
+                base_stored,
+                checkpoint_every: chunk,
+            }
+            .save(&ppath)?;
+            let _ = writeln!(out, "checkpoint: {consumed}/{total} trajectories -> {model_path}");
+            let _ = out.flush();
+            if stop_after > 0 && consumed >= stop_after && consumed < total {
+                let _ = writeln!(
+                    out,
+                    "stopped after {consumed}/{total} trajectories (--stop-after); \
+                     continue with --resume"
+                );
+                return Ok(());
+            }
+            if throttle_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(throttle_ms));
+            }
+        }
+        let _ = std::fs::remove_file(&ppath);
+    }
     let stats = kamel.stats().expect("trained");
     let _ = writeln!(
         out,
-        "trained on {} trajectories: {} models, {} stored tokens -> {model_path}",
-        trajectories.len(),
+        "trained on {total} trajectories: {} models, {} stored tokens -> {model_path}",
         stats.models,
         stats.stored_tokens
     );
@@ -288,11 +394,9 @@ pub fn export(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let trajectories = open_trajectories(flags.required("--input")?)?;
     let doc = kamel_roadsim::trajectories_to_geojson(&trajectories);
     let output = flags.required("--output")?;
-    std::fs::write(
-        output,
-        serde_json::to_string(&doc).map_err(|e| e.to_string())?,
-    )
-    .map_err(|e| format!("write {output}: {e}"))?;
+    let json = serde_json::to_string(&doc).map_err(|e| e.to_string())?;
+    kamel::checkpoint::write_file_atomic(output, json.as_bytes())
+        .map_err(|e| format!("write {output}: {e}"))?;
     let _ = writeln!(
         out,
         "exported {} trajectories as GeoJSON -> {output}",
@@ -304,7 +408,9 @@ pub fn export(args: &[String], out: &mut dyn Write) -> Result<(), String> {
 /// `kamel serve`: the online imputation service (DESIGN.md §5).
 ///
 /// Loads a trained model, binds the HTTP endpoint, and runs until SIGINT
-/// or SIGTERM, then drains in-flight requests before exiting.
+/// or SIGTERM, then drains in-flight requests before exiting. SIGHUP (or
+/// `POST /admin/reload`) re-reads `--model` and hot-swaps it without
+/// dropping connections.
 pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     if args.iter().any(|a| a == "--help") {
         let _ = writeln!(
@@ -312,12 +418,14 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             "kamel serve --model FILE [--addr HOST:PORT] [--threads N] [--batch-max N]\n\
              \x20           [--batch-wait-us N] [--cache-entries N] [--queue-cap N]\n\
              \x20           [--deadline-ms N]\n\
-             serves POST /v1/impute, GET /healthz, GET /metrics until SIGTERM/ctrl-c"
+             serves POST /v1/impute, POST /admin/reload, GET /healthz, GET /metrics\n\
+             until SIGTERM/ctrl-c; SIGHUP hot-reloads the model from --model"
         );
         return Ok(());
     }
     let flags = Flags::parse(args, &[])?;
-    let kamel = Kamel::load_from_file(flags.required("--model")?).map_err(|e| e.to_string())?;
+    let model_path = flags.required("--model")?;
+    let kamel = Kamel::load_from_file(model_path).map_err(|e| e.to_string())?;
     if !kamel.is_trained() {
         let _ = writeln!(out, "warning: model is untrained; serving linear fallback only");
     }
@@ -343,7 +451,10 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     };
     let addr = flags.get("--addr").unwrap_or("127.0.0.1:8080");
     let signals = kamel_server::install_signal_handlers();
-    let engine = std::sync::Arc::new(kamel_server::ImputeEngine::new(std::sync::Arc::new(kamel)));
+    let engine = std::sync::Arc::new(kamel_server::ImputeEngine::with_model_path(
+        std::sync::Arc::new(kamel),
+        std::path::PathBuf::from(model_path),
+    ));
     let server = kamel_server::Server::bind(addr, engine, config.clone())
         .map_err(|e| format!("bind {addr}: {e}"))?;
     let _ = writeln!(
@@ -359,6 +470,20 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     );
     let _ = out.flush();
     while !signals.is_tripped() {
+        if signals.take_hup() {
+            match server.reload() {
+                Ok(msg) => {
+                    let _ = writeln!(out, "SIGHUP: {msg}");
+                }
+                Err(msg) => {
+                    let _ = writeln!(
+                        out,
+                        "SIGHUP reload failed: {msg} (still serving the previous model)"
+                    );
+                }
+            }
+            let _ = out.flush();
+        }
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
     let _ = writeln!(out, "shutdown signal received; draining in-flight requests");

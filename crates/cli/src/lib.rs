@@ -21,6 +21,7 @@
 
 pub mod commands;
 pub mod csvio;
+pub mod progress;
 
 use std::io::Write;
 

@@ -1,0 +1,109 @@
+//! Crash-safe training progress records (`<model>.progress`).
+//!
+//! `kamel train --checkpoint-every N` saves a model checkpoint every `N`
+//! trajectories and persists this tiny JSON record next to it, so an
+//! interrupted run continues with `--resume` instead of restarting. The
+//! record binds itself to the exact input bytes via an FNV-1a digest:
+//! resuming against a different input file is an error, never a silent
+//! divergence.
+//!
+//! The record is *not* the authority on how far training got — the model
+//! checkpoint is. A crash can land between the checkpoint save and the
+//! record save, so `--resume` recomputes the consumed count from the
+//! model's own stored-trajectory counter (minus `base_stored`, the count
+//! the run started from). That makes resume exactly-once: no chunk is
+//! retrained or skipped regardless of where the crash landed.
+
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Where the progress record for `model_path` lives (`<model>.progress`).
+pub fn progress_path(model_path: &str) -> PathBuf {
+    PathBuf::from(format!("{model_path}.progress"))
+}
+
+/// The resume record for an interrupted `kamel train` run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainProgress {
+    /// FNV-1a 64 digest of the raw input file bytes.
+    pub input_digest: u64,
+    /// Trajectories consumed when the record was written (informational;
+    /// the model checkpoint is authoritative — see module docs).
+    pub consumed: usize,
+    /// Stored-trajectory count of the model when the run started (0 for a
+    /// fresh model, the pre-existing count under `--append`).
+    pub base_stored: usize,
+    /// Checkpoint cadence of the interrupted run, reused on resume when
+    /// `--checkpoint-every` is not given again.
+    pub checkpoint_every: usize,
+}
+
+impl TrainProgress {
+    /// Atomically persists the record — the same temp-file + rename
+    /// discipline as model checkpoints; a torn record would poison resume.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let json = serde_json::to_vec(self).map_err(|e| e.to_string())?;
+        kamel::checkpoint::write_file_atomic(path, &json)
+            .map_err(|e| format!("write {}: {e}", path.display()))
+    }
+
+    /// Loads the record; `Ok(None)` when no record exists.
+    pub fn load(path: &Path) -> Result<Option<Self>, String> {
+        let bytes = match std::fs::read(path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("read {}: {e}", path.display())),
+            Ok(b) => b,
+        };
+        serde_json::from_slice(&bytes).map(Some).map_err(|e| {
+            format!(
+                "{}: corrupt progress record ({e}); delete it to start over",
+                path.display()
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kamel_progress_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_and_missing() {
+        let dir = tempdir("roundtrip");
+        let path = dir.join("model.ckpt.progress");
+        assert_eq!(TrainProgress::load(&path).unwrap(), None);
+        let record = TrainProgress {
+            input_digest: 0xDEAD_BEEF_CAFE_F00D,
+            consumed: 80,
+            base_stored: 0,
+            checkpoint_every: 40,
+        };
+        record.save(&path).unwrap();
+        assert_eq!(TrainProgress::load(&path).unwrap(), Some(record));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_record_is_a_clean_error() {
+        let dir = tempdir("corrupt");
+        let path = dir.join("model.ckpt.progress");
+        std::fs::write(&path, b"{\"input_digest\": 12, \"consu").unwrap();
+        let err = TrainProgress::load(&path).unwrap_err();
+        assert!(err.contains("corrupt progress record"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn progress_path_is_model_path_suffixed() {
+        assert_eq!(
+            progress_path("/tmp/m.ckpt"),
+            PathBuf::from("/tmp/m.ckpt.progress")
+        );
+    }
+}

@@ -85,6 +85,84 @@ fn full_workflow() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Crash-safe training: checkpoint mid-run, resume to completion, survive
+/// corruption of the final checkpoint via the `.bak` rotation, and refuse
+/// to resume against a different input file.
+#[test]
+fn checkpoint_resume_workflow() {
+    let dir = workdir().join("ckpt_resume");
+    std::fs::create_dir_all(&dir).unwrap();
+    let train_csv = dir.join("train.csv");
+    let model = dir.join("model.ckpt");
+    let progress = dir.join("model.ckpt.progress");
+    let (train_s, model_s) = (train_csv.to_str().unwrap(), model.to_str().unwrap());
+
+    let (code, out) = run(&["generate", "--city", "porto", "--scale", "small", "--train", train_s]);
+    assert_eq!(code, 0, "{out}");
+    let total: usize = out
+        .split("wrote ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|v| v.parse().ok())
+        .expect("trajectory count in generate output");
+    assert!(total > 80, "corpus too small for this test: {total}");
+
+    // An "interrupted" run: checkpoint every 40 trajectories, stop at 80.
+    let (code, out) = run(&[
+        "train", "--input", train_s, "--model", model_s, "--threshold-k", "150",
+        "--checkpoint-every", "40", "--stop-after", "80",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("checkpoint: 40/"), "{out}");
+    assert!(out.contains("stopped after 80/"), "{out}");
+    assert!(model.exists() && progress.exists());
+
+    // The partial checkpoint is a valid, inspectable model.
+    let (code, out) = run(&["stats", "--model", model_s]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("trajectories: 80"), "{out}");
+
+    // Resume finishes the rest and removes the progress record.
+    let (code, out) = run(&["train", "--input", train_s, "--model", model_s, "--resume"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("resuming") && out.contains("at trajectory 80/"), "{out}");
+    assert!(out.contains(&format!("trained on {total} trajectories")), "{out}");
+    assert!(!progress.exists(), "progress record must be cleaned up");
+    let (code, out) = run(&["stats", "--model", model_s]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains(&format!("trajectories: {total}")), "{out}");
+
+    // Resuming a completed run is a clean no-op.
+    let (code, out) = run(&["train", "--input", train_s, "--model", model_s, "--resume"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("nothing to resume"), "{out}");
+
+    // Corrupt the live checkpoint's tail: stats must fall back to the
+    // rotated .bak and still exit 0.
+    let bytes = std::fs::read(&model).unwrap();
+    std::fs::write(&model, &bytes[..bytes.len() - 64]).unwrap();
+    let (code, out) = run(&["stats", "--model", model_s]);
+    assert_eq!(code, 0, "corrupt checkpoint must recover via .bak: {out}");
+    assert!(out.contains("trajectories:"), "{out}");
+
+    // A resume against a different input file is refused loudly.
+    let model2 = dir.join("model2.ckpt");
+    let model2_s = model2.to_str().unwrap();
+    let (code, out) = run(&[
+        "train", "--input", train_s, "--model", model2_s, "--threshold-k", "150",
+        "--checkpoint-every", "40", "--stop-after", "40",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    let mut csv = std::fs::read(&train_csv).unwrap();
+    csv.extend_from_slice(b"9999,41.15,-8.61,0\n9999,41.15,-8.60,60\n");
+    std::fs::write(&train_csv, &csv).unwrap();
+    let (code, out) = run(&["train", "--input", train_s, "--model", model2_s, "--resume"]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("digest mismatch"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn tune_picks_a_candidate() {
     let dir = workdir();

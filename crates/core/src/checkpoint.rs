@@ -1,0 +1,672 @@
+//! Crash-safe checkpoint container for persisted models.
+//!
+//! The paper positions KAMEL's training as a long-running offline process
+//! whose output is then served online; losing hours of training to a torn
+//! write or a full disk is not acceptable at that scale. This module gives
+//! model persistence three durability properties:
+//!
+//! 1. **Integrity** — a checkpoint is a small binary envelope around the
+//!    serialized model: an 8-byte magic, a format version, the payload
+//!    length, and a CRC32C over the payload (implemented in-repo; the
+//!    build environment has no crates registry). Truncation, bit rot, and
+//!    files from a future format version are all detected at load time
+//!    instead of surfacing as garbage model state.
+//! 2. **Atomicity** — writes go to a same-directory temp file, are
+//!    `sync_all`ed, and only then renamed over the live path, so the live
+//!    file is always either the old or the new checkpoint, never a blend.
+//! 3. **Rotation** — the previous good checkpoint is kept as `<path>.bak`
+//!    (rotated by rename immediately before the new file lands), and the
+//!    loader falls back to it — with a loud warning — whenever the live
+//!    file is missing or fails validation.
+//!
+//! Legacy bare-JSON model files (everything this repo wrote before the
+//! envelope existed) do not start with the magic and are loaded as-is for
+//! backward compatibility.
+//!
+//! The write path is factored over a tiny I/O shim ([`CkptIo`]) so tests
+//! can deterministically inject short writes, `ENOSPC`, and crashes
+//! between the rename steps; the fault implementations are compiled in
+//! tests only.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// First bytes of every enveloped checkpoint.
+pub const MAGIC: &[u8; 8] = b"KAMELCKP";
+/// The (only) envelope version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+/// Envelope header size: magic (8) + version (4) + payload length (8) +
+/// CRC32C (4).
+pub const HEADER_LEN: usize = 24;
+
+/// CRC32C (Castagnoli) lookup table, reflected polynomial 0x82F63B78.
+static CRC32C_TABLE: [u32; 256] = make_crc32c_table();
+
+const fn make_crc32c_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0x82F6_3B78
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32C (Castagnoli) of `bytes`.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32C_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// FNV-1a 64-bit digest of a byte stream (used as the training-input
+/// fingerprint in resume progress records).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Why a byte buffer failed to decode as a checkpoint envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Shorter than a full header despite starting with the magic.
+    TruncatedHeader,
+    /// The envelope claims a format version this build does not know.
+    UnknownVersion(u32),
+    /// File length disagrees with the header's payload length.
+    LengthMismatch {
+        /// Payload bytes the header promised.
+        expected: u64,
+        /// Payload bytes actually present.
+        got: u64,
+    },
+    /// The payload does not match its recorded CRC32C.
+    ChecksumMismatch {
+        /// CRC32C recorded in the header.
+        expected: u32,
+        /// CRC32C of the payload as read.
+        got: u32,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::TruncatedHeader => write!(f, "checkpoint header is truncated"),
+            DecodeError::UnknownVersion(v) => {
+                write!(f, "checkpoint format version {v} is newer than this build understands")
+            }
+            DecodeError::LengthMismatch { expected, got } => {
+                write!(f, "checkpoint payload truncated: header promises {expected} bytes, file holds {got}")
+            }
+            DecodeError::ChecksumMismatch { expected, got } => write!(
+                f,
+                "checkpoint payload corrupt: CRC32C {got:08x} != recorded {expected:08x}"
+            ),
+        }
+    }
+}
+
+/// Wraps `payload` in the versioned, checksummed envelope.
+pub fn encode(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32c(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes an enveloped checkpoint back to its payload, validating magic,
+/// version, length, and checksum. Buffers that do not start with the magic
+/// are legacy bare payloads (pre-envelope model files) and are returned
+/// whole.
+pub fn decode(bytes: &[u8]) -> Result<&[u8], DecodeError> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Ok(bytes); // legacy bare-JSON checkpoint
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(DecodeError::TruncatedHeader);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::UnknownVersion(version));
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let expected_crc = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    let got_len = (bytes.len() - HEADER_LEN) as u64;
+    if got_len != payload_len {
+        return Err(DecodeError::LengthMismatch {
+            expected: payload_len,
+            got: got_len,
+        });
+    }
+    let payload = &bytes[HEADER_LEN..];
+    let got_crc = crc32c(payload);
+    if got_crc != expected_crc {
+        return Err(DecodeError::ChecksumMismatch {
+            expected: expected_crc,
+            got: got_crc,
+        });
+    }
+    Ok(payload)
+}
+
+/// `<path>.bak` — where the previous good checkpoint is rotated to.
+pub fn bak_path(path: &Path) -> PathBuf {
+    sibling(path, ".bak")
+}
+
+/// `<path>.tmp` — the same-directory staging file for atomic writes.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    sibling(path, ".tmp")
+}
+
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(suffix);
+    PathBuf::from(s)
+}
+
+/// The filesystem operations the checkpoint writer performs, factored out
+/// so tests can inject faults at every step. The production implementation
+/// ([`RealIo`]) is a transparent pass-through.
+pub(crate) trait CkptIo {
+    fn write_all(&self, file: &mut File, buf: &[u8]) -> std::io::Result<()>;
+    fn sync(&self, file: &File) -> std::io::Result<()>;
+    /// Called once between the durable temp write and the rename pair; a
+    /// fault here models a process death before any rename ran.
+    fn before_rotate(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+    /// Called between the `live → bak` rotation and the `tmp → live`
+    /// publish; a fault here models a process death between the renames.
+    fn between_renames(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()>;
+}
+
+/// The production shim: plain `std::fs`.
+pub(crate) struct RealIo;
+
+impl CkptIo for RealIo {
+    fn write_all(&self, file: &mut File, buf: &[u8]) -> std::io::Result<()> {
+        file.write_all(buf)
+    }
+
+    fn sync(&self, file: &File) -> std::io::Result<()> {
+        file.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        std::fs::rename(from, to)
+    }
+}
+
+/// Atomically persists `bytes` at `path`:
+///
+/// 1. write + `sync_all` to `<path>.tmp` in the same directory;
+/// 2. when `rotate`, rename an existing live file to `<path>.bak`;
+/// 3. rename `<path>.tmp` over `<path>`;
+/// 4. best-effort fsync of the parent directory so the renames themselves
+///    are durable.
+///
+/// A crash at any point leaves either the old file at `path`, or the new
+/// one at `path`, or (with rotation) the old one at `<path>.bak` with
+/// `path` missing — never a half-written live file. The checkpoint loader
+/// handles all three.
+pub(crate) fn write_atomic_with(
+    io: &dyn CkptIo,
+    path: &Path,
+    bytes: &[u8],
+    rotate: bool,
+) -> std::io::Result<()> {
+    let tmp = tmp_path(path);
+    let mut file = File::create(&tmp)?;
+    io.write_all(&mut file, bytes)?;
+    io.sync(&file)?;
+    drop(file);
+    io.before_rotate()?;
+    if rotate && path.exists() {
+        io.rename(path, &bak_path(path))?;
+    }
+    io.between_renames()?;
+    io.rename(&tmp, path)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// Atomically writes raw bytes at `path` (temp file + sync + rename; an
+/// existing file is replaced in one step, no `.bak` is kept). This is the
+/// envelope-free helper for outputs that are not checkpoints — e.g. CSV
+/// exports — which share the same torn-write failure mode as model saves.
+pub fn write_file_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    write_atomic_with(&RealIo, path.as_ref(), bytes, false)
+}
+
+/// Envelopes `payload` and atomically persists it at `path`, rotating the
+/// previous checkpoint to `<path>.bak` (see [`write_atomic_with`] for the
+/// crash guarantees).
+pub fn save_checkpoint(path: impl AsRef<Path>, payload: &[u8]) -> std::io::Result<()> {
+    write_atomic_with(&RealIo, path.as_ref(), &encode(payload), true)
+}
+
+/// How a checkpoint payload was obtained by [`load_checkpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadedFrom {
+    /// The live file validated cleanly.
+    Live,
+    /// The live file was missing or corrupt; the `.bak` rotation was used.
+    Backup,
+}
+
+/// Loads and validates the checkpoint payload at `path`, falling back to
+/// `<path>.bak` (with a loud warning on stderr) when the live file is
+/// missing, truncated, corrupt, or from an unknown future version.
+///
+/// Returns the payload bytes and where they came from. Errors only when
+/// both the live file and the backup are unusable.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> std::io::Result<(Vec<u8>, LoadedFrom)> {
+    let path = path.as_ref();
+    let primary = read_validated(path);
+    let primary_err = match primary {
+        Ok(payload) => return Ok((payload, LoadedFrom::Live)),
+        Err(e) => e,
+    };
+    let bak = bak_path(path);
+    match read_validated(&bak) {
+        Ok(payload) => {
+            eprintln!(
+                "warning: checkpoint {} is unusable ({primary_err}); \
+                 recovered from backup {}",
+                path.display(),
+                bak.display()
+            );
+            Ok((payload, LoadedFrom::Backup))
+        }
+        Err(bak_err) => Err(std::io::Error::new(
+            primary_err.kind(),
+            format!(
+                "{}: {primary_err} (backup {}: {bak_err})",
+                path.display(),
+                bak.display()
+            ),
+        )),
+    }
+}
+
+/// Reads `path` and decodes its envelope; any validation failure becomes
+/// an `InvalidData` error.
+fn read_validated(path: &Path) -> std::io::Result<Vec<u8>> {
+    let bytes = std::fs::read(path)?;
+    match decode(&bytes) {
+        Ok(payload) => Ok(payload.to_vec()),
+        Err(e) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            e.to_string(),
+        )),
+    }
+}
+
+/// Best-effort fsync of `path`'s parent directory, making the rename pair
+/// durable on filesystems where directory updates are buffered. Failure is
+/// ignored: not all platforms allow opening directories for sync.
+fn sync_parent_dir(path: &Path) {
+    #[cfg(unix)]
+    if let Some(parent) = path.parent() {
+        let parent = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+}
+
+/// Deterministic fault injection for the checkpoint write path, compiled
+/// in tests only. Each fault models one real-world failure the recovery
+/// matrix must survive.
+#[cfg(test)]
+pub(crate) mod faults {
+    use super::CkptIo;
+    use std::fs::File;
+    use std::io::Write;
+    use std::path::Path;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// The injectable failure modes.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub(crate) enum Fault {
+        /// The process dies after `keep` bytes of the temp file reached the
+        /// kernel — a short/torn write. No rename ever runs.
+        ShortWrite {
+            /// Bytes written before the crash.
+            keep: usize,
+        },
+        /// The disk fills after `after` bytes: the write call itself fails
+        /// with `ENOSPC` (`StorageFull`), and the save returns an error.
+        Enospc {
+            /// Bytes written before the device fills.
+            after: usize,
+        },
+        /// The process dies after the temp file is durable but before any
+        /// rename ran: live and backup are untouched, a stray `.tmp`
+        /// remains.
+        CrashBeforeRename,
+        /// The process dies between `live → bak` and `tmp → live`: the
+        /// live path is missing and only the backup holds a checkpoint.
+        CrashBetweenRenames,
+    }
+
+    /// The error kind carried by simulated crashes, so tests can tell a
+    /// deliberate kill from a genuine I/O failure.
+    pub(crate) const CRASH: std::io::ErrorKind = std::io::ErrorKind::Interrupted;
+
+    fn crash(what: &str) -> std::io::Error {
+        std::io::Error::new(CRASH, format!("injected crash: {what}"))
+    }
+
+    /// A [`CkptIo`] that fails exactly once, at the configured point.
+    pub(crate) struct FaultyIo {
+        fault: Fault,
+        written: AtomicUsize,
+    }
+
+    impl FaultyIo {
+        pub(crate) fn new(fault: Fault) -> Self {
+            Self {
+                fault,
+                written: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl CkptIo for FaultyIo {
+        fn write_all(&self, file: &mut File, buf: &[u8]) -> std::io::Result<()> {
+            let cap = match self.fault {
+                Fault::ShortWrite { keep } => Some((keep, true)),
+                Fault::Enospc { after } => Some((after, false)),
+                _ => None,
+            };
+            let Some((cap, is_crash)) = cap else {
+                return file.write_all(buf);
+            };
+            let already = self.written.load(Ordering::SeqCst);
+            let room = cap.saturating_sub(already).min(buf.len());
+            file.write_all(&buf[..room])?;
+            file.sync_all()?; // the partial bytes really are on disk
+            self.written.fetch_add(room, Ordering::SeqCst);
+            if room < buf.len() {
+                return Err(if is_crash {
+                    crash("torn write")
+                } else {
+                    std::io::Error::new(std::io::ErrorKind::StorageFull, "injected ENOSPC")
+                });
+            }
+            Ok(())
+        }
+
+        fn sync(&self, file: &File) -> std::io::Result<()> {
+            file.sync_all()
+        }
+
+        fn before_rotate(&self) -> std::io::Result<()> {
+            if self.fault == Fault::CrashBeforeRename {
+                return Err(crash("before rename"));
+            }
+            Ok(())
+        }
+
+        fn between_renames(&self) -> std::io::Result<()> {
+            if self.fault == Fault::CrashBetweenRenames {
+                return Err(crash("between renames"));
+            }
+            Ok(())
+        }
+
+        fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+            std::fs::rename(from, to)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::faults::{Fault, FaultyIo};
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "kamel_ckpt_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32c_matches_known_vectors() {
+        // RFC 3720 §B.4 test vectors.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn fnv1a64_is_stable_and_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+        assert_eq!(fnv1a64(b"trips.csv"), fnv1a64(b"trips.csv"));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let payload = b"{\"model\":42}";
+        let wire = encode(payload);
+        assert_eq!(&wire[..8], MAGIC);
+        assert_eq!(wire.len(), HEADER_LEN + payload.len());
+        assert_eq!(decode(&wire).unwrap(), payload);
+        // Empty payloads are legal.
+        assert_eq!(decode(&encode(b"")).unwrap(), b"");
+    }
+
+    #[test]
+    fn legacy_bare_json_passes_through() {
+        let legacy = b"{\"config\":{},\"state\":null}";
+        assert_eq!(decode(legacy).unwrap(), legacy);
+        // Short non-magic buffers are legacy too (they will fail JSON
+        // parsing later, which the loader converts into a .bak fallback).
+        assert_eq!(decode(b"{").unwrap(), b"{");
+        assert_eq!(decode(b"").unwrap(), b"");
+    }
+
+    #[test]
+    fn decode_rejects_every_corruption_class() {
+        let wire = encode(b"payload-bytes");
+        // Truncated header.
+        assert_eq!(decode(&wire[..10]), Err(DecodeError::TruncatedHeader));
+        // Unknown future version.
+        let mut future = wire.clone();
+        future[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(decode(&future), Err(DecodeError::UnknownVersion(99)));
+        // Truncated payload.
+        assert!(matches!(
+            decode(&wire[..wire.len() - 3]),
+            Err(DecodeError::LengthMismatch { .. })
+        ));
+        // Trailing garbage.
+        let mut long = wire.clone();
+        long.extend_from_slice(b"xx");
+        assert!(matches!(decode(&long), Err(DecodeError::LengthMismatch { .. })));
+        // Flipped payload bit.
+        let mut flipped = wire.clone();
+        *flipped.last_mut().unwrap() ^= 0x01;
+        assert!(matches!(
+            decode(&flipped),
+            Err(DecodeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_rotation() {
+        let dir = tempdir("rotate");
+        let path = dir.join("model.ckpt");
+        save_checkpoint(&path, b"v1").unwrap();
+        assert_eq!(
+            load_checkpoint(&path).unwrap(),
+            (b"v1".to_vec(), LoadedFrom::Live)
+        );
+        assert!(!bak_path(&path).exists(), "no backup after the first save");
+        save_checkpoint(&path, b"v2").unwrap();
+        assert_eq!(
+            load_checkpoint(&path).unwrap(),
+            (b"v2".to_vec(), LoadedFrom::Live)
+        );
+        // The rotation preserved v1 as the backup.
+        let bak = std::fs::read(bak_path(&path)).unwrap();
+        assert_eq!(decode(&bak).unwrap(), b"v1");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_live_falls_back_to_backup() {
+        let dir = tempdir("fallback");
+        let path = dir.join("model.ckpt");
+        let old = vec![b'o'; 200];
+        let new = vec![b'n'; 200];
+        save_checkpoint(&path, &old).unwrap();
+        save_checkpoint(&path, &new).unwrap();
+        // Truncate the live file's last 64 bytes (the acceptance-criterion
+        // shape): the magic survives, the payload does not.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 64]).unwrap();
+        let (payload, from) = load_checkpoint(&path).unwrap();
+        assert_eq!(from, LoadedFrom::Backup);
+        assert_eq!(payload, old);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_live_with_backup_recovers() {
+        let dir = tempdir("missing_live");
+        let path = dir.join("model.ckpt");
+        save_checkpoint(&path, b"only").unwrap();
+        save_checkpoint(&path, b"newer").unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let (payload, from) = load_checkpoint(&path).unwrap();
+        assert_eq!(from, LoadedFrom::Backup);
+        assert_eq!(payload, b"only");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn both_unusable_is_an_error_naming_both_paths() {
+        let dir = tempdir("both_bad");
+        let path = dir.join("model.ckpt");
+        let err = load_checkpoint(&path).unwrap_err();
+        assert!(err.to_string().contains("model.ckpt"), "{err}");
+        assert!(err.to_string().contains(".bak"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The recovery matrix: for every injected fault, a subsequent load
+    /// must yield exactly the pre-save payload (the save never completed)
+    /// — never a torn or blended file.
+    #[test]
+    fn fault_matrix_never_loses_the_previous_checkpoint() {
+        let new_wire_len = encode(b"NEW-checkpoint-payload").len();
+        let faults = [
+            Fault::ShortWrite { keep: 3 },
+            Fault::ShortWrite { keep: new_wire_len - 1 },
+            Fault::Enospc { after: 0 },
+            Fault::Enospc { after: new_wire_len / 2 },
+            Fault::CrashBeforeRename,
+            Fault::CrashBetweenRenames,
+        ];
+        for (i, fault) in faults.into_iter().enumerate() {
+            let dir = tempdir(&format!("matrix_{i}"));
+            let path = dir.join("model.ckpt");
+            save_checkpoint(&path, b"OLD-checkpoint-payload").unwrap();
+            let io = FaultyIo::new(fault);
+            let err = write_atomic_with(&io, &path, &encode(b"NEW-checkpoint-payload"), true)
+                .expect_err("fault must surface");
+            assert!(
+                err.kind() == super::faults::CRASH
+                    || err.kind() == std::io::ErrorKind::StorageFull,
+                "{fault:?}: unexpected error {err}"
+            );
+            let (payload, _) = load_checkpoint(&path)
+                .unwrap_or_else(|e| panic!("{fault:?}: recovery failed: {e}"));
+            assert_eq!(
+                payload, b"OLD-checkpoint-payload",
+                "{fault:?}: recovered payload is not the pre-save state"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// Bit-flip corruption after a *successful* save: the flip lands on
+    /// the live file, so recovery must hand back the previous checkpoint
+    /// from the rotation. (A flip inside the magic itself demotes the file
+    /// to a "legacy" payload at this layer; the model loader catches that
+    /// class when the payload fails to parse as JSON — covered by the
+    /// pipeline-level recovery tests.)
+    #[test]
+    fn post_save_bit_flip_recovers_previous_checkpoint() {
+        let wire_len = encode(b"NEW").len();
+        // One offset in each validated region: version, length, recorded
+        // CRC, first payload byte, last payload byte.
+        for offset in [8usize, 12, 20, HEADER_LEN, wire_len - 1] {
+            let dir = tempdir(&format!("bitflip_{offset}"));
+            let path = dir.join("model.ckpt");
+            save_checkpoint(&path, b"OLD").unwrap();
+            save_checkpoint(&path, b"NEW").unwrap();
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes[offset] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+            let (payload, from) = load_checkpoint(&path)
+                .unwrap_or_else(|e| panic!("offset {offset}: recovery failed: {e}"));
+            assert_eq!(from, LoadedFrom::Backup, "offset {offset}");
+            assert_eq!(payload, b"OLD", "offset {offset}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn write_file_atomic_replaces_without_rotation() {
+        let dir = tempdir("raw");
+        let path = dir.join("out.csv");
+        write_file_atomic(&path, b"a,b\n1,2\n").unwrap();
+        write_file_atomic(&path, b"a,b\n3,4\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"a,b\n3,4\n");
+        assert!(!bak_path(&path).exists(), "raw writes keep no .bak");
+        assert!(!tmp_path(&path).exists(), "no stray temp file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

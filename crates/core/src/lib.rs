@@ -50,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub mod constraints;

@@ -447,20 +447,66 @@ impl Kamel {
         serde_json::to_string(&doc).map_err(|e| KamelError::Persistence(e.to_string()))
     }
 
-    /// Persists the full trained state to a file (see [`Kamel::to_json`]).
+    /// Persists the full trained state to a file as a crash-safe
+    /// checkpoint: the JSON state is wrapped in a versioned, CRC32C-
+    /// checksummed envelope, written to a same-directory temp file,
+    /// synced, and renamed over `path`, rotating any previous checkpoint
+    /// to `<path>.bak` (see [`crate::checkpoint`]). A crash or full disk
+    /// mid-save leaves the previous checkpoint intact.
     pub fn save_to_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), KamelError> {
         let json = self.to_json()?;
-        std::fs::write(path.as_ref(), json).map_err(|e| {
+        crate::checkpoint::save_checkpoint(path.as_ref(), json.as_bytes()).map_err(|e| {
             KamelError::Persistence(format!("write {}: {e}", path.as_ref().display()))
         })
     }
 
     /// Restores a system persisted with [`Kamel::save_to_file`].
+    ///
+    /// Loads the checkpoint at `path`, validating its envelope (magic,
+    /// version, length, CRC32C); legacy bare-JSON model files load
+    /// unchanged. When the live file is missing, truncated, corrupt, or
+    /// fails to parse, the loader falls back to the rotated `<path>.bak`
+    /// checkpoint with a loud warning on stderr, and errors only when
+    /// both copies are unusable.
     pub fn load_from_file(path: impl AsRef<std::path::Path>) -> Result<Self, KamelError> {
-        let json = std::fs::read_to_string(path.as_ref()).map_err(|e| {
-            KamelError::Persistence(format!("read {}: {e}", path.as_ref().display()))
+        let path = path.as_ref();
+        let primary_err = match Self::read_checkpoint_file(path) {
+            Ok(kamel) => return Ok(kamel),
+            Err(e) => e,
+        };
+        let bak = crate::checkpoint::bak_path(path);
+        if !bak.exists() {
+            return Err(primary_err);
+        }
+        match Self::read_checkpoint_file(&bak) {
+            Ok(kamel) => {
+                eprintln!(
+                    "warning: checkpoint {} is unusable ({primary_err}); \
+                     recovered previous checkpoint from {}",
+                    path.display(),
+                    bak.display()
+                );
+                Ok(kamel)
+            }
+            Err(bak_err) => Err(KamelError::Persistence(format!(
+                "{primary_err}; backup {} also unusable: {bak_err}",
+                bak.display()
+            ))),
+        }
+    }
+
+    /// Reads and fully validates one checkpoint file (no fallback).
+    fn read_checkpoint_file(path: &std::path::Path) -> Result<Self, KamelError> {
+        let bytes = std::fs::read(path).map_err(|e| {
+            KamelError::Persistence(format!("read {}: {e}", path.display()))
         })?;
-        Self::from_json(&json)
+        let payload = crate::checkpoint::decode(&bytes).map_err(|e| {
+            KamelError::Persistence(format!("{}: {e}", path.display()))
+        })?;
+        let json = std::str::from_utf8(payload).map_err(|e| {
+            KamelError::Persistence(format!("{}: payload is not UTF-8: {e}", path.display()))
+        })?;
+        Self::from_json(json)
     }
 
     /// Restores a system serialized with [`Kamel::to_json`].
@@ -851,17 +897,159 @@ mod tests {
     #[test]
     fn file_persistence_roundtrip() {
         let kamel = trained();
-        let path = std::env::temp_dir().join("kamel_test_model.json");
+        let dir = ckpt_dir("roundtrip");
+        let path = dir.join("kamel_test_model.json");
         kamel.save_to_file(&path).expect("save");
         let restored = Kamel::load_from_file(&path).expect("load");
         let sparse = street_corpus(1)[0].sparsify(900.0);
         assert_eq!(kamel.impute(&sparse), restored.impute(&sparse));
         std::fs::remove_file(&path).ok();
-        // Missing file surfaces a persistence error.
+        // Missing file (and no backup rotation yet) surfaces a
+        // persistence error.
         assert!(matches!(
             Kamel::load_from_file(&path),
             Err(crate::error::KamelError::Persistence(_))
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A temp directory unique to one test, wiped up front so reruns
+    /// never see stale checkpoints.
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("kamel_pipe_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn from_json_failure_paths_never_panic() {
+        // Empty input.
+        assert!(matches!(
+            Kamel::from_json(""),
+            Err(crate::error::KamelError::Persistence(_))
+        ));
+        // Truncated JSON.
+        let full = trained().to_json().expect("serialize");
+        for cut in [1, full.len() / 2, full.len() - 1] {
+            assert!(
+                matches!(
+                    Kamel::from_json(&full[..cut]),
+                    Err(crate::error::KamelError::Persistence(_))
+                ),
+                "cut at {cut} did not fail cleanly"
+            );
+        }
+        // Valid JSON carrying an invalid configuration.
+        let bad_config = full.replace("\"beam_size\":10", "\"beam_size\":0");
+        assert_ne!(bad_config, full, "replacement must hit the config field");
+        assert!(matches!(
+            Kamel::from_json(&bad_config),
+            Err(crate::error::KamelError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn legacy_bare_json_checkpoint_still_loads() {
+        let kamel = trained();
+        let dir = ckpt_dir("legacy");
+        let path = dir.join("model.json");
+        // A pre-envelope model file: bare JSON, written directly.
+        std::fs::write(&path, kamel.to_json().expect("serialize")).unwrap();
+        let restored = Kamel::load_from_file(&path).expect("legacy load");
+        let sparse = street_corpus(1)[0].sparsify(900.0);
+        assert_eq!(kamel.impute(&sparse), restored.impute(&sparse));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_checkpoint_tail_falls_back_to_backup() {
+        let a = trained();
+        let dir = ckpt_dir("truncate");
+        let path = dir.join("model.ckpt");
+        a.save_to_file(&path).expect("save A");
+        // A second training batch makes a distinct post-save state.
+        a.train(&street_corpus(5));
+        a.save_to_file(&path).expect("save B");
+        let stats_b = a.stats().unwrap();
+        assert_eq!(
+            Kamel::load_from_file(&path).expect("clean load").stats().unwrap(),
+            stats_b
+        );
+        // Truncate the live checkpoint's last 64 bytes: the loader must
+        // recover the previous checkpoint from the rotation.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 64]).unwrap();
+        let recovered = Kamel::load_from_file(&path).expect("fallback load");
+        let stats_a = recovered.stats().unwrap();
+        assert_eq!(stats_a.stored_trajectories, 40, "recovered pre-save state");
+        assert_ne!(stats_a, stats_b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The acceptance-criterion fault matrix, round-tripped through
+    /// imputation: after every injected fault during a save, the model
+    /// that loads back imputes byte-identically to either the pre-save or
+    /// the post-save system — never something in between.
+    #[test]
+    fn fault_matrix_roundtrips_imputation_output() {
+        use crate::checkpoint::faults::{Fault, FaultyIo};
+        let a = trained();
+        let sparse = street_corpus(1)[0].sparsify(900.0);
+        let out_a = a.impute(&sparse);
+        // The post-save state: the same system after one more batch.
+        let b = trained();
+        b.train(&street_corpus(5));
+        let out_b = b.impute(&sparse);
+        let b_wire =
+            crate::checkpoint::encode(b.to_json().expect("serialize").as_bytes());
+        let faults = [
+            Fault::ShortWrite { keep: 100 },
+            Fault::ShortWrite { keep: b_wire.len() - 1 },
+            Fault::Enospc { after: b_wire.len() / 2 },
+            Fault::CrashBeforeRename,
+            Fault::CrashBetweenRenames,
+        ];
+        for (i, fault) in faults.into_iter().enumerate() {
+            let dir = ckpt_dir(&format!("matrix_{i}"));
+            let path = dir.join("model.ckpt");
+            a.save_to_file(&path).expect("pre-save");
+            crate::checkpoint::write_atomic_with(&FaultyIo::new(fault), &path, &b_wire, true)
+                .expect_err("fault must surface");
+            let recovered = Kamel::load_from_file(&path)
+                .unwrap_or_else(|e| panic!("{fault:?}: recovery failed: {e}"));
+            assert_eq!(
+                recovered.impute(&sparse),
+                out_a,
+                "{fault:?}: recovered model is not the pre-save system"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        // CRC corruption after a *successful* save: payload bit flip on
+        // the live file → fallback to the rotated pre-save checkpoint.
+        let dir = ckpt_dir("matrix_bitflip");
+        let path = dir.join("model.ckpt");
+        a.save_to_file(&path).expect("pre-save");
+        b.save_to_file(&path).expect("post-save");
+        assert_eq!(
+            Kamel::load_from_file(&path).expect("clean").impute(&sparse),
+            out_b,
+            "clean post-save load is the post-save system"
+        );
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 40] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let recovered = Kamel::load_from_file(&path).expect("bit-flip fallback");
+        assert_eq!(recovered.impute(&sparse), out_a);
+        // A flip inside the magic demotes the file to "legacy JSON",
+        // which fails to parse — same fallback, via the parse layer.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let recovered = Kamel::load_from_file(&path).expect("magic-flip fallback");
+        assert_eq!(recovered.impute(&sparse), out_a);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -3,10 +3,14 @@
 //! Just enough to drive the server from the integration tests, the
 //! `bench_serve` load generator, and the CI smoke job — one connection,
 //! sequential keep-alive requests, `Content-Length` bodies only.
+//! [`RetryingClient`] layers transient-failure retries on top: transport
+//! errors and 503 shed responses are retried with exponential backoff and
+//! deterministic jitter, honoring `Retry-After` and bounded by both an
+//! attempt count and a wall-clock deadline.
 
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A parsed HTTP response.
 #[derive(Debug, Clone)]
@@ -139,4 +143,315 @@ impl Client {
 
 fn bad_data(msg: String) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Exponential backoff with deterministic jitter for [`RetryingClient`].
+///
+/// The delay before retry `r` is `base·2^r` capped at `max_delay`, then
+/// equal-jittered into `[d/2, d]` by a hash of `(jitter_seed, r)` — no
+/// RNG, so a given policy always produces the same schedule (testable,
+/// reproducible), while different seeds (e.g. per client) decorrelate
+/// retry storms. A server-provided `Retry-After` acts as a floor.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Backoff base: the un-jittered first-retry delay.
+    pub base: Duration,
+    /// Cap applied to every per-retry delay.
+    pub max_delay: Duration,
+    /// Total attempts including the first try (minimum 1).
+    pub max_attempts: u32,
+    /// Wall-clock budget: no retry starts if `elapsed + delay` would pass
+    /// it.
+    pub deadline: Duration,
+    /// Seed for the deterministic jitter hash.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_millis(100),
+            max_delay: Duration::from_secs(5),
+            max_attempts: 4,
+            deadline: Duration::from_secs(30),
+            jitter_seed: 0x6b61_6d65_6c00_0001,
+        }
+    }
+}
+
+/// SplitMix64: a tiny, well-distributed integer hash (public domain
+/// constants) used for jitter — deterministic, no RNG state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `retry` (0-based), honoring a
+    /// server-provided `Retry-After` as a floor. Pure: same inputs, same
+    /// delay.
+    pub fn delay(&self, retry: u32, retry_after: Option<Duration>) -> Duration {
+        let exp = self
+            .base
+            .checked_mul(1u32 << retry.min(20))
+            .unwrap_or(self.max_delay);
+        let capped = exp.min(self.max_delay);
+        // 53 high bits of the hash → a uniform fraction in [0, 1).
+        let h = splitmix64(self.jitter_seed ^ u64::from(retry));
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = capped.mul_f64(0.5 + 0.5 * frac);
+        match retry_after {
+            Some(floor) => jittered.max(floor),
+            None => jittered,
+        }
+    }
+
+    /// True when sleeping `next_delay` after `elapsed` would overrun the
+    /// deadline — the retry loop gives up instead of sleeping.
+    pub fn gives_up(&self, elapsed: Duration, next_delay: Duration) -> bool {
+        elapsed.saturating_add(next_delay) > self.deadline
+    }
+}
+
+/// A [`Client`] wrapper that retries transient failures.
+///
+/// Retried: transport errors (connect/read/write) and 503 shed responses
+/// (the server closes those connections, so each retry reconnects). Not
+/// retried: any other status — 4xx are the caller's bug and 504 already
+/// burned the request's deadline server-side.
+pub struct RetryingClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+}
+
+impl RetryingClient {
+    /// A retrying client for `addr`; `timeout` applies per attempt.
+    pub fn new(addr: SocketAddr, timeout: Duration, policy: RetryPolicy) -> Self {
+        Self {
+            addr,
+            timeout,
+            policy,
+            conn: None,
+        }
+    }
+
+    /// Sends `GET path`, retrying per the policy.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.with_retries(|c| c.get(path))
+    }
+
+    /// Sends `POST path` with a JSON body, retrying per the policy.
+    pub fn post_json(&mut self, path: &str, body: &[u8]) -> std::io::Result<ClientResponse> {
+        self.with_retries(|c| c.post_json(path, body))
+    }
+
+    fn with_retries(
+        &mut self,
+        mut send: impl FnMut(&mut Client) -> std::io::Result<ClientResponse>,
+    ) -> std::io::Result<ClientResponse> {
+        let start = Instant::now();
+        let attempts = self.policy.max_attempts.max(1);
+        let mut retry = 0u32;
+        loop {
+            let outcome = self.attempt(&mut send);
+            let retry_after = match &outcome {
+                Ok(resp) if resp.status == 503 => {
+                    // Shed responses close the connection server-side;
+                    // reconnect on the next attempt, backing off at least
+                    // as long as the server asked.
+                    self.conn = None;
+                    resp.header("retry-after")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .map(Duration::from_secs)
+                }
+                Ok(_) => return outcome,
+                Err(_) => None, // `attempt` already dropped the connection
+            };
+            if retry + 1 >= attempts {
+                return outcome;
+            }
+            let delay = self.policy.delay(retry, retry_after);
+            if self.policy.gives_up(start.elapsed(), delay) {
+                return outcome;
+            }
+            std::thread::sleep(delay);
+            retry += 1;
+        }
+    }
+
+    /// One try: (re)connect if needed, send, and poison the connection on
+    /// any transport error so the next attempt starts fresh.
+    fn attempt(
+        &mut self,
+        send: &mut impl FnMut(&mut Client) -> std::io::Result<ClientResponse>,
+    ) -> std::io::Result<ClientResponse> {
+        if self.conn.is_none() {
+            self.conn = Some(Client::connect(self.addr, self.timeout)?);
+        }
+        let conn = self.conn.as_mut().expect("connected above");
+        match send(conn) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    // ---- pure policy tests: no wall clock, no RNG in any assertion ----
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(100),
+            max_delay: Duration::from_secs(5),
+            max_attempts: 4,
+            deadline: Duration::from_secs(30),
+            jitter_seed: 42,
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_equal_jittered() {
+        let p = policy();
+        for retry in 0..10u32 {
+            let capped = p
+                .base
+                .checked_mul(1u32 << retry.min(20))
+                .unwrap_or(p.max_delay)
+                .min(p.max_delay);
+            let d = p.delay(retry, None);
+            assert_eq!(d, p.delay(retry, None), "retry {retry}: deterministic");
+            assert!(d >= capped / 2, "retry {retry}: {d:?} below half {capped:?}");
+            assert!(d <= capped, "retry {retry}: {d:?} above cap {capped:?}");
+        }
+        // Far-out retries saturate at the cap's jitter band, never panic.
+        let huge = p.delay(63, None);
+        assert!(huge <= p.max_delay && huge >= p.max_delay / 2);
+    }
+
+    #[test]
+    fn different_seeds_decorrelate_the_schedule() {
+        let a = RetryPolicy { jitter_seed: 1, ..policy() };
+        let b = RetryPolicy { jitter_seed: 2, ..policy() };
+        assert!(
+            (0..8).any(|r| a.delay(r, None) != b.delay(r, None)),
+            "two seeds produced identical schedules"
+        );
+    }
+
+    #[test]
+    fn retry_after_is_a_floor_not_a_cap() {
+        let p = policy();
+        // Floor above the jitter band wins outright…
+        assert_eq!(
+            p.delay(0, Some(Duration::from_secs(7))),
+            Duration::from_secs(7)
+        );
+        // …and a floor below it leaves the computed backoff unchanged.
+        assert_eq!(
+            p.delay(3, Some(Duration::from_millis(1))),
+            p.delay(3, None)
+        );
+    }
+
+    #[test]
+    fn deadline_gives_up_instead_of_oversleeping() {
+        let p = policy();
+        assert!(p.gives_up(Duration::from_secs(29), Duration::from_secs(2)));
+        assert!(!p.gives_up(Duration::from_secs(1), Duration::from_secs(2)));
+        assert!(!p.gives_up(Duration::from_secs(28), Duration::from_secs(2)));
+        assert!(p.gives_up(Duration::MAX, Duration::from_secs(1)), "no overflow");
+    }
+
+    // ---- behavior tests against a scripted listener; assertions are on
+    // outcomes and attempt counts, never on elapsed time ----
+
+    /// Serves one connection per script entry: writes the raw bytes (an
+    /// empty entry just closes the socket), then moves on. Returns the
+    /// bound address and a handle yielding the number of connections
+    /// served.
+    fn scripted_server(script: Vec<&'static str>) -> (SocketAddr, std::thread::JoinHandle<usize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut served = 0;
+            for raw in script {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut buf = [0u8; 1024];
+                let _ = stream.read(&mut buf);
+                if !raw.is_empty() {
+                    stream.write_all(raw.as_bytes()).unwrap();
+                }
+                served += 1;
+            }
+            served
+        });
+        (addr, handle)
+    }
+
+    const SHED: &str = "HTTP/1.1 503 Service Unavailable\r\ncontent-length: 5\r\n\
+                        retry-after: 0\r\nconnection: close\r\n\r\nshed\n";
+    const OK: &str =
+        "HTTP/1.1 200 OK\r\ncontent-length: 3\r\nconnection: keep-alive\r\n\r\nok\n";
+
+    fn fast_policy(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(1),
+            max_delay: Duration::from_millis(4),
+            max_attempts,
+            deadline: Duration::from_secs(30),
+            jitter_seed: 7,
+        }
+    }
+
+    #[test]
+    fn retries_through_a_503_then_succeeds() {
+        let (addr, server) = scripted_server(vec![SHED, OK]);
+        let mut c = RetryingClient::new(addr, Duration::from_secs(5), fast_policy(4));
+        let resp = c.get("/healthz").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.text(), "ok\n");
+        assert_eq!(server.join().unwrap(), 2, "exactly one retry");
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts_returning_the_last_503() {
+        let (addr, server) = scripted_server(vec![SHED, SHED, SHED]);
+        let mut c = RetryingClient::new(addr, Duration::from_secs(5), fast_policy(3));
+        let resp = c.get("/healthz").unwrap();
+        assert_eq!(resp.status, 503, "the final shed response is surfaced");
+        assert_eq!(server.join().unwrap(), 3, "attempts are bounded");
+    }
+
+    #[test]
+    fn transport_error_reconnects_and_retries() {
+        // First connection is dropped without a response (mid-exchange
+        // failure); the retry reconnects and succeeds.
+        let (addr, server) = scripted_server(vec!["", OK]);
+        let mut c = RetryingClient::new(addr, Duration::from_secs(5), fast_policy(4));
+        let resp = c.post_json("/v1/impute", b"{}").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(server.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn non_503_statuses_are_not_retried() {
+        let (addr, server) = scripted_server(vec![
+            "HTTP/1.1 400 Bad Request\r\ncontent-length: 4\r\nconnection: close\r\n\r\nnope",
+        ]);
+        let mut c = RetryingClient::new(addr, Duration::from_secs(5), fast_policy(4));
+        let resp = c.post_json("/v1/impute", b"garbage").unwrap();
+        assert_eq!(resp.status, 400);
+        assert_eq!(server.join().unwrap(), 1, "a 4xx must not be retried");
+    }
 }

@@ -8,7 +8,9 @@ use crate::server::{fnv1a, CacheKey, WireService};
 use kamel::{ImputedTrajectory, Kamel};
 use kamel_geo::Trajectory;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// The `POST /v1/impute` response body.
 ///
@@ -50,19 +52,49 @@ impl ImputeResponse {
 /// requests costs one batched call — and produces outputs identical to
 /// imputing each request alone (batch imputation is order-preserving and
 /// per-trajectory independent).
+///
+/// The model sits behind an `RwLock<Arc<Kamel>>` so a hot-reload
+/// ([`ImputeEngine::reload`]) swaps it atomically: each batch clones the
+/// `Arc` once up front, so every response is computed entirely by one
+/// model snapshot — never a mix of old and new — while in-flight batches
+/// on the old model simply finish on it.
 pub struct ImputeEngine {
-    kamel: Arc<Kamel>,
+    kamel: RwLock<Arc<Kamel>>,
+    /// Where reloads re-read the checkpoint from; `None` disables reload.
+    model_path: Option<PathBuf>,
+    /// Bumped on every successful reload; part of every cache key.
+    generation: AtomicU64,
 }
 
 impl ImputeEngine {
-    /// Wraps a (typically trained) system.
+    /// Wraps a (typically trained) system. Without a model path the
+    /// engine cannot hot-reload (`/admin/reload` answers 500).
     pub fn new(kamel: Arc<Kamel>) -> Self {
-        Self { kamel }
+        Self {
+            kamel: RwLock::new(kamel),
+            model_path: None,
+            generation: AtomicU64::new(0),
+        }
     }
 
-    /// The underlying system.
-    pub fn kamel(&self) -> &Arc<Kamel> {
-        &self.kamel
+    /// Wraps a system loaded from `path`, enabling hot-reload from the
+    /// same checkpoint path.
+    pub fn with_model_path(kamel: Arc<Kamel>, path: PathBuf) -> Self {
+        Self {
+            kamel: RwLock::new(kamel),
+            model_path: Some(path),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// A snapshot of the current system.
+    pub fn kamel(&self) -> Arc<Kamel> {
+        Arc::clone(&self.kamel.read().expect("engine lock poisoned"))
+    }
+
+    /// The current model generation (0 until the first reload).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
     }
 }
 
@@ -84,11 +116,12 @@ impl WireService for ImputeEngine {
     fn cache_key(&self, job: &Trajectory) -> Option<CacheKey> {
         // Untrained systems have no tokenizer, so jobs are uncacheable
         // (and the linear fallback is cheap anyway).
-        let (cells, spans) = self.kamel.gap_context(job)?;
+        let (cells, spans) = self.kamel().gap_context(job)?;
         let digest = fnv1a(job.points.iter().flat_map(|p| {
             [p.pos.lat.to_bits(), p.pos.lng.to_bits(), p.t.to_bits()]
         }));
         Some(CacheKey {
+            generation: self.generation(),
             cells: cells.into_iter().map(|c| c.0).collect(),
             spans: spans.into_iter().map(f64::to_bits).collect(),
             digest,
@@ -96,11 +129,31 @@ impl WireService for ImputeEngine {
     }
 
     fn run_batch(&self, jobs: Vec<Trajectory>) -> Vec<ImputedTrajectory> {
-        self.kamel.impute_batch(&jobs)
+        // One snapshot per batch: a reload mid-batch cannot mix models
+        // within it, and the read lock is held only for the clone.
+        let kamel = self.kamel();
+        kamel.impute_batch(&jobs)
     }
 
     fn render(&self, out: &ImputedTrajectory) -> Vec<u8> {
         serde_json::to_vec(&ImputeResponse::from_result(out.clone()))
             .unwrap_or_else(|e| format!("{{\"error\":\"render failed: {e}\"}}").into_bytes())
+    }
+
+    fn reload(&self) -> Result<String, String> {
+        let Some(path) = &self.model_path else {
+            return Err("server was started without a reloadable model path".into());
+        };
+        // Validate the checkpoint fully (envelope, CRC, JSON, config)
+        // before touching the served model; any failure keeps it as-is.
+        let fresh = Kamel::load_from_file(path).map_err(|e| e.to_string())?;
+        let trained = fresh.is_trained();
+        *self.kamel.write().expect("engine lock poisoned") = Arc::new(fresh);
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        Ok(format!(
+            "reloaded {} (generation {generation}{})",
+            path.display(),
+            if trained { "" } else { ", untrained" }
+        ))
     }
 }

@@ -328,6 +328,25 @@ mod tests {
     }
 
     #[test]
+    fn body_exactly_at_the_cap_is_accepted() {
+        let mut raw =
+            format!("POST / HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES}\r\n\r\n").into_bytes();
+        raw.resize(raw.len() + MAX_BODY_BYTES, b'x');
+        let req = parse(&raw).unwrap();
+        assert_eq!(req.body.len(), MAX_BODY_BYTES);
+        assert!(req.body.iter().all(|&b| b == b'x'));
+    }
+
+    #[test]
+    fn post_without_content_length_has_an_empty_body() {
+        // A body may follow on the wire, but without Content-Length it is
+        // not part of this request — it must not be consumed.
+        let req = parse(b"POST /v1/impute HTTP/1.1\r\nHost: x\r\n\r\nleftover").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"");
+    }
+
+    #[test]
     fn response_roundtrips_through_the_parser() {
         let mut wire = Vec::new();
         Response::json(b"{\"ok\":true}".to_vec())

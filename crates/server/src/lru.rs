@@ -64,6 +64,16 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         (self.hits, self.misses)
     }
 
+    /// Drops every resident entry (e.g. after a model reload invalidates
+    /// all cached responses). Lifetime counters are preserved.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
     /// Looks up `key`, marking the entry most-recently-used on a hit.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         match self.map.get(key).copied() {
@@ -205,6 +215,21 @@ mod tests {
             }
         }
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(&10));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.counters(), (1, 1), "lifetime counters survive clear");
+        // The cache is fully usable after a clear.
+        c.insert(3, 30);
+        assert_eq!(c.get(&3), Some(&30));
     }
 
     #[test]

@@ -87,6 +87,10 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Imputation cache misses.
     pub cache_misses: AtomicU64,
+    /// Successful model hot-reloads (`/admin/reload` or SIGHUP).
+    pub model_reloads: AtomicU64,
+    /// Failed model hot-reloads (old model kept serving).
+    pub model_reload_failures: AtomicU64,
     /// Current admission-queue depth.
     pub queue_depth: AtomicU64,
     /// End-to-end `/v1/impute` handling latency in microseconds.
@@ -111,6 +115,8 @@ impl Metrics {
             requests_deadline: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            model_reloads: AtomicU64::new(0),
+            model_reload_failures: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             latency_us: Histogram::new(LATENCY_BUCKETS_US),
             batch_size: Histogram::new(BATCH_BUCKETS),
@@ -172,6 +178,18 @@ impl Metrics {
             "kamel_cache_misses_total",
             "Imputation cache misses.",
             self.cache_misses.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "kamel_model_reloads_total",
+            "Successful model hot-reloads.",
+            self.model_reloads.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "kamel_model_reload_failures_total",
+            "Failed model hot-reloads (old model kept).",
+            self.model_reload_failures.load(Ordering::Relaxed),
         );
         let _ = writeln!(out, "# HELP kamel_cache_hit_rate Lifetime cache hit rate.");
         let _ = writeln!(out, "# TYPE kamel_cache_hit_rate gauge");
@@ -244,6 +262,8 @@ mod tests {
         for series in [
             "kamel_requests_ok_total 2",
             "kamel_requests_shed_total 0",
+            "kamel_model_reloads_total 0",
+            "kamel_model_reload_failures_total 0",
             "kamel_cache_hit_rate",
             "kamel_queue_depth 0",
             "kamel_request_latency_us_count 1",

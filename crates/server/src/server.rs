@@ -40,6 +40,11 @@ use std::time::{Duration, Instant};
 /// different requests must not share an entry).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
+    /// Model generation that computed the entry. A hot-reload bumps the
+    /// service's generation, so entries keyed under the old model can
+    /// never answer post-reload lookups — even ones raced in by requests
+    /// that were in flight while the cache was being cleared.
+    pub generation: u64,
     /// Dedup-run cell ids along the trajectory.
     pub cells: Vec<u64>,
     /// Inter-anchor span of every candidate gap, as `f64` bit patterns.
@@ -73,9 +78,18 @@ pub trait WireService: Send + Sync + 'static {
     /// (e.g. the system is untrained, so no tokenizer exists yet).
     fn cache_key(&self, job: &Self::Job) -> Option<CacheKey>;
     /// Imputes a coalesced batch; one output per input, in input order.
+    /// Every output in one call must come from a single model snapshot —
+    /// a concurrent hot-reload must never mix models within a batch.
     fn run_batch(&self, jobs: Vec<Self::Job>) -> Vec<Self::Out>;
     /// Renders one output as a JSON body.
     fn render(&self, out: &Self::Out) -> Vec<u8>;
+    /// Handles a hot-reload request (`POST /admin/reload` or SIGHUP):
+    /// validate and load the new model, swap it in atomically, and return
+    /// a human-readable outcome. On `Err` the previous model must remain
+    /// serving. The default has nothing to reload.
+    fn reload(&self) -> Result<String, String> {
+        Err("this service has no reloadable model".into())
+    }
 }
 
 /// Server tuning knobs.
@@ -136,6 +150,9 @@ pub struct Server {
     accept_thread: Option<std::thread::JoinHandle<()>>,
     handler_threads: Vec<std::thread::JoinHandle<()>>,
     shutdown_batcher: Option<Box<dyn FnOnce() + Send>>,
+    // Type-erased so `Server` needs no `S` parameter; same code path as
+    // `POST /admin/reload` (metrics + cache invalidation included).
+    reload_fn: Box<dyn Fn() -> Result<String, String> + Send + Sync>,
 }
 
 impl Server {
@@ -211,6 +228,9 @@ impl Server {
                 Err(_) => unreachable!("all handler threads joined before the batcher drain"),
             }
         });
+        let reload_shared_handle = Arc::clone(&shared);
+        let reload_fn: Box<dyn Fn() -> Result<String, String> + Send + Sync> =
+            Box::new(move || reload_model(&reload_shared_handle));
         Ok(Server {
             addr,
             flag,
@@ -218,6 +238,7 @@ impl Server {
             accept_thread: Some(accept_thread),
             handler_threads,
             shutdown_batcher: Some(shutdown_batcher),
+            reload_fn,
         })
     }
 
@@ -235,6 +256,13 @@ impl Server {
     /// watcher); follow up with [`Server::shutdown`] to drain and join.
     pub fn request_shutdown(&self) {
         self.flag.trip();
+    }
+
+    /// Hot-reloads the model — the same path as `POST /admin/reload`
+    /// (cache invalidation and reload metrics included). Used by the
+    /// CLI's SIGHUP watcher; on `Err` the old model keeps serving.
+    pub fn reload(&self) -> Result<String, String> {
+        (self.reload_fn)()
     }
 
     /// Graceful shutdown: stop accepting, finish every request in flight,
@@ -349,6 +377,10 @@ fn route<S: WireService>(
 ) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/impute") => impute(&request.body, shared, batcher),
+        ("POST", "/admin/reload") => match reload_model(shared) {
+            Ok(msg) => Response::text(200, format!("{msg}\n")),
+            Err(msg) => Response::text(500, format!("reload failed: {msg}\n")),
+        },
         ("GET", "/healthz") => {
             if shared.flag.is_tripped() {
                 Response::text(503, "draining\n")
@@ -364,10 +396,33 @@ fn route<S: WireService>(
                 .store(batcher.queue_depth() as u64, Ordering::Relaxed);
             Response::text(200, shared.metrics.render())
         }
-        (_, "/v1/impute") | (_, "/healthz") | (_, "/metrics") => {
+        (_, "/v1/impute") | (_, "/admin/reload") | (_, "/healthz") | (_, "/metrics") => {
             Response::text(405, "method not allowed\n")
         }
         _ => Response::text(404, "not found\n"),
+    }
+}
+
+/// The hot-reload path shared by `POST /admin/reload` and the SIGHUP
+/// handle: swap the model via [`WireService::reload`], then invalidate
+/// the response cache (entries keyed under the old generation could
+/// otherwise answer until evicted) and count the outcome. Runs on the
+/// calling handler thread, so serving continues while the new checkpoint
+/// loads; a failure leaves the cache and model untouched.
+fn reload_model<S: WireService>(shared: &Shared<S>) -> Result<String, String> {
+    match shared.service.reload() {
+        Ok(msg) => {
+            shared.cache.lock().unwrap().clear();
+            shared.metrics.model_reloads.fetch_add(1, Ordering::Relaxed);
+            Ok(msg)
+        }
+        Err(msg) => {
+            shared
+                .metrics
+                .model_reload_failures
+                .fetch_add(1, Ordering::Relaxed);
+            Err(msg)
+        }
     }
 }
 
@@ -459,10 +514,13 @@ mod tests {
     /// A stub backend: jobs are UTF-8 strings, imputation is uppercasing.
     /// Bodies starting with `nokey:` are uncacheable; empty bodies fail to
     /// parse. A gate (when installed) blocks `run_batch` until released.
+    /// Reload bumps the generation (or fails when `reload_ok` is false).
     struct StubService {
         batches: Mutex<Vec<usize>>,
         calls: AtomicUsize,
         gate: Option<(mpsc::SyncSender<()>, Mutex<mpsc::Receiver<()>>)>,
+        generation: AtomicUsize,
+        reload_ok: std::sync::atomic::AtomicBool,
     }
 
     impl StubService {
@@ -471,6 +529,8 @@ mod tests {
                 batches: Mutex::new(Vec::new()),
                 calls: AtomicUsize::new(0),
                 gate: None,
+                generation: AtomicUsize::new(0),
+                reload_ok: std::sync::atomic::AtomicBool::new(true),
             }
         }
     }
@@ -492,6 +552,7 @@ mod tests {
                 return None;
             }
             Some(CacheKey {
+                generation: self.generation.load(Ordering::SeqCst) as u64,
                 cells: vec![job.len() as u64],
                 spans: Vec::new(),
                 digest: fnv1a(job.bytes().map(|b| b as u64)),
@@ -510,6 +571,15 @@ mod tests {
 
         fn render(&self, out: &String) -> Vec<u8> {
             out.clone().into_bytes()
+        }
+
+        fn reload(&self) -> Result<String, String> {
+            if self.reload_ok.load(Ordering::SeqCst) {
+                let g = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+                Ok(format!("stub reloaded to generation {g}"))
+            } else {
+                Err("stub model is corrupt".into())
+            }
         }
     }
 
@@ -709,6 +779,60 @@ mod tests {
             server.metrics().requests_shed.load(Ordering::Relaxed),
             OVERFLOW as u64
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn admin_reload_swaps_generation_and_clears_cache() {
+        let service = Arc::new(StubService::new());
+        let server = start(Arc::clone(&service), test_config());
+        let mut c = client(&server);
+        let first = c.post_json("/v1/impute", b"keyed").unwrap();
+        assert_eq!(first.header("x-kamel-cache"), Some("miss"));
+        let second = c.post_json("/v1/impute", b"keyed").unwrap();
+        assert_eq!(second.header("x-kamel-cache"), Some("hit"));
+        let resp = c.post_json("/admin/reload", b"").unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        assert!(resp.text().contains("generation 1"), "{}", resp.text());
+        // The old model's cached answers are gone: same request misses
+        // and is recomputed by the (new-generation) service.
+        let third = c.post_json("/v1/impute", b"keyed").unwrap();
+        assert_eq!(third.header("x-kamel-cache"), Some("miss"));
+        assert_eq!(service.calls.load(Ordering::SeqCst), 2);
+        assert_eq!(server.metrics().model_reloads.load(Ordering::Relaxed), 1);
+        // The admin route only accepts POST.
+        assert_eq!(c.get("/admin/reload").unwrap().status, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn failed_reload_keeps_the_old_model_serving() {
+        let service = Arc::new(StubService::new());
+        service.reload_ok.store(false, Ordering::SeqCst);
+        let server = start(Arc::clone(&service), test_config());
+        let mut c = client(&server);
+        let cached = c.post_json("/v1/impute", b"keyed").unwrap();
+        assert_eq!(cached.status, 200);
+        let resp = c.post_json("/admin/reload", b"").unwrap();
+        assert_eq!(resp.status, 500, "{}", resp.text());
+        assert!(resp.text().contains("stub model is corrupt"), "{}", resp.text());
+        // Still serving, and even the old cache entries remain valid.
+        let after = c.post_json("/v1/impute", b"keyed").unwrap();
+        assert_eq!(after.status, 200);
+        assert_eq!(after.header("x-kamel-cache"), Some("hit"));
+        assert_eq!(after.text(), "KEYED");
+        assert_eq!(server.metrics().model_reload_failures.load(Ordering::Relaxed), 1);
+        assert_eq!(server.metrics().model_reloads.load(Ordering::Relaxed), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_reload_handle_matches_the_admin_route() {
+        let service = Arc::new(StubService::new());
+        let server = start(Arc::clone(&service), test_config());
+        let msg = server.reload().expect("stub reload succeeds");
+        assert!(msg.contains("generation 1"), "{msg}");
+        assert_eq!(server.metrics().model_reloads.load(Ordering::Relaxed), 1);
         server.shutdown();
     }
 

@@ -35,17 +35,26 @@ impl ShutdownFlag {
 /// handler cannot capture state.
 static SIGNAL_TRIPPED: AtomicBool = AtomicBool::new(false);
 
+/// Set by SIGHUP: "reload the model". Consumed (reset) by
+/// [`SignalFlag::take_hup`] so each SIGHUP triggers exactly one reload.
+static SIGNAL_HUP: AtomicBool = AtomicBool::new(false);
+
 #[cfg(unix)]
 mod sys {
-    use super::SIGNAL_TRIPPED;
+    use super::{SIGNAL_HUP, SIGNAL_TRIPPED};
     use std::sync::atomic::Ordering;
 
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
 
-    extern "C" fn on_signal(_signum: i32) {
+    extern "C" fn on_signal(signum: i32) {
         // Only async-signal-safe work here: one atomic store.
-        SIGNAL_TRIPPED.store(true, Ordering::SeqCst);
+        if signum == SIGHUP {
+            SIGNAL_HUP.store(true, Ordering::SeqCst);
+        } else {
+            SIGNAL_TRIPPED.store(true, Ordering::SeqCst);
+        }
     }
 
     pub(super) fn install() {
@@ -57,6 +66,7 @@ mod sys {
         }
         let handler = on_signal as extern "C" fn(i32) as usize;
         unsafe {
+            signal(SIGHUP, handler);
             signal(SIGINT, handler);
             signal(SIGTERM, handler);
         }
@@ -71,14 +81,15 @@ mod sys {
     }
 }
 
-/// Arms SIGINT/SIGTERM to request a graceful shutdown, and returns a flag
-/// view that also reflects those signals. Safe to call more than once.
+/// Arms SIGINT/SIGTERM to request a graceful shutdown and SIGHUP to
+/// request a model reload, and returns a flag view reflecting those
+/// signals. Safe to call more than once.
 pub fn install_signal_handlers() -> SignalFlag {
     sys::install();
     SignalFlag
 }
 
-/// A read-only view of the process signal flag.
+/// A read-only view of the process signal flags.
 #[derive(Clone, Copy)]
 pub struct SignalFlag;
 
@@ -86,6 +97,11 @@ impl SignalFlag {
     /// True once SIGINT or SIGTERM arrived.
     pub fn is_tripped(&self) -> bool {
         SIGNAL_TRIPPED.load(Ordering::SeqCst)
+    }
+
+    /// Consumes a pending SIGHUP: true at most once per delivered signal.
+    pub fn take_hup(&self) -> bool {
+        SIGNAL_HUP.swap(false, Ordering::SeqCst)
     }
 }
 
@@ -103,6 +119,14 @@ mod tests {
         assert!(g.is_tripped(), "clones share the flag");
         f.trip();
         assert!(f.is_tripped());
+    }
+
+    #[test]
+    fn take_hup_consumes_the_pending_signal() {
+        SIGNAL_HUP.store(true, Ordering::SeqCst);
+        let f = SignalFlag;
+        assert!(f.take_hup());
+        assert!(!f.take_hup(), "a SIGHUP triggers exactly one reload");
     }
 
     #[cfg(unix)]

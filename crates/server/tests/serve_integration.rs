@@ -9,9 +9,16 @@
 use kamel::{Kamel, KamelConfig};
 use kamel_geo::{GpsPoint, Trajectory};
 use kamel_server::{Client, ImputeEngine, ImputeResponse, Server, ServerConfig, WireService};
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kamel_serve_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
 
 /// A corpus of trips along one straight street (same shape the core
 /// pipeline tests train on), fixes every ~84 m.
@@ -196,6 +203,123 @@ fn overloaded_real_engine_sheds_cleanly() {
     let ok = metrics.requests_ok.load(Ordering::Relaxed);
     assert_eq!(ok + shed, 24, "every request was answered exactly once");
     server.shutdown();
+}
+
+/// A bad request body answers 400 with a useful message and the
+/// connection stays usable for the next (valid) request.
+#[test]
+fn garbage_json_gets_400_and_connection_stays_usable() {
+    let kamel = trained();
+    let engine = Arc::new(ImputeEngine::new(Arc::clone(&kamel)));
+    let server = Server::bind("127.0.0.1:0", engine, config(256)).expect("bind");
+    let mut c = Client::connect(server.local_addr(), Duration::from_secs(30)).unwrap();
+    let resp = c.post_json("/v1/impute", b"{not json!!").unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("invalid trajectory JSON"), "{}", resp.text());
+    let body = serde_json::to_vec(&sparse_request(0)).unwrap();
+    let ok = c.post_json("/v1/impute", &body).unwrap();
+    assert_eq!(ok.status, 200, "connection must survive a 400");
+    assert_eq!(ok.body, direct_bytes(&kamel, &sparse_request(0)));
+    server.shutdown();
+}
+
+/// Hot-reload under concurrent imputation load: every response is fully
+/// old-model or fully new-model — never a mix — and once the reload has
+/// returned, fresh requests are answered by the new model.
+#[test]
+fn hot_reload_under_load_never_mixes_models() {
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 6;
+    let dir = tempdir("reload_mix");
+    let path = dir.join("model.ckpt");
+    // Old model: trained on the street. New model: untrained (its linear
+    // fallback renders observably different bytes for the same request).
+    let old = trained();
+    old.save_to_file(&path).unwrap();
+    let new = Kamel::new(KamelConfig::default());
+    let served = Arc::new(Kamel::load_from_file(&path).unwrap());
+    let engine = Arc::new(ImputeEngine::with_model_path(Arc::clone(&served), path.clone()));
+    let server = Server::bind("127.0.0.1:0", engine, config(256)).expect("bind");
+    let addr = server.local_addr();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let old_bytes = direct_bytes(&served, &sparse_request(i));
+            let new_bytes = {
+                let new = Arc::new(Kamel::new(KamelConfig::default()));
+                direct_bytes(&new, &sparse_request(i))
+            };
+            assert_ne!(old_bytes, new_bytes, "models must be distinguishable");
+            std::thread::spawn(move || {
+                let body = serde_json::to_vec(&sparse_request(i)).unwrap();
+                for round in 0..ROUNDS {
+                    let mut c = Client::connect(addr, Duration::from_secs(30)).unwrap();
+                    let resp = c.post_json("/v1/impute", &body).unwrap();
+                    assert_eq!(resp.status, 200, "{}", resp.text());
+                    assert!(
+                        resp.body == old_bytes || resp.body == new_bytes,
+                        "client {i} round {round}: response is neither \
+                         old-model nor new-model bytes"
+                    );
+                }
+            })
+        })
+        .collect();
+    // Swap the checkpoint on disk and hot-reload while the clients hammer.
+    new.save_to_file(&path).unwrap();
+    let mut admin = Client::connect(addr, Duration::from_secs(30)).unwrap();
+    let resp = admin.post_json("/admin/reload", b"").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert!(resp.text().contains("generation 1"), "{}", resp.text());
+    for t in workers {
+        t.join().unwrap();
+    }
+    // Post-reload, a fresh request is answered by the new model (the old
+    // model's cached responses were invalidated).
+    let sparse = sparse_request(99);
+    let body = serde_json::to_vec(&sparse).unwrap();
+    let resp = admin.post_json("/v1/impute", &body).unwrap();
+    assert_eq!(resp.status, 200);
+    let new_ref = Arc::new(Kamel::new(KamelConfig::default()));
+    assert_eq!(resp.body, direct_bytes(&new_ref, &sparse));
+    assert_eq!(server.metrics().model_reloads.load(Ordering::Relaxed), 1);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A reload pointed at a corrupt checkpoint fails loudly, increments the
+/// failure counter, and leaves the old model serving byte-identically.
+#[test]
+fn corrupt_reload_keeps_the_old_model() {
+    let dir = tempdir("reload_corrupt");
+    let path = dir.join("model.ckpt");
+    let old = trained();
+    old.save_to_file(&path).unwrap();
+    let served = Arc::new(Kamel::load_from_file(&path).unwrap());
+    let engine = Arc::new(ImputeEngine::with_model_path(Arc::clone(&served), path.clone()));
+    let server = Server::bind("127.0.0.1:0", engine, config(256)).expect("bind");
+    let mut c = Client::connect(server.local_addr(), Duration::from_secs(30)).unwrap();
+    let body = serde_json::to_vec(&sparse_request(0)).unwrap();
+    let before = c.post_json("/v1/impute", &body).unwrap();
+    assert_eq!(before.status, 200);
+    // Clobber the checkpoint with garbage (no .bak exists to fall back to:
+    // the model was saved to this path exactly once).
+    std::fs::write(&path, b"this is not a checkpoint and not json").unwrap();
+    let resp = c.post_json("/admin/reload", b"").unwrap();
+    assert_eq!(resp.status, 500, "{}", resp.text());
+    let metrics = server.metrics();
+    assert_eq!(metrics.model_reload_failures.load(Ordering::Relaxed), 1);
+    assert_eq!(metrics.model_reloads.load(Ordering::Relaxed), 0);
+    // Still serving the old model, byte-identically.
+    let after = c.post_json("/v1/impute", &body).unwrap();
+    assert_eq!(after.status, 200);
+    assert_eq!(after.body, before.body);
+    // Repairing the file makes the next reload succeed.
+    old.save_to_file(&path).unwrap();
+    let repaired = c.post_json("/admin/reload", b"").unwrap();
+    assert_eq!(repaired.status, 200, "{}", repaired.text());
+    assert_eq!(metrics.model_reloads.load(Ordering::Relaxed), 1);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
