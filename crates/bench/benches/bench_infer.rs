@@ -1,0 +1,179 @@
+//! Old (training-forward) vs new (grad-free) inference on the BERT hot
+//! path, single and batched, plus per-call heap-allocation counts. Writes
+//! `BENCH_infer.json` at the repo root so the perf trajectory is tracked
+//! across PRs.
+//!
+//! Run with `cargo bench --bench bench_infer`. Not a criterion bench: the
+//! two paths are compared best-of-N with `Instant`, bit-identity is
+//! asserted along the way, and a counting global allocator (linked into
+//! this benchmark binary only, never the library) verifies the
+//! zero-steady-state-allocation claim of `kamel_nn::infer`.
+
+use kamel_nn::{set_thread_budget, BertConfig, BertMlmModel, InferScratch};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::json;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator with an allocation counter, for this binary only.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation calls and bytes requested while running `f`.
+fn count_allocs<T>(f: impl FnOnce() -> T) -> (u64, u64, T) {
+    let calls0 = ALLOC_CALLS.load(Ordering::Relaxed);
+    let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let out = f();
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed) - calls0,
+        ALLOC_BYTES.load(Ordering::Relaxed) - bytes0,
+        out,
+    )
+}
+
+/// Best-of-`reps` wall time of `f` in seconds.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn speedup(old_s: f64, new_s: f64) -> f64 {
+    if new_s > 0.0 {
+        old_s / new_s
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// One scale: single-call old vs new, fused batch vs serial-new, and the
+/// steady-state allocation count of the new path.
+///
+/// Vocabulary sizes are deployment-shaped: a KAMEL pyramid cell's
+/// vocabulary is the hex cells of a city region — thousands of tokens, not
+/// the dozens the unit tests use. The old path's cost scales with
+/// `seq_len × vocab` (it materializes full logits); the masked-row head
+/// does not, which is exactly the effect this benchmark exists to track.
+fn bench_scale(name: &str, config: BertConfig, seq_len: usize, reps: usize) -> serde_json::Value {
+    let vocab = config.vocab_size;
+    let seq_len = seq_len.min(config.max_seq_len);
+    let mask_pos = seq_len / 2;
+    let mut rng = ChaCha8Rng::seed_from_u64(0x1EAF);
+    let model = BertMlmModel::new(config, &mut rng);
+    let ids: Vec<u32> = (0..seq_len as u32).map(|i| i % vocab as u32).collect();
+
+    // --- Single call: reference training forward vs grad-free path.
+    let (old_s, reference) = best_of(reps, || model.predict(&ids, mask_pos));
+    let mut scratch = InferScratch::new();
+    let _ = model.predict_with(&mut scratch, &ids, mask_pos); // warm the arena
+    let (new_s, fast) = best_of(reps, || {
+        model.predict_with(&mut scratch, &ids, mask_pos).to_vec()
+    });
+    assert_eq!(reference, fast, "grad-free path diverged at scale {name}");
+
+    // --- Steady state allocates nothing (warm scratch, thread budget 1 —
+    // multi-thread dispatch spawns scoped workers, which allocate).
+    let (alloc_calls, alloc_bytes, _) =
+        count_allocs(|| model.predict_with(&mut scratch, &ids, mask_pos).len());
+    assert_eq!(
+        alloc_calls, 0,
+        "steady-state inference allocated at scale {name} ({alloc_bytes} bytes)"
+    );
+
+    // --- Batched: one fused forward vs the same requests serially.
+    const BATCH: usize = 8;
+    let reqs: Vec<Vec<u32>> = (0..BATCH as u32)
+        .map(|j| ids.iter().map(|&t| (t + j) % vocab as u32).collect())
+        .collect();
+    let views: Vec<(&[u32], usize)> = reqs.iter().map(|r| (r.as_slice(), mask_pos)).collect();
+    let _ = model.predict_batch_with(&mut scratch, &views); // warm for batch shapes
+    let (serial_s, serial_rows) = best_of(reps, || {
+        views
+            .iter()
+            .map(|(r, p)| model.predict_with(&mut scratch, r, *p).to_vec())
+            .collect::<Vec<_>>()
+    });
+    let (fused_s, fused) = best_of(reps, || {
+        model.predict_batch_with(&mut scratch, &views).clone()
+    });
+    for (i, row) in serial_rows.iter().enumerate() {
+        assert_eq!(
+            row.as_slice(),
+            fused.row(i),
+            "fused batch diverged at scale {name}, request {i}"
+        );
+    }
+    let (batch_alloc_calls, _, _) =
+        count_allocs(|| model.predict_batch_with(&mut scratch, &views).rows());
+    assert_eq!(
+        batch_alloc_calls, 0,
+        "steady-state batched inference allocated at scale {name}"
+    );
+
+    json!({
+        "scale": name,
+        "vocab": vocab,
+        "seq_len": seq_len,
+        "old_single_s": old_s,
+        "new_single_s": new_s,
+        "single_speedup": speedup(old_s, new_s),
+        "batch": BATCH,
+        "serial_new_s": serial_s,
+        "fused_batch_s": fused_s,
+        "batch_speedup": speedup(serial_s, fused_s),
+        "steady_state_allocs": alloc_calls,
+        "steady_state_alloc_bytes": alloc_bytes,
+    })
+}
+
+fn main() {
+    let host = kamel_nn::available_threads();
+    // Thread budget 1 throughout: the old-vs-new comparison is a per-core
+    // property (no caches, no logits matrix, masked-row head), and the
+    // zero-allocation assertion requires the single-thread kernels (the
+    // parallel dispatch allocates its scoped workers).
+    set_thread_budget(1);
+    let budget = kamel_nn::thread_budget();
+    eprintln!("bench_infer: host threads = {host}, budget pinned to {budget}");
+    let tiny = bench_scale("tiny", BertConfig::tiny(2048), 24, 30);
+    eprintln!("tiny scale done");
+    let small = bench_scale("small", BertConfig::small(8192), 48, 20);
+    eprintln!("small scale done");
+    let doc = json!({
+        "bench": "bench_infer",
+        "status": "measured",
+        "host_threads": host,
+        "thread_budget": budget,
+        "scales": [tiny, small],
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_infer.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialize"))
+        .expect("write BENCH_infer.json");
+    println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
+    println!("wrote {path}");
+}

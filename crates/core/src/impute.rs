@@ -153,6 +153,30 @@ impl<'a> GapFiller<'a> {
         t_s + (t_d - t_s) * cum[idx] / total
     }
 
+    /// Builds the masked model input for the gap at `gap_idx`:
+    /// `[prev?] tokens[..=gap_idx] [MASK] tokens[gap_idx+1..] [next?]`.
+    /// Returns the sequence and the mask position within it.
+    fn build_model_input(
+        &self,
+        tokens: &[CellId],
+        gap_idx: usize,
+        prev: Option<CellId>,
+        next: Option<CellId>,
+    ) -> (Vec<u64>, usize) {
+        let mut seq: Vec<u64> = Vec::with_capacity(tokens.len() + 3);
+        if let Some(p) = prev {
+            seq.push(p.0);
+        }
+        seq.extend(tokens[..=gap_idx].iter().map(|c| c.0));
+        let mask_pos = seq.len();
+        seq.push(0); // masked slot placeholder
+        seq.extend(tokens[gap_idx + 1..].iter().map(|c| c.0));
+        if let Some(nx) = next {
+            seq.push(nx.0);
+        }
+        (seq, mask_pos)
+    }
+
     /// Builds the model input around the current segment, queries it at the
     /// masked slot for the gap at `gap_idx`, and applies the spatial
     /// constraints.
@@ -165,19 +189,24 @@ impl<'a> GapFiller<'a> {
         prev: Option<CellId>,
         next: Option<CellId>,
     ) -> Vec<Candidate> {
-        // Sequence: [prev?] tokens[..=gap_idx] [MASK] tokens[gap_idx+1..] [next?]
-        let mut seq: Vec<u64> = Vec::with_capacity(tokens.len() + 3);
-        if let Some(p) = prev {
-            seq.push(p.0);
-        }
-        seq.extend(tokens[..=gap_idx].iter().map(|c| c.0));
-        let mask_pos = seq.len();
-        seq.push(0); // masked slot placeholder
-        seq.extend(tokens[gap_idx + 1..].iter().map(|c| c.0));
-        if let Some(nx) = next {
-            seq.push(nx.0);
-        }
-        let mut raw = self.model.predict_masked(&seq, mask_pos, self.config.top_k);
+        let (seq, mask_pos) = self.build_model_input(tokens, gap_idx, prev, next);
+        let raw = self.model.predict_masked(&seq, mask_pos, self.config.top_k);
+        self.postprocess_candidates(raw, tokens, gap_idx, (t_s, t_d), prev, next)
+    }
+
+    /// The non-model half of a "call BERT" step: micro-gap bridging and the
+    /// spatial-constraints filter over the raw candidate list. `span` is
+    /// the segment's `(t_s, t_d)` endpoint times.
+    fn postprocess_candidates(
+        &self,
+        mut raw: Vec<Candidate>,
+        tokens: &[CellId],
+        gap_idx: usize,
+        span: (f64, f64),
+        prev: Option<CellId>,
+        next: Option<CellId>,
+    ) -> Vec<Candidate> {
+        let (t_s, t_d) = span;
         let gap_s = tokens[gap_idx];
         let gap_d = tokens[gap_idx + 1];
         // Micro-gap bridging. A count-based MLM can only propose tokens it
@@ -322,15 +351,28 @@ impl<'a> GapFiller<'a> {
         let mut budget_exhausted = false;
         while !all_gaps.is_empty() {
             let mut new_segments: Vec<BeamSeg> = Vec::new();
-            let mut budget_hit = false;
-            for (seg, gap_idx) in &all_gaps {
-                if calls >= self.config.max_model_calls {
-                    budget_hit = true;
-                    budget_exhausted = true;
-                    break;
-                }
-                let candidates = self.call_model(&seg.tokens, *gap_idx, t_s, t_d, prev, next);
-                calls += 1;
+            // The whole round goes through the model as ONE batched call:
+            // every frontier gap that fits the remaining call budget. Each
+            // request still counts as one "BERT call" against the budget,
+            // and the per-request results are identical to serial calls
+            // (the batched API guarantees it), so semantics are unchanged —
+            // only the kernels get the fused batch.
+            let take = all_gaps
+                .len()
+                .min(self.config.max_model_calls.saturating_sub(calls));
+            let budget_hit = take < all_gaps.len();
+            if budget_hit {
+                budget_exhausted = true;
+            }
+            let reqs: Vec<(Vec<u64>, usize)> = all_gaps[..take]
+                .iter()
+                .map(|(seg, gap_idx)| self.build_model_input(&seg.tokens, *gap_idx, prev, next))
+                .collect();
+            let batched = self.model.predict_masked_batch(&reqs, self.config.top_k);
+            calls += take;
+            for ((seg, gap_idx), raw) in all_gaps[..take].iter().zip(batched) {
+                let candidates =
+                    self.postprocess_candidates(raw, &seg.tokens, *gap_idx, (t_s, t_d), prev, next);
                 for c in candidates.into_iter().take(b) {
                     let mut tokens = seg.tokens.clone();
                     tokens.insert(gap_idx + 1, CellId(c.key));
@@ -657,6 +699,61 @@ mod tests {
             vec![c0, c1, c2, c3],
             "beam must return the higher-normalized-probability route"
         );
+    }
+
+    /// Forwards single predictions but hides any engine batch override, so
+    /// the trait's default serial-loop batch implementation is used.
+    struct SerialOnly<'a>(&'a dyn kamel_lm::MaskedTokenModel);
+
+    impl kamel_lm::MaskedTokenModel for SerialOnly<'_> {
+        fn predict_masked(&self, seq: &[u64], pos: usize, top_k: usize) -> Vec<Candidate> {
+            self.0.predict_masked(seq, pos, top_k)
+        }
+
+        fn vocab_len(&self) -> usize {
+            self.0.vocab_len()
+        }
+
+        fn trained_tokens(&self) -> u64 {
+            self.0.trained_tokens()
+        }
+    }
+
+    /// The beam's round-batched model calls must produce exactly the fill
+    /// the serial per-gap calls produce — with the BERT engine, whose fused
+    /// batch path is the one under test.
+    #[test]
+    fn batched_beam_rounds_match_serial_model_calls() {
+        let cfg = KamelConfig::builder()
+            .multipoint(MultipointStrategy::Beam)
+            .beam_size(4)
+            .build();
+        let tok = Tokenizer::new(LatLng::new(41.15, -8.61), &cfg);
+        let cells: Vec<CellId> = (0..25)
+            .map(|i| tok.cell_of_xy(kamel_geo::Xy::new(i as f64 * 120.0, 0.0)))
+            .collect();
+        let mut dedup = cells;
+        dedup.dedup();
+        let corpus: Vec<Vec<u64>> = (0..30)
+            .map(|_| dedup.iter().map(|c| c.0).collect())
+            .collect();
+        let model = EngineConfig::Bert(kamel_lm::BertEngineConfig::for_tests()).train(&corpus);
+        let cons = SpatialConstraints::new(20.0, &cfg);
+        let serial = SerialOnly(&model);
+        let run = |m: &dyn kamel_lm::MaskedTokenModel| {
+            let f = GapFiller {
+                model: m,
+                constraints: &cons,
+                tokenizer: &tok,
+                config: &cfg,
+                preceding_speed_mps: None,
+            };
+            f.fill(dedup[2], dedup[10], 0.0, 200.0, Some(dedup[1]), Some(dedup[11]))
+        };
+        let batched = run(&model);
+        let serial_out = run(&serial);
+        assert_eq!(batched, serial_out);
+        assert!(!batched.failed, "{batched:?}");
     }
 
     #[test]

@@ -7,10 +7,19 @@
 
 use crate::vocab::Vocab;
 use crate::{Candidate, MaskedTokenModel};
-use kamel_nn::{BertConfig, BertMlmModel, MlmBatcher, TrainOptions, Trainer};
+use kamel_nn::{BertConfig, BertMlmModel, InferScratch, MlmBatcher, TrainOptions, Trainer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread inference scratch. `predict_masked` takes `&self` and is
+    /// called concurrently (server workers, batch-imputation threads), so
+    /// the arena cannot live in the model; a thread-local gives every
+    /// caller warm, allocation-free buffers without locking.
+    static INFER_SCRATCH: RefCell<InferScratch> = RefCell::new(InferScratch::new());
+}
 
 /// Model scale presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -135,15 +144,12 @@ impl BertMlm {
     pub fn param_count(&mut self) -> usize {
         self.model.param_count()
     }
-}
 
-impl MaskedTokenModel for BertMlm {
-    fn predict_masked(&self, seq: &[u64], pos: usize, top_k: usize) -> Vec<Candidate> {
-        assert!(pos < seq.len(), "mask position {pos} out of range");
-        if top_k == 0 || self.vocab.is_empty() {
-            return Vec::new();
-        }
-        // [CLS] seq [SEP], with the slot replaced by [MASK].
+    /// Builds the network input for one masked request: `[CLS] seq [SEP]`
+    /// with `[MASK]` at the slot, windowed around the mask when the
+    /// bracketed sequence exceeds the model's `max_seq_len`. Returns the
+    /// token ids and the mask's index within them.
+    fn build_masked_input(&self, seq: &[u64], pos: usize) -> (Vec<u32>, usize) {
         let mut ids = Vec::with_capacity(seq.len() + 2);
         ids.push(Vocab::CLS);
         for (i, &key) in seq.iter().enumerate() {
@@ -157,41 +163,109 @@ impl MaskedTokenModel for BertMlm {
         // Clamp to the model's window around the mask if the sequence is
         // long (imputation sequences are short, but be safe).
         let max_len = self.model.config.max_seq_len;
-        let (ids, mask_index) = if ids.len() <= max_len {
+        if ids.len() <= max_len {
             (ids, pos + 1)
         } else {
             let mask_at = pos + 1;
             let half = max_len / 2;
             let start = mask_at.saturating_sub(half).min(ids.len() - max_len);
             (ids[start..start + max_len].to_vec(), mask_at - start)
-        };
-        let probs = self.model.predict(&ids, mask_index);
-        // Rank regular tokens only.
-        let mut scored: Vec<(u32, f32)> = probs
-            .iter()
-            .enumerate()
-            .skip(Vocab::FIRST_REGULAR as usize)
-            .map(|(id, &p)| (id as u32, p))
-            .collect();
-        scored.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite probabilities")
-                .then(a.0.cmp(&b.0))
-        });
-        let regular_mass: f32 = scored.iter().map(|(_, p)| p).sum();
-        if regular_mass <= 0.0 {
+        }
+    }
+}
+
+/// Ranks the regular-token probabilities of one masked slot: the `top_k`
+/// highest-probability ids (ties broken by ascending id), each normalized
+/// over the total regular mass.
+///
+/// Selection uses `select_nth_unstable_by` (O(vocab) expected) followed by a
+/// sort of only the kept `top_k` entries, instead of sorting the full
+/// vocabulary. The comparator is a total order (descending prob, then
+/// ascending id), so the kept set and its order are exactly those of a full
+/// descending sort. The normalization mass is summed in ascending-id order
+/// — a fixed order independent of `top_k` and of how selection permutes the
+/// array. (The pre-partial-top-k code summed in descending-sorted order;
+/// f32 addition is order-sensitive, so normalized probabilities may differ
+/// from that retired path in the last ulp. See DESIGN.md §10.)
+fn rank_regulars(probs: &[f32], top_k: usize) -> Vec<(u32, f64)> {
+    let mut scored: Vec<(u32, f32)> = probs
+        .iter()
+        .enumerate()
+        .skip(Vocab::FIRST_REGULAR as usize)
+        .map(|(id, &p)| (id as u32, p))
+        .collect();
+    let regular_mass: f32 = scored.iter().map(|(_, p)| p).sum();
+    if regular_mass <= 0.0 {
+        return Vec::new();
+    }
+    let by_rank = |a: &(u32, f32), b: &(u32, f32)| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite probabilities")
+            .then(a.0.cmp(&b.0))
+    };
+    if top_k < scored.len() {
+        scored.select_nth_unstable_by(top_k, by_rank);
+        scored.truncate(top_k);
+    }
+    scored.sort_unstable_by(by_rank);
+    scored
+        .into_iter()
+        .map(|(id, p)| (id, (p / regular_mass) as f64))
+        .collect()
+}
+
+impl MaskedTokenModel for BertMlm {
+    fn predict_masked(&self, seq: &[u64], pos: usize, top_k: usize) -> Vec<Candidate> {
+        assert!(pos < seq.len(), "mask position {pos} out of range");
+        if top_k == 0 || self.vocab.is_empty() {
             return Vec::new();
         }
-        scored
-            .into_iter()
-            .take(top_k)
-            .filter_map(|(id, p)| {
-                self.vocab.key_of(id).map(|key| Candidate {
-                    key,
-                    prob: (p / regular_mass) as f64,
+        let (ids, mask_index) = self.build_masked_input(seq, pos);
+        INFER_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            // Grad-free forward + masked-row head: bit-identical to
+            // `self.model.predict(&ids, mask_index)` (property-tested).
+            let probs = self.model.predict_with(&mut scratch, &ids, mask_index);
+            rank_regulars(probs, top_k)
+                .into_iter()
+                .filter_map(|(id, prob)| {
+                    self.vocab.key_of(id).map(|key| Candidate { key, prob })
                 })
-            })
-            .collect()
+                .collect()
+        })
+    }
+
+    fn predict_masked_batch(&self, reqs: &[(Vec<u64>, usize)], top_k: usize) -> Vec<Vec<Candidate>> {
+        for (seq, pos) in reqs {
+            assert!(*pos < seq.len(), "mask position {pos} out of range");
+        }
+        if top_k == 0 || self.vocab.is_empty() {
+            return vec![Vec::new(); reqs.len()];
+        }
+        let inputs: Vec<(Vec<u32>, usize)> = reqs
+            .iter()
+            .map(|(seq, pos)| self.build_masked_input(seq, *pos))
+            .collect();
+        let views: Vec<(&[u32], usize)> = inputs
+            .iter()
+            .map(|(ids, mask)| (ids.as_slice(), *mask))
+            .collect();
+        INFER_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            // One fused forward for the whole batch; row `i` is
+            // bit-identical to the single-request path for `reqs[i]`.
+            let probs = self.model.predict_batch_with(&mut scratch, &views);
+            (0..reqs.len())
+                .map(|i| {
+                    rank_regulars(probs.row(i), top_k)
+                        .into_iter()
+                        .filter_map(|(id, prob)| {
+                            self.vocab.key_of(id).map(|key| Candidate { key, prob })
+                        })
+                        .collect()
+                })
+                .collect()
+        })
     }
 
     fn vocab_len(&self) -> usize {
@@ -238,6 +312,86 @@ mod tests {
         let model = BertMlm::train(&BertEngineConfig::for_tests(), &corpus);
         let preds = model.predict_masked(&[777, 0, 888], 1, 3);
         assert!(!preds.is_empty());
+    }
+
+    /// The retired full-sort ranking, kept as the test reference (mass in
+    /// ascending-id order, matching the live implementation's definition).
+    fn rank_regulars_reference(probs: &[f32], top_k: usize) -> Vec<(u32, f64)> {
+        let mut scored: Vec<(u32, f32)> = probs
+            .iter()
+            .enumerate()
+            .skip(Vocab::FIRST_REGULAR as usize)
+            .map(|(id, &p)| (id as u32, p))
+            .collect();
+        let regular_mass: f32 = scored.iter().map(|(_, p)| p).sum();
+        if regular_mass <= 0.0 {
+            return Vec::new();
+        }
+        scored.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite probabilities")
+                .then(a.0.cmp(&b.0))
+        });
+        scored
+            .into_iter()
+            .take(top_k)
+            .map(|(id, p)| (id, (p / regular_mass) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn partial_topk_matches_full_sort_including_ties() {
+        // Distributions with duplicate probabilities, zeros, and values in
+        // special-token slots (which must be skipped, not ranked).
+        let cases: Vec<Vec<f32>> = vec![
+            vec![0.5, 0.1, 0.1, 0.05, 0.05, 0.08, 0.02, 0.08, 0.02, 0.1],
+            vec![0.0; 12],
+            vec![0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1],
+            vec![0.9, 0.0, 0.0, 0.0, 0.0, 0.025, 0.025, 0.025, 0.025],
+            (0..40).map(|i| ((i * 7) % 11) as f32 / 100.0).collect(),
+        ];
+        for probs in &cases {
+            let regulars = probs.len() - Vocab::FIRST_REGULAR as usize;
+            for top_k in [0, 1, 2, 3, regulars, regulars + 5, usize::MAX] {
+                let got = rank_regulars(probs, top_k);
+                let want = rank_regulars_reference(probs, top_k);
+                assert_eq!(got, want, "diverged at top_k={top_k} on {probs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn topk_ties_break_by_ascending_id() {
+        // Ids 5..9 all share the top probability; top-3 must be 5, 6, 7.
+        let mut probs = vec![0.0f32; 10];
+        for id in 5..10 {
+            probs[id] = 0.2;
+        }
+        let got = rank_regulars(&probs, 3);
+        let ids: Vec<u32> = got.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn batched_predictions_match_single_calls() {
+        let corpus: Vec<Vec<u64>> = (0..30).map(|_| vec![11u64, 22, 33, 44, 55]).collect();
+        let model = BertMlm::train(&BertEngineConfig::for_tests(), &corpus);
+        let reqs: Vec<(Vec<u64>, usize)> = vec![
+            (vec![11, 22, 0, 44, 55], 2),
+            (vec![11, 0, 33], 1),
+            (vec![22, 33, 44, 0], 3),
+            (vec![777, 0, 888], 1),
+        ];
+        let batched = model.predict_masked_batch(&reqs, 4);
+        assert_eq!(batched.len(), reqs.len());
+        for (i, (seq, pos)) in reqs.iter().enumerate() {
+            let single = model.predict_masked(seq, *pos, 4);
+            assert_eq!(batched[i].len(), single.len(), "request {i}");
+            for (a, b) in batched[i].iter().zip(&single) {
+                assert_eq!(a.key, b.key, "request {i}");
+                assert_eq!(a.prob.to_bits(), b.prob.to_bits(), "request {i}");
+            }
+        }
     }
 
     #[test]

@@ -56,6 +56,20 @@ pub trait MaskedTokenModel: Send + Sync {
     /// Implementations must tolerate out-of-vocabulary context tokens.
     fn predict_masked(&self, seq: &[u64], pos: usize, top_k: usize) -> Vec<Candidate>;
 
+    /// Batched variant of [`MaskedTokenModel::predict_masked`]: answers many
+    /// `(sequence, masked position)` requests in one call. Element `i` of
+    /// the result is exactly `predict_masked(&reqs[i].0, reqs[i].1, top_k)`.
+    ///
+    /// The default implementation loops over the single-request method, so
+    /// every engine gets the batched API with identical results for free.
+    /// Engines with a fused forward ([`BertMlm`]) override it to push the
+    /// whole batch through one model call — still bit-identical.
+    fn predict_masked_batch(&self, reqs: &[(Vec<u64>, usize)], top_k: usize) -> Vec<Vec<Candidate>> {
+        reqs.iter()
+            .map(|(seq, pos)| self.predict_masked(seq, *pos, top_k))
+            .collect()
+    }
+
     /// Number of distinct regular tokens this model was trained on.
     fn vocab_len(&self) -> usize;
 
@@ -80,6 +94,13 @@ impl MaskedTokenModel for TrainedModel {
         match self {
             TrainedModel::Ngram(m) => m.predict_masked(seq, pos, top_k),
             TrainedModel::Bert(m) => m.predict_masked(seq, pos, top_k),
+        }
+    }
+
+    fn predict_masked_batch(&self, reqs: &[(Vec<u64>, usize)], top_k: usize) -> Vec<Vec<Candidate>> {
+        match self {
+            TrainedModel::Ngram(m) => m.predict_masked_batch(reqs, top_k),
+            TrainedModel::Bert(m) => m.predict_masked_batch(reqs, top_k),
         }
     }
 

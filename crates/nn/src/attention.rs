@@ -167,6 +167,11 @@ impl MultiHeadAttention {
     pub fn heads(&self) -> usize {
         self.heads
     }
+
+    /// Features per head (`hidden / heads`).
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
 }
 
 /// Copies the `[n, head_dim]` column slice of head `h` out of `[n, hidden]`.

@@ -77,12 +77,12 @@ impl BertConfig {
 pub struct BertMlmModel {
     /// Hyper-parameters.
     pub config: BertConfig,
-    tok_emb: Embedding,
-    pos_emb: Embedding,
-    emb_ln: LayerNorm,
-    layers: Vec<EncoderLayer>,
+    pub(crate) tok_emb: Embedding,
+    pub(crate) pos_emb: Embedding,
+    pub(crate) emb_ln: LayerNorm,
+    pub(crate) layers: Vec<EncoderLayer>,
     /// Projection from hidden states to vocabulary logits.
-    out: Linear,
+    pub(crate) out: Linear,
 }
 
 /// Forward state needed for a training backward pass.
@@ -199,8 +199,15 @@ impl BertMlmModel {
     }
 
     /// Probability distribution over the vocabulary for position `pos`
-    /// (inference path used by KAMEL's imputation: "call BERT" on a sequence
-    /// with a `[MASK]` at the gap).
+    /// ("call BERT" on a sequence with a `[MASK]` at the gap).
+    ///
+    /// This is the *reference* implementation: it reuses the training
+    /// forward, so it builds the full backward cache and a
+    /// `[seq_len × vocab]` logits matrix just to read one row. The serving
+    /// hot path uses the grad-free, allocation-free
+    /// [`BertMlmModel::predict_with`] /
+    /// [`BertMlmModel::predict_batch_with`] from [`crate::infer`], which
+    /// are bit-identical to this method (property-tested).
     pub fn predict(&self, ids: &[u32], pos: usize) -> Vec<f32> {
         assert!(pos < ids.len(), "position {pos} out of range");
         let (logits, _) = self.forward(ids, None);

@@ -71,6 +71,14 @@ impl Linear {
         y
     }
 
+    /// Forward pass into a reusable buffer (the grad-free inference path).
+    /// Bit-identical to [`Linear::forward`]; allocates nothing once `out`
+    /// has capacity.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.weight.w, out);
+        out.add_row_broadcast(self.bias.w.row(0));
+    }
+
     /// Backward pass: accumulates `dW`, `db` and returns `dx`.
     ///
     /// `x` must be the exact input of the matching forward call.
@@ -190,6 +198,28 @@ impl LayerNorm {
         (out, LnCache { xhat, rstd })
     }
 
+    /// Normalizes each row of `x` into a reusable buffer, skipping the
+    /// backward cache (the grad-free inference path). The per-row
+    /// arithmetic is the same expression sequence as [`LayerNorm::forward`],
+    /// so outputs are bit-identical to it.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        let (n, d) = (x.rows(), x.cols());
+        out.reset_zeroed(n, d);
+        let gamma = self.gamma.w.row(0);
+        let beta = self.beta.w.row(0);
+        for r in 0..n {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let rs = 1.0 / (var + self.eps).sqrt();
+            let o = out.row_mut(r);
+            for c in 0..d {
+                let h = (row[c] - mean) * rs;
+                o[c] = h * gamma[c] + beta[c];
+            }
+        }
+    }
+
     /// Backward pass; accumulates dγ/dβ and returns dx.
     pub fn backward(&mut self, cache: &LnCache, dy: &Matrix) -> Matrix {
         let (n, d) = (dy.rows(), dy.cols());
@@ -290,6 +320,14 @@ pub fn gelu_forward(x: &Matrix) -> Matrix {
     out
 }
 
+/// GELU into a reusable buffer; bit-identical to [`gelu_forward`].
+pub fn gelu_forward_into(x: &Matrix, out: &mut Matrix) {
+    out.reset_zeroed(x.rows(), x.cols());
+    for (o, &v) in out.data_mut().iter_mut().zip(x.data()) {
+        *o = gelu(v);
+    }
+}
+
 /// Element-wise GELU backward: `dx = dy ⊙ gelu'(x)`.
 pub fn gelu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
     let mut dx = dy.clone();
@@ -301,24 +339,29 @@ pub fn gelu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
 
 /// Numerically stable in-place softmax over each row.
 pub fn softmax_rows(x: &mut Matrix) {
-    let cols = x.cols();
     for r in 0..x.rows() {
-        let row = x.row_mut(r);
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        if !max.is_finite() {
-            // Entire row masked: fall back to uniform to avoid NaNs.
-            let u = 1.0 / cols as f32;
-            row.iter_mut().for_each(|v| *v = u);
-            continue;
-        }
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        let inv = 1.0 / sum;
-        row.iter_mut().for_each(|v| *v *= inv);
+        softmax_slice(x.row_mut(r));
     }
+}
+
+/// Numerically stable in-place softmax over one row slice — the per-row
+/// body of [`softmax_rows`], exposed so the inference head can softmax a
+/// single logits row without wrapping it in a matrix.
+pub fn softmax_slice(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        // Entire row masked: fall back to uniform to avoid NaNs.
+        let u = 1.0 / row.len() as f32;
+        row.iter_mut().for_each(|v| *v = u);
+        return;
+    }
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    row.iter_mut().for_each(|v| *v *= inv);
 }
 
 /// Backward through a row-wise softmax: given the softmax output `a` and

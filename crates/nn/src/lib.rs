@@ -20,6 +20,10 @@
 //! * [`optim`] — Adam with bias correction and optional weight decay.
 //! * [`train`] — the BERT MLM pretraining loop (15% masking with the 80/10/10
 //!   mask/random/keep split from Devlin et al.).
+//! * [`infer`] — the grad-free batched inference engine: cache-free
+//!   forward through a reusable scratch arena, masked-row vocabulary
+//!   head, and ragged batching of many `(sequence, mask)` requests into
+//!   one fused forward. Bit-identical to the training forward.
 //! * [`threads`] — the process-wide worker-thread budget shared by the
 //!   parallel matmul kernels and the higher compute tiers (per-cell
 //!   training, batch imputation). Parallel paths are bit-identical to
@@ -34,6 +38,7 @@
 pub mod attention;
 pub mod bert;
 pub mod encoder;
+pub mod infer;
 pub mod layers;
 pub mod matrix;
 pub mod optim;
@@ -41,6 +46,7 @@ pub mod threads;
 pub mod train;
 
 pub use bert::{BertConfig, BertMlmModel};
+pub use infer::InferScratch;
 pub use matrix::Matrix;
 pub use optim::Adam;
 pub use threads::{available_threads, parse_thread_env, set_thread_budget, thread_budget, EnvBudget};

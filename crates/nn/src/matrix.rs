@@ -234,6 +234,69 @@ impl Matrix {
         out
     }
 
+    /// Reshapes to `rows × cols` of zeros, reusing the existing allocation
+    /// whenever the capacity suffices. The workhorse of the inference
+    /// scratch arena: after warm-up no `reset_zeroed` call allocates.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// `out = self × other`, writing into a reusable buffer instead of
+    /// allocating. Runs the same kernels with the same dispatch as
+    /// [`Matrix::matmul`], so results are bit-identical to it.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        out.reset_zeroed(m, n);
+        let threads = auto_threads(m, k, n);
+        let (a, b) = (&self.data, &other.data);
+        run_row_partitioned(&mut out.data, m, n, threads, |chunk, row0| {
+            nn_block(a, b, chunk, row0, k, n)
+        });
+    }
+
+    /// `out = selfᵀ × other` into a reusable buffer; bit-identical to
+    /// [`Matrix::matmul_tn`].
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        out.reset_zeroed(m, n);
+        let threads = auto_threads(m, k, n);
+        let (a, b) = (&self.data, &other.data);
+        run_row_partitioned(&mut out.data, m, n, threads, |chunk, row0| {
+            tn_block(a, b, chunk, row0, m, n, k)
+        });
+    }
+
+    /// `out = self × otherᵀ` into a reusable buffer; bit-identical to
+    /// [`Matrix::matmul_nt`].
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        out.reset_zeroed(m, n);
+        let threads = auto_threads(m, k, n);
+        let (a, b) = (&self.data, &other.data);
+        run_row_partitioned(&mut out.data, m, n, threads, |chunk, row0| {
+            nt_block(a, b, chunk, row0, k, n)
+        });
+    }
+
+    /// Writes row `row` of `self × other` into `out_row` (length
+    /// `other.cols()`): a `[1, k] × [k, n]` matvec through the same
+    /// column-blocked kernel, so the result is bit-identical to that row of
+    /// the full product. The MLM head uses this to score only the masked
+    /// position(s) instead of materializing `[seq_len × vocab]` logits.
+    pub fn matmul_row_into(&self, row: usize, other: &Matrix, out_row: &mut [f32]) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        assert_eq!(out_row.len(), other.cols, "output row length mismatch");
+        out_row.iter_mut().for_each(|v| *v = 0.0);
+        nn_block(&self.data, &other.data, out_row, row, self.cols, other.cols);
+    }
+
     /// Element-wise `self += other`.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
@@ -506,6 +569,51 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let a = Matrix::randn(7, 5, 1.0, &mut rng);
+        let b = Matrix::randn(5, 6, 1.0, &mut rng);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        let c = Matrix::randn(7, 6, 1.0, &mut rng);
+        a.matmul_tn_into(&c, &mut out);
+        assert_eq!(out, a.matmul_tn(&c));
+        let d = Matrix::randn(9, 5, 1.0, &mut rng);
+        a.matmul_nt_into(&d, &mut out);
+        assert_eq!(out, a.matmul_nt(&d));
+    }
+
+    #[test]
+    fn matmul_row_into_matches_full_product_row() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        // n > NN_COL_BLOCK would need a huge matrix; block boundaries are
+        // still exercised because the kernel path is shared.
+        let a = Matrix::randn(4, 37, 1.0, &mut rng);
+        let b = Matrix::randn(37, 53, 1.0, &mut rng);
+        let full = a.matmul(&b);
+        let mut row = vec![0.0f32; 53];
+        for r in 0..4 {
+            a.matmul_row_into(r, &b, &mut row);
+            assert_eq!(&row[..], full.row(r), "row {r} diverged");
+        }
+    }
+
+    #[test]
+    fn reset_zeroed_reuses_capacity_and_zeroes() {
+        let mut m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let cap = {
+            m.reset_zeroed(3, 2);
+            assert_eq!((m.rows(), m.cols()), (3, 2));
+            assert!(m.data().iter().all(|&v| v == 0.0));
+            m.data.capacity()
+        };
+        m.reset_zeroed(1, 2);
+        assert_eq!(m.data.capacity(), cap, "shrinking must not reallocate");
+        assert_eq!(m.data(), &[0.0, 0.0]);
     }
 
     #[test]

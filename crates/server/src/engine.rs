@@ -51,7 +51,11 @@ impl ImputeResponse {
 /// [`Kamel::impute_batch`], so a burst of concurrent single-trajectory
 /// requests costs one batched call — and produces outputs identical to
 /// imputing each request alone (batch imputation is order-preserving and
-/// per-trajectory independent).
+/// per-trajectory independent). Below that, each trajectory's beam-search
+/// rounds coalesce their per-gap model queries into fused
+/// `predict_masked_batch` calls served by the grad-free inference engine
+/// (`kamel_nn::infer`), so coalesced requests ride batched kernels end to
+/// end while the response bytes stay identical to serial calls.
 ///
 /// The model sits behind an `RwLock<Arc<Kamel>>` so a hot-reload
 /// ([`ImputeEngine::reload`]) swaps it atomically: each batch clones the

@@ -110,6 +110,25 @@ fn assert_concurrent_responses_match_direct(cache_entries: usize) {
     server.shutdown();
 }
 
+/// The engine's batched path (micro-batcher → `impute_batch` → round-batched
+/// beam model calls) must render byte-identical responses to one-at-a-time
+/// `impute` calls.
+#[test]
+fn batched_engine_bytes_match_single_impute_bytes() {
+    let kamel = trained();
+    let engine = ImputeEngine::new(Arc::clone(&kamel));
+    let jobs: Vec<Trajectory> = (0..6).map(sparse_request).collect();
+    let outs = engine.run_batch(jobs.clone());
+    assert_eq!(outs.len(), jobs.len());
+    for (i, (job, out)) in jobs.iter().zip(&outs).enumerate() {
+        assert_eq!(
+            engine.render(out),
+            direct_bytes(&kamel, job),
+            "batched response {i} differs from a direct impute call"
+        );
+    }
+}
+
 #[test]
 fn concurrent_clients_match_direct_calls_cache_disabled() {
     assert_concurrent_responses_match_direct(0);
