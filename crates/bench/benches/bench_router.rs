@@ -1,0 +1,218 @@
+//! Overhead and failover latency of the `kamel-router` gateway.
+//!
+//! Boots two `kamel-server` shards plus a router on loopback over one
+//! trained small model and measures three things against the same request
+//! mix:
+//!
+//! * **direct** — clients hitting one shard, no router (the baseline);
+//! * **routed** — the same load through the router (single-owner
+//!   forwarding, so the delta over direct is the pure gateway overhead);
+//! * **failover** — the primary shard killed mid-run: the first request
+//!   pays the detection + ejection cost, the rest run on the replica.
+//!
+//! Writes `BENCH_router.json` at the repo root. Run with
+//! `cargo bench --bench bench_router`. Not a criterion bench: the unit of
+//! work is a full HTTP round trip against live servers, so wall-clock
+//! over a fixed request count is the honest measure.
+
+use kamel::Kamel;
+use kamel_bench::{default_kamel_config, City};
+use kamel_geo::Trajectory;
+use kamel_roadsim::DatasetScale;
+use kamel_router::{HealthPolicy, Router, RouterConfig, ShardInfo, ShardMap};
+use kamel_server::{Client, ImputeEngine, Server, ServerConfig};
+use serde_json::json;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 50;
+
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn drive(addr: SocketAddr, bodies: &Arc<Vec<Vec<u8>>>) -> (f64, Vec<u64>) {
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let bodies = Arc::clone(bodies);
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                let mut client = Client::connect(addr, Duration::from_secs(60)).expect("connect");
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let body = &bodies[(c * REQUESTS_PER_CLIENT + i) % bodies.len()];
+                    let r0 = Instant::now();
+                    let resp = client.post_json("/v1/impute", body).expect("request");
+                    assert_eq!(resp.status, 200, "{}", resp.text());
+                    lat.push(r0.elapsed().as_micros() as u64);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    (elapsed, latencies)
+}
+
+fn summarize(elapsed_s: f64, latencies: &[u64]) -> serde_json::Value {
+    let total = latencies.len();
+    json!({
+        "requests": total,
+        "elapsed_s": elapsed_s,
+        "throughput_rps": total as f64 / elapsed_s,
+        "latency_us": {
+            "p50": percentile_us(latencies, 0.50),
+            "p95": percentile_us(latencies, 0.95),
+            "p99": percentile_us(latencies, 0.99),
+            "max": latencies.last().copied().unwrap_or(0),
+        },
+    })
+}
+
+fn boot_shard(kamel: &Arc<Kamel>) -> Server {
+    let engine = Arc::new(ImputeEngine::new(Arc::clone(kamel)));
+    let config = ServerConfig {
+        workers: kamel_nn::thread_budget(),
+        handlers: CLIENTS * 2,
+        cache_entries: 0,
+        deadline: Duration::from_secs(60),
+        ..ServerConfig::default()
+    };
+    Server::bind("127.0.0.1:0", engine, config).expect("bind shard")
+}
+
+fn fleet_map(addrs: &[SocketAddr]) -> ShardMap {
+    // cell_deg 1.0: the whole city is one routing cell, so every request
+    // is single-owner — the routed-vs-direct delta is pure gateway cost.
+    let shards = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| ShardInfo {
+            id: format!("shard-{i}"),
+            addr: *addr,
+        })
+        .collect();
+    ShardMap::new(shards, 1.0).expect("map")
+}
+
+fn main() {
+    let host = kamel_nn::available_threads();
+    let budget = kamel_nn::thread_budget();
+    eprintln!("bench_router: host threads = {host}, budget = {budget}");
+    let status = if host > 1 {
+        "measured"
+    } else {
+        eprintln!(
+            "WARNING: bench_router is running on a single hardware thread; \
+             concurrency numbers are NOT representative and the output will \
+             carry status \"measured-single-core\"."
+        );
+        "measured-single-core"
+    };
+    let dataset = City::Porto.dataset(DatasetScale::Small);
+    let kamel = Kamel::new(default_kamel_config().build());
+    kamel.train(&dataset.train);
+    let kamel = Arc::new(kamel);
+    let sparse: Vec<Trajectory> = dataset
+        .test
+        .iter()
+        .take(40)
+        .map(|t| t.sparsify(1_000.0))
+        .collect();
+    let bodies: Arc<Vec<Vec<u8>>> = Arc::new(
+        sparse
+            .iter()
+            .map(|t| serde_json::to_vec(t).expect("serialize request"))
+            .collect(),
+    );
+    eprintln!("model trained; {} distinct request bodies", bodies.len());
+
+    // Baseline: one shard, no router.
+    let direct_shard = boot_shard(&kamel);
+    let (elapsed, latencies) = drive(direct_shard.local_addr(), &bodies);
+    let direct = summarize(elapsed, &latencies);
+    let direct_p50 = percentile_us(&latencies, 0.50);
+    direct_shard.shutdown();
+    eprintln!("direct scenario done");
+
+    // Routed: the same load through the gateway over two shards.
+    let (shard_a, shard_b) = (boot_shard(&kamel), boot_shard(&kamel));
+    let map = fleet_map(&[shard_a.local_addr(), shard_b.local_addr()]);
+    let owner = map.owner_order(map.cell_of(sparse[0].points[0].pos))[0];
+    let router = Router::bind(
+        "127.0.0.1:0",
+        map,
+        RouterConfig {
+            handlers: CLIENTS * 2,
+            timeout: Duration::from_secs(60),
+            health: HealthPolicy {
+                eject_after: 1,
+                probe_interval: Duration::from_secs(600),
+            },
+            ..RouterConfig::default()
+        },
+    )
+    .expect("bind router");
+    assert_eq!(router.core().available_shards(), 2, "fleet admitted");
+    let (elapsed, latencies) = drive(router.local_addr(), &bodies);
+    let routed = summarize(elapsed, &latencies);
+    let routed_p50 = percentile_us(&latencies, 0.50);
+    eprintln!("routed scenario done");
+
+    // Failover: kill the primary, then measure. The first request eats
+    // detection (connect failure + ejection); the rest run on the replica.
+    let mut shards = [Some(shard_a), Some(shard_b)];
+    shards[owner].take().unwrap().shutdown();
+    let first = {
+        let mut c =
+            Client::connect(router.local_addr(), Duration::from_secs(60)).expect("connect");
+        let t0 = Instant::now();
+        let resp = c.post_json("/v1/impute", &bodies[0]).expect("failover request");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        t0.elapsed().as_micros() as u64
+    };
+    let (elapsed, latencies) = drive(router.local_addr(), &bodies);
+    let after_failover = summarize(elapsed, &latencies);
+    let ejections = router
+        .core()
+        .metrics()
+        .shard(owner)
+        .ejections
+        .load(std::sync::atomic::Ordering::Relaxed);
+    eprintln!("failover scenario done ({ejections} ejection)");
+    router.shutdown();
+    shards[1 - owner].take().unwrap().shutdown();
+
+    let doc = json!({
+        "bench": "bench_router",
+        "status": status,
+        "host_threads": host,
+        "thread_budget": budget,
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "direct": direct,
+        "routed": routed,
+        "router_overhead_us_p50": routed_p50 as i64 - direct_p50 as i64,
+        "failover": {
+            "first_request_us": first,
+            "ejections": ejections,
+            "after": after_failover,
+        },
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_router.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialize"))
+        .expect("write BENCH_router.json");
+    println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
+    println!("wrote {path}");
+}

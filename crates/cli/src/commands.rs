@@ -417,14 +417,34 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             out,
             "kamel serve --model FILE [--addr HOST:PORT] [--threads N] [--batch-max N]\n\
              \x20           [--batch-wait-us N] [--cache-entries N] [--queue-cap N]\n\
-             \x20           [--deadline-ms N]\n\
-             serves POST /v1/impute, POST /admin/reload, GET /healthz, GET /metrics\n\
-             until SIGTERM/ctrl-c; SIGHUP hot-reloads the model from --model"
+             \x20           [--deadline-ms N] [--shard-id N --shard-of N]\n\
+             serves POST /v1/impute, POST /admin/reload, GET /healthz, GET /metrics,\n\
+             GET /v1/info until SIGTERM/ctrl-c; SIGHUP hot-reloads the model from\n\
+             --model; --shard-id/--shard-of label this process as member N of a\n\
+             fleet of M behind `kamel route` (advertised on /v1/info)"
         );
         return Ok(());
     }
     let flags = Flags::parse(args, &[])?;
     let model_path = flags.required("--model")?;
+    // Validate the shard identity before the (potentially slow) model
+    // load so flag mistakes surface immediately.
+    let shard = match (flags.get("--shard-id"), flags.get("--shard-of")) {
+        (None, None) => None,
+        (Some(id), Some(of)) => {
+            let id: usize = id
+                .parse()
+                .map_err(|_| format!("--shard-id expects an integer, got `{id}`"))?;
+            let of: usize = of
+                .parse()
+                .map_err(|_| format!("--shard-of expects an integer, got `{of}`"))?;
+            if id >= of {
+                return Err(format!("--shard-id {id} must be < --shard-of {of}"));
+            }
+            Some((id, of))
+        }
+        _ => return Err("--shard-id and --shard-of must be given together".into()),
+    };
     let kamel = Kamel::load_from_file(model_path).map_err(|e| e.to_string())?;
     if !kamel.is_trained() {
         let _ = writeln!(out, "warning: model is untrained; serving linear fallback only");
@@ -451,10 +471,14 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     };
     let addr = flags.get("--addr").unwrap_or("127.0.0.1:8080");
     let signals = kamel_server::install_signal_handlers();
-    let engine = std::sync::Arc::new(kamel_server::ImputeEngine::with_model_path(
+    let mut engine = kamel_server::ImputeEngine::with_model_path(
         std::sync::Arc::new(kamel),
         std::path::PathBuf::from(model_path),
-    ));
+    );
+    if let Some((id, of)) = shard {
+        engine = engine.with_shard_identity(id, of);
+    }
+    let engine = std::sync::Arc::new(engine);
     let server = kamel_server::Server::bind(addr, engine, config.clone())
         .map_err(|e| format!("bind {addr}: {e}"))?;
     let _ = writeln!(
@@ -489,6 +513,78 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let _ = writeln!(out, "shutdown signal received; draining in-flight requests");
     let _ = out.flush();
     server.shutdown();
+    let _ = writeln!(out, "drained; goodbye");
+    Ok(())
+}
+
+/// `kamel route`: the spatial shard router over a fleet of `kamel serve`
+/// processes (DESIGN.md §11).
+///
+/// Owns a static shard map (rendezvous-hashed routing-cell ownership),
+/// forwards `POST /v1/impute` to the owning shard with replica failover,
+/// and scatter-gathers trajectories that span territories. Runs until
+/// SIGINT or SIGTERM, then drains in-flight requests.
+pub fn route(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help") {
+        let _ = writeln!(
+            out,
+            "kamel route (--shard HOST:PORT,... | --shard-map FILE) [--addr HOST:PORT]\n\
+             \x20           [--cell-deg D] [--eject-after N] [--probe-interval-ms N]\n\
+             \x20           [--timeout-ms N] [--handlers N]\n\
+             serves POST /v1/impute (proxied), GET /healthz, GET /metrics,\n\
+             GET /v1/shards until SIGTERM/ctrl-c; --cell-deg sets the routing\n\
+             grid for --shard fleets (a --shard-map file carries its own)"
+        );
+        return Ok(());
+    }
+    let flags = Flags::parse(args, &[])?;
+    let map = match (flags.get("--shard-map"), flags.get("--shard")) {
+        (Some(path), None) => kamel_router::ShardMap::from_json_file(Path::new(path))?,
+        (None, Some(list)) => {
+            let cell_deg =
+                flags.get_f64("--cell-deg", kamel::routing::DEFAULT_ROUTING_CELL_DEG)?;
+            kamel_router::ShardMap::from_flag_list(list, cell_deg)?
+        }
+        (Some(_), Some(_)) => return Err("give either --shard-map or --shard, not both".into()),
+        (None, None) => {
+            return Err("missing fleet: give --shard HOST:PORT,... or --shard-map FILE".into())
+        }
+    };
+    let config = kamel_router::RouterConfig {
+        handlers: (flags.get_f64("--handlers", 8.0)? as usize).max(1),
+        timeout: std::time::Duration::from_millis(
+            (flags.get_f64("--timeout-ms", 10_000.0)? as u64).max(1),
+        ),
+        health: kamel_router::HealthPolicy {
+            eject_after: (flags.get_f64("--eject-after", 3.0)? as u32).max(1),
+            probe_interval: std::time::Duration::from_millis(
+                (flags.get_f64("--probe-interval-ms", 500.0)? as u64).max(1),
+            ),
+        },
+        ..kamel_router::RouterConfig::default()
+    };
+    let addr = flags.get("--addr").unwrap_or("127.0.0.1:8780");
+    let signals = kamel_server::install_signal_handlers();
+    let router =
+        kamel_router::Router::bind(addr, map, config).map_err(|e| format!("bind {addr}: {e}"))?;
+    let core = router.core();
+    let _ = writeln!(
+        out,
+        "kamel-router listening on http://{} ({} shards, {} admitted, cell {} deg, \
+         eject after {} failures)",
+        router.local_addr(),
+        core.map().len(),
+        core.available_shards(),
+        core.map().cell_deg(),
+        core.config().health.eject_after,
+    );
+    let _ = out.flush();
+    while !signals.is_tripped() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let _ = writeln!(out, "shutdown signal received; draining in-flight requests");
+    let _ = out.flush();
+    router.shutdown();
     let _ = writeln!(out, "drained; goodbye");
     Ok(())
 }

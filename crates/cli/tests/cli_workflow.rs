@@ -215,11 +215,30 @@ fn helpful_errors() {
     let (code, out) = run(&["generate", "--city", "atlantis", "--train", "/tmp/x.csv"]);
     assert_eq!(code, 1);
     assert!(out.contains("porto|jakarta"), "{out}");
+
+    let (code, out) = run(&["route"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("--shard"), "{out}");
+
+    let (code, out) = run(&["route", "--shard", "127.0.0.1:1", "--shard-map", "/tmp/map.json"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("not both"), "{out}");
+
+    // Shard identity is validated before the model loads.
+    let (code, out) = run(&["serve", "--model", "/nonexistent/model.json", "--shard-id", "0"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("given together"), "{out}");
+
+    let (code, out) = run(&[
+        "serve", "--model", "/nonexistent/model.json", "--shard-id", "2", "--shard-of", "2",
+    ]);
+    assert_eq!(code, 1);
+    assert!(out.contains("must be <"), "{out}");
 }
 
 #[test]
 fn per_command_help() {
-    for cmd in ["generate", "train", "tune", "impute", "serve", "stats", "evaluate", "export"] {
+    for cmd in ["generate", "train", "tune", "impute", "serve", "route", "stats", "evaluate", "export"] {
         let (code, out) = run(&[cmd, "--help"]);
         assert_eq!(code, 0, "{cmd}");
         assert!(out.contains(cmd), "{cmd}: {out}");

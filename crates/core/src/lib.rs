@@ -59,6 +59,7 @@ pub mod error;
 pub mod impute;
 pub mod partition;
 pub mod pipeline;
+pub mod routing;
 pub mod tokenize;
 
 pub use config::{GridKind, KamelConfig, KamelConfigBuilder, MultipointStrategy, SpeedMode};

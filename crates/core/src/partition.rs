@@ -749,6 +749,97 @@ mod tests {
         );
     }
 
+    /// A degenerate query exactly on the boundary between two leaf cells
+    /// belongs to exactly one of them (the east/north side, by the grid's
+    /// half-open convention) — never to both, never to neither.
+    #[test]
+    fn boundary_query_resolves_to_exactly_one_leaf() {
+        let cfg = config();
+        let mut repo = Repository::new(root(), &cfg);
+        let mut store = TrajStore::new(200.0);
+        // Models on both sides of the x = 400 leaf boundary.
+        fill_region(&mut store, BBox::new(Xy::new(0.0, 0.0), Xy::new(400.0, 400.0)), 30);
+        fill_region(&mut store, BBox::new(Xy::new(400.0, 0.0), Xy::new(800.0, 400.0)), 30);
+        repo.maintain(&store, &root(), &EngineConfig::default());
+        assert!(repo
+            .entry(ModelSelection::Single(PyramidKey { level: 2, x: 0, y: 0 }))
+            .is_some());
+        assert!(repo
+            .entry(ModelSelection::Single(PyramidKey { level: 2, x: 1, y: 0 }))
+            .is_some());
+        // x = 400.0 is the first coordinate of the east cell.
+        let on_boundary = BBox::new(Xy::new(400.0, 100.0), Xy::new(400.0, 100.0));
+        let (sel, _) = repo.find_model(&on_boundary).expect("model");
+        assert_eq!(
+            sel,
+            ModelSelection::Single(PyramidKey { level: 2, x: 1, y: 0 })
+        );
+        // Just inside the west cell resolves west.
+        let west = BBox::new(Xy::new(399.9, 100.0), Xy::new(399.9, 100.0));
+        let (sel, _) = repo.find_model(&west).expect("model");
+        assert_eq!(
+            sel,
+            ModelSelection::Single(PyramidKey { level: 2, x: 0, y: 0 })
+        );
+    }
+
+    /// A query spanning leaf cells *diagonally* can never be covered by a
+    /// neighbor pair (pairs are edge-adjacent only) — retrieval must fall
+    /// back to the enclosing coarser-level single-cell model.
+    #[test]
+    fn diagonal_span_falls_back_to_the_coarser_level() {
+        let cfg = config();
+        let mut repo = Repository::new(root(), &cfg);
+        let mut store = TrajStore::new(200.0);
+        // Data across the level-1 cell (0,0) = [0,800)²: its 40-token
+        // threshold is met, as are the leaf thresholds inside it.
+        fill_region(&mut store, BBox::new(Xy::new(0.0, 0.0), Xy::new(800.0, 800.0)), 60);
+        repo.maintain(&store, &root(), &EngineConfig::default());
+        // Spans leaf cells (0,0), (1,0), (0,1), (1,1) around (400, 400).
+        let query = BBox::new(Xy::new(350.0, 350.0), Xy::new(450.0, 450.0));
+        let (sel, _) = repo.find_model(&query).expect("coarser model expected");
+        assert_eq!(
+            sel,
+            ModelSelection::Single(PyramidKey { level: 1, x: 0, y: 0 }),
+            "diagonal spans skip the (impossible) pair and climb a level"
+        );
+    }
+
+    /// Retrieval is a pure function of the repository: the model chosen
+    /// for a query does not depend on what was queried before it.
+    #[test]
+    fn retrieval_does_not_depend_on_query_order() {
+        let cfg = config();
+        let mut repo = Repository::new(root(), &cfg);
+        let mut store = TrajStore::new(200.0);
+        fill_region(&mut store, root(), 700);
+        repo.maintain(&store, &root(), &EngineConfig::default());
+        let queries = [
+            BBox::new(Xy::new(10.0, 10.0), Xy::new(60.0, 60.0)),
+            BBox::new(Xy::new(300.0, 100.0), Xy::new(500.0, 300.0)),
+            BBox::new(Xy::new(350.0, 350.0), Xy::new(450.0, 450.0)),
+            BBox::new(Xy::new(100.0, 100.0), Xy::new(1500.0, 1500.0)),
+            BBox::new(Xy::new(400.0, 100.0), Xy::new(400.0, 100.0)),
+        ];
+        let forward: Vec<_> = queries
+            .iter()
+            .map(|q| repo.find_model(q).map(|(sel, _)| sel))
+            .collect();
+        let mut backward: Vec<_> = queries
+            .iter()
+            .rev()
+            .map(|q| repo.find_model(q).map(|(sel, _)| sel))
+            .collect();
+        backward.reverse();
+        assert_eq!(forward, backward, "answers must not depend on query order");
+        // And re-asking is idempotent.
+        let again: Vec<_> = queries
+            .iter()
+            .map(|q| repo.find_model(q).map(|(sel, _)| sel))
+            .collect();
+        assert_eq!(forward, again);
+    }
+
     #[test]
     fn model_meta_tracks_updates() {
         let cfg = config();

@@ -1,0 +1,112 @@
+//! Spatial shard-routing keys: mapping trajectories to coarse cells that
+//! a scale-out router can assign to backend shards.
+//!
+//! The pyramid repository ([`crate::partition`]) scales *models* to fine
+//! spatial regions; `kamel-router` (the `crates/router` gateway) scales
+//! *machines* the same way. The bridge between them is the routing cell:
+//! a coarse, fixed-resolution square grid over raw WGS-84 degrees that
+//! both the router and every shard can compute **without a trained
+//! tokenizer** — routing must work before any model is loaded, and every
+//! party must agree on the key by construction (no projection state, no
+//! auto-tuned cell size).
+//!
+//! A trajectory is routed per *gap*: each candidate gap is keyed by the
+//! cell of its anchor fix (the gap's earlier endpoint — the point the
+//! imputation walk starts from), so a trajectory whose gaps all sit in
+//! one shard's territory is forwarded whole, while one that spans
+//! territories is split at ownership changes and scatter-gathered.
+
+use kamel_geo::{LatLng, Trajectory};
+use kamel_hexgrid::CellId;
+
+/// Default routing-cell edge in degrees (~1.1 km of latitude): coarse
+/// enough that a city-scale deployment lands in a handful of cells, fine
+/// enough that a multi-region fleet actually spreads load.
+pub const DEFAULT_ROUTING_CELL_DEG: f64 = 0.01;
+
+/// The routing cell containing `pos` on a square degree grid with edge
+/// `cell_deg`. Pure integer floor on raw degrees — every process that
+/// agrees on `cell_deg` agrees on the cell, trained or not.
+pub fn routing_cell(pos: LatLng, cell_deg: f64) -> CellId {
+    let axis = |v: f64| -> i32 {
+        let idx = (v / cell_deg).floor();
+        // Clamp instead of wrapping: a degenerate cell at the grid edge
+        // still routes deterministically.
+        idx.clamp(i32::MIN as f64, i32::MAX as f64) as i32
+    };
+    CellId::from_coords(axis(pos.lng), axis(pos.lat))
+}
+
+/// The routing cell of every gap anchor in `sparse`: entry `i` is the
+/// cell of fix `i`, the earlier endpoint of the gap between fixes `i` and
+/// `i + 1`. A trajectory with fewer than two fixes has no gaps and
+/// returns an empty list (route it by [`routing_cell`] of its only fix,
+/// or anywhere when empty — the answer is the echoed input either way).
+pub fn gap_anchor_cells(sparse: &Trajectory, cell_deg: f64) -> Vec<CellId> {
+    if sparse.points.len() < 2 {
+        return Vec::new();
+    }
+    sparse.points[..sparse.points.len() - 1]
+        .iter()
+        .map(|p| routing_cell(p.pos, cell_deg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamel_geo::GpsPoint;
+
+    #[test]
+    fn cells_floor_toward_negative_infinity() {
+        let deg = 0.01;
+        // Porto-ish longitudes are negative; floor must not round toward
+        // zero or adjacent cells on either side of the meridian collide.
+        assert_eq!(
+            routing_cell(LatLng::new(41.15, -8.61), deg).coords(),
+            (-861, 4115)
+        );
+        assert_eq!(
+            routing_cell(LatLng::new(-0.001, 0.001), deg).coords(),
+            (0, -1)
+        );
+    }
+
+    #[test]
+    fn boundary_points_belong_to_the_higher_cell() {
+        let deg = 0.01;
+        let on_edge = routing_cell(LatLng::new(41.15, -8.61), deg);
+        let just_west = routing_cell(LatLng::new(41.15, -8.6100001), deg);
+        let just_east = routing_cell(LatLng::new(41.15, -8.6099999), deg);
+        assert_eq!(on_edge, just_east, "the edge belongs to the cell east of it");
+        assert_ne!(on_edge, just_west);
+    }
+
+    #[test]
+    fn cell_size_controls_spread() {
+        let a = LatLng::new(41.15, -8.61);
+        let b = LatLng::new(41.15, -8.58);
+        assert_ne!(routing_cell(a, 0.01), routing_cell(b, 0.01));
+        assert_eq!(routing_cell(a, 1.0), routing_cell(b, 1.0), "coarse grid unifies a city");
+    }
+
+    #[test]
+    fn anchor_cells_key_every_gap_by_its_earlier_fix() {
+        let traj = Trajectory::new(vec![
+            GpsPoint::from_parts(41.15, -8.61, 0.0),
+            GpsPoint::from_parts(41.15, -8.605, 10.0),
+            GpsPoint::from_parts(41.15, -8.58, 200.0),
+        ]);
+        let cells = gap_anchor_cells(&traj, 0.01);
+        assert_eq!(cells.len(), 2, "one key per gap");
+        assert_eq!(cells[0], routing_cell(LatLng::new(41.15, -8.61), 0.01));
+        assert_eq!(cells[1], routing_cell(LatLng::new(41.15, -8.605), 0.01));
+    }
+
+    #[test]
+    fn short_trajectories_have_no_gap_keys() {
+        assert!(gap_anchor_cells(&Trajectory::new(Vec::new()), 0.01).is_empty());
+        let one = Trajectory::new(vec![GpsPoint::from_parts(41.0, -8.0, 0.0)]);
+        assert!(gap_anchor_cells(&one, 0.01).is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! Per-shard health: the admission / ejection / re-admission state
+//! machine (`std`-only, unit-tested without sockets).
+//!
+//! Each shard is in one of three states:
+//!
+//! ```text
+//!              admit (probe: /healthz ok + /v1/info digest matches)
+//!   Unverified ─────────────────────────────────────────────► Active
+//!        ▲                                                      │
+//!        │                                 eject_after consecutive
+//!        │                                 failures (request or probe)
+//!        │                                                      ▼
+//!        └───────────── (never; admission is sticky) ──────  Ejected
+//!                                                               │
+//!                    admit (probe succeeds again) ──────────────┘
+//! ```
+//!
+//! * `Unverified` — boot state: the router has not yet seen a healthy
+//!   `/v1/info` with a matching config digest. Unverified shards receive
+//!   no traffic (a mixed-grid shard must never answer a request).
+//! * `Active` — serving. Any request/probe success resets the
+//!   consecutive-failure count; `eject_after` consecutive failures eject.
+//! * `Ejected` — receives no traffic; the periodic probe keeps checking
+//!   and re-admits on the first healthy, digest-matching answer.
+//!
+//! Transitions are reported to the caller exactly once (the returned
+//! booleans/previous states), so metrics counters stay deterministic even
+//! when concurrent requests observe the same failing shard.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Health-machine tuning.
+#[derive(Debug, Clone)]
+pub struct HealthPolicy {
+    /// Consecutive failures (request or probe) that eject an active
+    /// shard.
+    pub eject_after: u32,
+    /// How often the background probe sweeps the fleet.
+    pub probe_interval: Duration,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self {
+            eject_after: 3,
+            probe_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// One shard's position in the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Not yet admitted (no healthy, digest-matching `/v1/info` seen).
+    Unverified,
+    /// Serving traffic.
+    Active,
+    /// Ejected after consecutive failures; probed for re-admission.
+    Ejected,
+}
+
+impl ShardState {
+    /// The lowercase wire name used on `/v1/shards`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardState::Unverified => "unverified",
+            ShardState::Active => "active",
+            ShardState::Ejected => "ejected",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: ShardState,
+    consecutive_failures: u32,
+}
+
+/// The fleet's health, indexed like `ShardMap::shards()`.
+#[derive(Debug)]
+pub struct HealthState {
+    slots: Vec<Mutex<Slot>>,
+    policy: HealthPolicy,
+}
+
+impl HealthState {
+    /// All shards start `Unverified`.
+    pub fn new(shards: usize, policy: HealthPolicy) -> Self {
+        Self {
+            slots: (0..shards)
+                .map(|_| {
+                    Mutex::new(Slot {
+                        state: ShardState::Unverified,
+                        consecutive_failures: 0,
+                    })
+                })
+                .collect(),
+            policy,
+        }
+    }
+
+    /// The probe cadence configured for this fleet.
+    pub fn policy(&self) -> &HealthPolicy {
+        &self.policy
+    }
+
+    /// The shard's current state.
+    pub fn state(&self, shard: usize) -> ShardState {
+        self.slots[shard].lock().unwrap().state
+    }
+
+    /// True when the shard may receive traffic.
+    pub fn is_available(&self, shard: usize) -> bool {
+        self.state(shard) == ShardState::Active
+    }
+
+    /// `(state, consecutive_failures)` for every shard, for `/v1/shards`.
+    pub fn snapshot(&self) -> Vec<(ShardState, u32)> {
+        self.slots
+            .iter()
+            .map(|s| {
+                let slot = s.lock().unwrap();
+                (slot.state, slot.consecutive_failures)
+            })
+            .collect()
+    }
+
+    /// A request or probe succeeded: an active shard's failure streak
+    /// resets. (Success alone never admits — only [`HealthState::admit`]
+    /// does, after the digest check.)
+    pub fn record_success(&self, shard: usize) {
+        let mut slot = self.slots[shard].lock().unwrap();
+        if slot.state == ShardState::Active {
+            slot.consecutive_failures = 0;
+        }
+    }
+
+    /// A request or probe failed. Returns `true` exactly once per
+    /// ejection: when this failure pushed an active shard over the
+    /// threshold.
+    pub fn record_failure(&self, shard: usize) -> bool {
+        let mut slot = self.slots[shard].lock().unwrap();
+        slot.consecutive_failures = slot.consecutive_failures.saturating_add(1);
+        if slot.state == ShardState::Active
+            && slot.consecutive_failures >= self.policy.eject_after.max(1)
+        {
+            slot.state = ShardState::Ejected;
+            return true;
+        }
+        false
+    }
+
+    /// The probe verified the shard (healthy + digest match): admit it.
+    /// Returns the state it left, or `None` when it was already active
+    /// (so admission/re-admission counters fire exactly once).
+    pub fn admit(&self, shard: usize) -> Option<ShardState> {
+        let mut slot = self.slots[shard].lock().unwrap();
+        if slot.state == ShardState::Active {
+            return None;
+        }
+        let previous = slot.state;
+        slot.state = ShardState::Active;
+        slot.consecutive_failures = 0;
+        Some(previous)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn health(eject_after: u32) -> HealthState {
+        HealthState::new(
+            2,
+            HealthPolicy {
+                eject_after,
+                probe_interval: Duration::from_millis(10),
+            },
+        )
+    }
+
+    #[test]
+    fn shards_start_unverified_and_unavailable() {
+        let h = health(3);
+        assert_eq!(h.state(0), ShardState::Unverified);
+        assert!(!h.is_available(0));
+        // Failures on an unverified shard never "eject" it.
+        assert!(!h.record_failure(0));
+        assert_eq!(h.state(0), ShardState::Unverified);
+    }
+
+    #[test]
+    fn admission_activates_and_reports_the_previous_state() {
+        let h = health(3);
+        assert_eq!(h.admit(0), Some(ShardState::Unverified));
+        assert!(h.is_available(0));
+        assert_eq!(h.admit(0), None, "already active: no second admission event");
+    }
+
+    #[test]
+    fn ejection_takes_exactly_the_configured_streak() {
+        let h = health(3);
+        h.admit(0);
+        assert!(!h.record_failure(0));
+        assert!(!h.record_failure(0));
+        assert!(h.record_failure(0), "third consecutive failure ejects");
+        assert_eq!(h.state(0), ShardState::Ejected);
+        assert!(!h.record_failure(0), "the ejection event fires only once");
+    }
+
+    #[test]
+    fn a_success_resets_the_streak() {
+        let h = health(2);
+        h.admit(0);
+        assert!(!h.record_failure(0));
+        h.record_success(0);
+        assert!(!h.record_failure(0), "streak restarted after the success");
+        assert!(h.record_failure(0));
+    }
+
+    #[test]
+    fn readmission_resets_and_reports_ejected() {
+        let h = health(1);
+        h.admit(0);
+        assert!(h.record_failure(0));
+        assert_eq!(h.admit(0), Some(ShardState::Ejected));
+        assert!(h.is_available(0));
+        // Fresh streak after re-admission.
+        assert!(h.record_failure(0), "eject_after=1 ejects again immediately");
+    }
+
+    #[test]
+    fn snapshot_reflects_per_shard_state() {
+        let h = health(2);
+        h.admit(0);
+        h.admit(1);
+        h.record_failure(1);
+        let snap = h.snapshot();
+        assert_eq!(snap[0], (ShardState::Active, 0));
+        assert_eq!(snap[1], (ShardState::Active, 1));
+    }
+}

@@ -1,0 +1,41 @@
+//! # kamel-router — spatial scale-out over a fleet of kamel-servers
+//!
+//! KAMEL's partitioning module scales *models* to fine spatial regions
+//! (the pyramid repository, paper §4); this crate scales *machines* the
+//! same way. It is a dependency-free HTTP/1.1 gateway over `std::net`
+//! that owns a static [`shardmap::ShardMap`] — routing-cell ownership
+//! assigned by rendezvous (highest-random-weight) hashing over each
+//! shard's id — and routes `POST /v1/impute` to the shard owning each
+//! gap's anchor cell:
+//!
+//! * **Single-owner forwarding** — a request whose gaps all belong to one
+//!   shard is forwarded verbatim and answered with the shard's bytes,
+//!   byte-identical to a monolithic server over the same model.
+//! * **Scatter-gather** — a trajectory spanning territories is split at
+//!   ownership changes into boundary-sharing sub-trajectories, imputed in
+//!   parallel, and merged in order ([`proxy`]).
+//! * **Health + failover** — per-shard consecutive-failure ejection with
+//!   periodic probe re-admission ([`health`]), and deterministic replica
+//!   failover down each cell's rendezvous chain. Admission is gated on
+//!   the shard's `/v1/info` config digest matching the fleet, so a
+//!   mixed-grid shard can never serve a request.
+//!
+//! Endpoints: `POST /v1/impute` (proxied), `GET /healthz`,
+//! `GET /metrics` (per-shard request / failover / ejection counters and
+//! in-flight gauges), `GET /v1/shards` (the live map + health). The CLI
+//! front-end is `kamel route`; the protocol and failover state machine
+//! are specified in `DESIGN.md` §11.
+
+#![warn(missing_docs)]
+
+pub mod health;
+pub mod metrics;
+pub mod proxy;
+pub mod router;
+pub mod shardmap;
+
+pub use health::{HealthPolicy, HealthState, ShardState};
+pub use metrics::{RouterMetrics, ShardCounters};
+pub use proxy::{RouterConfig, RouterCore};
+pub use router::Router;
+pub use shardmap::{ShardInfo, ShardMap};

@@ -1,0 +1,585 @@
+//! The routing core: gap → cell → shard assignment, verbatim forwarding,
+//! scatter-gather for shard-spanning trajectories, and deterministic
+//! replica failover.
+//!
+//! ## Forwarding modes
+//!
+//! * **Single-owner** (the common case): every gap of the request is
+//!   assigned to the same shard, so the original body is forwarded
+//!   verbatim and the shard's response returned verbatim — byte-identical
+//!   to asking a monolithic server over the same model.
+//! * **Scatter-gather**: the trajectory's gaps span shards. The point
+//!   list is split at ownership changes into sub-trajectories that share
+//!   their boundary fix, each sub-trajectory is imputed by its owner, and
+//!   the responses are merged in order (each later segment drops its
+//!   echoed boundary fix; the imputation summaries are summed). Gaps at a
+//!   seam lose cross-shard context by construction — the documented cost
+//!   of spanning territories (DESIGN.md §11).
+//!
+//! ## Failover
+//!
+//! Each cell's rendezvous order is primary + replicas. A forward walks
+//! that chain: unavailable shards (ejected / unverified) are skipped, a
+//! transport error or 5xx records a health failure and moves on, and the
+//! first 2xx–4xx wins. The chain is deterministic, so concurrent clients
+//! agree on who serves a cell at every health state.
+
+use crate::health::{HealthPolicy, HealthState, ShardState};
+use crate::metrics::RouterMetrics;
+use crate::shardmap::ShardMap;
+use kamel::routing::gap_anchor_cells;
+use kamel_geo::Trajectory;
+use kamel_hexgrid::CellId;
+use kamel_server::http::Response;
+use kamel_server::{Client, ClientResponse, ImputeResponse, InfoResponse, RetryPolicy, RetryingClient};
+use serde::Serialize;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Connection-handler threads.
+    pub handlers: usize,
+    /// Per-forward socket timeout.
+    pub timeout: Duration,
+    /// Per-shard retry policy (kept tight: replica failover is the real
+    /// retry; see [`RetryPolicy`]).
+    pub retry: RetryPolicy,
+    /// Ejection threshold and probe cadence.
+    pub health: HealthPolicy,
+    /// Socket read timeout for idle keep-alive client connections.
+    pub idle_poll: Duration,
+    /// Pooled connections kept per shard.
+    pub max_pool: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            handlers: 8,
+            timeout: Duration::from_secs(10),
+            retry: RetryPolicy {
+                base: Duration::from_millis(50),
+                max_delay: Duration::from_millis(250),
+                max_attempts: 2,
+                deadline: Duration::from_secs(5),
+                jitter_seed: 0x6b61_6d65_6c00_0002,
+            },
+            health: HealthPolicy::default(),
+            idle_poll: Duration::from_millis(200),
+            max_pool: 8,
+        }
+    }
+}
+
+/// One row of the `GET /v1/shards` listing.
+#[derive(Debug, Serialize)]
+struct ShardStatus {
+    id: String,
+    addr: String,
+    state: &'static str,
+    consecutive_failures: u32,
+}
+
+/// The `GET /v1/shards` body.
+#[derive(Debug, Serialize)]
+struct ShardsPage {
+    cell_deg: f64,
+    expected_digest: Option<String>,
+    shards: Vec<ShardStatus>,
+}
+
+/// Shared routing state: the map, the fleet's health, per-shard
+/// connection pools, and metrics.
+pub struct RouterCore {
+    map: ShardMap,
+    health: HealthState,
+    metrics: Arc<RouterMetrics>,
+    pools: Vec<Mutex<Vec<RetryingClient>>>,
+    /// The config digest the fleet is pinned to: the map's
+    /// `config_digest` when present, else the digest of the first shard
+    /// admitted (first-writer-wins).
+    fleet_digest: Mutex<Option<String>>,
+    config: RouterConfig,
+}
+
+impl RouterCore {
+    /// Builds the core; no traffic flows until shards are admitted (run
+    /// [`RouterCore::probe_all`] at boot and periodically).
+    pub fn new(map: ShardMap, config: RouterConfig) -> Self {
+        let metrics = Arc::new(RouterMetrics::new(
+            map.shards().iter().map(|s| s.id.clone()).collect(),
+        ));
+        let health = HealthState::new(map.len(), config.health.clone());
+        let pools = map.shards().iter().map(|_| Mutex::new(Vec::new())).collect();
+        let fleet_digest = Mutex::new(map.expected_digest().map(str::to_string));
+        Self {
+            map,
+            health,
+            metrics,
+            pools,
+            fleet_digest,
+            config,
+        }
+    }
+
+    /// The shard map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The fleet's health.
+    pub fn health(&self) -> &HealthState {
+        &self.health
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Arc<RouterMetrics> {
+        &self.metrics
+    }
+
+    /// The router configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Number of currently admitted shards.
+    pub fn available_shards(&self) -> usize {
+        (0..self.map.len()).filter(|&i| self.health.is_available(i)).count()
+    }
+
+    // ---- probing / admission ----
+
+    /// One probe sweep over the whole fleet: active shards are health-
+    /// checked (probe failures count toward ejection like request
+    /// failures), unverified/ejected shards are (re-)admitted when they
+    /// answer `/healthz` healthy and their `/v1/info` config digest
+    /// matches the fleet.
+    pub fn probe_all(&self) {
+        for shard in 0..self.map.len() {
+            self.probe_shard(shard);
+        }
+    }
+
+    fn probe_shard(&self, shard: usize) {
+        match self.probe_info(shard) {
+            Ok(info) => match self.health.state(shard) {
+                ShardState::Active => self.health.record_success(shard),
+                ShardState::Unverified | ShardState::Ejected => self.try_admit(shard, &info),
+            },
+            Err(_) => self.record_shard_failure(shard),
+        }
+    }
+
+    /// `/healthz` + `/v1/info` over a fresh, short-lived connection.
+    fn probe_info(&self, shard: usize) -> Result<InfoResponse, String> {
+        let addr = self.map.shards()[shard].addr;
+        let timeout = self.config.timeout.min(Duration::from_secs(2));
+        let mut client = Client::connect(addr, timeout).map_err(|e| e.to_string())?;
+        let health = client.get("/healthz").map_err(|e| e.to_string())?;
+        if health.status != 200 {
+            return Err(format!("healthz answered {}", health.status));
+        }
+        let info = client.get("/v1/info").map_err(|e| e.to_string())?;
+        if info.status != 200 {
+            return Err(format!("info answered {}", info.status));
+        }
+        serde_json::from_slice(&info.body).map_err(|e| format!("bad /v1/info body: {e}"))
+    }
+
+    /// Digest-checked admission: the first admitted shard pins the fleet
+    /// digest when the map does not; a disagreeing shard is refused (and
+    /// stays out until its digest matches).
+    fn try_admit(&self, shard: usize, info: &InfoResponse) {
+        let matches = {
+            let mut pinned = self.fleet_digest.lock().unwrap();
+            match pinned.as_deref() {
+                Some(expected) => expected == info.config_digest,
+                None => {
+                    *pinned = Some(info.config_digest.clone());
+                    true
+                }
+            }
+        };
+        if !matches {
+            self.metrics
+                .shard(shard)
+                .admission_refusals
+                .fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "kamel-router: refusing shard `{}`: config digest {} disagrees with the fleet",
+                self.map.shards()[shard].id,
+                info.config_digest,
+            );
+            return;
+        }
+        if self.health.admit(shard).is_some() {
+            self.metrics.shard(shard).admissions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a failed forward/probe; bumps the ejection counter when
+    /// this failure tripped the health machine.
+    fn record_shard_failure(&self, shard: usize) {
+        if self.health.record_failure(shard) {
+            self.metrics.shard(shard).ejections.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    // ---- request path ----
+
+    /// Routes one `POST /v1/impute` body.
+    pub fn handle_impute(&self, body: &[u8]) -> Response {
+        let sparse: Trajectory = match serde_json::from_slice(body) {
+            Ok(t) => t,
+            Err(e) => {
+                self.metrics.requests_bad.fetch_add(1, Ordering::Relaxed);
+                return Response::text(400, format!("bad request: invalid trajectory JSON: {e}\n"));
+            }
+        };
+        // One routing cell per gap; gapless trajectories still need an
+        // owner (the shard echoes them back).
+        let cells = {
+            let anchors = gap_anchor_cells(&sparse, self.map.cell_deg());
+            if anchors.is_empty() {
+                vec![sparse
+                    .points
+                    .first()
+                    .map(|p| self.map.cell_of(p.pos))
+                    .unwrap_or_default()]
+            } else {
+                anchors
+            }
+        };
+        // Snapshot the assignment: each gap goes to the first available
+        // candidate of its cell. Failover below re-walks the chain, so a
+        // shard dying between here and the forward is still survived.
+        let mut assigned = Vec::with_capacity(cells.len());
+        for cell in &cells {
+            match self.first_available(*cell) {
+                Some(shard) => assigned.push(shard),
+                None => {
+                    self.metrics.requests_failed.fetch_add(1, Ordering::Relaxed);
+                    return Response::text(503, "no shards available\n")
+                        .with_header("retry-after", "1");
+                }
+            }
+        }
+        let single_owner = assigned.iter().all(|&s| s == assigned[0]);
+        if single_owner {
+            return self.forward_verbatim(cells[0], body);
+        }
+        self.scatter_gather(&sparse, &cells, &assigned)
+    }
+
+    /// The first admitted shard in the cell's rendezvous order.
+    fn first_available(&self, cell: CellId) -> Option<usize> {
+        self.map
+            .owner_order(cell)
+            .into_iter()
+            .find(|&s| self.health.is_available(s))
+    }
+
+    /// Single-owner fast path: the original bytes go to the owner of
+    /// `cell` (with failover down its chain) and the shard's response
+    /// comes back verbatim.
+    fn forward_verbatim(&self, cell: CellId, body: &[u8]) -> Response {
+        match self.forward_chain(cell, body) {
+            Ok((shard, resp)) => {
+                if resp.status < 400 {
+                    self.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.metrics.requests_bad.fetch_add(1, Ordering::Relaxed);
+                }
+                passthrough(resp).with_header("x-kamel-shard", self.map.shards()[shard].id.clone())
+            }
+            Err(resp) => {
+                self.metrics.requests_failed.fetch_add(1, Ordering::Relaxed);
+                resp
+            }
+        }
+    }
+
+    /// Walks the cell's candidate chain until a shard answers below 500.
+    /// Skipped/failed shards get their failover counter bumped; an
+    /// exhausted chain is a 502.
+    fn forward_chain(&self, cell: CellId, body: &[u8]) -> Result<(usize, ClientResponse), Response> {
+        for shard in self.map.owner_order(cell) {
+            if !self.health.is_available(shard) {
+                self.metrics.shard(shard).failovers.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            match self.forward_once(shard, body) {
+                Ok(resp) if resp.status < 500 => {
+                    self.health.record_success(shard);
+                    return Ok((shard, resp));
+                }
+                Ok(_) | Err(_) => {
+                    self.metrics.shard(shard).errors.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.shard(shard).failovers.fetch_add(1, Ordering::Relaxed);
+                    self.record_shard_failure(shard);
+                }
+            }
+        }
+        Err(Response::text(
+            502,
+            format!("bad gateway: no shard could serve {cell}\n"),
+        ))
+    }
+
+    /// One forward to one shard through its connection pool.
+    fn forward_once(&self, shard: usize, body: &[u8]) -> std::io::Result<ClientResponse> {
+        let counters = self.metrics.shard(shard);
+        counters.forwarded.fetch_add(1, Ordering::Relaxed);
+        counters.inflight.fetch_add(1, Ordering::Relaxed);
+        let mut client = self.pools[shard].lock().unwrap().pop().unwrap_or_else(|| {
+            RetryingClient::new(
+                self.map.shards()[shard].addr,
+                self.config.timeout,
+                self.config.retry.clone(),
+            )
+        });
+        let outcome = client.post_json("/v1/impute", body);
+        counters.inflight.fetch_sub(1, Ordering::Relaxed);
+        if outcome.is_ok() {
+            let mut pool = self.pools[shard].lock().unwrap();
+            if pool.len() < self.config.max_pool {
+                pool.push(client);
+            }
+        }
+        outcome
+    }
+
+    /// Scatter-gather: split at ownership changes, impute each segment on
+    /// its owner concurrently, merge in order.
+    fn scatter_gather(&self, sparse: &Trajectory, cells: &[CellId], assigned: &[usize]) -> Response {
+        self.metrics.scatter_requests.fetch_add(1, Ordering::Relaxed);
+        let segments = split_segments(assigned);
+        let mut bodies = Vec::with_capacity(segments.len());
+        for &(start, end, _) in &segments {
+            let part = Trajectory::new(sparse.points[start..=end].to_vec());
+            match serde_json::to_vec(&part) {
+                Ok(bytes) => bodies.push(bytes),
+                Err(e) => {
+                    self.metrics.requests_failed.fetch_add(1, Ordering::Relaxed);
+                    return Response::text(500, format!("segment encode failed: {e}\n"));
+                }
+            }
+        }
+        // Gather: one forward per segment, concurrently; order is
+        // restored by index.
+        let mut outcomes: Vec<Option<Result<(usize, ClientResponse), Response>>> =
+            (0..segments.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (slot, (&(start, _, _), body)) in
+                outcomes.iter_mut().zip(segments.iter().zip(&bodies))
+            {
+                let cell = cells[start];
+                scope.spawn(move || {
+                    *slot = Some(self.forward_chain(cell, body));
+                });
+            }
+        });
+        let mut parts = Vec::with_capacity(segments.len());
+        let mut served_by = Vec::with_capacity(segments.len());
+        for outcome in outcomes {
+            match outcome.expect("every scatter slot is filled") {
+                Ok((shard, resp)) if resp.status == 200 => {
+                    match serde_json::from_slice::<ImputeResponse>(&resp.body) {
+                        Ok(part) => {
+                            parts.push(part);
+                            served_by.push(self.map.shards()[shard].id.clone());
+                        }
+                        Err(e) => {
+                            self.metrics.requests_failed.fetch_add(1, Ordering::Relaxed);
+                            return Response::text(
+                                502,
+                                format!("bad gateway: unparseable shard response: {e}\n"),
+                            );
+                        }
+                    }
+                }
+                Ok((shard, resp)) => {
+                    // A shard rejected its segment (4xx): surface it.
+                    self.metrics.requests_bad.fetch_add(1, Ordering::Relaxed);
+                    return passthrough(resp)
+                        .with_header("x-kamel-shard", self.map.shards()[shard].id.clone());
+                }
+                Err(resp) => {
+                    self.metrics.requests_failed.fetch_add(1, Ordering::Relaxed);
+                    return resp;
+                }
+            }
+        }
+        let merged = merge_responses(parts);
+        match serde_json::to_vec(&merged) {
+            Ok(bytes) => {
+                self.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+                Response::json(bytes).with_header("x-kamel-shard", served_by.join(","))
+            }
+            Err(e) => {
+                self.metrics.requests_failed.fetch_add(1, Ordering::Relaxed);
+                Response::text(500, format!("merge encode failed: {e}\n"))
+            }
+        }
+    }
+
+    // ---- introspection ----
+
+    /// The `GET /v1/shards` body: the live map plus per-shard health.
+    /// `Err` carries the serialization failure for a 500 answer.
+    pub fn shards_page(&self) -> Result<Vec<u8>, String> {
+        let snapshot = self.health.snapshot();
+        let page = ShardsPage {
+            cell_deg: self.map.cell_deg(),
+            expected_digest: self.fleet_digest.lock().unwrap().clone(),
+            shards: self
+                .map
+                .shards()
+                .iter()
+                .zip(snapshot)
+                .map(|(s, (state, fails))| ShardStatus {
+                    id: s.id.clone(),
+                    addr: s.addr.to_string(),
+                    state: state.as_str(),
+                    consecutive_failures: fails,
+                })
+                .collect(),
+        };
+        serde_json::to_vec(&page).map_err(|e| format!("shards render failed: {e}"))
+    }
+}
+
+/// Copies a shard response into a router response (status + body verbatim;
+/// the cache header survives, hop-by-hop framing is re-done by the
+/// router).
+fn passthrough(resp: ClientResponse) -> Response {
+    let json = resp
+        .header("content-type")
+        .is_some_and(|ct| ct.starts_with("application/json"));
+    let cache = resp.header("x-kamel-cache").map(str::to_string);
+    let mut out = if json {
+        let mut r = Response::json(resp.body);
+        r.status = resp.status;
+        r
+    } else {
+        Response {
+            status: resp.status,
+            headers: Vec::new(),
+            body: resp.body,
+            content_type: "text/plain; charset=utf-8",
+        }
+    };
+    if let Some(cache) = cache {
+        out = out.with_header("x-kamel-cache", cache);
+    }
+    out
+}
+
+/// Groups consecutive gaps by their assigned shard: returns
+/// `(first_point, last_point, shard)` per segment, where segment points
+/// are `points[first..=last]` and adjacent segments share their boundary
+/// fix.
+pub(crate) fn split_segments(assigned: &[usize]) -> Vec<(usize, usize, usize)> {
+    let mut segments = Vec::new();
+    let mut start = 0;
+    for gap in 1..=assigned.len() {
+        if gap == assigned.len() || assigned[gap] != assigned[start] {
+            segments.push((start, gap, assigned[start]));
+            start = gap;
+        }
+    }
+    segments
+}
+
+/// Order-preserving merge: concatenates segment trajectories (dropping
+/// each later segment's echoed boundary fix) and sums the imputation
+/// summaries.
+pub(crate) fn merge_responses(parts: Vec<ImputeResponse>) -> ImputeResponse {
+    let mut parts = parts.into_iter();
+    let Some(mut merged) = parts.next() else {
+        return ImputeResponse {
+            trajectory: Trajectory::new(Vec::new()),
+            gap_count: 0,
+            imputed_points: 0,
+            failed_gaps: 0,
+            model_calls: 0,
+        };
+    };
+    for part in parts {
+        merged
+            .trajectory
+            .points
+            .extend(part.trajectory.points.into_iter().skip(1));
+        merged.gap_count += part.gap_count;
+        merged.imputed_points += part.imputed_points;
+        merged.failed_gaps += part.failed_gaps;
+        merged.model_calls += part.model_calls;
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamel_geo::GpsPoint;
+
+    #[test]
+    fn segments_split_exactly_at_ownership_changes() {
+        // 5 gaps → 6 points; shards A=0, B=1.
+        assert_eq!(split_segments(&[0, 0, 1, 1, 0]), vec![(0, 2, 0), (2, 4, 1), (4, 5, 0)]);
+        assert_eq!(split_segments(&[0]), vec![(0, 1, 0)]);
+        assert_eq!(split_segments(&[1, 1, 1]), vec![(0, 3, 1)]);
+        assert_eq!(split_segments(&[0, 1]), vec![(0, 1, 0), (1, 2, 1)]);
+        assert!(split_segments(&[]).is_empty());
+    }
+
+    #[test]
+    fn segments_tile_the_point_list_sharing_boundaries() {
+        let assigned = [2, 2, 0, 1, 1, 1, 0];
+        let segs = split_segments(&assigned);
+        assert_eq!(segs.first().unwrap().0, 0);
+        assert_eq!(segs.last().unwrap().1, assigned.len());
+        for pair in segs.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0, "adjacent segments share a fix");
+            assert_ne!(pair[0].2, pair[1].2, "a split implies an owner change");
+        }
+        let gaps: usize = segs.iter().map(|&(s, e, _)| e - s).sum();
+        assert_eq!(gaps, assigned.len(), "every gap lands in exactly one segment");
+    }
+
+    fn part(ts: &[f64], gaps: usize, imputed: usize) -> ImputeResponse {
+        ImputeResponse {
+            trajectory: Trajectory::new(
+                ts.iter().map(|&t| GpsPoint::from_parts(41.0, -8.0, t)).collect(),
+            ),
+            gap_count: gaps,
+            imputed_points: imputed,
+            failed_gaps: 0,
+            model_calls: gaps,
+        }
+    }
+
+    #[test]
+    fn merge_drops_boundary_echoes_and_sums_summaries() {
+        // Segment 1 ends at t=20; segment 2 echoes t=20 as its first fix.
+        let merged = merge_responses(vec![
+            part(&[0.0, 10.0, 20.0], 2, 1),
+            part(&[20.0, 30.0, 40.0], 2, 1),
+        ]);
+        let ts: Vec<f64> = merged.trajectory.points.iter().map(|p| p.t).collect();
+        assert_eq!(ts, vec![0.0, 10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(merged.gap_count, 4);
+        assert_eq!(merged.imputed_points, 2);
+        assert_eq!(merged.model_calls, 4);
+    }
+
+    #[test]
+    fn merge_of_one_part_is_the_identity() {
+        let merged = merge_responses(vec![part(&[0.0, 5.0], 1, 0)]);
+        assert_eq!(merged.trajectory.len(), 2);
+        assert_eq!(merged.gap_count, 1);
+    }
+}

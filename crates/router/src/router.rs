@@ -1,0 +1,223 @@
+//! The gateway server: accept loop, connection handlers, the background
+//! probe thread, and routing to the [`RouterCore`].
+//!
+//! Same threading shape as `kamel-server` (1 accept thread + N handler
+//! threads over a bounded socket channel, shutdown via a shared flag),
+//! minus the batcher — the router's work per request is parsing and
+//! forwarding, so handlers run the proxy inline.
+
+use crate::proxy::{RouterConfig, RouterCore};
+use crate::shardmap::ShardMap;
+use kamel_server::http::{read_request, ReadError, Request, Response};
+use kamel_server::ShutdownFlag;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// A running router. Dropping it without [`Router::shutdown`] aborts
+/// without draining; call `shutdown` for the graceful path.
+pub struct Router {
+    addr: SocketAddr,
+    flag: ShutdownFlag,
+    core: Arc<RouterCore>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    handler_threads: Vec<std::thread::JoinHandle<()>>,
+    probe_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds `addr` (port 0 for ephemeral), runs one synchronous
+    /// admission sweep over the fleet, and starts serving. Shards that
+    /// are not up yet stay unverified and are admitted by the periodic
+    /// probe once they answer.
+    pub fn bind(addr: &str, map: ShardMap, config: RouterConfig) -> std::io::Result<Router> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let flag = ShutdownFlag::new();
+        let core = Arc::new(RouterCore::new(map, config.clone()));
+        core.probe_all();
+        // Handlers drain a bounded socket channel fed by the acceptor.
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.handlers.max(1) * 2);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let handler_threads = (0..config.handlers.max(1))
+            .map(|i| {
+                let conn_rx = Arc::clone(&conn_rx);
+                let core = Arc::clone(&core);
+                let flag = flag.clone();
+                std::thread::Builder::new()
+                    .name(format!("kamel-route-{i}"))
+                    .spawn(move || handler_loop(&conn_rx, &core, &flag))
+                    .expect("spawn router handler")
+            })
+            .collect();
+        let accept_flag = flag.clone();
+        let poll = config.idle_poll.min(Duration::from_millis(50));
+        let accept_thread = std::thread::Builder::new()
+            .name("kamel-route-accept".into())
+            .spawn(move || {
+                accept_loop(&listener, &conn_tx, &accept_flag, poll);
+                drop(conn_tx);
+            })
+            .expect("spawn router accept thread");
+        let probe_core = Arc::clone(&core);
+        let probe_flag = flag.clone();
+        let probe_thread = std::thread::Builder::new()
+            .name("kamel-route-probe".into())
+            .spawn(move || probe_loop(&probe_core, &probe_flag))
+            .expect("spawn router probe thread");
+        Ok(Router {
+            addr,
+            flag,
+            core,
+            accept_thread: Some(accept_thread),
+            handler_threads,
+            probe_thread: Some(probe_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The routing core (map, health, metrics) — shared with handlers.
+    pub fn core(&self) -> &Arc<RouterCore> {
+        &self.core
+    }
+
+    /// Requests a graceful shutdown without waiting; follow with
+    /// [`Router::shutdown`] to drain and join.
+    pub fn request_shutdown(&self) {
+        self.flag.trip();
+    }
+
+    /// Graceful shutdown: stop accepting, finish requests in flight on
+    /// every connection, stop probing, join all threads.
+    pub fn shutdown(mut self) {
+        self.flag.trip();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.handler_threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(t) = self.probe_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    conn_tx: &mpsc::SyncSender<TcpStream>,
+    flag: &ShutdownFlag,
+    poll: Duration,
+) {
+    while !flag.is_tripped() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if conn_tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(poll),
+            Err(_) => std::thread::sleep(poll),
+        }
+    }
+}
+
+/// Sweeps the fleet every `probe_interval`, polling the shutdown flag at
+/// a finer grain so shutdown never waits out a full interval.
+fn probe_loop(core: &RouterCore, flag: &ShutdownFlag) {
+    let interval = core.health().policy().probe_interval;
+    let tick = interval.min(Duration::from_millis(50)).max(Duration::from_millis(1));
+    loop {
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if flag.is_tripped() {
+                return;
+            }
+            std::thread::sleep(tick);
+            slept += tick;
+        }
+        if flag.is_tripped() {
+            return;
+        }
+        core.probe_all();
+    }
+}
+
+fn handler_loop(
+    conn_rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    core: &RouterCore,
+    flag: &ShutdownFlag,
+) {
+    loop {
+        let conn = conn_rx.lock().unwrap().recv();
+        match conn {
+            Ok(stream) => handle_connection(stream, core, flag),
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, core: &RouterCore, flag: &ShutdownFlag) {
+    if stream.set_nonblocking(false).is_err()
+        || stream
+            .set_read_timeout(Some(core.config().idle_poll))
+            .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let Ok(mut write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        if flag.is_tripped() {
+            return;
+        }
+        match read_request(&mut reader) {
+            Ok(request) => {
+                let close = request.wants_close();
+                let response = route(&request, core, flag);
+                let close = close || response.status == 503;
+                if response.write_to(&mut write_half, close).is_err() || close {
+                    return;
+                }
+            }
+            Err(ReadError::Idle) => continue,
+            Err(ReadError::ConnectionClosed) => return,
+            Err(ReadError::Bad(status, msg)) => {
+                let _ = Response::text(status, msg).write_to(&mut write_half, true);
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+        }
+    }
+}
+
+fn route(request: &Request, core: &RouterCore, flag: &ShutdownFlag) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/impute") => core.handle_impute(&request.body),
+        ("GET", "/healthz") => {
+            if flag.is_tripped() {
+                Response::text(503, "draining\n")
+            } else {
+                Response::text(200, "ok\n")
+            }
+        }
+        ("GET", "/metrics") => Response::text(200, core.metrics().render()),
+        ("GET", "/v1/shards") => match core.shards_page() {
+            Ok(body) => Response::json(body),
+            Err(e) => Response::text(500, format!("{e}\n")),
+        },
+        (_, "/v1/impute") | (_, "/healthz") | (_, "/metrics") | (_, "/v1/shards") => {
+            Response::text(405, "method not allowed\n")
+        }
+        _ => Response::text(404, "not found\n"),
+    }
+}

@@ -277,6 +277,12 @@ fn worker_loop<I: 'static, O: 'static>(
             let n = queue.items.len().min(shared.config.batch_max);
             queue.items.drain(..n).collect()
         };
+        // Two workers can race past the empty-wait for the same request; a
+        // sibling may have drained the whole queue while this worker
+        // lingered. Never hand the runner an empty batch.
+        if batch.is_empty() {
+            continue;
+        }
         // More work may remain queued (we took at most batch_max): hand it
         // to an idle sibling while this worker runs the batch.
         shared.available.notify_one();
@@ -528,6 +534,33 @@ mod tests {
         let ticket = b.submit(2).unwrap();
         assert_eq!(ticket.wait_deadline(far()), Err(WaitError::Failed));
         b.shutdown();
+    }
+
+    #[test]
+    fn racing_workers_never_run_empty_batches() {
+        // With two workers and a linger window, both can wake for the same
+        // lone request; the loser's drain comes up empty and must not reach
+        // the runner. Sequential submits maximize the single-item window.
+        let sizes = Arc::new(Mutex::new(Vec::new()));
+        let sizes2 = Arc::clone(&sizes);
+        let b: Batcher<u64, u64> = Batcher::start(
+            BatcherConfig {
+                workers: 2,
+                batch_max: 8,
+                batch_wait: Duration::from_millis(1),
+                queue_cap: 64,
+            },
+            Arc::new(|batch: Vec<u64>| batch),
+            move |n| sizes2.lock().unwrap().push(n),
+        );
+        for i in 0..100u64 {
+            let t = b.submit(i).unwrap();
+            assert_eq!(t.wait_deadline(far()), Ok(i));
+        }
+        b.shutdown();
+        let sizes = sizes.lock().unwrap();
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        assert!(sizes.iter().all(|&s| s >= 1), "empty batch ran: {sizes:?}");
     }
 
     #[test]

@@ -285,10 +285,21 @@ impl RetryingClient {
 
     /// One try: (re)connect if needed, send, and poison the connection on
     /// any transport error so the next attempt starts fresh.
+    ///
+    /// A pooled keep-alive connection can die between requests — the
+    /// server timed it out or restarted, surfacing as EPIPE / connection
+    /// reset / EOF on the next use. That says nothing about the server's
+    /// ability to serve a fresh connection, so the death of a *reused*
+    /// connection earns one immediate reconnect-and-resend that does not
+    /// consume a retry attempt (a client configured for a single attempt
+    /// still succeeds). Only a dead-connection error qualifies: a timeout
+    /// on a live connection means the server is slow, and resending could
+    /// double-execute the request.
     fn attempt(
         &mut self,
         send: &mut impl FnMut(&mut Client) -> std::io::Result<ClientResponse>,
     ) -> std::io::Result<ClientResponse> {
+        let reused = self.conn.is_some();
         if self.conn.is_none() {
             self.conn = Some(Client::connect(self.addr, self.timeout)?);
         }
@@ -297,10 +308,34 @@ impl RetryingClient {
             Ok(resp) => Ok(resp),
             Err(e) => {
                 self.conn = None;
-                Err(e)
+                if !(reused && is_dead_connection(&e)) {
+                    return Err(e);
+                }
+                // Free reconnect: the pooled connection was already dead.
+                self.conn = Some(Client::connect(self.addr, self.timeout)?);
+                let conn = self.conn.as_mut().expect("reconnected above");
+                match send(conn) {
+                    Ok(resp) => Ok(resp),
+                    Err(e2) => {
+                        self.conn = None;
+                        Err(e2)
+                    }
+                }
             }
         }
     }
+}
+
+/// True for transport errors that mean the peer already abandoned the
+/// connection (as opposed to being slow on a live one).
+fn is_dead_connection(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::UnexpectedEof
+    )
 }
 
 #[cfg(test)]
@@ -441,6 +476,31 @@ mod tests {
         let mut c = RetryingClient::new(addr, Duration::from_secs(5), fast_policy(4));
         let resp = c.post_json("/v1/impute", b"{}").unwrap();
         assert_eq!(resp.status, 200);
+        assert_eq!(server.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn dead_pooled_connection_reconnects_without_consuming_an_attempt() {
+        // The scripted server closes each connection after one exchange,
+        // so the client's pooled connection is dead by the second request.
+        let (addr, server) = scripted_server(vec![OK, OK]);
+        // max_attempts = 1: any counted retry would fail this client.
+        let mut c = RetryingClient::new(addr, Duration::from_secs(5), fast_policy(1));
+        assert_eq!(c.get("/healthz").unwrap().status, 200);
+        let resp = c.get("/healthz").unwrap();
+        assert_eq!(resp.status, 200, "free reconnect revived the request");
+        assert_eq!(server.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn the_free_reconnect_is_granted_only_once() {
+        // Second connection also dies without answering: the resend's
+        // failure must surface (attempts are exhausted at 1).
+        let (addr, server) = scripted_server(vec![OK, ""]);
+        let mut c = RetryingClient::new(addr, Duration::from_secs(5), fast_policy(1));
+        assert_eq!(c.get("/healthz").unwrap().status, 200);
+        let err = c.get("/healthz").unwrap_err();
+        assert!(is_dead_connection(&err), "unexpected error kind: {err}");
         assert_eq!(server.join().unwrap(), 2);
     }
 

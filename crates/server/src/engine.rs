@@ -45,6 +45,38 @@ impl ImputeResponse {
     }
 }
 
+/// The `GET /v1/info` response body: the identity card a shard router
+/// uses to admit (or refuse) this backend into a fleet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InfoResponse {
+    /// Model generation (0 until the first hot-reload).
+    pub generation: u64,
+    /// Whether a trained model is serving (vs the linear fallback).
+    pub trained: bool,
+    /// Largest vocabulary across the pyramid's models (0 untrained).
+    pub vocab: usize,
+    /// FNV-1a digest of the serialized [`kamel::KamelConfig`], hex-coded.
+    /// Two backends agree on grid kind, cell size, constraints, and every
+    /// other imputation knob iff their digests match — the router's
+    /// admission check (mixed-grid fleets would silently answer requests
+    /// with incompatible tokenizations).
+    pub config_digest: String,
+    /// The process thread budget resolved by the config.
+    pub threads: usize,
+    /// Shard index within a fleet (`kamel serve --shard-id`), if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard_id: Option<usize>,
+    /// Fleet size this shard believes in (`kamel serve --shard-of`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard_of: Option<usize>,
+}
+
+/// The config digest reported in [`InfoResponse::config_digest`].
+pub fn config_digest(config: &kamel::KamelConfig) -> String {
+    let bytes = serde_json::to_vec(config).unwrap_or_default();
+    format!("fnv1a64:{:016x}", kamel::checkpoint::fnv1a64(&bytes))
+}
+
 /// [`WireService`] over a shared trained system.
 ///
 /// Batches assembled by the server's micro-batcher go straight to
@@ -68,6 +100,8 @@ pub struct ImputeEngine {
     model_path: Option<PathBuf>,
     /// Bumped on every successful reload; part of every cache key.
     generation: AtomicU64,
+    /// `(shard_id, shard_of)` when serving as one shard of a fleet.
+    shard: Option<(usize, usize)>,
 }
 
 impl ImputeEngine {
@@ -78,6 +112,7 @@ impl ImputeEngine {
             kamel: RwLock::new(kamel),
             model_path: None,
             generation: AtomicU64::new(0),
+            shard: None,
         }
     }
 
@@ -88,6 +123,33 @@ impl ImputeEngine {
             kamel: RwLock::new(kamel),
             model_path: Some(path),
             generation: AtomicU64::new(0),
+            shard: None,
+        }
+    }
+
+    /// Tags `/v1/info` with this backend's position in a fleet
+    /// (`kamel serve --shard-id I --shard-of N`).
+    pub fn with_shard_identity(mut self, shard_id: usize, shard_of: usize) -> Self {
+        self.shard = Some((shard_id, shard_of));
+        self
+    }
+
+    /// The [`InfoResponse`] this engine serves on `GET /v1/info`.
+    pub fn info_response(&self) -> InfoResponse {
+        let kamel = self.kamel();
+        InfoResponse {
+            generation: self.generation(),
+            trained: kamel.is_trained(),
+            vocab: kamel
+                .model_summaries()
+                .iter()
+                .map(|s| s.vocab)
+                .max()
+                .unwrap_or(0),
+            config_digest: config_digest(kamel.config()),
+            threads: kamel.config().effective_threads(),
+            shard_id: self.shard.map(|(id, _)| id),
+            shard_of: self.shard.map(|(_, of)| of),
         }
     }
 
@@ -142,6 +204,11 @@ impl WireService for ImputeEngine {
     fn render(&self, out: &ImputedTrajectory) -> Vec<u8> {
         serde_json::to_vec(&ImputeResponse::from_result(out.clone()))
             .unwrap_or_else(|e| format!("{{\"error\":\"render failed: {e}\"}}").into_bytes())
+    }
+
+    fn info(&self) -> Vec<u8> {
+        serde_json::to_vec(&self.info_response())
+            .unwrap_or_else(|e| format!("{{\"error\":\"info failed: {e}\"}}").into_bytes())
     }
 
     fn reload(&self) -> Result<String, String> {

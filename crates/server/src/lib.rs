@@ -21,9 +21,12 @@
 //!   drain: in-flight work finishes, new work is refused ([`shutdown`]).
 //!
 //! Endpoints: `POST /v1/impute` (a sparse [`kamel_geo::Trajectory`] as
-//! JSON in, an [`engine::ImputeResponse`] out), `GET /healthz`, and
-//! `GET /metrics` (Prometheus-style text: request counts, latency and
-//! batch-size histograms, cache hit rate, queue depth, shed count).
+//! JSON in, an [`engine::ImputeResponse`] out), `GET /healthz`,
+//! `GET /v1/info` (an [`engine::InfoResponse`] identity card — model
+//! generation, vocabulary, config digest, thread budget — used by the
+//! `kamel-router` fleet gateway for admission), and `GET /metrics`
+//! (Prometheus-style text: request counts, latency and batch-size
+//! histograms, cache hit rate, queue depth, shed count).
 //!
 //! The protocol and policies are specified in `DESIGN.md` §5; the CLI
 //! front-end is `kamel serve`.
@@ -46,8 +49,8 @@ pub mod server;
 pub mod shutdown;
 
 pub use batcher::{Batcher, BatcherConfig, SubmitError, WaitError};
-pub use client::{Client, ClientResponse};
-pub use engine::{ImputeEngine, ImputeResponse};
+pub use client::{Client, ClientResponse, RetryPolicy, RetryingClient};
+pub use engine::{config_digest, ImputeEngine, ImputeResponse, InfoResponse};
 pub use lru::LruCache;
 pub use metrics::Metrics;
 pub use server::{CacheKey, Server, ServerConfig, WireService};

@@ -83,6 +83,15 @@ pub trait WireService: Send + Sync + 'static {
     fn run_batch(&self, jobs: Vec<Self::Job>) -> Vec<Self::Out>;
     /// Renders one output as a JSON body.
     fn render(&self, out: &Self::Out) -> Vec<u8>;
+    /// The `GET /v1/info` body: a JSON identity card for this backend
+    /// (model generation, vocabulary, config digest, thread budget). A
+    /// shard router compares config digests across a fleet and refuses to
+    /// admit a shard that disagrees — two backends with different grids
+    /// or constraints would silently produce mixed-model fleets. The
+    /// default service has no identity to report.
+    fn info(&self) -> Vec<u8> {
+        b"{}".to_vec()
+    }
     /// Handles a hot-reload request (`POST /admin/reload` or SIGHUP):
     /// validate and load the new model, swap it in atomically, and return
     /// a human-readable outcome. On `Err` the previous model must remain
@@ -396,9 +405,9 @@ fn route<S: WireService>(
                 .store(batcher.queue_depth() as u64, Ordering::Relaxed);
             Response::text(200, shared.metrics.render())
         }
-        (_, "/v1/impute") | (_, "/admin/reload") | (_, "/healthz") | (_, "/metrics") => {
-            Response::text(405, "method not allowed\n")
-        }
+        ("GET", "/v1/info") => Response::json(shared.service.info()),
+        (_, "/v1/impute") | (_, "/admin/reload") | (_, "/healthz") | (_, "/metrics")
+        | (_, "/v1/info") => Response::text(405, "method not allowed\n"),
         _ => Response::text(404, "not found\n"),
     }
 }
@@ -573,6 +582,14 @@ mod tests {
             out.clone().into_bytes()
         }
 
+        fn info(&self) -> Vec<u8> {
+            format!(
+                "{{\"generation\":{}}}",
+                self.generation.load(Ordering::SeqCst)
+            )
+            .into_bytes()
+        }
+
         fn reload(&self) -> Result<String, String> {
             if self.reload_ok.load(Ordering::SeqCst) {
                 let g = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
@@ -613,6 +630,23 @@ mod tests {
         assert_eq!(health.text(), "ok\n");
         assert_eq!(c.get("/nope").unwrap().status, 404);
         assert_eq!(c.post_json("/healthz", b"x").unwrap().status, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn info_reports_the_service_identity() {
+        let service = Arc::new(StubService::new());
+        let server = start(Arc::clone(&service), test_config());
+        let mut c = client(&server);
+        let info = c.get("/v1/info").unwrap();
+        assert_eq!(info.status, 200);
+        assert_eq!(info.header("content-type"), Some("application/json"));
+        assert_eq!(info.text(), "{\"generation\":0}");
+        // The body is the service's live identity, not a boot snapshot.
+        c.post_json("/admin/reload", b"").unwrap();
+        assert_eq!(c.get("/v1/info").unwrap().text(), "{\"generation\":1}");
+        // Only GET is routed.
+        assert_eq!(c.post_json("/v1/info", b"x").unwrap().status, 405);
         server.shutdown();
     }
 

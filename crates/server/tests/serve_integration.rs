@@ -8,7 +8,10 @@
 
 use kamel::{Kamel, KamelConfig};
 use kamel_geo::{GpsPoint, Trajectory};
-use kamel_server::{Client, ImputeEngine, ImputeResponse, Server, ServerConfig, WireService};
+use kamel_server::{
+    config_digest, Client, ImputeEngine, ImputeResponse, InfoResponse, Server, ServerConfig,
+    WireService,
+};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -339,6 +342,35 @@ fn corrupt_reload_keeps_the_old_model() {
     assert_eq!(metrics.model_reloads.load(Ordering::Relaxed), 1);
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `GET /v1/info` reports the serving identity a router needs for
+/// admission: generation, trained vocab, config digest, thread budget,
+/// and (when configured) the shard identity.
+#[test]
+fn info_reports_model_identity_over_http() {
+    let kamel = trained();
+    let engine = Arc::new(
+        ImputeEngine::new(Arc::clone(&kamel)).with_shard_identity(1, 4),
+    );
+    let server = Server::bind("127.0.0.1:0", engine, config(0)).expect("bind");
+    let mut c = Client::connect(server.local_addr(), Duration::from_secs(30)).unwrap();
+    let resp = c.get("/v1/info").unwrap();
+    assert_eq!(resp.status, 200);
+    let info: InfoResponse = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(info.generation, 0);
+    assert!(info.trained, "a trained fleet member advertises it");
+    assert!(info.vocab > 0, "trained model has a vocabulary");
+    assert_eq!(info.config_digest, config_digest(kamel.config()));
+    assert!(info.config_digest.starts_with("fnv1a64:"), "{}", info.config_digest);
+    assert!(info.threads > 0);
+    assert_eq!(info.shard_id, Some(1));
+    assert_eq!(info.shard_of, Some(4));
+    // A differently configured system reports a different digest — the
+    // property router admission depends on.
+    let other = Kamel::new(KamelConfig::default());
+    assert_ne!(config_digest(other.config()), info.config_digest);
+    server.shutdown();
 }
 
 #[test]
