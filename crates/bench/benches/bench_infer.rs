@@ -9,7 +9,10 @@
 //! this benchmark binary only, never the library) verifies the
 //! zero-steady-state-allocation claim of `kamel_nn::infer`.
 
-use kamel_nn::{set_thread_budget, BertConfig, BertMlmModel, InferScratch};
+use kamel_nn::{
+    set_backend, set_thread_budget, supported_backends, BertConfig, BertMlmModel, InferScratch,
+    QuantizedBertMlm,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde_json::json;
@@ -151,6 +154,140 @@ fn bench_scale(name: &str, config: BertConfig, seq_len: usize, reps: usize) -> s
     })
 }
 
+/// Index of the highest logit (the serving path's top-1).
+fn argmax(row: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// The SIMD/int8 sweep: single-call inference on every supported backend,
+/// f32 and int8, against the scalar-f32 reference. Bit-identity of the f32
+/// path across backends is asserted; the int8 path reports its top-1
+/// agreement and probability delta against the serving gate
+/// (`KamelConfig::quantize_min_agreement`, enforced in `kamel-core` /
+/// `kamel-lm`).
+///
+/// The model is trained for a few steps first: an untrained model's
+/// near-uniform logits make top-1 a coin flip between statistical ties,
+/// which says nothing about the quantizer. The gate exists for trained,
+/// servable models, so that is what the sweep measures.
+fn bench_backends(config: BertConfig, seq_len: usize, reps: usize) -> serde_json::Value {
+    let vocab = config.vocab_size;
+    let seq_len = seq_len.min(config.max_seq_len);
+    let mask_pos = seq_len / 2;
+    let mut rng = ChaCha8Rng::seed_from_u64(0x51AD);
+    let mut model = BertMlmModel::new(config, &mut rng);
+    let corpus: Vec<Vec<u32>> = (0..16u32)
+        .map(|j| {
+            (0..seq_len as u32)
+                .map(|i| (i * 37 + j * 101 + 1) % vocab as u32)
+                .collect()
+        })
+        .collect();
+    let trainer = kamel_nn::Trainer::new(
+        kamel_nn::MlmBatcher::new(0, (1, vocab as u32)),
+        kamel_nn::TrainOptions {
+            epochs: 8,
+            ..Default::default()
+        },
+    );
+    let losses = trainer.train(&mut model, &corpus);
+    eprintln!(
+        "sweep model trained: loss {:.3} -> {:.3}",
+        losses.first().expect("epochs > 0"),
+        losses.last().expect("epochs > 0")
+    );
+    let quant = QuantizedBertMlm::from_model(&model);
+    // In-distribution probes: training sequences with one position masked
+    // — the serving scenario the agreement gate protects.
+    let probes: Vec<(Vec<u32>, usize)> = corpus
+        .iter()
+        .flat_map(|seq| {
+            [seq_len / 6, seq_len / 3, seq_len / 2, (5 * seq_len) / 6].map(|pos| {
+                let pos = pos.min(seq_len - 1);
+                let mut ids = seq.clone();
+                ids[pos] = 0;
+                (ids, pos)
+            })
+        })
+        .collect();
+    let ids = probes[0].0.clone();
+
+    let backends = supported_backends();
+    let mut rows = Vec::new();
+    let mut scalar_f32_s = f64::NAN;
+    let mut scalar_bits: Vec<u32> = Vec::new();
+    for b in &backends {
+        set_backend(*b).expect("backend listed as supported");
+        let mut scratch = InferScratch::new();
+        let _ = model.predict_with(&mut scratch, &ids, mask_pos); // warm
+        let (f32_s, f32_out) = best_of(reps, || {
+            model.predict_with(&mut scratch, &ids, mask_pos).to_vec()
+        });
+        let _ = model.predict_quant_with(&quant, &mut scratch, &ids, mask_pos);
+        let (int8_s, _) = best_of(reps, || {
+            model
+                .predict_quant_with(&quant, &mut scratch, &ids, mask_pos)
+                .to_vec()
+        });
+        // f32 bit-identity across backends, int8 top-1 agreement with f32.
+        let bits: Vec<u32> = f32_out.iter().map(|v| v.to_bits()).collect();
+        if scalar_bits.is_empty() {
+            scalar_f32_s = f32_s;
+            scalar_bits = bits;
+        } else {
+            assert_eq!(bits, scalar_bits, "{} f32 diverged from scalar", b.name());
+        }
+        let mut agree = 0usize;
+        let mut l1 = 0.0f64;
+        for (probe, pos) in &probes {
+            let p_f32 = model.predict_with(&mut scratch, probe, *pos).to_vec();
+            let p_int8 = model
+                .predict_quant_with(&quant, &mut scratch, probe, *pos)
+                .to_vec();
+            agree += usize::from(argmax(&p_f32) == argmax(&p_int8));
+            l1 += p_f32
+                .iter()
+                .zip(&p_int8)
+                .map(|(a, b)| (a - b).abs() as f64)
+                .sum::<f64>();
+        }
+        rows.push(json!({
+            "backend": b.name(),
+            "f32_single_s": f32_s,
+            "int8_single_s": int8_s,
+            "f32_speedup_vs_scalar": speedup(scalar_f32_s, f32_s),
+            "int8_speedup_vs_f32": speedup(f32_s, int8_s),
+            "int8_top1_agreement": agree as f64 / probes.len() as f64,
+            "int8_mean_l1_prob_delta": l1 / probes.len() as f64,
+        }));
+    }
+    // Leave the process on its auto-detected backend (the best supported
+    // one — `supported_backends` lists scalar first).
+    let detected = *backends.last().expect("scalar is always supported");
+    set_backend(detected).expect("detected backend");
+    // The quantizer emits bit-identical codes on every backend, so the
+    // agreement is backend-independent; gate it against the serving
+    // default from `kamel-core`.
+    let gate = kamel::KamelConfig::default().quantize_min_agreement;
+    let worst_agreement = rows
+        .iter()
+        .map(|r| r["int8_top1_agreement"].as_f64().expect("agreement"))
+        .fold(f64::INFINITY, f64::min);
+    json!({
+        "simd_isa": kamel_nn::active_isa(),
+        "int8_weight_bytes": quant.weight_bytes(),
+        "quantize_min_agreement": gate,
+        "int8_within_gate": worst_agreement >= gate,
+        "backends": rows,
+    })
+}
+
 fn main() {
     let host = kamel_nn::available_threads();
     // Thread budget 1 throughout: the old-vs-new comparison is a per-core
@@ -164,12 +301,15 @@ fn main() {
     eprintln!("tiny scale done");
     let small = bench_scale("small", BertConfig::small(8192), 48, 20);
     eprintln!("small scale done");
+    let simd = bench_backends(BertConfig::small(8192), 48, 20);
+    eprintln!("backend sweep done");
     let doc = json!({
         "bench": "bench_infer",
         "status": "measured",
         "host_threads": host,
         "thread_budget": budget,
         "scales": [tiny, small],
+        "simd": simd,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_infer.json");
     std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialize"))

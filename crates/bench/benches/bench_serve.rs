@@ -9,7 +9,7 @@
 //! the unit of work is a full HTTP round trip against a live server, so
 //! wall-clock over a fixed request count is the honest measure.
 
-use kamel::{Kamel, KamelConfig};
+use kamel::Kamel;
 use kamel_bench::{default_kamel_config, City};
 use kamel_geo::Trajectory;
 use kamel_roadsim::DatasetScale;

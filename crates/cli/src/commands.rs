@@ -417,15 +417,17 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             out,
             "kamel serve --model FILE [--addr HOST:PORT] [--threads N] [--batch-max N]\n\
              \x20           [--batch-wait-us N] [--cache-entries N] [--queue-cap N]\n\
-             \x20           [--deadline-ms N] [--shard-id N --shard-of N]\n\
+             \x20           [--deadline-ms N] [--shard-id N --shard-of N] [--quantize]\n\
              serves POST /v1/impute, POST /admin/reload, GET /healthz, GET /metrics,\n\
              GET /v1/info until SIGTERM/ctrl-c; SIGHUP hot-reloads the model from\n\
              --model; --shard-id/--shard-of label this process as member N of a\n\
-             fleet of M behind `kamel route` (advertised on /v1/info)"
+             fleet of M behind `kamel route` (advertised on /v1/info); --quantize\n\
+             serves BERT models through int8 weights when the accuracy gate passes\n\
+             (startup fails when it does not)"
         );
         return Ok(());
     }
-    let flags = Flags::parse(args, &[])?;
+    let flags = Flags::parse(args, &["--quantize"])?;
     let model_path = flags.required("--model")?;
     // Validate the shard identity before the (potentially slow) model
     // load so flag mistakes surface immediately.
@@ -448,6 +450,17 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let kamel = Kamel::load_from_file(model_path).map_err(|e| e.to_string())?;
     if !kamel.is_trained() {
         let _ = writeln!(out, "warning: model is untrained; serving linear fallback only");
+    }
+    // --quantize is gated: the server refuses to start on an int8 path
+    // whose top-1 agreement with f32 is below the configured bound, rather
+    // than silently serving degraded answers.
+    let quantize = flags.has("--quantize");
+    if quantize && !kamel.is_quantized() {
+        let agreement = kamel.enable_quantization().map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            out,
+            "int8 quantization enabled (worst f32/int8 top-1 agreement {agreement:.4})"
+        );
     }
     // Batch workers default to the model's thread budget; --threads
     // overrides for this process.
@@ -478,6 +491,7 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     if let Some((id, of)) = shard {
         engine = engine.with_shard_identity(id, of);
     }
+    engine = engine.with_quantization(quantize);
     let engine = std::sync::Arc::new(engine);
     let server = kamel_server::Server::bind(addr, engine, config.clone())
         .map_err(|e| format!("bind {addr}: {e}"))?;

@@ -126,6 +126,23 @@ pub struct KamelConfig {
     /// parallel path is bit-identical to its sequential counterpart.
     #[serde(default)]
     pub threads: Option<usize>,
+    /// Serve BERT models through the int8 weight-quantized path. Enabling
+    /// is gated: quantization only activates when every BERT model's
+    /// top-1 agreement with its f32 twin stays at or above
+    /// [`KamelConfig::quantize_min_agreement`]; otherwise enabling fails
+    /// and the f32 path keeps serving. The int8 weights are derived state,
+    /// rebuilt (and re-gated) whenever a model loads from disk.
+    #[serde(default)]
+    pub quantize: bool,
+    /// Accuracy gate for [`KamelConfig::quantize`]: minimum acceptable
+    /// top-1 agreement (f32 vs int8) over seeded probes, in [0, 1].
+    #[serde(default = "default_quantize_min_agreement")]
+    pub quantize_min_agreement: f64,
+}
+
+/// Serde default for [`KamelConfig::quantize_min_agreement`].
+fn default_quantize_min_agreement() -> f64 {
+    0.98
 }
 
 impl Default for KamelConfig {
@@ -151,6 +168,8 @@ impl Default for KamelConfig {
             disable_partitioning: false,
             disable_constraints: false,
             threads: None,
+            quantize: false,
+            quantize_min_agreement: default_quantize_min_agreement(),
         }
     }
 }
@@ -201,6 +220,11 @@ impl KamelConfig {
         }
         if self.threads == Some(0) {
             return fail("threads must be at least 1 when set");
+        }
+        if !(0.0..=1.0).contains(&self.quantize_min_agreement)
+            || !self.quantize_min_agreement.is_finite()
+        {
+            return fail("quantize_min_agreement must be in [0, 1]");
         }
         Ok(())
     }
@@ -275,6 +299,10 @@ impl KamelConfigBuilder {
         disable_constraints: bool,
         /// Sets the worker-thread budget (`None` = auto).
         threads: Option<usize>,
+        /// Enables the gated int8 weight-quantized serving path.
+        quantize: bool,
+        /// Sets the minimum f32-vs-int8 top-1 agreement for the gate.
+        quantize_min_agreement: f64,
     }
 
     /// Finishes the builder.
@@ -383,6 +411,35 @@ mod tests {
         v.as_object_mut().unwrap().remove("threads");
         let back: KamelConfig = serde_json::from_value(v).expect("deserialize");
         assert_eq!(back.threads, None);
+    }
+
+    #[test]
+    fn quantize_knob_validates_and_defaults() {
+        let c = KamelConfig::default();
+        assert!(!c.quantize);
+        assert_eq!(c.quantize_min_agreement, 0.98);
+        assert!(KamelConfig::builder()
+            .quantize_min_agreement(1.5)
+            .try_build()
+            .is_err());
+        assert!(KamelConfig::builder()
+            .quantize_min_agreement(f64::NAN)
+            .try_build()
+            .is_err());
+        let c = KamelConfig::builder()
+            .quantize(true)
+            .quantize_min_agreement(0.9)
+            .build();
+        assert!(c.quantize);
+        // Configs persisted before the knobs existed still deserialize.
+        let mut v: serde_json::Value =
+            serde_json::to_value(KamelConfig::default()).expect("serialize");
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("quantize");
+        obj.remove("quantize_min_agreement");
+        let back: KamelConfig = serde_json::from_value(v).expect("deserialize");
+        assert!(!back.quantize);
+        assert_eq!(back.quantize_min_agreement, 0.98);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Errors surfaced by the KAMEL public API.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum KamelError {
     /// The system was asked to impute before any model was trained.
     NotTrained,
@@ -16,6 +16,15 @@ pub enum KamelError {
     InvalidConfig(String),
     /// Model (de)serialization failed.
     Persistence(String),
+    /// Int8 quantization was requested but a model's top-1 agreement with
+    /// its f32 twin fell below the configured bound; the f32 path keeps
+    /// serving.
+    QuantizationRejected {
+        /// The worst per-model agreement observed.
+        agreement: f64,
+        /// The configured minimum ([`crate::KamelConfig::quantize_min_agreement`]).
+        min: f64,
+    },
 }
 
 impl fmt::Display for KamelError {
@@ -29,6 +38,11 @@ impl fmt::Display for KamelError {
             }
             KamelError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             KamelError::Persistence(msg) => write!(f, "persistence error: {msg}"),
+            KamelError::QuantizationRejected { agreement, min } => write!(
+                f,
+                "int8 quantization rejected: top-1 agreement {agreement:.4} \
+                 is below the configured minimum {min:.4}"
+            ),
         }
     }
 }

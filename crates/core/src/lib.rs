@@ -65,6 +65,6 @@ pub mod tokenize;
 pub use config::{GridKind, KamelConfig, KamelConfigBuilder, MultipointStrategy, SpeedMode};
 pub use error::KamelError;
 pub use impute::SegmentOutcome;
-pub use kamel_nn::{available_threads, set_thread_budget, thread_budget};
+pub use kamel_nn::{active_isa, available_threads, set_thread_budget, thread_budget};
 pub use pipeline::{ImputedTrajectory, Kamel, KamelStats};
 pub use tokenize::Tokenizer;

@@ -438,6 +438,72 @@ impl Repository {
             },
         });
     }
+
+    /// Iterates over every stored model entry (cells plus global).
+    fn models(&self) -> impl Iterator<Item = &ModelEntry> {
+        self.cells
+            .values()
+            .flat_map(|c| {
+                [c.single.as_ref(), c.pair_east.as_ref(), c.pair_south.as_ref()].into_iter()
+            })
+            .chain(std::iter::once(self.global.as_ref()))
+            .flatten()
+    }
+
+    /// Mutable variant of [`Repository::models`].
+    fn models_mut(&mut self) -> impl Iterator<Item = &mut ModelEntry> {
+        self.cells
+            .values_mut()
+            .flat_map(|c| {
+                [c.single.as_mut(), c.pair_east.as_mut(), c.pair_south.as_mut()].into_iter()
+            })
+            .chain(std::iter::once(self.global.as_mut()))
+            .flatten()
+    }
+
+    /// Switches every BERT model to the int8 serving path — but only after
+    /// gating: each quantizable model's top-1 agreement with its f32 twin is
+    /// measured over `probes` seeded probes, and if the worst agreement falls
+    /// below `min_agreement` **no model is quantized** and
+    /// [`crate::KamelError::QuantizationRejected`] is returned (ISSUE 6's
+    /// "server refuses" semantics). On success returns the worst agreement
+    /// observed (`1.0` when there is nothing to quantize, e.g. n-gram
+    /// repositories).
+    pub fn enable_quantization(
+        &mut self,
+        min_agreement: f64,
+        probes: usize,
+        seed: u64,
+    ) -> Result<f64, crate::KamelError> {
+        let mut worst = 1.0f64;
+        for entry in self.models() {
+            if let Some(agreement) = entry.model.quantization_agreement(probes, seed) {
+                worst = worst.min(agreement);
+            }
+        }
+        if worst < min_agreement {
+            return Err(crate::KamelError::QuantizationRejected {
+                agreement: worst,
+                min: min_agreement,
+            });
+        }
+        for entry in self.models_mut() {
+            entry.model.enable_quantization();
+        }
+        Ok(worst)
+    }
+
+    /// Reverts every model to the f32 serving path.
+    pub fn disable_quantization(&mut self) {
+        for entry in self.models_mut() {
+            entry.model.disable_quantization();
+        }
+    }
+
+    /// Number of stored models currently serving through the int8 path.
+    pub fn quantized_models(&self) -> usize {
+        self.models().filter(|e| e.model.is_quantized()).count()
+    }
 }
 
 /// One cell's maintenance work order, fully resolved from read-only
@@ -627,6 +693,46 @@ mod tests {
             sel,
             ModelSelection::Single(PyramidKey { level: 2, x: 0, y: 0 })
         );
+    }
+
+    #[test]
+    fn quantization_gate_is_all_or_nothing() {
+        let cfg = config();
+        let mut repo = Repository::new(root(), &cfg);
+        let mut store = TrajStore::new(200.0);
+        let region = BBox::new(Xy::new(0.0, 0.0), Xy::new(400.0, 400.0));
+        fill_region(&mut store, region, 30);
+        let engine = EngineConfig::Bert(kamel_lm::BertEngineConfig::for_tests());
+        let built = repo.maintain(&store, &region, &engine);
+        assert!(built >= 1, "no models built");
+        // An unreachable bound (top-1 agreement cannot exceed 1.0) refuses
+        // and leaves every model on the f32 path — gating is all-or-nothing.
+        let err = repo.enable_quantization(1.5, 8, 7).unwrap_err();
+        assert!(
+            matches!(err, crate::KamelError::QuantizationRejected { .. }),
+            "unexpected error: {err:?}"
+        );
+        assert_eq!(repo.quantized_models(), 0);
+        // A permissive bound quantizes every BERT model.
+        let worst = repo.enable_quantization(0.0, 8, 7).expect("gate passes");
+        assert!((0.0..=1.0).contains(&worst), "agreement out of range: {worst}");
+        assert_eq!(repo.quantized_models(), repo.model_count());
+        repo.disable_quantization();
+        assert_eq!(repo.quantized_models(), 0);
+    }
+
+    #[test]
+    fn ngram_repositories_have_nothing_to_quantize() {
+        let cfg = config();
+        let mut repo = Repository::new(root(), &cfg);
+        let mut store = TrajStore::new(200.0);
+        let region = BBox::new(Xy::new(0.0, 0.0), Xy::new(400.0, 400.0));
+        fill_region(&mut store, region, 30);
+        repo.maintain(&store, &region, &EngineConfig::default());
+        // No quantizable models: the gate trivially passes at the tightest
+        // legal bound and nothing switches paths.
+        assert_eq!(repo.enable_quantization(1.0, 8, 7), Ok(1.0));
+        assert_eq!(repo.quantized_models(), 0);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use kamel_lm::MaskedTokenModel;
 use kamel_trajstore::TrajStore;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Report for one imputed gap.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,11 +112,20 @@ struct State {
 const SPEED_SAMPLE_CAP: usize = 50_000;
 /// Padding applied around the first batch's MBR when rooting the pyramid.
 const ROOT_PAD_FRACTION: f64 = 0.25;
+/// Probes per model for the int8 accuracy gate.
+const QUANT_PROBES: usize = 64;
+/// Fixed seed for the gate's probe generator — the gate verdict is
+/// deterministic for a given repository.
+const QUANT_GATE_SEED: u64 = 0xA93E_E001;
 
 /// The KAMEL system.
 pub struct Kamel {
     config: KamelConfig,
     inner: RwLock<Option<State>>,
+    /// Whether the repository is currently serving through the int8 path.
+    /// `config.quantize` records *intent*; this records the live state
+    /// (quantization can be refused by the accuracy gate).
+    quantized: AtomicBool,
 }
 
 impl Kamel {
@@ -132,6 +142,7 @@ impl Kamel {
         Self {
             config,
             inner: RwLock::new(None),
+            quantized: AtomicBool::new(false),
         }
     }
 
@@ -164,6 +175,43 @@ impl Kamel {
             .as_ref()
             .map(|s| s.repo.summaries())
             .unwrap_or_default()
+    }
+
+    /// Switches the repository to the int8 weight-quantized serving path,
+    /// gated on accuracy: every BERT model's top-1 agreement with its f32
+    /// twin is measured first, and if the worst agreement falls below
+    /// [`KamelConfig::quantize_min_agreement`] **nothing** is quantized and
+    /// [`KamelError::QuantizationRejected`] is returned. On success returns
+    /// the worst agreement observed. Before training (or on n-gram
+    /// repositories) there is nothing to quantize: the call returns
+    /// `Ok(1.0)` and arms the path, so [`Kamel::train`] re-gates and
+    /// applies it to the models it builds.
+    pub fn enable_quantization(&self) -> Result<f64, KamelError> {
+        let mut guard = self.inner.write();
+        let Some(state) = guard.as_mut() else {
+            self.quantized.store(true, Ordering::Release);
+            return Ok(1.0);
+        };
+        let worst = state.repo.enable_quantization(
+            self.config.quantize_min_agreement,
+            QUANT_PROBES,
+            QUANT_GATE_SEED,
+        )?;
+        self.quantized.store(true, Ordering::Release);
+        Ok(worst)
+    }
+
+    /// Reverts the repository to the f32 serving path.
+    pub fn disable_quantization(&self) {
+        if let Some(state) = self.inner.write().as_mut() {
+            state.repo.disable_quantization();
+        }
+        self.quantized.store(false, Ordering::Release);
+    }
+
+    /// Whether the int8 serving path is currently active.
+    pub fn is_quantized(&self) -> bool {
+        self.quantized.load(Ordering::Acquire)
     }
 
     /// Feeds a batch of training trajectories (the offline path): tokenizes
@@ -248,6 +296,23 @@ impl Kamel {
                 &self.config.engine,
                 self.config.effective_threads(),
             );
+        }
+        // Re-apply quantization: maintenance rebuilds models, and rebuilt
+        // models come out of the trainer on the f32 path. Run the gate
+        // directly on the repository — we already hold the write guard, and
+        // parking_lot's RwLock is not reentrant.
+        if self.config.quantize || self.quantized.load(Ordering::Acquire) {
+            match state.repo.enable_quantization(
+                self.config.quantize_min_agreement,
+                QUANT_PROBES,
+                QUANT_GATE_SEED,
+            ) {
+                Ok(_) => self.quantized.store(true, Ordering::Release),
+                Err(e) => {
+                    self.quantized.store(false, Ordering::Release);
+                    eprintln!("warning: serving stays on the f32 path after training: {e}");
+                }
+            }
         }
     }
 
@@ -517,10 +582,20 @@ impl Kamel {
         if let Some(n) = doc.config.threads {
             kamel_nn::set_thread_budget(n);
         }
-        Ok(Self {
+        let kamel = Self {
             config: doc.config,
             inner: RwLock::new(doc.state),
-        })
+            quantized: AtomicBool::new(false),
+        };
+        // The int8 artifact is derived state and never persists; when the
+        // persisted config asks for it, rebuild and re-gate it now. A gate
+        // failure is not a load failure — the system serves f32 instead.
+        if kamel.config.quantize && kamel.is_trained() {
+            if let Err(e) = kamel.enable_quantization() {
+                eprintln!("warning: loaded model serves on the f32 path: {e}");
+            }
+        }
+        Ok(kamel)
     }
 }
 
@@ -882,6 +957,60 @@ mod tests {
         let restored = Kamel::from_json(&json).expect("deserialize");
         let after = restored.impute(&sparse);
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn quantize_config_survives_training_and_reload() {
+        use kamel_lm::{BertEngineConfig, EngineConfig};
+        let kamel = Kamel::new(
+            KamelConfig::builder()
+                .model_threshold_k(50)
+                .pyramid_height(3)
+                .disable_partitioning(true)
+                .engine(EngineConfig::Bert(BertEngineConfig::for_tests()))
+                .quantize(true)
+                .quantize_min_agreement(0.0)
+                .build(),
+        );
+        assert!(!kamel.is_quantized(), "untrained system starts on f32");
+        kamel.train(&street_corpus(40));
+        assert!(kamel.is_quantized(), "config.quantize applies after training");
+        // The quantized system still serves imputation end to end.
+        let sparse = street_corpus(1)[0].sparsify(900.0);
+        let result = kamel.impute(&sparse);
+        assert!(!result.trajectory.is_empty());
+        // The int8 artifact is derived state: a reload rebuilds and
+        // re-gates it because the persisted config asks for it.
+        let json = kamel.to_json().expect("serialize");
+        let restored = Kamel::from_json(&json).expect("deserialize");
+        assert!(restored.is_quantized(), "reload re-enables quantization");
+        restored.disable_quantization();
+        assert!(!restored.is_quantized());
+    }
+
+    #[test]
+    fn explicit_enable_quantization_gates_and_applies() {
+        use kamel_lm::{BertEngineConfig, EngineConfig};
+        let kamel = Kamel::new(
+            KamelConfig::builder()
+                .model_threshold_k(50)
+                .pyramid_height(3)
+                .disable_partitioning(true)
+                .engine(EngineConfig::Bert(BertEngineConfig::for_tests()))
+                // A tiny test model under-trains; keep the gate permissive
+                // so this test exercises the pass path deterministically.
+                .quantize_min_agreement(0.5)
+                .build(),
+        );
+        kamel.train(&street_corpus(40));
+        assert!(!kamel.is_quantized(), "quantization is opt-in");
+        let worst = kamel.enable_quantization().expect("gate passes");
+        assert!((0.0..=1.0).contains(&worst), "agreement out of range: {worst}");
+        assert!(kamel.is_quantized());
+        // Re-training keeps the armed path live (models are rebuilt, so
+        // quantization is re-applied under the same gate).
+        kamel.train(&street_corpus(5));
+        assert!(kamel.is_quantized(), "training dropped the armed int8 path");
     }
 
     #[test]

@@ -154,6 +154,64 @@ pub fn evaluate_technique(
     }
 }
 
+/// Dataset-level f32-vs-int8 accuracy comparison of one trained system —
+/// the §8-metric counterpart of the serving gate's top-1 agreement check.
+/// Deltas are int8 minus f32, so a negative delta means quantization lost
+/// accuracy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizationDelta {
+    /// Recall on the f32 path.
+    pub f32_recall: f64,
+    /// Recall on the int8 path.
+    pub int8_recall: f64,
+    /// Precision on the f32 path.
+    pub f32_precision: f64,
+    /// Precision on the int8 path.
+    pub int8_precision: f64,
+    /// `int8_recall - f32_recall`.
+    pub recall_delta: f64,
+    /// `int8_precision - f32_precision`.
+    pub precision_delta: f64,
+}
+
+impl QuantizationDelta {
+    /// Whether the int8 path lost no more than `bound` of either recall or
+    /// precision (gains always pass).
+    pub fn within(&self, bound: f64) -> bool {
+        self.recall_delta >= -bound && self.precision_delta >= -bound
+    }
+}
+
+/// Evaluates one trained KAMEL system on both serving paths and reports
+/// the accuracy delta: the f32 pass runs with quantization off, then the
+/// int8 pass runs behind the usual top-1 agreement gate — a gate refusal
+/// propagates as [`kamel::KamelError::QuantizationRejected`] and the
+/// system is left un-quantized. On success the system's original path
+/// (f32 or int8) is restored.
+pub fn quantization_delta(
+    imputer: &KamelImputer,
+    dataset: &Dataset,
+    ctx: &EvalContext,
+    limit: usize,
+) -> Result<QuantizationDelta, kamel::KamelError> {
+    let was_quantized = imputer.kamel.is_quantized();
+    imputer.kamel.disable_quantization();
+    let f32_result = evaluate_technique(imputer, dataset, ctx, limit);
+    imputer.kamel.enable_quantization()?;
+    let int8_result = evaluate_technique(imputer, dataset, ctx, limit);
+    if !was_quantized {
+        imputer.kamel.disable_quantization();
+    }
+    Ok(QuantizationDelta {
+        f32_recall: f32_result.recall,
+        int8_recall: int8_result.recall,
+        f32_precision: f32_result.precision,
+        int8_precision: int8_result.precision,
+        recall_delta: int8_result.recall - f32_result.recall,
+        precision_delta: int8_result.precision - f32_result.precision,
+    })
+}
+
 /// Formats results as a fixed-width table (one line per technique).
 pub fn format_table(title: &str, results: &[TechniqueResult]) -> String {
     let mut out = format!("== {title}\n");
@@ -241,6 +299,56 @@ mod tests {
             direct.gaps.iter().filter(|g| g.outcome.failed).count()
         );
         assert_eq!(imputer.name(), "KAMEL");
+    }
+
+    #[test]
+    fn quantization_delta_is_zero_for_ngram_engines() {
+        // N-gram models have no weights to quantize, so both passes run
+        // the identical model — the delta is exactly zero and the gate
+        // trivially passes. This pins the plumbing (path switching, state
+        // restoration) without the cost of BERT training.
+        let dataset = tiny_dataset();
+        let config = KamelConfig::builder()
+            .model_threshold_k(150)
+            .pyramid_height(3)
+            .build();
+        let (imputer, _) = train_kamel(&dataset, config);
+        let ctx = EvalContext::default();
+        let delta = quantization_delta(&imputer, &dataset, &ctx, 6).expect("gate passes");
+        assert_eq!(delta.recall_delta, 0.0, "{delta:?}");
+        assert_eq!(delta.precision_delta, 0.0, "{delta:?}");
+        assert!(delta.within(0.0));
+        assert!(!imputer.kamel.is_quantized(), "original f32 path restored");
+    }
+
+    #[test]
+    fn quantization_delta_gates_bert_models() {
+        use kamel_lm::{BertEngineConfig, EngineConfig};
+        let dataset = tiny_dataset();
+        let config = KamelConfig::builder()
+            .model_threshold_k(150)
+            .pyramid_height(3)
+            .disable_partitioning(true)
+            .engine(EngineConfig::Bert(BertEngineConfig::for_tests()))
+            // Tiny test models under-train; keep the serving gate
+            // permissive so this test exercises the measurement itself.
+            .quantize_min_agreement(0.0)
+            .build();
+        let (imputer, _) = train_kamel(&dataset, config);
+        let ctx = EvalContext::default();
+        let delta = quantization_delta(&imputer, &dataset, &ctx, 3).expect("gate passes");
+        for v in [
+            delta.f32_recall,
+            delta.int8_recall,
+            delta.f32_precision,
+            delta.int8_precision,
+        ] {
+            assert!((0.0..=1.0).contains(&v), "metric out of range: {delta:?}");
+        }
+        // A delta can never fail an infinite bound, and `within` is
+        // monotone in the bound.
+        assert!(delta.within(f64::INFINITY));
+        assert!(!imputer.kamel.is_quantized(), "original f32 path restored");
     }
 
     #[test]

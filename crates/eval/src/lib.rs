@@ -24,7 +24,8 @@ pub mod metrics;
 pub mod roadtype;
 
 pub use harness::{
-    train_kamel, train_trimpute, EvalContext, KamelImputer, TechniqueResult,
+    quantization_delta, train_kamel, train_trimpute, EvalContext, KamelImputer,
+    QuantizationDelta, TechniqueResult,
 };
 pub use mapinfer::{compare_maps, infer_map, rasterize_network, InferredMap, MapInferConfig, MapQuality};
 pub use metrics::{MetricsAccumulator, PointMetrics};

@@ -7,11 +7,14 @@
 
 use crate::vocab::Vocab;
 use crate::{Candidate, MaskedTokenModel};
-use kamel_nn::{BertConfig, BertMlmModel, InferScratch, MlmBatcher, TrainOptions, Trainer};
-use rand::SeedableRng;
+use kamel_nn::{
+    BertConfig, BertMlmModel, InferScratch, MlmBatcher, QuantizedBertMlm, TrainOptions, Trainer,
+};
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
+use std::sync::Arc;
 
 thread_local! {
     /// Per-thread inference scratch. `predict_masked` takes `&self` and is
@@ -93,6 +96,12 @@ pub struct BertMlm {
     vocab: Vocab,
     model: BertMlmModel,
     trained_tokens: u64,
+    /// Int8 serving weights, derived from `model` when quantization is
+    /// enabled. Never serialized: the f32 weights are the source of truth
+    /// and the artifact is rebuilt (and re-gated) on load. `Arc` keeps
+    /// clones of a quantized model cheap.
+    #[serde(skip)]
+    quant: Option<Arc<QuantizedBertMlm>>,
 }
 
 impl BertMlm {
@@ -132,12 +141,81 @@ impl BertMlm {
             vocab,
             model,
             trained_tokens,
+            quant: None,
         }
     }
 
     /// The vocabulary this model was trained with.
     pub fn vocab(&self) -> &Vocab {
         &self.vocab
+    }
+
+    /// Switches prediction to the int8 weight-quantized path (building the
+    /// quantized weights from the f32 model). Gating against an accuracy
+    /// bound is the caller's job — see
+    /// [`BertMlm::quantization_agreement`].
+    pub fn enable_quantization(&mut self) {
+        if self.quant.is_none() {
+            self.quant = Some(Arc::new(QuantizedBertMlm::from_model(&self.model)));
+        }
+    }
+
+    /// Reverts prediction to the f32 path, dropping the int8 weights.
+    pub fn disable_quantization(&mut self) {
+        self.quant = None;
+    }
+
+    /// Whether predictions currently run the int8 path.
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Top-1 agreement between the f32 and int8 paths over `probes`
+    /// seeded random masked probes (uniform regular tokens, random mask
+    /// slot). Returns 1.0 for an empty vocabulary or zero probes. Does
+    /// not require (or toggle) quantization being enabled; `kamel-core`
+    /// uses this as the accuracy gate before enabling the path.
+    pub fn quantization_agreement(&self, probes: usize, seed: u64) -> f64 {
+        if probes == 0 || self.vocab.is_empty() {
+            return 1.0;
+        }
+        let quant = match &self.quant {
+            Some(q) => Arc::clone(q),
+            None => Arc::new(QuantizedBertMlm::from_model(&self.model)),
+        };
+        let (lo, hi) = self.vocab.regular_range();
+        let max_body = self.model.config.max_seq_len.saturating_sub(2).max(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut scratch = InferScratch::new();
+        let mut agree = 0usize;
+        for _ in 0..probes {
+            let len = rng.gen_range(3..=8usize).min(max_body);
+            let pos = rng.gen_range(0..len);
+            let mut ids = Vec::with_capacity(len + 2);
+            ids.push(Vocab::CLS);
+            for i in 0..len {
+                ids.push(if i == pos {
+                    Vocab::MASK
+                } else {
+                    rng.gen_range(lo..hi)
+                });
+            }
+            ids.push(Vocab::SEP);
+            let mask_index = pos + 1;
+            let exact_top = rank_regulars(self.model.predict_with(&mut scratch, &ids, mask_index), 1)
+                .first()
+                .map(|&(id, _)| id);
+            let quant_top = rank_regulars(
+                self.model.predict_quant_with(&quant, &mut scratch, &ids, mask_index),
+                1,
+            )
+            .first()
+            .map(|&(id, _)| id);
+            if exact_top == quant_top {
+                agree += 1;
+            }
+        }
+        agree as f64 / probes as f64
     }
 
     /// Trainable parameter count of the underlying network.
@@ -225,7 +303,12 @@ impl MaskedTokenModel for BertMlm {
             let mut scratch = cell.borrow_mut();
             // Grad-free forward + masked-row head: bit-identical to
             // `self.model.predict(&ids, mask_index)` (property-tested).
-            let probs = self.model.predict_with(&mut scratch, &ids, mask_index);
+            // With quantization enabled, the int8 path runs instead; its
+            // accuracy is gated upstream before enablement.
+            let probs = match &self.quant {
+                Some(q) => self.model.predict_quant_with(q, &mut scratch, &ids, mask_index),
+                None => self.model.predict_with(&mut scratch, &ids, mask_index),
+            };
             rank_regulars(probs, top_k)
                 .into_iter()
                 .filter_map(|(id, prob)| {
@@ -254,7 +337,10 @@ impl MaskedTokenModel for BertMlm {
             let mut scratch = cell.borrow_mut();
             // One fused forward for the whole batch; row `i` is
             // bit-identical to the single-request path for `reqs[i]`.
-            let probs = self.model.predict_batch_with(&mut scratch, &views);
+            let probs = match &self.quant {
+                Some(q) => self.model.predict_batch_quant_with(q, &mut scratch, &views),
+                None => self.model.predict_batch_with(&mut scratch, &views),
+            };
             (0..reqs.len())
                 .map(|i| {
                     rank_regulars(probs.row(i), top_k)
@@ -392,6 +478,63 @@ mod tests {
                 assert_eq!(a.prob.to_bits(), b.prob.to_bits(), "request {i}");
             }
         }
+    }
+
+    #[test]
+    fn quantized_model_still_learns_the_chain() {
+        let corpus: Vec<Vec<u64>> = (0..40).map(|_| vec![11u64, 22, 33, 44]).collect();
+        let mut model = BertMlm::train(&BertEngineConfig::for_tests(), &corpus);
+        assert!(!model.is_quantized());
+        model.enable_quantization();
+        assert!(model.is_quantized());
+        let preds = model.predict_masked(&[11, 22, 0, 44], 2, 4);
+        assert!(!preds.is_empty());
+        assert_eq!(preds[0].key, 33, "int8 predictions: {preds:?}");
+        model.disable_quantization();
+        assert!(!model.is_quantized());
+    }
+
+    #[test]
+    fn quantization_agreement_is_high_on_a_trained_model() {
+        let corpus: Vec<Vec<u64>> = (0..40).map(|_| vec![1u64, 2, 3, 4, 5]).collect();
+        let model = BertMlm::train(&BertEngineConfig::for_tests(), &corpus);
+        let agreement = model.quantization_agreement(64, 0xA9EE);
+        assert!(
+            agreement >= 0.9,
+            "int8 top-1 agreement collapsed: {agreement}"
+        );
+        // Deterministic for a fixed seed.
+        assert_eq!(agreement, model.quantization_agreement(64, 0xA9EE));
+    }
+
+    #[test]
+    fn quantized_batch_matches_quantized_single_calls() {
+        let corpus: Vec<Vec<u64>> = (0..30).map(|_| vec![11u64, 22, 33, 44, 55]).collect();
+        let mut model = BertMlm::train(&BertEngineConfig::for_tests(), &corpus);
+        model.enable_quantization();
+        let reqs: Vec<(Vec<u64>, usize)> =
+            vec![(vec![11, 22, 0, 44, 55], 2), (vec![11, 0, 33], 1)];
+        let batched = model.predict_masked_batch(&reqs, 4);
+        for (i, (seq, pos)) in reqs.iter().enumerate() {
+            let single = model.predict_masked(seq, *pos, 4);
+            assert_eq!(batched[i].len(), single.len(), "request {i}");
+            for (a, b) in batched[i].iter().zip(&single) {
+                assert_eq!(a.key, b.key, "request {i}");
+                assert_eq!(a.prob.to_bits(), b.prob.to_bits(), "request {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_survives_serde_as_disabled() {
+        let corpus: Vec<Vec<u64>> = (0..10).map(|_| vec![7u64, 8, 9]).collect();
+        let mut model = BertMlm::train(&BertEngineConfig::for_tests(), &corpus);
+        model.enable_quantization();
+        let json = serde_json::to_string(&model).expect("serialize");
+        let back: BertMlm = serde_json::from_str(&json).expect("deserialize");
+        // The int8 artifact is derived state: it does not persist and must
+        // be re-enabled (and re-gated) after a load.
+        assert!(!back.is_quantized());
     }
 
     #[test]

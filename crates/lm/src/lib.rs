@@ -89,6 +89,47 @@ pub enum TrainedModel {
     Bert(Box<BertMlm>),
 }
 
+impl TrainedModel {
+    /// Switches a BERT model to the int8 weight-quantized serving path.
+    /// Returns `true` when the engine supports quantization (BERT only;
+    /// n-gram models have no weights to quantize and are unaffected).
+    /// Accuracy gating belongs to the caller — see
+    /// [`TrainedModel::quantization_agreement`].
+    pub fn enable_quantization(&mut self) -> bool {
+        match self {
+            TrainedModel::Ngram(_) => false,
+            TrainedModel::Bert(m) => {
+                m.enable_quantization();
+                true
+            }
+        }
+    }
+
+    /// Reverts a BERT model to the f32 serving path (no-op for n-gram).
+    pub fn disable_quantization(&mut self) {
+        if let TrainedModel::Bert(m) = self {
+            m.disable_quantization();
+        }
+    }
+
+    /// Whether predictions currently run a quantized path.
+    pub fn is_quantized(&self) -> bool {
+        match self {
+            TrainedModel::Ngram(_) => false,
+            TrainedModel::Bert(m) => m.is_quantized(),
+        }
+    }
+
+    /// Top-1 agreement between the f32 and int8 paths over seeded random
+    /// probes; `None` for engines without a quantized path.
+    pub fn quantization_agreement(&self, probes: usize, seed: u64) -> Option<f64> {
+        match self {
+            TrainedModel::Ngram(_) => None,
+            TrainedModel::Bert(m) => Some(m.quantization_agreement(probes, seed)),
+        }
+    }
+}
+
 impl MaskedTokenModel for TrainedModel {
     fn predict_masked(&self, seq: &[u64], pos: usize, top_k: usize) -> Vec<Candidate> {
         match self {

@@ -55,43 +55,45 @@ use crate::matrix::Matrix;
 #[derive(Debug)]
 pub struct InferScratch {
     /// Concatenated token ids of the current batch.
-    ids: Vec<u32>,
+    pub(crate) ids: Vec<u32>,
     /// Per-sequence `(first_row, len)` spans into the concatenated rows.
-    seqs: Vec<(usize, usize)>,
+    pub(crate) seqs: Vec<(usize, usize)>,
     /// Global row index of each request's masked position.
-    mask_rows: Vec<usize>,
+    pub(crate) mask_rows: Vec<usize>,
     /// Embeddings / current activations `[rows, hidden]`.
-    x: Matrix,
+    pub(crate) x: Matrix,
     /// Next-layer activations (swapped with `x` after each block).
-    x_next: Matrix,
+    pub(crate) x_next: Matrix,
     /// Q/K/V projections `[rows, hidden]`.
-    q: Matrix,
-    k: Matrix,
-    v: Matrix,
+    pub(crate) q: Matrix,
+    pub(crate) k: Matrix,
+    pub(crate) v: Matrix,
     /// Per-(sequence, head) column slices `[len, head_dim]`.
-    qh: Matrix,
-    kh: Matrix,
-    vh: Matrix,
+    pub(crate) qh: Matrix,
+    pub(crate) kh: Matrix,
+    pub(crate) vh: Matrix,
     /// Attention scores `[len, len]`.
-    scores: Matrix,
+    pub(crate) scores: Matrix,
     /// One head's output `[len, head_dim]`.
-    head_out: Matrix,
+    pub(crate) head_out: Matrix,
     /// Concatenated head outputs `[rows, hidden]`.
-    concat: Matrix,
+    pub(crate) concat: Matrix,
     /// Attention block output `[rows, hidden]`.
-    attn_y: Matrix,
+    pub(crate) attn_y: Matrix,
     /// Residual sums `[rows, hidden]`.
-    res: Matrix,
+    pub(crate) res: Matrix,
     /// LN1 output (FFN input) `[rows, hidden]`.
-    h: Matrix,
+    pub(crate) h: Matrix,
     /// FF1 pre-activation `[rows, ff]`.
-    ff_pre: Matrix,
+    pub(crate) ff_pre: Matrix,
     /// GELU output `[rows, ff]`.
-    ff_act: Matrix,
+    pub(crate) ff_act: Matrix,
     /// FF2 output `[rows, hidden]`.
-    ff_out: Matrix,
+    pub(crate) ff_out: Matrix,
     /// Masked-row probabilities `[n_requests, vocab]`.
-    probs: Matrix,
+    pub(crate) probs: Matrix,
+    /// Quantized activation row (int8 serving path only).
+    pub(crate) xq: Vec<i8>,
 }
 
 impl InferScratch {
@@ -120,6 +122,7 @@ impl InferScratch {
             ff_act: m(),
             ff_out: m(),
             probs: m(),
+            xq: Vec::new(),
         }
     }
 }
@@ -132,12 +135,10 @@ impl Default for InferScratch {
 
 /// Writes `out = a + b` element-wise into a reusable buffer (the residual
 /// sums). Bit-identical to `a.clone(); a.add_assign(b)`.
-fn add_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+pub(crate) fn add_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     debug_assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
     out.reset_zeroed(a.rows(), a.cols());
-    for ((o, &x), &y) in out.data_mut().iter_mut().zip(a.data()).zip(b.data()) {
-        *o = x + y;
-    }
+    crate::simd::add(a.data(), b.data(), out.data_mut());
 }
 
 impl BertMlmModel {
@@ -203,9 +204,7 @@ impl BertMlmModel {
                 debug_assert!(id < tok.rows(), "token id {id} out of vocab {}", tok.rows());
                 let row = scratch.x_next.row_mut(start + i);
                 row.copy_from_slice(tok.row(id));
-                for (o, &p) in row.iter_mut().zip(pos_table.row(i)) {
-                    *o += p;
-                }
+                crate::simd::add_assign(row, pos_table.row(i));
             }
         }
         self.emb_ln.forward_into(&scratch.x_next, &mut scratch.x);

@@ -6,6 +6,7 @@
 //! single layer instance can be reused across sequences within a batch.
 
 use crate::matrix::Matrix;
+use crate::simd;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -183,8 +184,11 @@ impl LayerNorm {
         let beta = self.beta.w.row(0);
         for r in 0..n {
             let row = x.row(r);
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            // 8-lane SIMD reductions (bit-identical across backends; see
+            // `crate::simd`). `forward_into` uses the same reductions, so
+            // training and inference normalize identically.
+            let mean = simd::sum(row) / d as f32;
+            let var = simd::sum_sq_diff(row, mean) / d as f32;
             let rs = 1.0 / (var + self.eps).sqrt();
             rstd.push(rs);
             let xh = xhat.row_mut(r);
@@ -209,14 +213,10 @@ impl LayerNorm {
         let beta = self.beta.w.row(0);
         for r in 0..n {
             let row = x.row(r);
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let mean = simd::sum(row) / d as f32;
+            let var = simd::sum_sq_diff(row, mean) / d as f32;
             let rs = 1.0 / (var + self.eps).sqrt();
-            let o = out.row_mut(r);
-            for c in 0..d {
-                let h = (row[c] - mean) * rs;
-                o[c] = h * gamma[c] + beta[c];
-            }
+            simd::ln_affine(row, mean, rs, gamma, beta, out.row_mut(r));
         }
     }
 
@@ -295,18 +295,21 @@ pub fn dropout_backward(mask: &Matrix, dy: &Matrix) -> Matrix {
     dx
 }
 
-/// GELU activation (tanh approximation, as used by BERT).
+/// GELU activation (tanh approximation, as used by BERT). `tanh` runs
+/// through the SIMD-reproducible [`crate::math::tanh_f32`] sequence so
+/// vector backends can evaluate whole lanes bit-identically.
 pub fn gelu(x: f32) -> f32 {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
-    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+    0.5 * x * (1.0 + crate::math::tanh_f32(C * (x + 0.044_715 * x * x * x)))
 }
 
-/// Derivative of [`gelu`] with respect to its input.
+/// Derivative of [`gelu`] with respect to its input (same `tanh` kernel
+/// as the forward pass, so training and inference see one activation).
 pub fn gelu_grad(x: f32) -> f32 {
     const C: f32 = 0.797_884_6;
     let x3 = x * x * x;
     let inner = C * (x + 0.044_715 * x3);
-    let t = inner.tanh();
+    let t = crate::math::tanh_f32(inner);
     let sech2 = 1.0 - t * t;
     0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044_715 * x * x)
 }
@@ -314,18 +317,14 @@ pub fn gelu_grad(x: f32) -> f32 {
 /// Applies GELU element-wise, returning the activated copy.
 pub fn gelu_forward(x: &Matrix) -> Matrix {
     let mut out = x.clone();
-    for v in out.data_mut() {
-        *v = gelu(*v);
-    }
+    simd::gelu_map(x.data(), out.data_mut());
     out
 }
 
 /// GELU into a reusable buffer; bit-identical to [`gelu_forward`].
 pub fn gelu_forward_into(x: &Matrix, out: &mut Matrix) {
     out.reset_zeroed(x.rows(), x.cols());
-    for (o, &v) in out.data_mut().iter_mut().zip(x.data()) {
-        *o = gelu(v);
-    }
+    simd::gelu_map(x.data(), out.data_mut());
 }
 
 /// Element-wise GELU backward: `dx = dy ⊙ gelu'(x)`.
@@ -348,20 +347,25 @@ pub fn softmax_rows(x: &mut Matrix) {
 /// body of [`softmax_rows`], exposed so the inference head can softmax a
 /// single logits row without wrapping it in a matrix.
 pub fn softmax_slice(row: &mut [f32]) {
-    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if row.is_empty() {
+        return;
+    }
+    // SIMD max is safe here: max is associative, so any lane order yields
+    // the same value for non-NaN input, and `v - max` is value-identical
+    // even across the ±0 ambiguity.
+    let max = simd::max(row);
     if !max.is_finite() {
         // Entire row masked: fall back to uniform to avoid NaNs.
         let u = 1.0 / row.len() as f32;
         row.iter_mut().for_each(|v| *v = u);
         return;
     }
-    let mut sum = 0.0;
-    for v in row.iter_mut() {
-        *v = (*v - max).exp();
-        sum += *v;
-    }
+    // Exponentiation runs the SIMD-reproducible `math::exp_f32` sequence
+    // and the sum accumulates in the canonical 8-lane order — both part
+    // of the output contract, both bit-identical across backends.
+    let sum = simd::exp_sum(row, max);
     let inv = 1.0 / sum;
-    row.iter_mut().for_each(|v| *v *= inv);
+    simd::scale(row, inv);
 }
 
 /// Backward through a row-wise softmax: given the softmax output `a` and

@@ -28,6 +28,15 @@
 //!   parallel matmul kernels and the higher compute tiers (per-cell
 //!   training, batch imputation). Parallel paths are bit-identical to
 //!   their sequential counterparts, so the budget never changes results.
+//! * [`simd`] — explicit SIMD kernels (AVX2 on x86-64, NEON on aarch64)
+//!   behind a runtime-dispatched backend, overridable with `KAMEL_SIMD`.
+//!   Every vector kernel reproduces the scalar reference's accumulation
+//!   order, so like the thread budget, the active instruction set never
+//!   changes results.
+//! * [`quant`] — the opt-in int8 weight-quantized serving path:
+//!   per-output-row symmetric weight scales, dynamic activation
+//!   quantization, exact `i8×i8→i32` dots with one f32 rescale per
+//!   output element.
 //!
 //! The layer-by-layer backward design (rather than a taped autograd) keeps
 //! the code auditable and the memory profile flat, which matters when many
@@ -40,8 +49,11 @@ pub mod bert;
 pub mod encoder;
 pub mod infer;
 pub mod layers;
+pub mod math;
 pub mod matrix;
 pub mod optim;
+pub mod quant;
+pub mod simd;
 pub mod threads;
 pub mod train;
 
@@ -49,5 +61,7 @@ pub use bert::{BertConfig, BertMlmModel};
 pub use infer::InferScratch;
 pub use matrix::Matrix;
 pub use optim::Adam;
+pub use quant::{QuantizedBertMlm, QuantizedLinear};
+pub use simd::{active_isa, parse_simd_env, set_backend, supported_backends, Backend, EnvIsa};
 pub use threads::{available_threads, parse_thread_env, set_thread_budget, thread_budget, EnvBudget};
 pub use train::{MlmBatcher, TrainOptions, Trainer};

@@ -16,7 +16,14 @@
 //! `matmul_nt` entry points auto-dispatch: big products fan out across the
 //! process-wide [`crate::threads::thread_budget`], small ones stay on the
 //! calling thread.
+//!
+//! The innermost loops (the NN/TN axpy stripes, the NT dot products, and
+//! the broadcast/scale element-wise ops) run through [`crate::simd`],
+//! which dispatches to explicit AVX2/NEON kernels at runtime. Those
+//! kernels preserve the exact accumulation order of the scalar reference,
+//! so the SIMD backend — like the thread budget — never changes results.
 
+use crate::simd;
 use crate::threads;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -300,33 +307,25 @@ impl Matrix {
     /// Element-wise `self += other`.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        simd::add_assign(&mut self.data, &other.data);
     }
 
     /// Element-wise `self += scale * other`.
     pub fn add_scaled(&mut self, other: &Matrix, scale: f32) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += scale * b;
-        }
+        simd::axpy(&mut self.data, scale, &other.data);
     }
 
     /// Multiplies every element by `s`.
     pub fn scale(&mut self, s: f32) {
-        for a in &mut self.data {
-            *a *= s;
-        }
+        simd::scale(&mut self.data, s);
     }
 
     /// Adds a row vector to every row (bias broadcast).
     pub fn add_row_broadcast(&mut self, bias: &[f32]) {
         assert_eq!(bias.len(), self.cols);
         for r in 0..self.rows {
-            for (a, b) in self.row_mut(r).iter_mut().zip(bias) {
-                *a += b;
-            }
+            simd::add_assign(self.row_mut(r), bias);
         }
     }
 
@@ -347,10 +346,6 @@ impl Matrix {
     }
 }
 
-/// Output-column block width for the NN kernel: the active stripe of the
-/// output row plus one stripe of a `b` row stays resident in L1 while the
-/// full `k` axis streams past it.
-const NN_COL_BLOCK: usize = 1024;
 
 /// Minimum fused multiply-adds a product must offer *per worker* before
 /// fanning out pays for thread spawn/join; below `2×` this, stay
@@ -400,33 +395,12 @@ where
 }
 
 /// NN kernel over one output-row chunk: `out[row0..][..rows] = a[row0..] × b`
-/// with `a: [m,k]`, `b: [k,n]`. ikj loop order (streams `b` rows,
-/// vectorizes the axpy over the output stripe), cache-blocked over output
-/// columns. Per output element the `k` axis accumulates in ascending order,
-/// so chunked execution is bit-identical to one sequential pass.
+/// with `a: [m,k]`, `b: [k,n]`. Dispatches once into the active backend's
+/// block kernel (fused register-blocked on AVX2, axpy stripes elsewhere);
+/// per output element the `k` axis accumulates in ascending order on every
+/// path, so chunked execution is bit-identical to one sequential pass.
 fn nn_block(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
-    if n == 0 {
-        return;
-    }
-    let rows = out.len() / n;
-    for ri in 0..rows {
-        let a_row = &a[(row0 + ri) * k..(row0 + ri + 1) * k];
-        let out_row = &mut out[ri * n..(ri + 1) * n];
-        let mut j0 = 0;
-        while j0 < n {
-            let j1 = (j0 + NN_COL_BLOCK).min(n);
-            // Dense-path assumption: activations are dense, so no
-            // zero-skip branch — it defeats vectorization and saves
-            // nothing on real inputs.
-            for (kk, &av) in a_row.iter().enumerate() {
-                let b_blk = &b[kk * n + j0..kk * n + j1];
-                for (o, &bv) in out_row[j0..j1].iter_mut().zip(b_blk) {
-                    *o += av * bv;
-                }
-            }
-            j0 = j1;
-        }
-    }
+    simd::nn_block(a, b, out, row0, k, n);
 }
 
 /// TN kernel over one output-row chunk: `out[row0..][..rows] = aᵀ[row0..] × b`
@@ -445,51 +419,28 @@ fn tn_block(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, m: usize, n: usi
         // Dense-path assumption: no zero-skip (see `nn_block`).
         for (ri, &av) in a_row.iter().enumerate() {
             let out_row = &mut out[ri * n..(ri + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
+            simd::axpy(out_row, av, b_row);
         }
     }
 }
 
 /// NT kernel over one output-row chunk: `out[row0..][..rows] = a[row0..] × bᵀ`
-/// with `a: [m,k]`, `b: [n,k]`. Row-by-row dot products; already
-/// cache-friendly since both operands are traversed contiguously.
+/// with `a: [m,k]`, `b: [n,k]`. Dispatches once into the active backend's
+/// block kernel (four concurrent dot chains on AVX2, per-dot elsewhere);
+/// every output element reduces in the canonical [`dot`] order.
 fn nt_block(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
-    if n == 0 {
-        return;
-    }
-    let rows = out.len() / n;
-    for ri in 0..rows {
-        let a_row = &a[(row0 + ri) * k..(row0 + ri + 1) * k];
-        let out_row = &mut out[ri * n..(ri + 1) * n];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            *o = dot(a_row, &b[j * k..(j + 1) * k]);
-        }
-    }
+    simd::nt_block(a, b, out, row0, k, n);
 }
 
 /// Dense dot product of two equal-length slices.
+///
+/// Dispatches through [`crate::simd`]; every backend reproduces the
+/// 8-lane chunked accumulation order of the scalar reference, so the
+/// result is independent of the active instruction set.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    // 8-lane chunked accumulation: lets LLVM vectorize and improves
-    // summation error. `chunks_exact` keeps the hot loop bounds-check-free.
-    let mut acc = [0.0f32; 8];
-    let a_chunks = a.chunks_exact(8);
-    let b_chunks = b.chunks_exact(8);
-    let a_rem = a_chunks.remainder();
-    let b_rem = b_chunks.remainder();
-    for (ca, cb) in a_chunks.zip(b_chunks) {
-        for (slot, (&x, &y)) in acc.iter_mut().zip(ca.iter().zip(cb)) {
-            *slot += x * y;
-        }
-    }
-    let mut s: f32 = acc.iter().sum();
-    for (&x, &y) in a_rem.iter().zip(b_rem) {
-        s += x * y;
-    }
-    s
+    simd::dot(a, b)
 }
 
 #[cfg(test)]

@@ -1,0 +1,479 @@
+//! Opt-in int8 weight-quantized serving path.
+//!
+//! Serving memory and bandwidth are dominated by the linear-layer weights
+//! (Q/K/V/O, the two FFN projections, and the vocab head). This module
+//! quantizes those weights to `i8` with **per-output-row symmetric
+//! scales** and runs their matmuls as exact `i8 × i8 → i32` integer dot
+//! products with a single f32 rescale per output element:
+//!
+//! ```text
+//! w_scale[o] = max_i |W[i][o]| / 127          (per output column of W)
+//! Wq[o][i]   = rne(W[i][o] / w_scale[o])      clamped to [-127, 127]
+//! x_scale    = max_i |x[i]| / 127             (per activation row, dynamic)
+//! xq[i]      = rne(x[i] / x_scale)            clamped to [-127, 127]
+//! y[o]       = Σ_i xq[i]·Wq[o][i]  ×  (x_scale · w_scale[o])  +  b[o]
+//! ```
+//!
+//! `rne` is round-to-nearest, ties-to-even — the hardware vector rounding
+//! mode (`vroundps`), so the SIMD and scalar quantizers emit identical
+//! codes.
+//!
+//! Everything *between* the weight matmuls — embeddings, LayerNorm,
+//! softmax, attention score products, residuals, GELU — stays f32, so the
+//! error budget is confined to the projections. The clamp range is the
+//! symmetric `[-127, 127]` (never `-128`): that keeps `q` and `-q` both
+//! representable and bounds every product by `127² = 16129`.
+//!
+//! The integer dot runs through [`crate::simd::dot_i8x4`] /
+//! [`crate::simd::dot_i8`]. Integer addition is associative, so — unlike
+//! the f32 kernels — any lane order gives the same sum and cross-backend
+//! bit-identity is trivial. Activation quantization runs through
+//! [`crate::simd::abs_max_finite`] and [`crate::simd::quantize_i8`]; the
+//! codes are element-wise and bit-identical across backends.
+//!
+//! A quantized model is a **derived artifact**: it is rebuilt from the
+//! f32 weights (which remain the source of truth) after training or on
+//! load, never serialized. Accuracy gating lives upstream in `kamel-lm` /
+//! `kamel-core`, which refuse to enable the path when top-1 agreement
+//! with the f32 model drops below the configured bound.
+
+use crate::bert::BertMlmModel;
+use crate::infer::{add_into, InferScratch};
+use crate::layers::{gelu_forward_into, softmax_rows, softmax_slice, Linear};
+use crate::matrix::Matrix;
+use crate::simd;
+
+/// Quantizes one activation row into `xq`, returning the dequantization
+/// scale (`amax / 127`). A row of zeros (or non-finite garbage) maps to
+/// all-zero codes with scale 0, so the dot contributes nothing and the
+/// output falls back to the bias.
+///
+/// Codes round ties-to-even (the hardware vector rounding mode, see
+/// [`simd::quantize_i8`]) — runs per activation row on the serving hot
+/// path, so both passes dispatch into the SIMD backend.
+pub fn quantize_row(row: &[f32], xq: &mut Vec<i8>) -> f32 {
+    xq.clear();
+    xq.resize(row.len(), 0);
+    let (amax, finite) = simd::abs_max_finite(row);
+    if amax == 0.0 || !finite {
+        return 0.0;
+    }
+    let inv = 127.0 / amax;
+    simd::quantize_i8(row, inv, xq);
+    amax / 127.0
+}
+
+/// An int8-quantized linear layer: `i8` weights in transposed `[out, in]`
+/// layout (row `o` holds output column `o` of the f32 weight), one f32
+/// scale per output row, and the f32 bias.
+#[derive(Debug, Clone)]
+pub struct QuantizedLinear {
+    /// `i8` weights, `[out_dim, in_dim]` row-major.
+    wq: Vec<i8>,
+    /// Per-output-row dequantization scales (`amax / 127`).
+    scales: Vec<f32>,
+    /// f32 bias, length `out_dim`.
+    bias: Vec<f32>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl QuantizedLinear {
+    /// Quantizes an f32 [`Linear`] (`W: [in, out]`) with per-output-column
+    /// symmetric scales.
+    pub fn from_linear(l: &Linear) -> Self {
+        let (in_dim, out_dim) = (l.weight.w.rows(), l.weight.w.cols());
+        let w = l.weight.w.data();
+        let mut wq = vec![0i8; in_dim * out_dim];
+        let mut scales = vec![0.0f32; out_dim];
+        for o in 0..out_dim {
+            let mut amax = 0.0f32;
+            for i in 0..in_dim {
+                amax = amax.max(w[i * out_dim + o].abs());
+            }
+            if amax == 0.0 || !amax.is_finite() {
+                continue; // row stays zero with scale 0
+            }
+            let inv = 127.0 / amax;
+            scales[o] = amax / 127.0;
+            let row = &mut wq[o * in_dim..(o + 1) * in_dim];
+            for (i, q) in row.iter_mut().enumerate() {
+                // Ties-to-even, matching the activation codes (`simd::quantize_i8`).
+                *q = (w[i * out_dim + o] * inv).round_ties_even().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        Self {
+            wq,
+            scales,
+            bias: l.bias.w.row(0).to_vec(),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Bytes held by the quantized weights (the f32 layer holds 4× this).
+    pub fn weight_bytes(&self) -> usize {
+        self.wq.len()
+    }
+
+    /// Quantized matvec for one activation row: `out[o] = q·Wq[o] ×
+    /// (x_scale·w_scale[o]) + b[o]`. `xq` is the caller's reusable code
+    /// buffer.
+    pub fn forward_row_into(&self, x_row: &[f32], xq: &mut Vec<i8>, out: &mut [f32]) {
+        debug_assert_eq!(x_row.len(), self.in_dim);
+        debug_assert_eq!(out.len(), self.out_dim);
+        let x_scale = quantize_row(x_row, xq);
+        // One dispatch for the whole matvec: the fused kernel shares each
+        // activation load across four weight rows and rescales in-register.
+        simd::quant_matvec(xq, x_scale, &self.wq, &self.scales, &self.bias, out);
+    }
+
+    /// Quantized forward for a `[rows, in]` batch into a reusable buffer
+    /// (the int8 counterpart of [`Linear::forward_into`]).
+    pub fn forward_into(&self, x: &Matrix, xq: &mut Vec<i8>, out: &mut Matrix) {
+        assert_eq!(x.cols(), self.in_dim, "input width mismatch");
+        out.reset_zeroed(x.rows(), self.out_dim);
+        for r in 0..x.rows() {
+            self.forward_row_into(x.row(r), xq, out.row_mut(r));
+        }
+    }
+}
+
+/// The quantized projections of one encoder layer.
+#[derive(Debug, Clone)]
+struct QuantizedLayer {
+    wq: QuantizedLinear,
+    wk: QuantizedLinear,
+    wv: QuantizedLinear,
+    wo: QuantizedLinear,
+    ff1: QuantizedLinear,
+    ff2: QuantizedLinear,
+}
+
+/// All int8 weights of a BERT MLM: the per-layer projections plus the
+/// vocab head. Built from (and served alongside) the f32 model, which
+/// keeps the embeddings and LayerNorm parameters.
+#[derive(Debug, Clone)]
+pub struct QuantizedBertMlm {
+    layers: Vec<QuantizedLayer>,
+    head: QuantizedLinear,
+}
+
+impl QuantizedBertMlm {
+    /// Quantizes every linear projection of `model`.
+    pub fn from_model(model: &BertMlmModel) -> Self {
+        let layers = model
+            .layers
+            .iter()
+            .map(|l| QuantizedLayer {
+                wq: QuantizedLinear::from_linear(&l.attn.wq),
+                wk: QuantizedLinear::from_linear(&l.attn.wk),
+                wv: QuantizedLinear::from_linear(&l.attn.wv),
+                wo: QuantizedLinear::from_linear(&l.attn.wo),
+                ff1: QuantizedLinear::from_linear(&l.ff1),
+                ff2: QuantizedLinear::from_linear(&l.ff2),
+            })
+            .collect();
+        Self {
+            layers,
+            head: QuantizedLinear::from_linear(&model.out),
+        }
+    }
+
+    /// Bytes held by all quantized weights.
+    pub fn weight_bytes(&self) -> usize {
+        let per_layer: usize = self
+            .layers
+            .iter()
+            .map(|l| {
+                l.wq.weight_bytes()
+                    + l.wk.weight_bytes()
+                    + l.wv.weight_bytes()
+                    + l.wo.weight_bytes()
+                    + l.ff1.weight_bytes()
+                    + l.ff2.weight_bytes()
+            })
+            .sum();
+        per_layer + self.head.weight_bytes()
+    }
+}
+
+impl BertMlmModel {
+    /// Quantized single prediction; the int8 counterpart of
+    /// [`BertMlmModel::predict_with`]. The returned slice borrows the
+    /// scratch.
+    pub fn predict_quant_with<'s>(
+        &self,
+        quant: &QuantizedBertMlm,
+        scratch: &'s mut InferScratch,
+        ids: &[u32],
+        pos: usize,
+    ) -> &'s [f32] {
+        assert!(pos < ids.len(), "position {pos} out of range");
+        self.predict_batch_quant_with(quant, scratch, &[(ids, pos)])
+            .row(0)
+    }
+
+    /// Quantized batched prediction: the int8 counterpart of
+    /// [`BertMlmModel::predict_batch_with`]. The forward is structurally
+    /// identical — same embedding gather, per-block attention, residuals,
+    /// LayerNorm, GELU, and masked-row head — but every weight matmul runs
+    /// through the corresponding [`QuantizedLinear`]. Outputs approximate
+    /// the f32 path; closeness is enforced upstream by the accuracy gate.
+    pub fn predict_batch_quant_with<'s>(
+        &self,
+        quant: &QuantizedBertMlm,
+        scratch: &'s mut InferScratch,
+        reqs: &[(&[u32], usize)],
+    ) -> &'s Matrix {
+        assert_eq!(
+            quant.layers.len(),
+            self.layers.len(),
+            "quantized weights do not match this model"
+        );
+        let hidden = self.config.hidden;
+        let vocab = self.config.vocab_size;
+        scratch.ids.clear();
+        scratch.seqs.clear();
+        scratch.mask_rows.clear();
+        for (ids, pos) in reqs {
+            assert!(
+                ids.len() <= self.config.max_seq_len,
+                "sequence length {} exceeds max {}",
+                ids.len(),
+                self.config.max_seq_len
+            );
+            assert!(!ids.is_empty(), "empty sequence");
+            assert!(*pos < ids.len(), "position {pos} out of range");
+            let start = scratch.ids.len();
+            scratch.ids.extend_from_slice(ids);
+            scratch.seqs.push((start, ids.len()));
+            scratch.mask_rows.push(start + pos);
+        }
+        let rows = scratch.ids.len();
+        if rows == 0 {
+            scratch.probs.reset_zeroed(0, vocab);
+            return &scratch.probs;
+        }
+
+        // Embeddings + LN: identical to the f32 path (not quantized).
+        scratch.x_next.reset_zeroed(rows, hidden);
+        let tok = &self.tok_emb.table.w;
+        let pos_table = &self.pos_emb.table.w;
+        for &(start, len) in &scratch.seqs {
+            for i in 0..len {
+                let id = scratch.ids[start + i] as usize;
+                debug_assert!(id < tok.rows(), "token id {id} out of vocab {}", tok.rows());
+                let row = scratch.x_next.row_mut(start + i);
+                row.copy_from_slice(tok.row(id));
+                simd::add_assign(row, pos_table.row(i));
+            }
+        }
+        self.emb_ln.forward_into(&scratch.x_next, &mut scratch.x);
+
+        for (layer, qlayer) in self.layers.iter().zip(&quant.layers) {
+            // Attention with quantized projections; score/softmax/AV math
+            // stays f32.
+            qlayer.wq.forward_into(&scratch.x, &mut scratch.xq, &mut scratch.q);
+            qlayer.wk.forward_into(&scratch.x, &mut scratch.xq, &mut scratch.k);
+            qlayer.wv.forward_into(&scratch.x, &mut scratch.xq, &mut scratch.v);
+            let heads = layer.attn.heads();
+            let hd = layer.attn.head_dim();
+            let scale = 1.0 / (hd as f32).sqrt();
+            scratch.concat.reset_zeroed(rows, hidden);
+            for &(start, len) in &scratch.seqs {
+                for head in 0..heads {
+                    let cols = head * hd..(head + 1) * hd;
+                    scratch.qh.reset_zeroed(len, hd);
+                    scratch.kh.reset_zeroed(len, hd);
+                    scratch.vh.reset_zeroed(len, hd);
+                    for r in 0..len {
+                        scratch
+                            .qh
+                            .row_mut(r)
+                            .copy_from_slice(&scratch.q.row(start + r)[cols.clone()]);
+                        scratch
+                            .kh
+                            .row_mut(r)
+                            .copy_from_slice(&scratch.k.row(start + r)[cols.clone()]);
+                        scratch
+                            .vh
+                            .row_mut(r)
+                            .copy_from_slice(&scratch.v.row(start + r)[cols.clone()]);
+                    }
+                    scratch.qh.matmul_nt_into(&scratch.kh, &mut scratch.scores);
+                    scratch.scores.scale(scale);
+                    softmax_rows(&mut scratch.scores);
+                    scratch.scores.matmul_into(&scratch.vh, &mut scratch.head_out);
+                    for r in 0..len {
+                        scratch.concat.row_mut(start + r)[cols.clone()]
+                            .copy_from_slice(scratch.head_out.row(r));
+                    }
+                }
+            }
+            qlayer
+                .wo
+                .forward_into(&scratch.concat, &mut scratch.xq, &mut scratch.attn_y);
+            add_into(&scratch.x, &scratch.attn_y, &mut scratch.res);
+            layer.ln1.forward_into(&scratch.res, &mut scratch.h);
+            qlayer
+                .ff1
+                .forward_into(&scratch.h, &mut scratch.xq, &mut scratch.ff_pre);
+            gelu_forward_into(&scratch.ff_pre, &mut scratch.ff_act);
+            qlayer
+                .ff2
+                .forward_into(&scratch.ff_act, &mut scratch.xq, &mut scratch.ff_out);
+            add_into(&scratch.h, &scratch.ff_out, &mut scratch.res);
+            layer.ln2.forward_into(&scratch.res, &mut scratch.x_next);
+            std::mem::swap(&mut scratch.x, &mut scratch.x_next);
+        }
+
+        // Quantized masked-row head (bias is inside the quantized layer).
+        scratch.probs.reset_zeroed(reqs.len(), vocab);
+        for (j, &row) in scratch.mask_rows.iter().enumerate() {
+            let out_row = scratch.probs.row_mut(j);
+            quant
+                .head
+                .forward_row_into(scratch.x.row(row), &mut scratch.xq, out_row);
+            softmax_slice(out_row);
+        }
+        &scratch.probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bert::BertConfig;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn model(vocab: usize, seed: u64) -> BertMlmModel {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        BertMlmModel::new(BertConfig::tiny(vocab), &mut rng)
+    }
+
+    #[test]
+    fn quantize_round_trip_is_within_half_step() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let row: Vec<f32> = (0..97).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+        let mut xq = Vec::new();
+        let scale = quantize_row(&row, &mut xq);
+        assert!(scale > 0.0);
+        for (&v, &q) in row.iter().zip(&xq) {
+            let back = q as f32 * scale;
+            // round() puts every value within half a quantization step.
+            assert!(
+                (v - back).abs() <= scale * 0.5 + 1e-6,
+                "value {v} decoded to {back} (scale {scale})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_clamps_symmetric_never_minus_128() {
+        // A huge outlier forces the rest of the row toward zero codes and
+        // the extremes to exactly ±127 (never -128).
+        let row = [1.0e3f32, -1.0e3, 0.5, -0.5, 0.0];
+        let mut xq = Vec::new();
+        let scale = quantize_row(&row, &mut xq);
+        assert_eq!(xq[0], 127);
+        assert_eq!(xq[1], -127);
+        assert!(xq.iter().all(|&q| q >= -127));
+        assert!((scale - 1.0e3 / 127.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_and_nonfinite_rows_decode_to_bias() {
+        let mut xq = Vec::new();
+        assert_eq!(quantize_row(&[0.0; 9], &mut xq), 0.0);
+        assert!(xq.iter().all(|&q| q == 0));
+        assert_eq!(quantize_row(&[f32::NAN, 1.0], &mut xq), 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let lin = Linear::new(6, 4, &mut rng);
+        let q = QuantizedLinear::from_linear(&lin);
+        let x = Matrix::zeros(1, 6);
+        let mut out = Matrix::zeros(0, 0);
+        q.forward_into(&x, &mut xq, &mut out);
+        assert_eq!(out.row(0), lin.bias.w.row(0));
+    }
+
+    #[test]
+    fn dot_i8_saturation_edges_are_exact() {
+        // ±127 · ±127 over a length crossing both the AVX2 (16) and NEON
+        // (8) strides: the widened i32 sum must be exact.
+        for n in [1usize, 7, 8, 15, 16, 17, 31, 33] {
+            let a: Vec<i8> = (0..n).map(|i| if i % 2 == 0 { 127 } else { -127 }).collect();
+            let b: Vec<i8> = (0..n).map(|i| if i % 3 == 0 { -127 } else { 127 }).collect();
+            let expect: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
+            assert_eq!(simd::dot_i8(&a, &b), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn quantized_linear_approximates_f32_linear() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let lin = Linear::new(48, 32, &mut rng);
+        let x = Matrix::from_fn(5, 48, |_, _| rng.gen_range(-2.0f32..2.0));
+        let exact = lin.forward(&x);
+        let q = QuantizedLinear::from_linear(&lin);
+        assert_eq!(q.weight_bytes(), 48 * 32);
+        let mut xq = Vec::new();
+        let mut approx = Matrix::zeros(0, 0);
+        q.forward_into(&x, &mut xq, &mut approx);
+        for (e, a) in exact.data().iter().zip(approx.data()) {
+            // Two symmetric 8-bit quantizations over a 48-wide dot: the
+            // error stays well under 2% of the activation magnitude here.
+            assert!((e - a).abs() < 0.05, "exact {e} vs quantized {a}");
+        }
+    }
+
+    #[test]
+    fn quant_batch_matches_quant_single_calls() {
+        let m = model(19, 51);
+        let q = QuantizedBertMlm::from_model(&m);
+        let reqs_owned: Vec<(Vec<u32>, usize)> =
+            vec![(vec![1, 2, 3], 1), (vec![4, 5, 6, 7], 0), (vec![8], 0)];
+        let reqs: Vec<(&[u32], usize)> = reqs_owned
+            .iter()
+            .map(|(ids, pos)| (ids.as_slice(), *pos))
+            .collect();
+        let mut scratch = InferScratch::new();
+        let batch = m.predict_batch_quant_with(&q, &mut scratch, &reqs).clone();
+        let mut single = InferScratch::new();
+        for (i, (ids, pos)) in reqs_owned.iter().enumerate() {
+            let one = m.predict_quant_with(&q, &mut single, ids, *pos);
+            assert_eq!(batch.row(i), one, "request {i} diverged");
+        }
+    }
+
+    #[test]
+    fn quant_probs_are_close_to_f32_probs() {
+        let m = model(23, 52);
+        let q = QuantizedBertMlm::from_model(&m);
+        assert!(q.weight_bytes() > 0);
+        let mut scratch = InferScratch::new();
+        let ids = vec![1u32, 5, 9, 13, 2];
+        let exact = m.predict_with(&mut scratch, &ids, 2).to_vec();
+        let approx = m.predict_quant_with(&q, &mut scratch, &ids, 2).to_vec();
+        let l1: f32 = exact
+            .iter()
+            .zip(&approx)
+            .map(|(e, a)| (e - a).abs())
+            .sum();
+        assert!(l1 < 0.2, "quantized distribution drifted: L1 = {l1}");
+        // An untrained tiny model is near-uniform, so argmax agreement is
+        // not guaranteed here; distribution closeness is the contract.
+    }
+}

@@ -1,0 +1,269 @@
+//! NEON kernels (aarch64): two 4-lane registers emulate the canonical
+//! 8-slot accumulator (lanes 0–3 and 4–7), so reductions reproduce the
+//! scalar reference's accumulation order exactly. NEON is baseline on
+//! aarch64, so these are safe wrappers around the intrinsics. Multiplies
+//! and adds stay separate instructions (no `vmla`/FMLA fusion) to match
+//! the scalar reference's two roundings per multiply-add.
+
+use std::arch::aarch64::*;
+
+/// Stores the two 4-lane accumulators as one 8-slot array (lanes 0–3
+/// then 4–7) and folds it exactly like the scalar reference.
+#[inline]
+fn lanes8(acc0: float32x4_t, acc1: float32x4_t) -> [f32; 8] {
+    let mut lanes = [0.0f32; 8];
+    unsafe {
+        vst1q_f32(lanes.as_mut_ptr(), acc0);
+        vst1q_f32(lanes.as_mut_ptr().add(4), acc1);
+    }
+    lanes
+}
+
+/// Dot product; bit-identical to [`super::scalar::dot`].
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n8 = a.len() / 8 * 8;
+    unsafe {
+        let mut acc0 = vdupq_n_f32(0.0);
+        let mut acc1 = vdupq_n_f32(0.0);
+        let mut i = 0;
+        while i < n8 {
+            let a0 = vld1q_f32(a.as_ptr().add(i));
+            let a1 = vld1q_f32(a.as_ptr().add(i + 4));
+            let b0 = vld1q_f32(b.as_ptr().add(i));
+            let b1 = vld1q_f32(b.as_ptr().add(i + 4));
+            acc0 = vaddq_f32(acc0, vmulq_f32(a0, b0));
+            acc1 = vaddq_f32(acc1, vmulq_f32(a1, b1));
+            i += 8;
+        }
+        let mut s: f32 = lanes8(acc0, acc1).iter().sum();
+        while i < a.len() {
+            s += a[i] * b[i];
+            i += 1;
+        }
+        s
+    }
+}
+
+/// `out[i] += a * x[i]`.
+pub fn axpy(out: &mut [f32], a: f32, x: &[f32]) {
+    let n4 = out.len() / 4 * 4;
+    unsafe {
+        let va = vdupq_n_f32(a);
+        let mut i = 0;
+        while i < n4 {
+            let vx = vld1q_f32(x.as_ptr().add(i));
+            let vo = vld1q_f32(out.as_ptr().add(i));
+            vst1q_f32(out.as_mut_ptr().add(i), vaddq_f32(vo, vmulq_f32(va, vx)));
+            i += 4;
+        }
+        while i < out.len() {
+            out[i] += a * x[i];
+            i += 1;
+        }
+    }
+}
+
+/// `out[i] += x[i]`.
+pub fn add_assign(out: &mut [f32], x: &[f32]) {
+    let n4 = out.len() / 4 * 4;
+    unsafe {
+        let mut i = 0;
+        while i < n4 {
+            let vx = vld1q_f32(x.as_ptr().add(i));
+            let vo = vld1q_f32(out.as_ptr().add(i));
+            vst1q_f32(out.as_mut_ptr().add(i), vaddq_f32(vo, vx));
+            i += 4;
+        }
+        while i < out.len() {
+            out[i] += x[i];
+            i += 1;
+        }
+    }
+}
+
+/// `out[i] = a[i] + b[i]`.
+pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let n4 = out.len() / 4 * 4;
+    unsafe {
+        let mut i = 0;
+        while i < n4 {
+            let va = vld1q_f32(a.as_ptr().add(i));
+            let vb = vld1q_f32(b.as_ptr().add(i));
+            vst1q_f32(out.as_mut_ptr().add(i), vaddq_f32(va, vb));
+            i += 4;
+        }
+        while i < out.len() {
+            out[i] = a[i] + b[i];
+            i += 1;
+        }
+    }
+}
+
+/// `out[i] *= s`.
+pub fn scale(out: &mut [f32], s: f32) {
+    let n4 = out.len() / 4 * 4;
+    unsafe {
+        let vs = vdupq_n_f32(s);
+        let mut i = 0;
+        while i < n4 {
+            let vo = vld1q_f32(out.as_ptr().add(i));
+            vst1q_f32(out.as_mut_ptr().add(i), vmulq_f32(vo, vs));
+            i += 4;
+        }
+        while i < out.len() {
+            out[i] *= s;
+            i += 1;
+        }
+    }
+}
+
+/// 8-lane maximum; bit-identical to [`super::scalar::max`] for non-NaN
+/// input.
+pub fn max(x: &[f32]) -> f32 {
+    let n8 = x.len() / 8 * 8;
+    unsafe {
+        let mut acc0 = vdupq_n_f32(f32::NEG_INFINITY);
+        let mut acc1 = vdupq_n_f32(f32::NEG_INFINITY);
+        let mut i = 0;
+        while i < n8 {
+            acc0 = vmaxq_f32(acc0, vld1q_f32(x.as_ptr().add(i)));
+            acc1 = vmaxq_f32(acc1, vld1q_f32(x.as_ptr().add(i + 4)));
+            i += 8;
+        }
+        let lanes = lanes8(acc0, acc1);
+        let mut m = lanes[0];
+        for &lane in &lanes[1..] {
+            m = m.max(lane);
+        }
+        while i < x.len() {
+            m = m.max(x[i]);
+            i += 1;
+        }
+        m
+    }
+}
+
+/// 8-lane sum; bit-identical to [`super::scalar::sum`].
+pub fn sum(x: &[f32]) -> f32 {
+    let n8 = x.len() / 8 * 8;
+    unsafe {
+        let mut acc0 = vdupq_n_f32(0.0);
+        let mut acc1 = vdupq_n_f32(0.0);
+        let mut i = 0;
+        while i < n8 {
+            acc0 = vaddq_f32(acc0, vld1q_f32(x.as_ptr().add(i)));
+            acc1 = vaddq_f32(acc1, vld1q_f32(x.as_ptr().add(i + 4)));
+            i += 8;
+        }
+        let mut s: f32 = lanes8(acc0, acc1).iter().sum();
+        while i < x.len() {
+            s += x[i];
+            i += 1;
+        }
+        s
+    }
+}
+
+/// 8-lane `Σ (x[i] - mean)²`; bit-identical to
+/// [`super::scalar::sum_sq_diff`].
+pub fn sum_sq_diff(x: &[f32], mean: f32) -> f32 {
+    let n8 = x.len() / 8 * 8;
+    unsafe {
+        let vm = vdupq_n_f32(mean);
+        let mut acc0 = vdupq_n_f32(0.0);
+        let mut acc1 = vdupq_n_f32(0.0);
+        let mut i = 0;
+        while i < n8 {
+            let d0 = vsubq_f32(vld1q_f32(x.as_ptr().add(i)), vm);
+            let d1 = vsubq_f32(vld1q_f32(x.as_ptr().add(i + 4)), vm);
+            acc0 = vaddq_f32(acc0, vmulq_f32(d0, d0));
+            acc1 = vaddq_f32(acc1, vmulq_f32(d1, d1));
+            i += 8;
+        }
+        let mut s: f32 = lanes8(acc0, acc1).iter().sum();
+        while i < x.len() {
+            let d = x[i] - mean;
+            s += d * d;
+            i += 1;
+        }
+        s
+    }
+}
+
+/// GELU: vectorized tanh-argument polynomial, per-lane `tanh` through the
+/// same [`crate::math::tanh_f32`] sequence the scalar reference calls;
+/// element-wise so bit-identical to [`super::scalar::gelu_map`].
+pub fn gelu_map(x: &[f32], out: &mut [f32]) {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi), as in `layers::gelu`
+    let n4 = x.len() / 4 * 4;
+    unsafe {
+        let vc = vdupq_n_f32(C);
+        let vk = vdupq_n_f32(0.044_715);
+        let half = vdupq_n_f32(0.5);
+        let one = vdupq_n_f32(1.0);
+        let mut i = 0;
+        while i < n4 {
+            let vx = vld1q_f32(x.as_ptr().add(i));
+            // ((0.044715 * x) * x) * x — same association as scalar.
+            let x3 = vmulq_f32(vmulq_f32(vmulq_f32(vk, vx), vx), vx);
+            let inner = vmulq_f32(vc, vaddq_f32(vx, x3));
+            let mut lanes = [0.0f32; 4];
+            vst1q_f32(lanes.as_mut_ptr(), inner);
+            for lane in &mut lanes {
+                *lane = crate::math::tanh_f32(*lane);
+            }
+            let vt = vld1q_f32(lanes.as_ptr());
+            let vy = vmulq_f32(vmulq_f32(half, vx), vaddq_f32(one, vt));
+            vst1q_f32(out.as_mut_ptr().add(i), vy);
+            i += 4;
+        }
+        while i < x.len() {
+            out[i] = crate::layers::gelu(x[i]);
+            i += 1;
+        }
+    }
+}
+
+/// LayerNorm affine step; element-wise, identical to the scalar loop.
+pub fn ln_affine(x: &[f32], mean: f32, rstd: f32, gamma: &[f32], beta: &[f32], out: &mut [f32]) {
+    let n4 = x.len() / 4 * 4;
+    unsafe {
+        let vm = vdupq_n_f32(mean);
+        let vr = vdupq_n_f32(rstd);
+        let mut i = 0;
+        while i < n4 {
+            let h = vmulq_f32(vsubq_f32(vld1q_f32(x.as_ptr().add(i)), vm), vr);
+            let vg = vld1q_f32(gamma.as_ptr().add(i));
+            let vb = vld1q_f32(beta.as_ptr().add(i));
+            vst1q_f32(out.as_mut_ptr().add(i), vaddq_f32(vmulq_f32(h, vg), vb));
+            i += 4;
+        }
+        while i < x.len() {
+            let h = (x[i] - mean) * rstd;
+            out[i] = h * gamma[i] + beta[i];
+            i += 1;
+        }
+    }
+}
+
+/// Widening `i8 × i8 → i32` dot via `vmull_s8` + pairwise accumulate.
+/// Exact integer arithmetic, equal to [`super::scalar::dot_i8`].
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    let n8 = a.len() / 8 * 8;
+    unsafe {
+        let mut acc = vdupq_n_s32(0);
+        let mut i = 0;
+        while i < n8 {
+            let va = vld1_s8(a.as_ptr().add(i));
+            let vb = vld1_s8(b.as_ptr().add(i));
+            acc = vpadalq_s16(acc, vmull_s8(va, vb));
+            i += 8;
+        }
+        let mut s = vaddvq_s32(acc);
+        while i < a.len() {
+            s += a[i] as i32 * b[i] as i32;
+            i += 1;
+        }
+        s
+    }
+}

@@ -1,0 +1,187 @@
+//! Scalar reference kernels: the canonical operation order every SIMD
+//! backend must reproduce bit-for-bit.
+//!
+//! Reductions fill a fixed 8-slot accumulator from `chunks_exact(8)`
+//! (slot `l` sees elements `8k + l`), combine the slots sequentially,
+//! then fold the tail in ascending order — exactly the layout an AVX2
+//! register (or a NEON register pair) holds, so the vector backends can
+//! match it without shuffles. Element-wise kernels are plain loops; the
+//! per-element expression is the contract.
+
+use crate::layers::gelu;
+
+/// Dot product: 8-lane accumulation, sequential lane sum, scalar tail.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let a_chunks = a.chunks_exact(8);
+    let b_chunks = b.chunks_exact(8);
+    let a_rem = a_chunks.remainder();
+    let b_rem = b_chunks.remainder();
+    for (ca, cb) in a_chunks.zip(b_chunks) {
+        for (slot, (&x, &y)) in acc.iter_mut().zip(ca.iter().zip(cb)) {
+            *slot += x * y;
+        }
+    }
+    let mut s: f32 = acc.iter().sum();
+    for (&x, &y) in a_rem.iter().zip(b_rem) {
+        s += x * y;
+    }
+    s
+}
+
+/// `out[i] += a * x[i]`.
+pub fn axpy(out: &mut [f32], a: f32, x: &[f32]) {
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o += a * v;
+    }
+}
+
+/// `out[i] += x[i]`.
+pub fn add_assign(out: &mut [f32], x: &[f32]) {
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o += v;
+    }
+}
+
+/// `out[i] = a[i] + b[i]`.
+pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x + y;
+    }
+}
+
+/// `out[i] *= s`.
+pub fn scale(out: &mut [f32], s: f32) {
+    for o in out.iter_mut() {
+        *o *= s;
+    }
+}
+
+/// 8-lane maximum: lane maxima, sequential lane fold, scalar tail.
+pub fn max(x: &[f32]) -> f32 {
+    let mut acc = [f32::NEG_INFINITY; 8];
+    let chunks = x.chunks_exact(8);
+    let rem = chunks.remainder();
+    for c in chunks {
+        for (slot, &v) in acc.iter_mut().zip(c) {
+            *slot = slot.max(v);
+        }
+    }
+    let mut m = acc[0];
+    for &lane in &acc[1..] {
+        m = m.max(lane);
+    }
+    for &v in rem {
+        m = m.max(v);
+    }
+    m
+}
+
+/// 8-lane sum: lane sums, sequential lane fold, scalar tail.
+pub fn sum(x: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let chunks = x.chunks_exact(8);
+    let rem = chunks.remainder();
+    for c in chunks {
+        for (slot, &v) in acc.iter_mut().zip(c) {
+            *slot += v;
+        }
+    }
+    let mut s: f32 = acc.iter().sum();
+    for &v in rem {
+        s += v;
+    }
+    s
+}
+
+/// 8-lane `Σ (x[i] - mean)²`.
+pub fn sum_sq_diff(x: &[f32], mean: f32) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let chunks = x.chunks_exact(8);
+    let rem = chunks.remainder();
+    for c in chunks {
+        for (slot, &v) in acc.iter_mut().zip(c) {
+            let d = v - mean;
+            *slot += d * d;
+        }
+    }
+    let mut s: f32 = acc.iter().sum();
+    for &v in rem {
+        let d = v - mean;
+        s += d * d;
+    }
+    s
+}
+
+/// `out[i] = gelu(x[i])`.
+pub fn gelu_map(x: &[f32], out: &mut [f32]) {
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = gelu(v);
+    }
+}
+
+/// Softmax core: `row[i] = exp(row[i] - max)` via the SIMD-reproducible
+/// [`crate::math::exp_f32`], returning the sum in the canonical 8-lane
+/// accumulation order.
+pub fn exp_sum(row: &mut [f32], max: f32) -> f32 {
+    use crate::math::exp_f32;
+    let n8 = row.len() / 8 * 8;
+    let mut acc = [0.0f32; 8];
+    for c in row[..n8].chunks_exact_mut(8) {
+        for (slot, v) in acc.iter_mut().zip(c.iter_mut()) {
+            let e = exp_f32(*v - max);
+            *v = e;
+            *slot += e;
+        }
+    }
+    let mut s: f32 = acc.iter().sum();
+    for v in &mut row[n8..] {
+        let e = exp_f32(*v - max);
+        *v = e;
+        s += e;
+    }
+    s
+}
+
+/// `out[c] = ((x[c] - mean) * rstd) * gamma[c] + beta[c]`.
+pub fn ln_affine(x: &[f32], mean: f32, rstd: f32, gamma: &[f32], beta: &[f32], out: &mut [f32]) {
+    for (c, o) in out.iter_mut().enumerate() {
+        let h = (x[c] - mean) * rstd;
+        *o = h * gamma[c] + beta[c];
+    }
+}
+
+/// Absolute maximum plus an all-finite flag, in one pass. `max` over
+/// absolute values is associative for the non-NaN lanes (NaN compares
+/// false and never propagates into `amax`), so vector backends agree
+/// exactly without fixing a lane order.
+pub fn abs_max_finite(row: &[f32]) -> (f32, bool) {
+    use crate::math::vmax;
+    let mut amax = 0.0f32;
+    let mut finite = true;
+    for &v in row {
+        amax = vmax(v.abs(), amax);
+        finite &= v.is_finite();
+    }
+    (amax, finite)
+}
+
+/// Activation quantization: `out[i] = round_ties_even(row[i] * inv)`
+/// clamped to ±127. Ties-to-even matches the hardware nearest rounding
+/// (`vroundps`) the AVX2 backend uses, and the clamp is expressed as
+/// max/min so saturating conversions agree lane-for-lane.
+pub fn quantize_i8(row: &[f32], inv: f32, out: &mut [i8]) {
+    use crate::math::{vmax, vmin};
+    for (o, &v) in out.iter_mut().zip(row) {
+        *o = vmin(vmax((v * inv).round_ties_even(), -127.0), 127.0) as i8;
+    }
+}
+
+/// Widening `i8 × i8 → i32` dot product (exact).
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    let mut s = 0i32;
+    for (&x, &y) in a.iter().zip(b) {
+        s += x as i32 * y as i32;
+    }
+    s
+}

@@ -1,0 +1,351 @@
+//! Bit-identity proptests for the SIMD backends.
+//!
+//! The contract (see `kamel_nn::simd`): every backend performs the same
+//! floating-point operations in the same order as the scalar reference,
+//! so outputs are **bit-identical** — not merely close — across backends,
+//! for every kernel, every tail length, and every thread budget. These
+//! tests sweep each supported backend against scalar and compare raw
+//! bits.
+//!
+//! Backend selection is process-global, so every test that switches it
+//! holds one shared lock; the integer/float kernels themselves are pure.
+
+use std::sync::Mutex;
+
+use kamel_nn::layers::{gelu_forward_into, softmax_slice, LayerNorm};
+use kamel_nn::simd::{self, Backend};
+use kamel_nn::Matrix;
+use proptest::prelude::*;
+
+/// Serializes backend switching across concurrently running tests.
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once per supported backend (scalar always first) and returns
+/// the labelled results, restoring the previously active backend.
+fn across_backends<T>(mut f: impl FnMut() -> T) -> Vec<(Backend, T)> {
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let before = simd::backend();
+    let out = simd::supported_backends()
+        .into_iter()
+        .map(|b| {
+            simd::set_backend(b).unwrap();
+            (b, f())
+        })
+        .collect();
+    simd::set_backend(before).unwrap();
+    out
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Lengths that cross the 8-lane (and the AVX2 int8 16-lane) strides,
+/// plus ragged tails.
+fn len_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(0usize), Just(1), Just(7), Just(8), Just(9), Just(15), Just(16), Just(17), 1usize..70]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Reductions: dot, sum, sum-of-squared-diffs, max.
+    #[test]
+    fn reductions_are_bit_identical(len in len_strategy(), seed in any::<u64>()) {
+        let gen = |salt: u64| -> Vec<f32> {
+            (0..len)
+                .map(|i| {
+                    let h = seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(salt + i as u64);
+                    ((h % 2000) as f32 - 1000.0) / 250.0
+                })
+                .collect()
+        };
+        let (a, b) = (gen(1), gen(2));
+        let mean = if len == 0 { 0.0 } else { a.iter().sum::<f32>() / len as f32 };
+        let results = across_backends(|| {
+            (
+                simd::dot(&a, &b).to_bits(),
+                simd::sum(&a).to_bits(),
+                simd::sum_sq_diff(&a, mean).to_bits(),
+                simd::max(&a).to_bits(),
+            )
+        });
+        let (_, reference) = results[0];
+        for (backend, got) in &results {
+            prop_assert_eq!(*got, reference, "{} diverged from scalar", backend.name());
+        }
+    }
+
+    /// Element-wise kernels: axpy, add, add_assign, scale, GELU, the
+    /// LayerNorm affine step.
+    #[test]
+    fn elementwise_kernels_are_bit_identical(
+        len in len_strategy(),
+        a in -3.0f32..3.0,
+        data in proptest::collection::vec(-5.0f32..5.0, 0..70),
+    ) {
+        let x: Vec<f32> = if data.is_empty() {
+            vec![0.25f32; len]
+        } else {
+            data.iter().cycle().cloned().take(len).collect()
+        };
+        let y: Vec<f32> = x.iter().map(|v| v * 0.5 - 1.0).collect();
+        let results = across_backends(|| {
+            let mut axpy_out = y.clone();
+            simd::axpy(&mut axpy_out, a, &x);
+            let mut addassign_out = y.clone();
+            simd::add_assign(&mut addassign_out, &x);
+            let mut add_out = vec![0.0f32; len];
+            simd::add(&x, &y, &mut add_out);
+            let mut scale_out = x.clone();
+            simd::scale(&mut scale_out, a);
+            let mut gelu_out = vec![0.0f32; len];
+            simd::gelu_map(&x, &mut gelu_out);
+            let gamma: Vec<f32> = (0..len).map(|i| 0.5 + i as f32 * 0.01).collect();
+            let beta: Vec<f32> = (0..len).map(|i| -0.2 + i as f32 * 0.02).collect();
+            let mut ln_out = vec![0.0f32; len];
+            simd::ln_affine(&x, 0.1, 1.3, &gamma, &beta, &mut ln_out);
+            (
+                bits(&axpy_out),
+                bits(&addassign_out),
+                bits(&add_out),
+                bits(&scale_out),
+                bits(&gelu_out),
+                bits(&ln_out),
+            )
+        });
+        let reference = results[0].1.clone();
+        for (backend, got) in &results {
+            prop_assert_eq!(got, &reference, "{} diverged from scalar", backend.name());
+        }
+    }
+
+    /// The softmax core (`exp_sum`): the SIMD-reproducible `exp` sequence
+    /// plus the canonical 8-lane sum, across clamp-range inputs (deeply
+    /// negative logits hit the `exp` underflow clamp).
+    #[test]
+    fn exp_sum_is_bit_identical(
+        len in len_strategy(),
+        data in proptest::collection::vec(-120.0f32..25.0, 0..70),
+    ) {
+        let base: Vec<f32> = (0..len)
+            .map(|i| data.get(i % data.len().max(1)).copied().unwrap_or(0.5))
+            .collect();
+        let max = simd::max(&base);
+        let max = if max.is_finite() { max } else { 0.0 };
+        let results = across_backends(|| {
+            let mut row = base.clone();
+            let s = simd::exp_sum(&mut row, max);
+            (s.to_bits(), bits(&row))
+        });
+        let reference = results[0].1.clone();
+        for (backend, got) in &results {
+            prop_assert_eq!(got, &reference, "{} diverged from scalar", backend.name());
+        }
+    }
+
+    /// The fused 4-row int8 matvec step equals four plain int8 dots on
+    /// every backend (exact integer arithmetic).
+    #[test]
+    fn dot_i8x4_matches_four_dots(
+        k in len_strategy(),
+        codes in proptest::collection::vec(-127i8..=127, 0..70),
+    ) {
+        let a: Vec<i8> = (0..k)
+            .map(|i| codes.get(i % codes.len().max(1)).copied().unwrap_or(-127))
+            .collect();
+        let w: Vec<i8> = (0..4 * k)
+            .map(|i| codes.get((i * 7 + 3) % codes.len().max(1)).copied().unwrap_or(127))
+            .collect();
+        let results = across_backends(|| simd::dot_i8x4(&a, &w));
+        for (backend, got) in results {
+            for t in 0..4 {
+                let expect: i32 = a
+                    .iter()
+                    .zip(&w[t * k..(t + 1) * k])
+                    .map(|(&x, &y)| x as i32 * y as i32)
+                    .sum();
+                prop_assert_eq!(got[t], expect, "{} row {} diverged", backend.name(), t);
+            }
+        }
+    }
+
+    /// Activation quantization (`abs_max_finite` + `quantize_i8`): scale
+    /// and codes are bit-identical across backends, including values that
+    /// land exactly on rounding ties.
+    #[test]
+    fn quantization_is_bit_identical(
+        len in len_strategy(),
+        data in proptest::collection::vec(-6.0f32..6.0, 0..70),
+    ) {
+        let row: Vec<f32> = (0..len)
+            .map(|i| data.get(i % data.len().max(1)).copied().unwrap_or(0.75))
+            .collect();
+        let results = across_backends(|| {
+            let (amax, finite) = simd::abs_max_finite(&row);
+            let mut codes = vec![0i8; len];
+            if amax > 0.0 {
+                simd::quantize_i8(&row, 127.0 / amax, &mut codes);
+            }
+            (amax.to_bits(), finite, codes)
+        });
+        let reference = results[0].1.clone();
+        for (backend, got) in &results {
+            prop_assert_eq!(got, &reference, "{} diverged from scalar", backend.name());
+        }
+    }
+
+    /// The fused int8 matvec + rescale (`quant_matvec`): bit-identical
+    /// output rows across backends, for ragged widths in both dimensions.
+    #[test]
+    fn quant_matvec_is_bit_identical(
+        k in len_strategy(),
+        n in len_strategy(),
+        codes in proptest::collection::vec(-127i8..=127, 0..70),
+        x_scale in 1e-3f32..1.0,
+    ) {
+        let xq: Vec<i8> = (0..k)
+            .map(|i| codes.get(i % codes.len().max(1)).copied().unwrap_or(63))
+            .collect();
+        let wq: Vec<i8> = (0..n * k)
+            .map(|i| codes.get((i * 11 + 5) % codes.len().max(1)).copied().unwrap_or(-63))
+            .collect();
+        let scales: Vec<f32> = (0..n).map(|o| 1e-2 + o as f32 * 1e-3).collect();
+        let bias: Vec<f32> = (0..n).map(|o| o as f32 * 0.1 - 0.7).collect();
+        let results = across_backends(|| {
+            let mut out = vec![0.0f32; n];
+            simd::quant_matvec(&xq, x_scale, &wq, &scales, &bias, &mut out);
+            bits(&out)
+        });
+        let reference = results[0].1.clone();
+        for (backend, got) in &results {
+            prop_assert_eq!(got, &reference, "{} diverged from scalar", backend.name());
+        }
+    }
+
+    /// The int8 dot is exact integer arithmetic: identical on every
+    /// backend, including saturation-magnitude inputs (±127).
+    #[test]
+    fn dot_i8_is_identical_across_backends(
+        len in len_strategy(),
+        codes in proptest::collection::vec(-127i8..=127, 0..70),
+    ) {
+        let a: Vec<i8> = (0..len)
+            .map(|i| codes.get(i % codes.len().max(1)).copied().unwrap_or(127))
+            .collect();
+        let b: Vec<i8> = a.iter().rev().map(|&v| v.wrapping_neg().max(-127)).collect();
+        let expect: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
+        let results = across_backends(|| simd::dot_i8(&a, &b));
+        for (backend, got) in results {
+            prop_assert_eq!(got, expect, "{} diverged", backend.name());
+        }
+    }
+
+    /// All three matmul orientations (allocating, `_into`, `_row_into`,
+    /// and the explicit thread budgets 1/2/4) are bit-identical across
+    /// backends.
+    #[test]
+    fn matmuls_are_bit_identical(
+        m in 1usize..7,
+        k in 1usize..19,
+        n in 1usize..19,
+        a_data in proptest::collection::vec(-3.0f32..3.0, 6 * 18),
+        b_data in proptest::collection::vec(-3.0f32..3.0, 18 * 18),
+    ) {
+        let a = Matrix::from_vec(m, k, a_data[..m * k].to_vec());
+        let b = Matrix::from_vec(k, n, b_data[..k * n].to_vec());
+        let b_t = Matrix::from_vec(n, k, b_data[..n * k].to_vec());
+        let a_t = Matrix::from_vec(k, m, a_data[..k * m].to_vec());
+        let results = across_backends(|| {
+            let nn = a.matmul(&b);
+            let tn = a_t.matmul_tn(&b);
+            let nt = a.matmul_nt(&b_t);
+            let mut nn_into = Matrix::zeros(0, 0);
+            a.matmul_into(&b, &mut nn_into);
+            let mut row0 = vec![0.0f32; n];
+            a.matmul_row_into(0, &b, &mut row0);
+            let mut swept = Vec::new();
+            for threads in [1usize, 2, 4] {
+                swept.extend(bits(a.matmul_par_with(&b, threads).data()));
+                swept.extend(bits(a_t.matmul_tn_par_with(&b, threads).data()));
+                swept.extend(bits(a.matmul_nt_par_with(&b_t, threads).data()));
+            }
+            (
+                bits(nn.data()),
+                bits(tn.data()),
+                bits(nt.data()),
+                bits(nn_into.data()),
+                bits(&row0),
+                swept,
+            )
+        });
+        let reference = results[0].1.clone();
+        for (backend, got) in &results {
+            prop_assert_eq!(got, &reference, "{} diverged from scalar", backend.name());
+        }
+    }
+
+    /// The layer-level ops the engine calls: softmax over a row slice,
+    /// GELU into a buffer, LayerNorm (both entry points), and the bias
+    /// broadcast.
+    #[test]
+    fn layer_ops_are_bit_identical(
+        rows in 1usize..5,
+        cols in 1usize..21,
+        data in proptest::collection::vec(-4.0f32..4.0, 4 * 20),
+    ) {
+        let x = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+        let bias: Vec<f32> = (0..cols).map(|c| c as f32 * 0.3 - 1.0).collect();
+        let ln = LayerNorm::new(cols);
+        let results = across_backends(|| {
+            let mut soft = x.clone();
+            for r in 0..rows {
+                softmax_slice(soft.row_mut(r));
+            }
+            let mut gelu_out = Matrix::zeros(0, 0);
+            gelu_forward_into(&x, &mut gelu_out);
+            let (ln_fwd, _cache) = ln.forward(&x);
+            let mut ln_into = Matrix::zeros(0, 0);
+            ln.forward_into(&x, &mut ln_into);
+            let mut broadcast = x.clone();
+            broadcast.add_row_broadcast(&bias);
+            (
+                bits(soft.data()),
+                bits(gelu_out.data()),
+                bits(ln_fwd.data()),
+                bits(ln_into.data()),
+                bits(broadcast.data()),
+            )
+        });
+        let reference = results[0].1.clone();
+        for (backend, got) in &results {
+            prop_assert_eq!(got, &reference, "{} diverged from scalar", backend.name());
+            // The two LayerNorm entry points must also agree with each
+            // other (training vs inference path).
+            prop_assert_eq!(&got.2, &got.3, "forward vs forward_into diverged");
+        }
+    }
+}
+
+/// The engine-level guarantee: full BERT inference produces identical
+/// bits on every backend.
+#[test]
+fn bert_inference_is_bit_identical_across_backends() {
+    use kamel_nn::{BertConfig, BertMlmModel, InferScratch};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0x51D);
+    let model = BertMlmModel::new(BertConfig::tiny(13), &mut rng);
+    let ids: Vec<u32> = vec![1, 5, 9, 2, 7, 11, 3];
+    let results = across_backends(|| {
+        let mut scratch = InferScratch::new();
+        model.predict_with(&mut scratch, &ids, 3).to_vec()
+    });
+    let reference = bits(&results[0].1);
+    for (backend, got) in &results {
+        assert_eq!(bits(got), reference, "{} diverged from scalar", backend.name());
+    }
+}

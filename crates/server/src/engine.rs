@@ -69,6 +69,13 @@ pub struct InfoResponse {
     /// Fleet size this shard believes in (`kamel serve --shard-of`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub shard_of: Option<usize>,
+    /// Instruction set the SIMD kernels dispatched to ("scalar", "avx2",
+    /// "neon"). Empty when reported by a pre-SIMD backend.
+    #[serde(default)]
+    pub simd_isa: String,
+    /// Whether the int8 weight-quantized serving path is active.
+    #[serde(default)]
+    pub quantized: bool,
 }
 
 /// The config digest reported in [`InfoResponse::config_digest`].
@@ -102,6 +109,10 @@ pub struct ImputeEngine {
     generation: AtomicU64,
     /// `(shard_id, shard_of)` when serving as one shard of a fleet.
     shard: Option<(usize, usize)>,
+    /// Whether `kamel serve --quantize` armed the int8 path: reloads must
+    /// re-enable (and re-gate) it on the freshly loaded system, because
+    /// the int8 artifact is derived state that never persists.
+    quantize: bool,
 }
 
 impl ImputeEngine {
@@ -113,6 +124,7 @@ impl ImputeEngine {
             model_path: None,
             generation: AtomicU64::new(0),
             shard: None,
+            quantize: false,
         }
     }
 
@@ -124,6 +136,7 @@ impl ImputeEngine {
             model_path: Some(path),
             generation: AtomicU64::new(0),
             shard: None,
+            quantize: false,
         }
     }
 
@@ -131,6 +144,15 @@ impl ImputeEngine {
     /// (`kamel serve --shard-id I --shard-of N`).
     pub fn with_shard_identity(mut self, shard_id: usize, shard_of: usize) -> Self {
         self.shard = Some((shard_id, shard_of));
+        self
+    }
+
+    /// Records that the int8 serving path was requested (`kamel serve
+    /// --quantize`), so hot-reloads re-enable and re-gate it on the
+    /// freshly loaded system. Enabling quantization on the *current*
+    /// system (and refusing startup on gate failure) is the caller's job.
+    pub fn with_quantization(mut self, on: bool) -> Self {
+        self.quantize = on;
         self
     }
 
@@ -150,6 +172,8 @@ impl ImputeEngine {
             threads: kamel.config().effective_threads(),
             shard_id: self.shard.map(|(id, _)| id),
             shard_of: self.shard.map(|(_, of)| of),
+            simd_isa: kamel::active_isa().to_string(),
+            quantized: kamel.is_quantized(),
         }
     }
 
@@ -218,6 +242,13 @@ impl WireService for ImputeEngine {
         // Validate the checkpoint fully (envelope, CRC, JSON, config)
         // before touching the served model; any failure keeps it as-is.
         let fresh = Kamel::load_from_file(path).map_err(|e| e.to_string())?;
+        // Re-arm the int8 path when the server was started with
+        // --quantize: the artifact never persists, and a gate failure on
+        // the fresh checkpoint fails the reload (the old model keeps
+        // serving rather than silently de-quantizing).
+        if self.quantize && !fresh.is_quantized() {
+            fresh.enable_quantization().map_err(|e| e.to_string())?;
+        }
         let trained = fresh.is_trained();
         *self.kamel.write().expect("engine lock poisoned") = Arc::new(fresh);
         let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
