@@ -405,6 +405,58 @@ pub fn export(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a human byte size: plain bytes, or a `k`/`m`/`g` suffix
+/// (binary multiples, optional trailing `b`, any case) — `64m` = 64 MiB.
+fn parse_byte_size(s: &str) -> Result<u64, String> {
+    let lower = s.trim().to_ascii_lowercase();
+    let body = lower.strip_suffix('b').unwrap_or(&lower);
+    let (digits, shift) = match body.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => (d, match body.as_bytes()[body.len() - 1] {
+            b'k' => 10,
+            b'm' => 20,
+            _ => 30,
+        }),
+        None => (body, 0),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("expected a byte size like 512, 64k, 16m, or 2g, got `{s}`"))?;
+    n.checked_shl(shift)
+        .filter(|v| v >> shift == n)
+        .ok_or_else(|| format!("byte size `{s}` overflows"))
+}
+
+/// `kamel pack`: render a trained checkpoint into a `.kstore` model
+/// store file (DESIGN.md §13) for `kamel serve --store`.
+pub fn pack(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help") {
+        let _ = writeln!(
+            out,
+            "kamel pack --model FILE --out FILE.kstore\n\
+             packs a trained checkpoint into a single mmap-ready model store:\n\
+             a CRC-checked index over per-cell records (serialized model +\n\
+             packed int8 weights when the checkpointed system is quantized)\n\
+             that `kamel serve --store` maps and materializes lazily"
+        );
+        return Ok(());
+    }
+    let flags = Flags::parse(args, &[])?;
+    let model_path = flags.required("--model")?;
+    let out_path = flags.required("--out")?;
+    let kamel = Kamel::load_from_file(model_path).map_err(|e| e.to_string())?;
+    if !kamel.is_trained() {
+        return Err(format!("{model_path}: model is untrained; nothing to pack"));
+    }
+    let stats =
+        kamel_store::pack(&kamel, Path::new(out_path)).map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "packed {} models ({} with int8 weights, {} bytes) -> {out_path}",
+        stats.models, stats.quant_models, stats.bytes
+    );
+    Ok(())
+}
+
 /// `kamel serve`: the online imputation service (DESIGN.md §5).
 ///
 /// Loads a trained model, binds the HTTP endpoint, and runs until SIGINT
@@ -415,20 +467,46 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     if args.iter().any(|a| a == "--help") {
         let _ = writeln!(
             out,
-            "kamel serve --model FILE [--addr HOST:PORT] [--threads N] [--batch-max N]\n\
+            "kamel serve (--model FILE | --store FILE.kstore) [--addr HOST:PORT]\n\
+             \x20           [--model-memory-budget BYTES] [--threads N] [--batch-max N]\n\
              \x20           [--batch-wait-us N] [--cache-entries N] [--queue-cap N]\n\
              \x20           [--deadline-ms N] [--shard-id N --shard-of N] [--quantize]\n\
              serves POST /v1/impute, POST /admin/reload, GET /healthz, GET /metrics,\n\
              GET /v1/info until SIGTERM/ctrl-c; SIGHUP hot-reloads the model from\n\
-             --model; --shard-id/--shard-of label this process as member N of a\n\
+             --model (or remaps --store, picking up a re-packed file);\n\
+             --store serves a `kamel pack` model store via mmap, materializing\n\
+             models lazily under --model-memory-budget (e.g. 512k, 64m, 2g;\n\
+             default: the packed config's budget, else unbounded);\n\
+             --shard-id/--shard-of label this process as member N of a\n\
              fleet of M behind `kamel route` (advertised on /v1/info); --quantize\n\
              serves BERT models through int8 weights when the accuracy gate passes\n\
-             (startup fails when it does not)"
+             (startup fails when it does not; a store instead serves whatever\n\
+             quantization state it was packed with)"
         );
         return Ok(());
     }
     let flags = Flags::parse(args, &["--quantize"])?;
-    let model_path = flags.required("--model")?;
+    let budget = flags
+        .get("--model-memory-budget")
+        .map(parse_byte_size)
+        .transpose()
+        .map_err(|e| format!("--model-memory-budget: {e}"))?;
+    let (model_path, store_path) = match (flags.get("--model"), flags.get("--store")) {
+        (Some(m), None) => (Some(m), None),
+        (None, Some(s)) => (None, Some(s)),
+        (Some(_), Some(_)) => return Err("give either --model or --store, not both".into()),
+        (None, None) => return Err("missing model: give --model FILE or --store FILE.kstore".into()),
+    };
+    if budget.is_some() && store_path.is_none() {
+        return Err("--model-memory-budget requires --store (heap checkpoints are unbounded)".into());
+    }
+    if flags.has("--quantize") && store_path.is_some() {
+        return Err(
+            "--quantize cannot change a packed store: it serves the quantization state \
+             it was packed with (re-pack from a quantized checkpoint instead)"
+                .into(),
+        );
+    }
     // Validate the shard identity before the (potentially slow) model
     // load so flag mistakes surface immediately.
     let shard = match (flags.get("--shard-id"), flags.get("--shard-of")) {
@@ -447,7 +525,31 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         }
         _ => return Err("--shard-id and --shard-of must be given together".into()),
     };
-    let kamel = Kamel::load_from_file(model_path).map_err(|e| e.to_string())?;
+    let kamel = match store_path {
+        Some(path) => {
+            let kamel =
+                kamel_store::load_kamel(Path::new(path), budget).map_err(|e| e.to_string())?;
+            if let Some(r) = kamel.residency() {
+                let _ = writeln!(
+                    out,
+                    "model store {path}: {} models ({} resident after boot sweep, \
+                     {} pinned), {} bytes mapped, budget {}",
+                    r.total_models,
+                    r.resident_models,
+                    r.pinned_models,
+                    r.bytes_mapped,
+                    if r.budget_bytes == 0 {
+                        "unbounded".to_string()
+                    } else {
+                        format!("{} bytes", r.budget_bytes)
+                    }
+                );
+            }
+            kamel
+        }
+        None => Kamel::load_from_file(model_path.expect("one model source"))
+            .map_err(|e| e.to_string())?,
+    };
     if !kamel.is_trained() {
         let _ = writeln!(out, "warning: model is untrained; serving linear fallback only");
     }
@@ -484,10 +586,25 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     };
     let addr = flags.get("--addr").unwrap_or("127.0.0.1:8080");
     let signals = kamel_server::install_signal_handlers();
-    let mut engine = kamel_server::ImputeEngine::with_model_path(
-        std::sync::Arc::new(kamel),
-        std::path::PathBuf::from(model_path),
-    );
+    let mut engine = match store_path {
+        // A SIGHUP (or /admin/reload) re-opens the store file: a re-pack
+        // swaps in as a fresh mapping under a new generation, while the
+        // old mapping serves in-flight batches until their Arcs drop.
+        Some(path) => {
+            let store_file = std::path::PathBuf::from(path);
+            kamel_server::ImputeEngine::with_loader(
+                std::sync::Arc::new(kamel),
+                path.to_string(),
+                Box::new(move || {
+                    kamel_store::load_kamel(&store_file, budget).map_err(|e| e.to_string())
+                }),
+            )
+        }
+        None => kamel_server::ImputeEngine::with_model_path(
+            std::sync::Arc::new(kamel),
+            std::path::PathBuf::from(model_path.expect("one model source")),
+        ),
+    };
     if let Some((id, of)) = shard {
         engine = engine.with_shard_identity(id, of);
     }
@@ -641,4 +758,56 @@ pub fn evaluate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let result = evaluate_technique(&imputer, &dataset, &ctx, limit);
     let _ = write!(out, "{}", format_table("evaluation", &[result]));
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_binary_suffixes() {
+        assert_eq!(parse_byte_size("512").unwrap(), 512);
+        assert_eq!(parse_byte_size("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_byte_size("16M").unwrap(), 16 << 20);
+        assert_eq!(parse_byte_size("2gb").unwrap(), 2 << 30);
+        assert_eq!(parse_byte_size("0").unwrap(), 0);
+        assert!(parse_byte_size("fast").is_err());
+        assert!(parse_byte_size("").is_err());
+        assert!(parse_byte_size("-1").is_err());
+        assert!(parse_byte_size("99999999999g").is_err(), "shifted-out bits must not wrap");
+    }
+
+    #[test]
+    fn serve_model_source_flags_fail_fast() {
+        // All three rejections fire before any file I/O, so bad flag
+        // combinations surface instantly even with huge models.
+        let mut buf = Vec::new();
+        let err = serve(&argv(&["--model", "a.json", "--store", "b.kstore"]), &mut buf)
+            .expect_err("both sources");
+        assert!(err.contains("not both"), "{err}");
+        let err = serve(
+            &argv(&["--model", "a.json", "--model-memory-budget", "64m"]),
+            &mut buf,
+        )
+        .expect_err("budget without store");
+        assert!(err.contains("requires --store"), "{err}");
+        let err = serve(&argv(&["--store", "b.kstore", "--quantize"]), &mut buf)
+            .expect_err("quantize with store");
+        assert!(err.contains("--quantize"), "{err}");
+        let err = serve(&argv(&[]), &mut buf).expect_err("no source");
+        assert!(err.contains("--model") && err.contains("--store"), "{err}");
+    }
+
+    #[test]
+    fn pack_requires_its_flags() {
+        let mut buf = Vec::new();
+        let err = pack(&argv(&["--out", "x.kstore"]), &mut buf).expect_err("no model");
+        assert!(err.contains("--model"), "{err}");
+        let err = pack(&argv(&["--model", "m.json"]), &mut buf).expect_err("no out");
+        assert!(err.contains("--out"), "{err}");
+    }
 }

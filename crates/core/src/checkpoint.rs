@@ -188,9 +188,13 @@ fn sibling(path: &Path, suffix: &str) -> PathBuf {
 
 /// The filesystem operations the checkpoint writer performs, factored out
 /// so tests can inject faults at every step. The production implementation
-/// ([`RealIo`]) is a transparent pass-through.
-pub(crate) trait CkptIo {
+/// ([`RealIo`]) is a transparent pass-through. Public so sibling storage
+/// crates (the `.kstore` model store) write through the same shim and
+/// inherit the same fault matrix.
+pub trait CkptIo {
+    /// Writes `buf` to `file` (the temp-file body write).
     fn write_all(&self, file: &mut File, buf: &[u8]) -> std::io::Result<()>;
+    /// Makes `file` durable (`sync_all`).
     fn sync(&self, file: &File) -> std::io::Result<()>;
     /// Called once between the durable temp write and the rename pair; a
     /// fault here models a process death before any rename ran.
@@ -202,11 +206,12 @@ pub(crate) trait CkptIo {
     fn between_renames(&self) -> std::io::Result<()> {
         Ok(())
     }
+    /// Renames `from` over `to` (the rotation and publish steps).
     fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()>;
 }
 
 /// The production shim: plain `std::fs`.
-pub(crate) struct RealIo;
+pub struct RealIo;
 
 impl CkptIo for RealIo {
     fn write_all(&self, file: &mut File, buf: &[u8]) -> std::io::Result<()> {
@@ -234,7 +239,7 @@ impl CkptIo for RealIo {
 /// one at `path`, or (with rotation) the old one at `<path>.bak` with
 /// `path` missing — never a half-written live file. The checkpoint loader
 /// handles all three.
-pub(crate) fn write_atomic_with(
+pub fn write_atomic_with(
     io: &dyn CkptIo,
     path: &Path,
     bytes: &[u8],
@@ -295,12 +300,15 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> std::io::Result<(Vec<u8>, Load
     let bak = bak_path(path);
     match read_validated(&bak) {
         Ok(payload) => {
-            eprintln!(
-                "warning: checkpoint {} is unusable ({primary_err}); \
-                 recovered from backup {}",
-                path.display(),
-                bak.display()
-            );
+            // Once per path per process — see [`note_bak_recovery`].
+            if note_bak_recovery(path) {
+                eprintln!(
+                    "warning: checkpoint {} is unusable ({primary_err}); \
+                     recovered from backup {}",
+                    path.display(),
+                    bak.display()
+                );
+            }
             Ok((payload, LoadedFrom::Backup))
         }
         Err(bak_err) => Err(std::io::Error::new(
@@ -346,11 +354,27 @@ fn sync_parent_dir(path: &Path) {
     let _ = path;
 }
 
+/// Records a `.bak`-fallback recovery for `path`, returning `true` only
+/// the first time this process notes it. Loaders gate their stderr
+/// warning on this: a pyramid-scale boot loads hundreds of cells from the
+/// same checkpoint tree, and one recovery event must not print hundreds
+/// of identical lines.
+pub fn note_bak_recovery(path: &Path) -> bool {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static SEEN: OnceLock<Mutex<HashSet<PathBuf>>> = OnceLock::new();
+    SEEN.get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("bak-recovery registry poisoned")
+        .insert(path.to_path_buf())
+}
+
 /// Deterministic fault injection for the checkpoint write path, compiled
-/// in tests only. Each fault models one real-world failure the recovery
-/// matrix must survive.
-#[cfg(test)]
-pub(crate) mod faults {
+/// in tests (and for dependents opting into the `fault-injection`
+/// feature — the model store's corruption tests reuse the matrix). Each
+/// fault models one real-world failure recovery must survive.
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod faults {
     use super::CkptIo;
     use std::fs::File;
     use std::io::Write;
@@ -359,7 +383,7 @@ pub(crate) mod faults {
 
     /// The injectable failure modes.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-    pub(crate) enum Fault {
+    pub enum Fault {
         /// The process dies after `keep` bytes of the temp file reached the
         /// kernel — a short/torn write. No rename ever runs.
         ShortWrite {
@@ -383,20 +407,21 @@ pub(crate) mod faults {
 
     /// The error kind carried by simulated crashes, so tests can tell a
     /// deliberate kill from a genuine I/O failure.
-    pub(crate) const CRASH: std::io::ErrorKind = std::io::ErrorKind::Interrupted;
+    pub const CRASH: std::io::ErrorKind = std::io::ErrorKind::Interrupted;
 
     fn crash(what: &str) -> std::io::Error {
         std::io::Error::new(CRASH, format!("injected crash: {what}"))
     }
 
     /// A [`CkptIo`] that fails exactly once, at the configured point.
-    pub(crate) struct FaultyIo {
+    pub struct FaultyIo {
         fault: Fault,
         written: AtomicUsize,
     }
 
     impl FaultyIo {
-        pub(crate) fn new(fault: Fault) -> Self {
+        /// Wraps the configured fault.
+        pub fn new(fault: Fault) -> Self {
             Self {
                 fault,
                 written: AtomicUsize::new(0),
@@ -466,6 +491,23 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    #[test]
+    fn bak_recovery_notes_each_path_once_per_process() {
+        let dir = tempdir("warn_once");
+        let a = dir.join("model_a.ckpt");
+        let b = dir.join("model_b.ckpt");
+        // First recovery of a path reports true (→ warning printed)...
+        assert!(note_bak_recovery(&a));
+        // ...every later recovery of the same path is silent, however many
+        // cell loads hit it.
+        assert!(!note_bak_recovery(&a));
+        assert!(!note_bak_recovery(&a));
+        // Distinct paths warn independently.
+        assert!(note_bak_recovery(&b));
+        assert!(!note_bak_recovery(&b));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

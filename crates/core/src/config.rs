@@ -138,6 +138,11 @@ pub struct KamelConfig {
     /// top-1 agreement (f32 vs int8) over seeded probes, in [0, 1].
     #[serde(default = "default_quantize_min_agreement")]
     pub quantize_min_agreement: f64,
+    /// Byte budget for the store-backed resident model set (`kamel serve
+    /// --store --model-memory-budget`). `None` (the default) means
+    /// unbounded residency. Heap-resident systems ignore it.
+    #[serde(default)]
+    pub model_memory_budget: Option<u64>,
 }
 
 /// Serde default for [`KamelConfig::quantize_min_agreement`].
@@ -170,6 +175,7 @@ impl Default for KamelConfig {
             threads: None,
             quantize: false,
             quantize_min_agreement: default_quantize_min_agreement(),
+            model_memory_budget: None,
         }
     }
 }
@@ -225,6 +231,9 @@ impl KamelConfig {
             || !self.quantize_min_agreement.is_finite()
         {
             return fail("quantize_min_agreement must be in [0, 1]");
+        }
+        if self.model_memory_budget == Some(0) {
+            return fail("model_memory_budget must be positive when set");
         }
         Ok(())
     }
@@ -303,6 +312,8 @@ impl KamelConfigBuilder {
         quantize: bool,
         /// Sets the minimum f32-vs-int8 top-1 agreement for the gate.
         quantize_min_agreement: f64,
+        /// Sets the resident-model byte budget (`None` = unbounded).
+        model_memory_budget: Option<u64>,
     }
 
     /// Finishes the builder.

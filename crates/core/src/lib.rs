@@ -60,11 +60,13 @@ pub mod impute;
 pub mod partition;
 pub mod pipeline;
 pub mod routing;
+pub mod source;
 pub mod tokenize;
 
 pub use config::{GridKind, KamelConfig, KamelConfigBuilder, MultipointStrategy, SpeedMode};
 pub use error::KamelError;
 pub use impute::SegmentOutcome;
 pub use kamel_nn::{active_isa, available_threads, set_thread_budget, thread_budget};
-pub use pipeline::{ImputedTrajectory, Kamel, KamelStats};
+pub use pipeline::{ExportedModel, ImputedTrajectory, Kamel, KamelStats};
+pub use source::{ModelHandle, ModelSource, ResidencyStats};
 pub use tokenize::Tokenizer;

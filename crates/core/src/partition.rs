@@ -74,7 +74,7 @@ struct PyramidCell {
 }
 
 /// Which repository model a retrieval returned.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelSelection {
     /// Single-cell model at the key.
     Single(PyramidKey),
@@ -264,8 +264,23 @@ impl Repository {
     /// encloses `query` and has a model. Falls back to the global model when
     /// partitioning is disabled.
     pub fn find_model(&self, query: &BBox) -> Option<(ModelSelection, &TrainedModel)> {
-        if let Some(global) = &self.global {
-            return Some((ModelSelection::Global, &global.model));
+        let sel = self.find_selection(query, |s| self.entry(s).is_some())?;
+        Some((sel, &self.entry(sel)?.model))
+    }
+
+    /// The §4.1 retrieval walk with membership abstracted out: returns the
+    /// smallest enclosing selection for which `has` reports a model. Only
+    /// the pyramid *shape* (root, levels) is consulted — an external model
+    /// source (the mmap store) runs this on a [`Repository::skeleton`]
+    /// against its own record membership, so both sources pick the same
+    /// model for every query by construction.
+    pub fn find_selection(
+        &self,
+        query: &BBox,
+        has: impl Fn(ModelSelection) -> bool,
+    ) -> Option<ModelSelection> {
+        if has(ModelSelection::Global) {
+            return Some(ModelSelection::Global);
         }
         for level in self.maintained_levels() {
             let kmin = self.key_of(level, query.min);
@@ -274,8 +289,9 @@ impl Repository {
                 continue;
             };
             if kmin == kmax {
-                if let Some(entry) = self.cells.get(&kmin).and_then(|c| c.single.as_ref()) {
-                    return Some((ModelSelection::Single(kmin), &entry.model));
+                let sel = ModelSelection::Single(kmin);
+                if has(sel) {
+                    return Some(sel);
                 }
                 continue;
             }
@@ -283,20 +299,39 @@ impl Repository {
             let dy = kmax.y as i64 - kmin.y as i64;
             // East pair: stored at the west cell (kmin when dx == 1).
             if dx == 1 && dy == 0 {
-                if let Some(entry) = self.cells.get(&kmin).and_then(|c| c.pair_east.as_ref()) {
-                    return Some((ModelSelection::Pair(kmin, true), &entry.model));
+                let sel = ModelSelection::Pair(kmin, true);
+                if has(sel) {
+                    return Some(sel);
                 }
             }
             // South pair: stored at the north cell. With y growing north,
             // the north member is the one with the larger y (kmax here when
             // dy == 1).
             if dx == 0 && dy == 1 {
-                if let Some(entry) = self.cells.get(&kmax).and_then(|c| c.pair_south.as_ref()) {
-                    return Some((ModelSelection::Pair(kmax, false), &entry.model));
+                let sel = ModelSelection::Pair(kmax, false);
+                if has(sel) {
+                    return Some(sel);
                 }
             }
         }
         None
+    }
+
+    /// A copy of the pyramid shape with every model dropped: the retrieval
+    /// geometry (root, height, maintained levels, threshold base) without
+    /// the weights. This is what `kamel pack` persists as the store's
+    /// meta record — a few hundred bytes standing in for gigabytes of
+    /// models — and what the store's resident set drives
+    /// [`Repository::find_selection`] on at serve time.
+    pub fn skeleton(&self) -> Repository {
+        Repository {
+            root: self.root,
+            height: self.height,
+            maintained: self.maintained,
+            k: self.k,
+            cells: HashMap::new(),
+            global: None,
+        }
     }
 
     /// §4.2 maintenance: re-trains every maintained cell (and neighbor pair)
@@ -944,6 +979,39 @@ mod tests {
             .map(|q| repo.find_model(q).map(|(sel, _)| sel))
             .collect();
         assert_eq!(forward, again);
+    }
+
+    /// The store serves retrieval from a skeleton + membership oracle; it
+    /// must pick exactly the model the heap walk picks, for every query.
+    #[test]
+    fn skeleton_selection_matches_heap_retrieval() {
+        let cfg = config();
+        let mut repo = Repository::new(root(), &cfg);
+        let mut store = TrajStore::new(200.0);
+        fill_region(&mut store, root(), 700);
+        repo.maintain(&store, &root(), &EngineConfig::default());
+        assert!(repo.model_count() > 1, "want a multi-model pyramid");
+        let skeleton = repo.skeleton();
+        assert_eq!(skeleton.model_count(), 0, "skeleton must drop all models");
+        assert_eq!(skeleton.root_bbox(), repo.root_bbox());
+        // Membership oracle over the real repository's stored selections,
+        // as the store keeps it (a set of record keys).
+        let members: std::collections::HashSet<ModelSelection> =
+            repo.model_keys().into_iter().collect();
+        let queries = [
+            BBox::new(Xy::new(10.0, 10.0), Xy::new(60.0, 60.0)),
+            BBox::new(Xy::new(300.0, 100.0), Xy::new(500.0, 300.0)),
+            BBox::new(Xy::new(350.0, 350.0), Xy::new(450.0, 450.0)),
+            BBox::new(Xy::new(100.0, 100.0), Xy::new(1500.0, 1500.0)),
+            BBox::new(Xy::new(400.0, 100.0), Xy::new(400.0, 100.0)),
+            BBox::new(Xy::new(1200.0, 1200.0), Xy::new(1500.0, 1500.0)),
+            BBox::new(Xy::new(-50.0, -50.0), Xy::new(-10.0, -10.0)),
+        ];
+        for q in &queries {
+            let heap = repo.find_model(q).map(|(sel, _)| sel);
+            let skel = skeleton.find_selection(q, |s| members.contains(&s));
+            assert_eq!(heap, skel, "query {q:?} diverged");
+        }
     }
 
     #[test]

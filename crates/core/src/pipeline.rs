@@ -25,7 +25,8 @@ use crate::constraints::SpatialConstraints;
 use crate::detokenize::Detokenizer;
 use crate::error::KamelError;
 use crate::impute::{GapFiller, SegmentOutcome};
-use crate::partition::Repository;
+use crate::partition::{ModelSelection, Repository};
+use crate::source::{ModelSource, ResidencyStats};
 use crate::tokenize::Tokenizer;
 use kamel_geo::{BBox, GpsPoint, LatLng, Trajectory, Xy};
 use kamel_hexgrid::CellId;
@@ -34,6 +35,7 @@ use kamel_trajstore::TrajStore;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Report for one imputed gap.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,6 +128,11 @@ pub struct Kamel {
     /// `config.quantize` records *intent*; this records the live state
     /// (quantization can be refused by the accuracy gate).
     quantized: AtomicBool,
+    /// External model source overriding the heap repository's models
+    /// (the mmap store's resident set). When set, imputation resolves
+    /// models through it; the inner repository is only the retrieval
+    /// skeleton. `None` for an ordinary heap-resident system.
+    source: Option<Arc<dyn ModelSource>>,
 }
 
 impl Kamel {
@@ -143,12 +150,30 @@ impl Kamel {
             config,
             inner: RwLock::new(None),
             quantized: AtomicBool::new(false),
+            source: None,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &KamelConfig {
         &self.config
+    }
+
+    /// Overrides where serving models come from. The system keeps its
+    /// tokenizer, detokenizer, and pyramid *shape*, but every model
+    /// lookup goes through `source` — this is how a store-backed system
+    /// (loaded from a serving skeleton) serves out of an mmap'd `.kstore`
+    /// resident set instead of heap-owned models. Takes `&mut self`
+    /// deliberately: the source is wired at construction time, before
+    /// the system is shared behind an `Arc`.
+    pub fn set_model_source(&mut self, source: Arc<dyn ModelSource>) {
+        self.source = Some(source);
+    }
+
+    /// Residency statistics of the model source, when it has a bounded
+    /// resident set (`None` for heap-resident systems).
+    pub fn residency(&self) -> Option<ResidencyStats> {
+        self.source.as_ref().and_then(|s| s.residency())
     }
 
     /// True once at least one training batch has been processed.
@@ -162,7 +187,10 @@ impl Kamel {
         guard.as_ref().map(|s| KamelStats {
             stored_trajectories: s.store.len(),
             stored_tokens: s.store.total_tokens(),
-            models: s.repo.model_count(),
+            models: match &self.source {
+                Some(src) => src.model_count(),
+                None => s.repo.model_count(),
+            },
             detok_cells: s.detok.len(),
             max_speed_mps: s.max_speed_mps,
         })
@@ -170,6 +198,9 @@ impl Kamel {
 
     /// Summaries of every model in the repository (empty before training).
     pub fn model_summaries(&self) -> Vec<crate::partition::ModelSummary> {
+        if let Some(src) = &self.source {
+            return src.summaries();
+        }
         self.inner
             .read()
             .as_ref()
@@ -338,9 +369,15 @@ impl Kamel {
         let constraints = SpatialConstraints::new(state.max_speed_mps, &self.config);
         // Anchors: one (cell, fix) per run of consecutive same-cell fixes.
         let anchors = anchors_of(sparse, tokenizer);
+        // Models resolve through the external source when one is wired
+        // (the mmap store), else through the heap repository.
+        let source: &dyn ModelSource = match &self.source {
+            Some(src) => src.as_ref(),
+            None => &state.repo,
+        };
         // Whole-trajectory model (§4.1), falling back to per-gap retrieval.
         let traj_bbox = BBox::of_points(anchors.iter().map(|a| a.xy)).expect("non-empty");
-        let whole_model = state.repo.find_model(&traj_bbox);
+        let whole_model = source.find_model(&traj_bbox);
         let mut out_points: Vec<GpsPoint> = Vec::with_capacity(sparse.len() * 2);
         let mut gaps = Vec::new();
         for (i, anchor) in anchors.iter().enumerate() {
@@ -365,14 +402,18 @@ impl Kamel {
                 }
             });
             let next_cell = anchors.get(i + 2).map(|a| a.cell);
-            // Resolve a model for this gap.
+            // Resolve a model for this gap. The per-gap handle must
+            // outlive `model`, hence the early declaration.
             let gap_bbox = grow_bbox(BBox::new(anchor.xy, next.xy), 0.3);
+            let gap_model;
             let model: Option<&dyn MaskedTokenModel> = match &whole_model {
-                Some((_, m)) => Some(*m as &dyn MaskedTokenModel),
-                None => state
-                    .repo
-                    .find_model(&gap_bbox)
-                    .map(|(_, m)| m as &dyn MaskedTokenModel),
+                Some((_, m)) => Some(&**m as &dyn MaskedTokenModel),
+                None => {
+                    gap_model = source.find_model(&gap_bbox);
+                    gap_model
+                        .as_ref()
+                        .map(|(_, m)| &**m as &dyn MaskedTokenModel)
+                }
             };
             let (outcome, had_model) = match model {
                 Some(model) => {
@@ -512,6 +553,68 @@ impl Kamel {
         serde_json::to_string(&doc).map_err(|e| KamelError::Persistence(e.to_string()))
     }
 
+    /// Serializes a **serving skeleton**: the trained tokenizer,
+    /// detokenization clusters, speed cap, and pyramid shape — with the
+    /// trajectory store emptied and every model dropped. This is what
+    /// `kamel pack` embeds as the store's meta record: a few KB standing
+    /// in for the full model set, enough to rebuild a serving `Kamel`
+    /// whose models then resolve through the store's resident set.
+    pub fn serving_skeleton_json(&self) -> Result<String, KamelError> {
+        let guard = self.inner.read();
+        let Some(state) = guard.as_ref() else {
+            return Err(KamelError::NotTrained);
+        };
+        let skeleton = State {
+            tokenizer: state.tokenizer.clone(),
+            store: TrajStore::new((self.config.cell_edge_m * 8.0).max(300.0)),
+            repo: state.repo.skeleton(),
+            detok: state.detok.clone(),
+            speed_sample: Vec::new(),
+            max_speed_mps: state.max_speed_mps,
+        };
+        let doc = PersistedKamel {
+            config: self.config.clone(),
+            state: Some(skeleton),
+        };
+        serde_json::to_string(&doc).map_err(|e| KamelError::Persistence(e.to_string()))
+    }
+
+    /// Every stored model as a `(selection, serialized entry, int8
+    /// artifact)` export, in [`Repository::model_keys`] order — the
+    /// per-cell records `kamel pack` writes. The entry JSON is the same
+    /// serde form the heap repository persists, so a store materializing
+    /// it deserializes the *identical* model; the artifact (BERT engines
+    /// only) additionally packs the int8 weights so quantized serving
+    /// reads them zero-copy out of the mapped file.
+    pub fn export_models(&self) -> Result<Vec<ExportedModel>, KamelError> {
+        let guard = self.inner.read();
+        let Some(state) = guard.as_ref() else {
+            return Err(KamelError::NotTrained);
+        };
+        let mut out = Vec::new();
+        for selection in state.repo.model_keys() {
+            let entry = state
+                .repo
+                .entry(selection)
+                .expect("model_keys lists only stored entries");
+            let entry_json = serde_json::to_string(entry)
+                .map_err(|e| KamelError::Persistence(e.to_string()))?;
+            out.push(ExportedModel {
+                selection,
+                entry_json,
+                quant: entry.model.quant_artifact(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// A modelless clone of the repository's pyramid geometry (root,
+    /// height, maintained levels, k) — the selection structure a model
+    /// store needs to route queries without holding any weights.
+    pub fn repo_skeleton(&self) -> Option<crate::partition::Repository> {
+        self.inner.read().as_ref().map(|s| s.repo.skeleton())
+    }
+
     /// Persists the full trained state to a file as a crash-safe
     /// checkpoint: the JSON state is wrapped in a versioned, CRC32C-
     /// checksummed envelope, written to a same-directory temp file,
@@ -545,12 +648,17 @@ impl Kamel {
         }
         match Self::read_checkpoint_file(&bak) {
             Ok(kamel) => {
-                eprintln!(
-                    "warning: checkpoint {} is unusable ({primary_err}); \
-                     recovered previous checkpoint from {}",
-                    path.display(),
-                    bak.display()
-                );
+                // Once per path per process: a store boot loads hundreds
+                // of cells from the same tree and must not repeat this
+                // for every one of them.
+                if crate::checkpoint::note_bak_recovery(path) {
+                    eprintln!(
+                        "warning: checkpoint {} is unusable ({primary_err}); \
+                         recovered previous checkpoint from {}",
+                        path.display(),
+                        bak.display()
+                    );
+                }
                 Ok(kamel)
             }
             Err(bak_err) => Err(KamelError::Persistence(format!(
@@ -586,6 +694,7 @@ impl Kamel {
             config: doc.config,
             inner: RwLock::new(doc.state),
             quantized: AtomicBool::new(false),
+            source: None,
         };
         // The int8 artifact is derived state and never persists; when the
         // persisted config asks for it, rebuild and re-gate it now. A gate
@@ -604,6 +713,17 @@ impl Kamel {
 struct PersistedKamel {
     config: KamelConfig,
     state: Option<State>,
+}
+
+/// One model record exported by [`Kamel::export_models`] for `kamel pack`.
+pub struct ExportedModel {
+    /// Which pyramid slot the model occupies.
+    pub selection: ModelSelection,
+    /// The serialized [`crate::partition::ModelEntry`] — the byte-for-byte
+    /// serde form the heap repository would persist.
+    pub entry_json: String,
+    /// Packed-ready int8 weights (BERT engines only).
+    pub quant: Option<kamel_nn::QuantizedBertMlm>,
 }
 
 /// One dedup-run anchor.

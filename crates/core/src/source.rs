@@ -1,0 +1,91 @@
+//! Model sourcing — the seam between `Kamel` and where its models live.
+//!
+//! The heap [`Repository`] owns every model; the mmap-backed store
+//! (`kamel-store`) materializes them lazily out of a mapped file under a
+//! byte budget. Serving code cares only that a spatial query resolves to
+//! a model, so both sit behind [`ModelSource`]. The handle type lets the
+//! repository lend a borrow while a resident set hands out `Arc` clones
+//! that stay valid across evictions.
+
+use crate::partition::{ModelSelection, ModelSummary, Repository};
+use kamel_geo::BBox;
+use kamel_lm::TrainedModel;
+use serde::{Deserialize, Serialize};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A model resolved by a [`ModelSource`]: a borrow from a heap
+/// repository, or a shared handle from a lazily-materialized resident
+/// set (which may evict the cell while the caller is still predicting —
+/// the `Arc` keeps the materialized model alive until the caller drops
+/// it).
+pub enum ModelHandle<'a> {
+    /// Borrowed from an owning repository.
+    Borrowed(&'a TrainedModel),
+    /// Shared out of a resident set.
+    Shared(Arc<TrainedModel>),
+}
+
+impl Deref for ModelHandle<'_> {
+    type Target = TrainedModel;
+
+    fn deref(&self) -> &TrainedModel {
+        match self {
+            ModelHandle::Borrowed(m) => m,
+            ModelHandle::Shared(m) => m,
+        }
+    }
+}
+
+/// Residency snapshot of a budget-bounded model source, surfaced on
+/// `GET /metrics` and `GET /v1/info`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResidencyStats {
+    /// Models currently materialized on the heap (pinned + LRU).
+    pub resident_models: usize,
+    /// Models pinned resident (pyramid upper levels + global).
+    pub pinned_models: usize,
+    /// Models available in the backing store.
+    pub total_models: usize,
+    /// LRU evictions since the store was opened.
+    pub evictions_total: u64,
+    /// Heap bytes (serialized-record proxy) held by resident models.
+    pub bytes_resident: u64,
+    /// Bytes of the mapped (or loaded) store file.
+    pub bytes_mapped: u64,
+    /// Configured residency budget in bytes (0 = unbounded).
+    pub budget_bytes: u64,
+}
+
+/// Where serving models come from. `find_model` is §4.1 retrieval: the
+/// smallest cell or neighbor pair enclosing `query` that has a model.
+pub trait ModelSource: Send + Sync {
+    /// Resolves the best model for a query rectangle.
+    fn find_model(&self, query: &BBox) -> Option<(ModelSelection, ModelHandle<'_>)>;
+
+    /// Number of models the source can serve.
+    fn model_count(&self) -> usize;
+
+    /// Summaries of every available model (for `kamel stats` / `/v1/info`).
+    fn summaries(&self) -> Vec<ModelSummary>;
+
+    /// Residency statistics, for sources with a bounded resident set.
+    /// Heap-owned sources return `None`.
+    fn residency(&self) -> Option<ResidencyStats> {
+        None
+    }
+}
+
+impl ModelSource for Repository {
+    fn find_model(&self, query: &BBox) -> Option<(ModelSelection, ModelHandle<'_>)> {
+        Repository::find_model(self, query).map(|(sel, m)| (sel, ModelHandle::Borrowed(m)))
+    }
+
+    fn model_count(&self) -> usize {
+        Repository::model_count(self)
+    }
+
+    fn summaries(&self) -> Vec<ModelSummary> {
+        Repository::summaries(self)
+    }
+}

@@ -165,6 +165,43 @@ impl BertMlm {
         self.quant = None;
     }
 
+    /// Builds (without installing) the int8 artifact for this model —
+    /// reuses the installed one when quantization is already enabled, so
+    /// packing a quantized checkpoint serializes exactly the weights it
+    /// serves.
+    pub fn build_quant_artifact(&self) -> QuantizedBertMlm {
+        match &self.quant {
+            Some(q) => (**q).clone(),
+            None => QuantizedBertMlm::from_model(&self.model),
+        }
+    }
+
+    /// The currently *installed* int8 artifact, or `None` when this model
+    /// serves f32. Unlike [`Self::build_quant_artifact`] this never builds
+    /// one — exporters use it so a packed store mirrors exactly the
+    /// serving state (and gate decisions) of the system being packed.
+    pub fn installed_quant_artifact(&self) -> Option<QuantizedBertMlm> {
+        self.quant.as_deref().cloned()
+    }
+
+    /// Installs pre-built int8 weights (typically a zero-copy view into a
+    /// mapped model-store record) and switches prediction to the
+    /// quantized path. Rejects weights whose shape does not fit this
+    /// model — a store record paired with the wrong cell must fail
+    /// loudly, not serve garbage.
+    pub fn install_quantization(&mut self, quant: QuantizedBertMlm) -> Result<(), String> {
+        if !quant.matches(&self.model) {
+            return Err(format!(
+                "quantized weights ({} layers, {} bytes) do not fit this model ({} layers)",
+                quant.layer_count(),
+                quant.weight_bytes(),
+                self.model.config.n_layers
+            ));
+        }
+        self.quant = Some(Arc::new(quant));
+        Ok(())
+    }
+
     /// Whether predictions currently run the int8 path.
     pub fn is_quantized(&self) -> bool {
         self.quant.is_some()
@@ -523,6 +560,49 @@ mod tests {
                 assert_eq!(a.prob.to_bits(), b.prob.to_bits(), "request {i}");
             }
         }
+    }
+
+    #[test]
+    fn installed_packed_artifact_predicts_bit_identically() {
+        let corpus: Vec<Vec<u64>> = (0..30).map(|_| vec![11u64, 22, 33, 44, 55]).collect();
+        let mut model = BertMlm::train(&BertEngineConfig::for_tests(), &corpus);
+        model.enable_quantization();
+        let owned = model.predict_masked(&[11, 22, 0, 44, 55], 2, 4);
+
+        // Pack the artifact and re-install it as a zero-copy view — the
+        // store serving path. Integer weight math is exact, so the view
+        // must reproduce the owned artifact's predictions bit-for-bit.
+        let packed: std::sync::Arc<dyn kamel_nn::ByteSource> =
+            std::sync::Arc::new(model.build_quant_artifact().write_packed());
+        let len = packed.bytes().len();
+        let view = QuantizedBertMlm::read_packed(std::sync::Arc::clone(&packed), 0, len)
+            .expect("read packed artifact");
+        let mut served = model.clone();
+        served.disable_quantization();
+        served.install_quantization(view).expect("install view");
+        assert!(served.is_quantized());
+        let mapped = served.predict_masked(&[11, 22, 0, 44, 55], 2, 4);
+        assert_eq!(owned.len(), mapped.len());
+        for (a, b) in owned.iter().zip(&mapped) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.prob.to_bits(), b.prob.to_bits());
+        }
+    }
+
+    #[test]
+    fn install_rejects_mismatched_artifact() {
+        let corpus: Vec<Vec<u64>> = (0..10).map(|_| vec![7u64, 8, 9]).collect();
+        let mut small = BertMlm::train(&BertEngineConfig::for_tests(), &corpus);
+        let wide: Vec<Vec<u64>> = (0..10).map(|i| vec![i as u64, i as u64 + 50]).collect();
+        let other = BertMlm::train(&BertEngineConfig::for_tests(), &wide);
+        let artifact = other.build_quant_artifact();
+        if artifact.matches(&small.model) {
+            // Identical shapes by construction would make this vacuous;
+            // the configs' vocabs differ, so the head dims must differ.
+            panic!("test models unexpectedly share a shape");
+        }
+        assert!(small.install_quantization(artifact).is_err());
+        assert!(!small.is_quantized());
     }
 
     #[test]

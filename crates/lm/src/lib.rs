@@ -128,6 +128,32 @@ impl TrainedModel {
             TrainedModel::Bert(m) => Some(m.quantization_agreement(probes, seed)),
         }
     }
+
+    /// The int8 artifact this model currently *serves* with, or `None`
+    /// when it serves f32 (n-gram engines, quantization disabled, or a
+    /// rejected gate). `kamel pack` serializes exactly this next to the
+    /// cell's f32 record, so a store materializing the record reproduces
+    /// the packed system's serving path — including its gate decisions —
+    /// rather than re-deciding quantization on its own.
+    pub fn quant_artifact(&self) -> Option<kamel_nn::QuantizedBertMlm> {
+        match self {
+            TrainedModel::Ngram(_) => None,
+            TrainedModel::Bert(m) => m.installed_quant_artifact(),
+        }
+    }
+
+    /// Installs pre-built int8 weights (e.g. a zero-copy view into a
+    /// mapped store record) and enables the quantized path. Errors for
+    /// engines without a quantized path or on a shape mismatch.
+    pub fn install_quantization(
+        &mut self,
+        quant: kamel_nn::QuantizedBertMlm,
+    ) -> Result<(), String> {
+        match self {
+            TrainedModel::Ngram(_) => Err("n-gram models have no quantized path".to_string()),
+            TrainedModel::Bert(m) => m.install_quantization(quant),
+        }
+    }
 }
 
 impl MaskedTokenModel for TrainedModel {

@@ -61,7 +61,7 @@ pub use bert::{BertConfig, BertMlmModel};
 pub use infer::InferScratch;
 pub use matrix::Matrix;
 pub use optim::Adam;
-pub use quant::{QuantizedBertMlm, QuantizedLinear};
+pub use quant::{ByteSource, QuantizedBertMlm, QuantizedLinear, QPACK_VERSION};
 pub use simd::{active_isa, parse_simd_env, set_backend, supported_backends, Backend, EnvIsa};
 pub use threads::{available_threads, parse_thread_env, set_thread_budget, thread_budget, EnvBudget};
 pub use train::{MlmBatcher, TrainOptions, Trainer};

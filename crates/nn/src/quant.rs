@@ -42,6 +42,81 @@ use crate::infer::{add_into, InferScratch};
 use crate::layers::{gelu_forward_into, softmax_rows, softmax_slice, Linear};
 use crate::matrix::Matrix;
 use crate::simd;
+use std::sync::Arc;
+
+/// Read-only backing bytes for zero-copy quantized weights — typically a
+/// memory-mapped model-store file. The returned slice must be stable for
+/// the source's lifetime (a mapping never moves; a `Vec` source must not
+/// be mutated, which `ByteSource` consumers cannot do through the trait).
+pub trait ByteSource: Send + Sync {
+    /// The full backing byte range.
+    fn bytes(&self) -> &[u8];
+}
+
+impl ByteSource for Vec<u8> {
+    fn bytes(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Storage behind a quantized layer's `i8` codes: owned after
+/// quantization from f32 weights, or a borrowed view into a shared
+/// [`ByteSource`] (the mmap serving path — the codes are read straight
+/// out of the mapped pages, never copied to the heap).
+enum CodeStore {
+    Owned(Vec<i8>),
+    Shared {
+        buf: Arc<dyn ByteSource>,
+        offset: usize,
+        len: usize,
+    },
+}
+
+impl CodeStore {
+    fn codes(&self) -> &[i8] {
+        match self {
+            CodeStore::Owned(v) => v,
+            CodeStore::Shared { buf, offset, len } => {
+                let bytes = &buf.bytes()[*offset..*offset + *len];
+                // i8 and u8 have identical size and alignment, and every
+                // bit pattern is valid for both; reinterpreting a shared
+                // read-only byte slice is sound.
+                unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const i8, bytes.len()) }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            CodeStore::Owned(v) => v.len(),
+            CodeStore::Shared { len, .. } => *len,
+        }
+    }
+}
+
+impl std::fmt::Debug for CodeStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodeStore::Owned(v) => write!(f, "CodeStore::Owned({} codes)", v.len()),
+            CodeStore::Shared { offset, len, .. } => {
+                write!(f, "CodeStore::Shared({len} codes at +{offset})")
+            }
+        }
+    }
+}
+
+impl Clone for CodeStore {
+    fn clone(&self) -> Self {
+        match self {
+            CodeStore::Owned(v) => CodeStore::Owned(v.clone()),
+            CodeStore::Shared { buf, offset, len } => CodeStore::Shared {
+                buf: Arc::clone(buf),
+                offset: *offset,
+                len: *len,
+            },
+        }
+    }
+}
 
 /// Quantizes one activation row into `xq`, returning the dequantization
 /// scale (`amax / 127`). A row of zeros (or non-finite garbage) maps to
@@ -68,8 +143,9 @@ pub fn quantize_row(row: &[f32], xq: &mut Vec<i8>) -> f32 {
 /// scale per output row, and the f32 bias.
 #[derive(Debug, Clone)]
 pub struct QuantizedLinear {
-    /// `i8` weights, `[out_dim, in_dim]` row-major.
-    wq: Vec<i8>,
+    /// `i8` weights, `[out_dim, in_dim]` row-major — owned, or a
+    /// zero-copy view into a mapped model-store record.
+    wq: CodeStore,
     /// Per-output-row dequantization scales (`amax / 127`).
     scales: Vec<f32>,
     /// f32 bias, length `out_dim`.
@@ -103,12 +179,82 @@ impl QuantizedLinear {
             }
         }
         Self {
-            wq,
+            wq: CodeStore::Owned(wq),
             scales,
             bias: l.bias.w.row(0).to_vec(),
             in_dim,
             out_dim,
         }
+    }
+
+    /// Whether the codes are a zero-copy view into a shared byte source
+    /// (vs heap-owned).
+    pub fn codes_are_borrowed(&self) -> bool {
+        matches!(self.wq, CodeStore::Shared { .. })
+    }
+
+    /// Bytes this layer occupies in the packed record layout.
+    fn packed_len(out_dim: usize, in_dim: usize) -> usize {
+        let unpadded = 8 + out_dim * 4 * 2 + out_dim * in_dim;
+        (unpadded + 3) & !3
+    }
+
+    /// Appends this layer in the fixed record layout (all little-endian):
+    ///
+    /// ```text
+    /// u32 out_dim │ u32 in_dim │ f32 scales[out] │ f32 bias[out]
+    ///             │ i8 codes[out × in] │ zero pad to a 4-byte boundary
+    /// ```
+    ///
+    /// The codes block is last, so with a 4-byte-aligned record start
+    /// every numeric field lands on its natural alignment and the codes
+    /// can be served as one contiguous `[out, in]` slice — exactly what
+    /// [`simd::quant_matvec`] consumes.
+    pub fn write_packed(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&(self.out_dim as u32).to_le_bytes());
+        out.extend_from_slice(&(self.in_dim as u32).to_le_bytes());
+        for &s in &self.scales {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        for &b in &self.bias {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        for &q in self.wq.codes() {
+            out.push(q as u8);
+        }
+        while (out.len() - start) % 4 != 0 {
+            out.push(0);
+        }
+        debug_assert_eq!(out.len() - start, Self::packed_len(self.out_dim, self.in_dim));
+    }
+
+    /// Reads one layer back from the packed layout at `cur`, taking the
+    /// codes as a zero-copy view into `cur`'s byte source. Scales and
+    /// bias (a few KB of f32s) are copied out — unlike the codes they
+    /// need 4-byte alignment, which an arbitrary byte source cannot
+    /// guarantee.
+    fn read_packed(cur: &mut PackCursor) -> Result<Self, String> {
+        let out_dim = cur.read_u32()? as usize;
+        let in_dim = cur.read_u32()? as usize;
+        if out_dim == 0 || in_dim == 0 || out_dim > (1 << 24) || in_dim > (1 << 24) {
+            return Err(format!("implausible quantized dims {out_dim}×{in_dim}"));
+        }
+        let scales = cur.read_f32s(out_dim)?;
+        let bias = cur.read_f32s(out_dim)?;
+        let (offset, len) = cur.take_codes(out_dim * in_dim)?;
+        cur.align4()?;
+        Ok(Self {
+            wq: CodeStore::Shared {
+                buf: Arc::clone(cur.buf),
+                offset,
+                len,
+            },
+            scales,
+            bias,
+            in_dim,
+            out_dim,
+        })
     }
 
     /// Input width.
@@ -126,6 +272,16 @@ impl QuantizedLinear {
         self.wq.len()
     }
 
+    /// The raw code slice (`[out_dim, in_dim]` row-major).
+    pub fn codes(&self) -> &[i8] {
+        self.wq.codes()
+    }
+
+    /// Per-output-row dequantization scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
     /// Quantized matvec for one activation row: `out[o] = q·Wq[o] ×
     /// (x_scale·w_scale[o]) + b[o]`. `xq` is the caller's reusable code
     /// buffer.
@@ -135,7 +291,8 @@ impl QuantizedLinear {
         let x_scale = quantize_row(x_row, xq);
         // One dispatch for the whole matvec: the fused kernel shares each
         // activation load across four weight rows and rescales in-register.
-        simd::quant_matvec(xq, x_scale, &self.wq, &self.scales, &self.bias, out);
+        // With mapped codes this reads straight out of the store's pages.
+        simd::quant_matvec(xq, x_scale, self.wq.codes(), &self.scales, &self.bias, out);
     }
 
     /// Quantized forward for a `[rows, in]` batch into a reusable buffer
@@ -205,6 +362,181 @@ impl QuantizedBertMlm {
             })
             .sum();
         per_layer + self.head.weight_bytes()
+    }
+
+    /// Number of quantized encoder layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Serializes all quantized weights into the fixed packed record
+    /// layout ([`QPACK_VERSION`] header, then every projection of every
+    /// layer in order, then the head). The result round-trips through
+    /// [`QuantizedBertMlm::read_packed`] bit-exactly: codes, scales, and
+    /// bias are stored verbatim, so a reader serves the same int8 math.
+    pub fn write_packed(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&QPACK_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.layers.len() as u32).to_le_bytes());
+        for layer in &self.layers {
+            layer.wq.write_packed(&mut out);
+            layer.wk.write_packed(&mut out);
+            layer.wv.write_packed(&mut out);
+            layer.wo.write_packed(&mut out);
+            layer.ff1.write_packed(&mut out);
+            layer.ff2.write_packed(&mut out);
+        }
+        self.head.write_packed(&mut out);
+        out
+    }
+
+    /// Reconstructs quantized weights from `len` packed bytes at `offset`
+    /// of `buf`, with every code block a zero-copy view into `buf` — the
+    /// mmap serving path materializes a model's int8 weights without
+    /// copying them off the mapped pages. Scales/bias are copied (small,
+    /// alignment-sensitive). Fails loudly on any malformed framing.
+    pub fn read_packed(
+        buf: Arc<dyn ByteSource>,
+        offset: usize,
+        len: usize,
+    ) -> Result<Self, String> {
+        let mut cur = PackCursor::new(&buf, offset, len)?;
+        let version = cur.read_u32()?;
+        if version != QPACK_VERSION {
+            return Err(format!(
+                "packed quantized weights are version {version}, expected {QPACK_VERSION}"
+            ));
+        }
+        let n_layers = cur.read_u32()? as usize;
+        if n_layers > 1024 {
+            return Err(format!("implausible quantized layer count {n_layers}"));
+        }
+        let mut layers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            layers.push(QuantizedLayer {
+                wq: QuantizedLinear::read_packed(&mut cur)?,
+                wk: QuantizedLinear::read_packed(&mut cur)?,
+                wv: QuantizedLinear::read_packed(&mut cur)?,
+                wo: QuantizedLinear::read_packed(&mut cur)?,
+                ff1: QuantizedLinear::read_packed(&mut cur)?,
+                ff2: QuantizedLinear::read_packed(&mut cur)?,
+            });
+        }
+        let head = QuantizedLinear::read_packed(&mut cur)?;
+        cur.finish()?;
+        Ok(Self { layers, head })
+    }
+
+    /// Whether these quantized weights structurally fit `model` (layer
+    /// count and every projection's dimensions). Guards installing a
+    /// store record's artifact onto the wrong model.
+    pub fn matches(&self, model: &BertMlmModel) -> bool {
+        if self.layers.len() != model.layers.len() {
+            return false;
+        }
+        let fits = |q: &QuantizedLinear, l: &Linear| {
+            q.in_dim == l.weight.w.rows() && q.out_dim == l.weight.w.cols()
+        };
+        self.layers.iter().zip(&model.layers).all(|(q, l)| {
+            fits(&q.wq, &l.attn.wq)
+                && fits(&q.wk, &l.attn.wk)
+                && fits(&q.wv, &l.attn.wv)
+                && fits(&q.wo, &l.attn.wo)
+                && fits(&q.ff1, &l.ff1)
+                && fits(&q.ff2, &l.ff2)
+        }) && fits(&self.head, &model.out)
+    }
+
+    /// Whether any projection serves its codes as a zero-copy view.
+    pub fn codes_are_borrowed(&self) -> bool {
+        self.head.codes_are_borrowed()
+            || self.layers.iter().any(|l| {
+                l.wq.codes_are_borrowed()
+                    || l.wk.codes_are_borrowed()
+                    || l.wv.codes_are_borrowed()
+                    || l.wo.codes_are_borrowed()
+                    || l.ff1.codes_are_borrowed()
+                    || l.ff2.codes_are_borrowed()
+            })
+    }
+}
+
+/// Version tag of the packed quantized-weight record layout.
+pub const QPACK_VERSION: u32 = 1;
+
+/// Bounds-checked reader over one packed record inside a shared byte
+/// source. Offsets are absolute within the source, so code views built
+/// from the cursor address the source directly.
+struct PackCursor<'a> {
+    buf: &'a Arc<dyn ByteSource>,
+    start: usize,
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> PackCursor<'a> {
+    fn new(buf: &'a Arc<dyn ByteSource>, offset: usize, len: usize) -> Result<Self, String> {
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= buf.bytes().len())
+            .ok_or_else(|| {
+                format!(
+                    "packed record [{offset}, +{len}) exceeds source of {} bytes",
+                    buf.bytes().len()
+                )
+            })?;
+        Ok(Self {
+            buf,
+            start: offset,
+            pos: offset,
+            end,
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        let next = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.end)
+            .ok_or_else(|| "packed record truncated".to_string())?;
+        let slice = &self.buf.bytes()[self.pos..next];
+        self.pos = next;
+        Ok(slice)
+    }
+
+    fn read_u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn read_f32s(&mut self, n: usize) -> Result<Vec<f32>, String> {
+        let b = self.take(n.checked_mul(4).ok_or("packed record overflow")?)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Consumes `n` code bytes, returning their absolute (offset, len).
+    fn take_codes(&mut self, n: usize) -> Result<(usize, usize), String> {
+        let offset = self.pos;
+        self.take(n)?;
+        Ok((offset, n))
+    }
+
+    fn align4(&mut self) -> Result<(), String> {
+        let pad = (4 - (self.pos - self.start) % 4) % 4;
+        self.take(pad)?;
+        Ok(())
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if self.pos != self.end {
+            return Err(format!(
+                "packed record has {} trailing bytes",
+                self.end - self.pos
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -456,6 +788,89 @@ mod tests {
             let one = m.predict_quant_with(&q, &mut single, ids, *pos);
             assert_eq!(batch.row(i), one, "request {i} diverged");
         }
+    }
+
+    #[test]
+    fn packed_round_trip_is_bit_identical() {
+        let m = model(21, 77);
+        let q = QuantizedBertMlm::from_model(&m);
+        let packed: Arc<dyn ByteSource> = Arc::new(q.write_packed());
+        let len = packed.bytes().len();
+        let view = QuantizedBertMlm::read_packed(Arc::clone(&packed), 0, len).unwrap();
+        assert!(!q.codes_are_borrowed());
+        assert!(view.codes_are_borrowed());
+        assert!(view.matches(&m));
+        assert_eq!(view.layer_count(), q.layer_count());
+        assert_eq!(view.weight_bytes(), q.weight_bytes());
+        let mut scratch = InferScratch::new();
+        let ids = vec![1u32, 4, 9, 2, 15, 3];
+        for pos in 0..ids.len() {
+            let owned = m.predict_quant_with(&q, &mut scratch, &ids, pos).to_vec();
+            let mapped = m.predict_quant_with(&view, &mut scratch, &ids, pos).to_vec();
+            // Integer weight math is exact, so a zero-copy view must give
+            // the same bits as the owned artifact — not just close values.
+            assert_eq!(
+                owned.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                mapped.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "position {pos} diverged between owned and mapped codes"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_round_trip_survives_offset_into_larger_buffer() {
+        let m = model(17, 78);
+        let q = QuantizedBertMlm::from_model(&m);
+        let record = q.write_packed();
+        // Embed the record mid-buffer at a non-trivial offset, as the store
+        // file does, and check absolute-offset framing holds up.
+        let mut file = vec![0xAAu8; 37];
+        file.extend_from_slice(&record);
+        file.extend_from_slice(&[0x55u8; 11]);
+        let buf: Arc<dyn ByteSource> = Arc::new(file);
+        let view = QuantizedBertMlm::read_packed(Arc::clone(&buf), 37, record.len()).unwrap();
+        assert!(view.matches(&m));
+        let mut scratch = InferScratch::new();
+        let ids = vec![2u32, 7, 1];
+        let owned = m.predict_quant_with(&q, &mut scratch, &ids, 1).to_vec();
+        let mapped = m.predict_quant_with(&view, &mut scratch, &ids, 1).to_vec();
+        assert_eq!(owned, mapped);
+    }
+
+    #[test]
+    fn packed_rejects_malformed_records() {
+        let m = model(13, 79);
+        let q = QuantizedBertMlm::from_model(&m);
+        let record = q.write_packed();
+
+        // Truncation anywhere must fail, never panic or misread.
+        for cut in [0usize, 3, 8, record.len() / 2, record.len() - 1] {
+            let buf: Arc<dyn ByteSource> = Arc::new(record[..cut].to_vec());
+            assert!(
+                QuantizedBertMlm::read_packed(Arc::clone(&buf), 0, cut).is_err(),
+                "truncation to {cut} bytes was accepted"
+            );
+        }
+
+        // Version skew fails with a version message.
+        let mut skewed = record.clone();
+        skewed[0] = 0xFF;
+        let len = skewed.len();
+        let buf: Arc<dyn ByteSource> = Arc::new(skewed);
+        let err = QuantizedBertMlm::read_packed(buf, 0, len).unwrap_err();
+        assert!(err.contains("version"), "unexpected error: {err}");
+
+        // A record range beyond the source is rejected up front.
+        let buf: Arc<dyn ByteSource> = Arc::new(record.clone());
+        assert!(QuantizedBertMlm::read_packed(buf, 8, record.len()).is_err());
+
+        // Trailing garbage inside the declared range is rejected.
+        let mut padded = record.clone();
+        padded.extend_from_slice(&[0u8; 16]);
+        let len = padded.len();
+        let buf: Arc<dyn ByteSource> = Arc::new(padded);
+        let err = QuantizedBertMlm::read_packed(buf, 0, len).unwrap_err();
+        assert!(err.contains("trailing"), "unexpected error: {err}");
     }
 
     #[test]

@@ -12,6 +12,12 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+/// How a hot-reload rebuilds the served system: a display label (shown in
+/// the reload confirmation) plus the closure that loads a fresh `Kamel`.
+/// A closure rather than a path keeps this crate agnostic of model
+/// *sources* — the CLI wires checkpoint files and mmap stores alike.
+type ModelLoader = (String, Box<dyn Fn() -> Result<Kamel, String> + Send + Sync>);
+
 /// The `POST /v1/impute` response body.
 ///
 /// The dense trajectory plus the per-request imputation summary (the
@@ -76,6 +82,10 @@ pub struct InfoResponse {
     /// Whether the int8 weight-quantized serving path is active.
     #[serde(default)]
     pub quantized: bool,
+    /// Residency summary when models serve from a budget-bounded mmap
+    /// store (`kamel serve --store`); absent for heap-resident systems.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub store: Option<kamel::ResidencyStats>,
 }
 
 /// The config digest reported in [`InfoResponse::config_digest`].
@@ -103,8 +113,8 @@ pub fn config_digest(config: &kamel::KamelConfig) -> String {
 /// on the old model simply finish on it.
 pub struct ImputeEngine {
     kamel: RwLock<Arc<Kamel>>,
-    /// Where reloads re-read the checkpoint from; `None` disables reload.
-    model_path: Option<PathBuf>,
+    /// How reloads rebuild the system; `None` disables reload.
+    loader: Option<ModelLoader>,
     /// Bumped on every successful reload; part of every cache key.
     generation: AtomicU64,
     /// `(shard_id, shard_of)` when serving as one shard of a fleet.
@@ -116,12 +126,12 @@ pub struct ImputeEngine {
 }
 
 impl ImputeEngine {
-    /// Wraps a (typically trained) system. Without a model path the
-    /// engine cannot hot-reload (`/admin/reload` answers 500).
+    /// Wraps a (typically trained) system. Without a loader the engine
+    /// cannot hot-reload (`/admin/reload` answers 500).
     pub fn new(kamel: Arc<Kamel>) -> Self {
         Self {
             kamel: RwLock::new(kamel),
-            model_path: None,
+            loader: None,
             generation: AtomicU64::new(0),
             shard: None,
             quantize: false,
@@ -131,9 +141,26 @@ impl ImputeEngine {
     /// Wraps a system loaded from `path`, enabling hot-reload from the
     /// same checkpoint path.
     pub fn with_model_path(kamel: Arc<Kamel>, path: PathBuf) -> Self {
+        let label = path.display().to_string();
+        Self::with_loader(
+            kamel,
+            label,
+            Box::new(move || Kamel::load_from_file(&path).map_err(|e| e.to_string())),
+        )
+    }
+
+    /// Wraps a system with an arbitrary reload source — e.g. the CLI's
+    /// `serve --store` passes a closure that re-opens the `.kstore` file,
+    /// so a re-packed store hot-swaps in as a fresh mapping (new
+    /// generation, so cached responses from the old mapping never serve).
+    pub fn with_loader(
+        kamel: Arc<Kamel>,
+        label: String,
+        loader: Box<dyn Fn() -> Result<Kamel, String> + Send + Sync>,
+    ) -> Self {
         Self {
             kamel: RwLock::new(kamel),
-            model_path: Some(path),
+            loader: Some((label, loader)),
             generation: AtomicU64::new(0),
             shard: None,
             quantize: false,
@@ -174,6 +201,7 @@ impl ImputeEngine {
             shard_of: self.shard.map(|(_, of)| of),
             simd_isa: kamel::active_isa().to_string(),
             quantized: kamel.is_quantized(),
+            store: kamel.residency(),
         }
     }
 
@@ -236,12 +264,13 @@ impl WireService for ImputeEngine {
     }
 
     fn reload(&self) -> Result<String, String> {
-        let Some(path) = &self.model_path else {
+        let Some((label, load)) = &self.loader else {
             return Err("server was started without a reloadable model path".into());
         };
-        // Validate the checkpoint fully (envelope, CRC, JSON, config)
-        // before touching the served model; any failure keeps it as-is.
-        let fresh = Kamel::load_from_file(path).map_err(|e| e.to_string())?;
+        // Validate the new model fully (envelope, CRC, JSON, config — or
+        // for a store, its whole index and boot sweep) before touching
+        // the served model; any failure keeps it as-is.
+        let fresh = load()?;
         // Re-arm the int8 path when the server was started with
         // --quantize: the artifact never persists, and a gate failure on
         // the fresh checkpoint fails the reload (the old model keeps
@@ -253,9 +282,30 @@ impl WireService for ImputeEngine {
         *self.kamel.write().expect("engine lock poisoned") = Arc::new(fresh);
         let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
         Ok(format!(
-            "reloaded {} (generation {generation}{})",
-            path.display(),
+            "reloaded {label} (generation {generation}{})",
             if trained { "" } else { ", untrained" }
         ))
+    }
+
+    fn extra_metrics(&self) -> String {
+        let Some(r) = self.kamel().residency() else {
+            return String::new();
+        };
+        format!(
+            "kamel_store_resident_models {}\n\
+             kamel_store_pinned_models {}\n\
+             kamel_store_total_models {}\n\
+             kamel_store_evictions_total {}\n\
+             kamel_store_bytes_resident {}\n\
+             kamel_store_bytes_mapped {}\n\
+             kamel_store_budget_bytes {}\n",
+            r.resident_models,
+            r.pinned_models,
+            r.total_models,
+            r.evictions_total,
+            r.bytes_resident,
+            r.bytes_mapped,
+            r.budget_bytes
+        )
     }
 }

@@ -99,6 +99,13 @@ pub trait WireService: Send + Sync + 'static {
     fn reload(&self) -> Result<String, String> {
         Err("this service has no reloadable model".into())
     }
+    /// Extra Prometheus-format lines appended to `GET /metrics` after the
+    /// server's own counters — the service's chance to export model-side
+    /// gauges (e.g. model-store residency). Must be either empty or a
+    /// newline-terminated block. The default exports nothing.
+    fn extra_metrics(&self) -> String {
+        String::new()
+    }
 }
 
 /// Server tuning knobs.
@@ -403,7 +410,9 @@ fn route<S: WireService>(
                 .metrics
                 .queue_depth
                 .store(batcher.queue_depth() as u64, Ordering::Relaxed);
-            Response::text(200, shared.metrics.render())
+            let mut body = shared.metrics.render();
+            body.push_str(&shared.service.extra_metrics());
+            Response::text(200, body)
         }
         ("GET", "/v1/info") => Response::json(shared.service.info()),
         (_, "/v1/impute") | (_, "/admin/reload") | (_, "/healthz") | (_, "/metrics")

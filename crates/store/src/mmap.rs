@@ -1,0 +1,204 @@
+//! Read-only file mapping without a libc dependency.
+//!
+//! On Linux the store file is `mmap`ed (`PROT_READ`, `MAP_PRIVATE`) so
+//! int8 weight records serve straight out of the page cache: residency is
+//! managed by the kernel per 4 KiB page, and a thousand-cell city store
+//! costs address space, not heap. Everywhere else — and whenever the
+//! mapping syscall fails — the file is read into a heap buffer with
+//! identical semantics, so callers never branch on the backing.
+//!
+//! The raw syscalls are declared locally (two symbols, stable ABI since
+//! forever) instead of pulling in a bindings crate.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    extern "C" {
+        pub fn mmap(
+            addr: *mut u8,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut u8;
+        pub fn munmap(addr: *mut u8, length: usize) -> i32;
+    }
+}
+
+enum Backing {
+    /// A live kernel mapping (Linux only). Unmapped on drop.
+    #[cfg(target_os = "linux")]
+    Mapped { ptr: *const u8, len: usize },
+    /// Heap fallback: the whole file, read eagerly.
+    Heap(Vec<u8>),
+}
+
+/// An immutable byte view of a file, mapped when the platform allows it.
+pub struct MappedFile {
+    backing: Backing,
+}
+
+// SAFETY: the mapping is PROT_READ + MAP_PRIVATE over a file descriptor we
+// own for the duration of the mmap call; nothing can write through it and
+// the pointer never moves, so shared references from any thread are fine.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Opens `path`, mapping it when possible and falling back to a heap
+    /// read. Note that (as with any mmap'ed file) truncating the file
+    /// while mapped is undefined; stores are only replaced atomically via
+    /// rename, which keeps existing mappings intact.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "file exceeds address space")
+        })?;
+        #[cfg(target_os = "linux")]
+        if len > 0 {
+            use std::os::unix::io::AsRawFd;
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if !ptr.is_null() && ptr as isize != -1 {
+                return Ok(MappedFile {
+                    backing: Backing::Mapped { ptr, len },
+                });
+            }
+        }
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(MappedFile {
+            backing: Backing::Heap(buf),
+        })
+    }
+
+    /// Wraps an in-memory buffer (tests, and platforms without mmap).
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        MappedFile {
+            backing: Backing::Heap(bytes),
+        }
+    }
+
+    /// Whether this view is a live kernel mapping (vs. a heap copy).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(target_os = "linux")]
+            Backing::Mapped { .. } => true,
+            Backing::Heap(_) => false,
+        }
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.as_bytes().len()
+    }
+
+    /// Whether the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn as_bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(target_os = "linux")]
+            // SAFETY: ptr..ptr+len is exactly the extent mmap returned and
+            // stays valid until Drop unmaps it.
+            Backing::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Heap(v) => v,
+        }
+    }
+}
+
+impl kamel_nn::ByteSource for MappedFile {
+    fn bytes(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // SAFETY: exactly the region mmap returned, unmapped once.
+            unsafe { sys::munmap(ptr as *mut u8, len) };
+        }
+    }
+}
+
+impl std::fmt::Debug for MappedFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedFile")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamel_nn::ByteSource;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "kamel_store_mmap_{tag}_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let dir = tmp_dir("exact");
+        let path = dir.join("blob.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::write(&path, &payload).expect("write");
+        let map = MappedFile::open(&path).expect("open");
+        assert_eq!(map.bytes(), &payload[..]);
+        assert_eq!(map.len(), payload.len());
+        #[cfg(target_os = "linux")]
+        assert!(map.is_mapped(), "linux should map, not copy");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_file_falls_back_to_heap() {
+        let dir = tmp_dir("empty");
+        let path = dir.join("empty.bin");
+        std::fs::write(&path, b"").expect("write");
+        let map = MappedFile::open(&path).expect("open");
+        assert!(map.is_empty());
+        assert!(!map.is_mapped());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_bytes_serves_heap_buffer() {
+        let map = MappedFile::from_bytes(vec![1, 2, 3]);
+        assert_eq!(map.bytes(), &[1, 2, 3]);
+        assert!(!map.is_mapped());
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = MappedFile::open(Path::new("/nonexistent/kamel/store.kstore"))
+            .expect_err("must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+}
