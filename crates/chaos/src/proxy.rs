@@ -1,0 +1,547 @@
+//! The fault-injecting TCP proxy: accept, number, afflict, relay.
+//!
+//! One accept thread numbers connections in accept order and asks the
+//! [`ChaosSchedule`] which [`Fault`] each suffers; a thread per
+//! connection then either relays to the upstream (possibly maimed) or
+//! misbehaves locally. Every loop polls a stop flag at subsecond
+//! granularity, so [`ChaosProxy::shutdown`] joins every thread in
+//! bounded time — the harness itself never hangs, only its victims.
+
+use crate::schedule::{ChaosSchedule, Fault};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How often blocked loops re-check the stop flag.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Tuning for the injected faults (durations, byte caps).
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Which fault each connection suffers.
+    pub schedule: ChaosSchedule,
+    /// How long a [`Fault::Stall`] connection is held silent before the
+    /// proxy gives up and closes it (the victim's timeout should fire
+    /// first).
+    pub stall_ms: u64,
+    /// Delay between bytes of a [`Fault::SlowLoris`] response.
+    pub trickle_ms: u64,
+    /// Maximum bytes a [`Fault::SlowLoris`] connection trickles before
+    /// the proxy closes it.
+    pub trickle_cap: usize,
+    /// Bytes of real response relayed before a [`Fault::Torn`] close.
+    pub torn_after: usize,
+    /// Upstream connect timeout for relayed connections.
+    pub connect_timeout_ms: u64,
+}
+
+impl ChaosConfig {
+    /// Defaults tuned for tests: stalls bounded at 10 s, 25 ms trickle,
+    /// tears after 100 bytes (inside a typical response body).
+    pub fn new(schedule: ChaosSchedule) -> Self {
+        Self {
+            schedule,
+            stall_ms: 10_000,
+            trickle_ms: 25,
+            trickle_cap: 2_048,
+            torn_after: 100,
+            connect_timeout_ms: 1_000,
+        }
+    }
+}
+
+/// A running chaos proxy. Dropping it (or calling
+/// [`ChaosProxy::shutdown`]) stops the accept loop and joins every
+/// connection thread.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accepted: Arc<AtomicU64>,
+    log: Arc<Mutex<Vec<(u64, Fault)>>>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on an OS-assigned loopback port.
+    pub fn bind(upstream: SocketAddr, config: ChaosConfig) -> io::Result<Self> {
+        Self::start(TcpListener::bind("127.0.0.1:0")?, upstream, config)
+    }
+
+    /// Starts a proxy on an already-bound listener.
+    pub fn start(
+        listener: TcpListener,
+        upstream: SocketAddr,
+        config: ChaosConfig,
+    ) -> io::Result<Self> {
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let (stop, accepted, log, workers) = (
+                Arc::clone(&stop),
+                Arc::clone(&accepted),
+                Arc::clone(&log),
+                Arc::clone(&workers),
+            );
+            let config = config.clone();
+            thread::spawn(move || {
+                for incoming in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(client) = incoming else { continue };
+                    let n = accepted.fetch_add(1, Ordering::SeqCst);
+                    let fault = config.schedule.fault_for(n);
+                    log.lock().expect("chaos log poisoned").push((n, fault));
+                    let (stop, config) = (Arc::clone(&stop), config.clone());
+                    let worker = thread::spawn(move || {
+                        handle_connection(client, upstream, fault, &config, &stop);
+                    });
+                    workers.lock().expect("chaos workers poisoned").push(worker);
+                }
+            })
+        };
+        Ok(Self {
+            addr,
+            stop,
+            accepted,
+            log,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The proxy's listen address (point router `--shard` flags here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many connections have been accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    /// The `(connection index, fault)` assignment log, in accept order.
+    pub fn log(&self) -> Vec<(u64, Fault)> {
+        self.log.lock().expect("chaos log poisoned").clone()
+    }
+
+    /// Stops accepting, unblocks every fault loop, and joins all
+    /// threads. Bounded: every loop polls the stop flag.
+    pub fn shutdown(&mut self) {
+        if self.accept_thread.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let workers = std::mem::take(&mut *self.workers.lock().expect("chaos workers poisoned"));
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(
+    client: TcpStream,
+    upstream: SocketAddr,
+    fault: Fault,
+    config: &ChaosConfig,
+    stop: &AtomicBool,
+) {
+    match fault {
+        Fault::Refuse => {
+            let _ = client.shutdown(Shutdown::Both);
+        }
+        Fault::Stall => stall(client, config, stop),
+        Fault::ResetMidBody => reset_mid_body(client),
+        Fault::None | Fault::SlowLoris | Fault::Torn => {
+            relay(client, upstream, fault, config, stop)
+        }
+    }
+}
+
+/// Hold the socket open, silent, for up to `stall_ms`. Nothing is read,
+/// so the eventual close also arrives as RST if the client sent bytes.
+fn stall(client: TcpStream, config: &ChaosConfig, stop: &AtomicBool) {
+    let start = Instant::now();
+    while start.elapsed() < Duration::from_millis(config.stall_ms) && !stop.load(Ordering::SeqCst)
+    {
+        thread::sleep(POLL.min(Duration::from_millis(config.stall_ms)));
+    }
+    let _ = client.shutdown(Shutdown::Both);
+}
+
+/// Send response headers plus a torn JSON prefix, then close with the
+/// request body deliberately unread: the kernel answers the client's
+/// still-buffered bytes with RST, so the client observes a connection
+/// reset in the middle of a plausible-looking body.
+fn reset_mid_body(mut client: TcpStream) {
+    let _ = client.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = client.set_nodelay(true);
+    // Read only the header block, one byte at a time, leaving any body
+    // bytes unread in the kernel buffer.
+    let mut header = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while header.len() < 8_192 && !header.ends_with(b"\r\n\r\n") {
+        match client.read(&mut byte) {
+            Ok(1) => header.push(byte[0]),
+            _ => break,
+        }
+    }
+    let torn_body = br#"{"trajectory":{"points":["#;
+    let _ = client.write_all(
+        b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: 4096\r\n\r\n",
+    );
+    let _ = client.write_all(torn_body);
+    let _ = client.flush();
+    // Drop while the body sits unread -> RST.
+}
+
+/// Relay through to the upstream, with the response direction either
+/// faithful ([`Fault::None`]), trickled ([`Fault::SlowLoris`]), or cut
+/// short ([`Fault::Torn`]).
+fn relay(
+    client: TcpStream,
+    upstream: SocketAddr,
+    fault: Fault,
+    config: &ChaosConfig,
+    stop: &AtomicBool,
+) {
+    let Ok(server) = TcpStream::connect_timeout(
+        &upstream,
+        Duration::from_millis(config.connect_timeout_ms.max(1)),
+    ) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let (Ok(client_r), Ok(server_w)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    // Request direction: always faithful, on its own thread. No stop
+    // flag needed — when the response pump below exits (EOF, fault, or
+    // shutdown) it closes both sockets, which errors this pump out.
+    let request_pump = thread::spawn(move || pump_plain(client_r, server_w, None));
+    // Response direction, maimed per the fault.
+    match fault {
+        Fault::None => pump_plain(server, client, Some(stop)),
+        Fault::Torn => pump_torn(server, client, config.torn_after, stop),
+        Fault::SlowLoris => pump_trickle(server, client, config, stop),
+        _ => unreachable!("relay only handles None/SlowLoris/Torn"),
+    }
+    let _ = request_pump.join();
+}
+
+/// Copies `from` into `to` until EOF or error. With a stop flag, reads
+/// poll so proxy shutdown unsticks the loop; without one, the loop ends
+/// when either socket dies (the response pump closing both sockets).
+fn pump_plain(mut from: TcpStream, mut to: TcpStream, stop: Option<&AtomicBool>) {
+    let _ = from.set_read_timeout(Some(POLL));
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.is_some_and(|s| s.load(Ordering::SeqCst)) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+    let _ = from.shutdown(Shutdown::Read);
+}
+
+/// Relays at most `torn_after` bytes of response, then closes both
+/// sockets: the client sees a clean FIN mid-response.
+fn pump_torn(mut from: TcpStream, mut to: TcpStream, torn_after: usize, stop: &AtomicBool) {
+    let _ = from.set_read_timeout(Some(POLL));
+    let mut sent = 0usize;
+    let mut buf = [0u8; 4 * 1024];
+    while sent < torn_after && !stop.load(Ordering::SeqCst) {
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                let take = n.min(torn_after - sent);
+                if to.write_all(&buf[..take]).is_err() {
+                    break;
+                }
+                sent += take;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = from.shutdown(Shutdown::Both);
+}
+
+/// Relays the response one byte at a time with `trickle_ms` between
+/// bytes, up to `trickle_cap` bytes, then closes. Per-read timeouts on
+/// the victim never fire; only an overall budget defeats this.
+fn pump_trickle(mut from: TcpStream, mut to: TcpStream, config: &ChaosConfig, stop: &AtomicBool) {
+    let _ = from.set_read_timeout(Some(POLL));
+    let _ = to.set_nodelay(true);
+    let mut sent = 0usize;
+    let mut buf = [0u8; 1024];
+    'outer: while sent < config.trickle_cap && !stop.load(Ordering::SeqCst) {
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                for &b in &buf[..n] {
+                    if sent >= config.trickle_cap || stop.load(Ordering::SeqCst) {
+                        break 'outer;
+                    }
+                    if to.write_all(&[b]).is_err() {
+                        break 'outer;
+                    }
+                    sent += 1;
+                    thread::sleep(Duration::from_millis(config.trickle_ms));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = from.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny keep-alive HTTP upstream: echoes `ECHO:<body>` back with a
+    /// correct Content-Length. One detached thread per connection.
+    fn tiny_upstream() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind upstream");
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                thread::spawn(move || serve_echo(stream));
+            }
+        });
+        addr
+    }
+
+    fn serve_echo(mut stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        loop {
+            let mut header = Vec::new();
+            let mut byte = [0u8; 1];
+            while !header.ends_with(b"\r\n\r\n") {
+                match stream.read(&mut byte) {
+                    Ok(1) => header.push(byte[0]),
+                    _ => return,
+                }
+            }
+            let text = String::from_utf8_lossy(&header);
+            let length: usize = text
+                .lines()
+                .find_map(|l| {
+                    let (k, v) = l.split_once(':')?;
+                    k.eq_ignore_ascii_case("content-length")
+                        .then(|| v.trim().parse().ok())?
+                })
+                .unwrap_or(0);
+            let mut body = vec![0u8; length];
+            if stream.read_exact(&mut body).is_err() {
+                return;
+            }
+            let mut payload = b"ECHO:".to_vec();
+            payload.extend_from_slice(&body);
+            let head = format!(
+                "HTTP/1.1 200 OK\r\ncontent-length: {}\r\n\r\n",
+                payload.len()
+            );
+            if stream.write_all(head.as_bytes()).is_err()
+                || stream.write_all(&payload).is_err()
+            {
+                return;
+            }
+        }
+    }
+
+    fn post(addr: SocketAddr, body: &[u8]) -> TcpStream {
+        let mut stream =
+            TcpStream::connect_timeout(&addr, Duration::from_secs(2)).expect("connect proxy");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let head = format!("POST /v1/impute HTTP/1.1\r\ncontent-length: {}\r\n\r\n", body.len());
+        let _ = stream.write_all(head.as_bytes());
+        let _ = stream.write_all(body);
+        stream
+    }
+
+    /// Reads one well-formed response (headers + Content-Length body).
+    fn read_response(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+        let mut header = Vec::new();
+        let mut byte = [0u8; 1];
+        while !header.ends_with(b"\r\n\r\n") {
+            match stream.read(&mut byte)? {
+                1 => header.push(byte[0]),
+                _ => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "closed in headers",
+                    ))
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&header);
+        let length: usize = text
+            .lines()
+            .find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                k.eq_ignore_ascii_case("content-length")
+                    .then(|| v.trim().parse().ok())?
+            })
+            .unwrap_or(0);
+        let mut body = vec![0u8; length];
+        stream.read_exact(&mut body)?;
+        Ok(body)
+    }
+
+    /// Drains the socket until EOF or error, returning whatever arrived.
+    fn drain(stream: &mut TcpStream) -> (Vec<u8>, Option<io::Error>) {
+        let mut got = Vec::new();
+        let mut buf = [0u8; 1024];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => return (got, None),
+                Ok(n) => got.extend_from_slice(&buf[..n]),
+                Err(e) => return (got, Some(e)),
+            }
+        }
+    }
+
+    fn proxy_with(script: &str, tweak: impl Fn(&mut ChaosConfig)) -> (ChaosProxy, SocketAddr) {
+        let upstream = tiny_upstream();
+        let mut config = ChaosConfig::new(ChaosSchedule::parse_script(script).unwrap());
+        tweak(&mut config);
+        let proxy = ChaosProxy::bind(upstream, config).expect("start proxy");
+        let addr = proxy.addr();
+        (proxy, addr)
+    }
+
+    #[test]
+    fn a_healthy_connection_relays_keep_alive_requests_faithfully() {
+        let (_proxy, addr) = proxy_with("none", |_| {});
+        let mut stream = post(addr, b"hello");
+        assert_eq!(read_response(&mut stream).unwrap(), b"ECHO:hello");
+        // Second request on the same connection: the relay is a pipe,
+        // not a one-shot.
+        let head = "POST /v1/impute HTTP/1.1\r\ncontent-length: 5\r\n\r\nworld";
+        stream.write_all(head.as_bytes()).unwrap();
+        assert_eq!(read_response(&mut stream).unwrap(), b"ECHO:world");
+    }
+
+    #[test]
+    fn a_refused_connection_dies_before_a_byte_is_exchanged() {
+        let (proxy, addr) = proxy_with("refuse", |_| {});
+        let mut stream = post(addr, b"hello");
+        let (got, _err) = drain(&mut stream);
+        assert!(got.is_empty(), "refuse leaked bytes: {got:?}");
+        assert_eq!(proxy.log(), vec![(0, Fault::Refuse)]);
+    }
+
+    #[test]
+    fn a_torn_response_is_a_short_prefix_then_a_clean_fin() {
+        let (_proxy, addr) = proxy_with("torn", |c| c.torn_after = 30);
+        let mut stream = post(addr, b"hello");
+        let (got, _err) = drain(&mut stream);
+        assert!(!got.is_empty(), "torn should relay a prefix");
+        assert!(got.len() <= 30, "torn relayed {} bytes", got.len());
+        // The prefix is real upstream bytes, so it starts like a
+        // response but never completes one.
+        assert!(got.starts_with(b"HTTP/1.1 200"), "{got:?}");
+        assert!(read_response(&mut post(addr, b"x")).is_err());
+    }
+
+    #[test]
+    fn a_stalled_connection_never_sends_a_byte() {
+        let (mut proxy, addr) = proxy_with("stall", |c| c.stall_ms = 5_000);
+        let mut stream = post(addr, b"hello");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        let mut buf = [0u8; 64];
+        let err = stream.read(&mut buf).expect_err("stall must time out");
+        assert!(
+            matches!(err.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut),
+            "{err:?}"
+        );
+        // Shutdown reclaims the stalled worker in bounded time.
+        let start = Instant::now();
+        proxy.shutdown();
+        assert!(start.elapsed() < Duration::from_secs(2), "shutdown hung");
+    }
+
+    #[test]
+    fn a_slow_loris_response_is_correct_just_late() {
+        let (_proxy, addr) = proxy_with("slow-loris", |c| {
+            c.trickle_ms = 1;
+            c.trickle_cap = 8_192;
+        });
+        let mut stream = post(addr, b"hello");
+        assert_eq!(read_response(&mut stream).unwrap(), b"ECHO:hello");
+    }
+
+    #[test]
+    fn a_mid_body_reset_never_yields_a_complete_response() {
+        let (_proxy, addr) = proxy_with("reset", |_| {});
+        let mut stream = post(addr, b"hello");
+        // Either the read errors (RST) or the data is short of the
+        // advertised content-length — never a complete parseable body.
+        match read_response(&mut stream) {
+            Err(_) => {}
+            Ok(body) => panic!("reset yielded a complete body: {body:?}"),
+        }
+    }
+
+    #[test]
+    fn the_fault_log_follows_accept_order() {
+        let (proxy, addr) = proxy_with("refuse,none", |_| {});
+        let _ = drain(&mut post(addr, b"x"));
+        for _ in 0..2 {
+            // Healthy keep-alive connections hold no EOF, so read one
+            // full response instead of draining.
+            assert!(read_response(&mut post(addr, b"x")).is_ok());
+        }
+        let log = proxy.log();
+        assert_eq!(
+            log,
+            vec![(0, Fault::Refuse), (1, Fault::None), (2, Fault::None)]
+        );
+    }
+}

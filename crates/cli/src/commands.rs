@@ -471,6 +471,7 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
              \x20           [--model-memory-budget BYTES] [--threads N] [--batch-max N]\n\
              \x20           [--batch-wait-us N] [--cache-entries N] [--queue-cap N]\n\
              \x20           [--deadline-ms N] [--shard-id N --shard-of N] [--quantize]\n\
+             \x20           [--degraded-mode]\n\
              serves POST /v1/impute, POST /admin/reload, GET /healthz, GET /metrics,\n\
              GET /v1/info until SIGTERM/ctrl-c; SIGHUP hot-reloads the model from\n\
              --model (or remaps --store, picking up a re-packed file);\n\
@@ -481,11 +482,13 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
              fleet of M behind `kamel route` (advertised on /v1/info); --quantize\n\
              serves BERT models through int8 weights when the accuracy gate passes\n\
              (startup fails when it does not; a store instead serves whatever\n\
-             quantization state it was packed with)"
+             quantization state it was packed with); --degraded-mode answers\n\
+             from the linear baseline (marked \"degraded\": true) instead of 503\n\
+             when the admission queue is full"
         );
         return Ok(());
     }
-    let flags = Flags::parse(args, &["--quantize"])?;
+    let flags = Flags::parse(args, &["--quantize", "--degraded-mode"])?;
     let budget = flags
         .get("--model-memory-budget")
         .map(parse_byte_size)
@@ -583,6 +586,7 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             (flags.get_f64("--deadline-ms", 10_000.0)? as u64).max(1),
         ),
         idle_poll: std::time::Duration::from_millis(200),
+        degraded_mode: flags.has("--degraded-mode"),
     };
     let addr = flags.get("--addr").unwrap_or("127.0.0.1:8080");
     let signals = kamel_server::install_signal_handlers();
@@ -661,14 +665,23 @@ pub fn route(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             out,
             "kamel route (--shard HOST:PORT,... | --shard-map FILE) [--addr HOST:PORT]\n\
              \x20           [--cell-deg D] [--eject-after N] [--probe-interval-ms N]\n\
-             \x20           [--timeout-ms N] [--handlers N]\n\
+             \x20           [--timeout-ms N] [--handlers N] [--default-deadline-ms N]\n\
+             \x20           [--breaker-window N] [--breaker-threshold R]\n\
+             \x20           [--breaker-open-ms N] [--degraded-mode]\n\
+             \x20           [--degraded-max-gap-m M]\n\
              serves POST /v1/impute (proxied), GET /healthz, GET /metrics,\n\
              GET /v1/shards until SIGTERM/ctrl-c; --cell-deg sets the routing\n\
-             grid for --shard fleets (a --shard-map file carries its own)"
+             grid for --shard fleets (a --shard-map file carries its own);\n\
+             --default-deadline-ms is the budget granted to requests without an\n\
+             x-kamel-deadline-ms header; the breaker trips a shard open when\n\
+             --breaker-threshold (ratio) of the last --breaker-window forwards\n\
+             failed, refusing it for --breaker-open-ms before probing;\n\
+             --degraded-mode answers requests no shard can serve from the\n\
+             linear baseline (marked \"degraded\": true) instead of 502/503"
         );
         return Ok(());
     }
-    let flags = Flags::parse(args, &[])?;
+    let flags = Flags::parse(args, &["--degraded-mode"])?;
     let map = match (flags.get("--shard-map"), flags.get("--shard")) {
         (Some(path), None) => kamel_router::ShardMap::from_json_file(Path::new(path))?,
         (None, Some(list)) => {
@@ -692,6 +705,19 @@ pub fn route(args: &[String], out: &mut dyn Write) -> Result<(), String> {
                 (flags.get_f64("--probe-interval-ms", 500.0)? as u64).max(1),
             ),
         },
+        breaker: kamel_router::BreakerPolicy {
+            window: (flags.get_f64("--breaker-window", 16.0)? as usize).max(2),
+            failure_ratio: flags.get_f64("--breaker-threshold", 0.5)?.clamp(0.01, 1.0),
+            open_for: std::time::Duration::from_millis(
+                (flags.get_f64("--breaker-open-ms", 2_000.0)? as u64).max(1),
+            ),
+            ..kamel_router::BreakerPolicy::default()
+        },
+        default_deadline: std::time::Duration::from_millis(
+            (flags.get_f64("--default-deadline-ms", 10_000.0)? as u64).max(1),
+        ),
+        degraded: flags.has("--degraded-mode"),
+        degraded_max_gap_m: flags.get_f64("--degraded-max-gap-m", 100.0)?,
         ..kamel_router::RouterConfig::default()
     };
     let addr = flags.get("--addr").unwrap_or("127.0.0.1:8780");
@@ -717,6 +743,77 @@ pub fn route(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let _ = out.flush();
     router.shutdown();
     let _ = writeln!(out, "drained; goodbye");
+    Ok(())
+}
+
+/// `kamel chaos`: a deterministic fault-injecting TCP proxy for
+/// resilience drills (DESIGN.md §14.4).
+///
+/// Sits between a router (or client) and one upstream `kamel serve`,
+/// assigning each accepted connection a fault — connect refusal, silent
+/// stall, slow-loris trickle, mid-body reset, torn response, or a
+/// faithful relay — from a seeded or scripted schedule that is a pure
+/// function of the connection index, so a run replays exactly.
+pub fn chaos(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help") {
+        let _ = writeln!(
+            out,
+            "kamel chaos --upstream HOST:PORT (--seed N | --script LIST)\n\
+             \x20           [--listen HOST:PORT] [--stall-ms N] [--trickle-ms N]\n\
+             \x20           [--torn-after N]\n\
+             proxies TCP to --upstream, injecting one fault per accepted\n\
+             connection until SIGTERM/ctrl-c; --seed derives the fault\n\
+             sequence from a hash of the connection index, --script walks an\n\
+             explicit comma-separated list (e.g. `refuse*3,none,torn`; the\n\
+             last entry repeats forever); faults: none, refuse, stall,\n\
+             slow-loris, reset, torn"
+        );
+        return Ok(());
+    }
+    let flags = Flags::parse(args, &[])?;
+    let upstream = flags.required("--upstream")?;
+    let upstream: std::net::SocketAddr = {
+        use std::net::ToSocketAddrs;
+        upstream
+            .to_socket_addrs()
+            .map_err(|e| format!("--upstream {upstream}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("--upstream {upstream}: resolves to no address"))?
+    };
+    let schedule = match (flags.get("--seed"), flags.get("--script")) {
+        (Some(seed), None) => {
+            let seed: u64 = seed
+                .parse()
+                .map_err(|_| format!("--seed expects an integer, got `{seed}`"))?;
+            kamel_chaos::ChaosSchedule::seeded(seed)
+        }
+        (None, Some(script)) => {
+            kamel_chaos::ChaosSchedule::parse_script(script).map_err(|e| format!("--script: {e}"))?
+        }
+        (Some(_), Some(_)) => return Err("give either --seed or --script, not both".into()),
+        (None, None) => return Err("missing schedule: give --seed N or --script LIST".into()),
+    };
+    let mut config = kamel_chaos::ChaosConfig::new(schedule);
+    config.stall_ms = (flags.get_f64("--stall-ms", config.stall_ms as f64)? as u64).max(1);
+    config.trickle_ms = (flags.get_f64("--trickle-ms", config.trickle_ms as f64)? as u64).max(1);
+    config.torn_after = (flags.get_f64("--torn-after", config.torn_after as f64)? as usize).max(1);
+    let listen = flags.get("--listen").unwrap_or("127.0.0.1:8790");
+    let listener = std::net::TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    let signals = kamel_server::install_signal_handlers();
+    let mut proxy = kamel_chaos::ChaosProxy::start(listener, upstream, config)
+        .map_err(|e| format!("start proxy: {e}"))?;
+    let _ = writeln!(
+        out,
+        "kamel-chaos proxying {} -> {upstream} (one fault per connection)",
+        proxy.addr()
+    );
+    let _ = out.flush();
+    while !signals.is_tripped() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let seen = proxy.connections();
+    proxy.shutdown();
+    let _ = writeln!(out, "shutdown signal received; {seen} connections proxied; goodbye");
     Ok(())
 }
 
@@ -800,6 +897,51 @@ mod tests {
         assert!(err.contains("--quantize"), "{err}");
         let err = serve(&argv(&[]), &mut buf).expect_err("no source");
         assert!(err.contains("--model") && err.contains("--store"), "{err}");
+    }
+
+    #[test]
+    fn chaos_schedule_flags_fail_fast() {
+        // All rejections fire before binding a socket.
+        let mut buf = Vec::new();
+        let err = chaos(
+            &argv(&["--upstream", "127.0.0.1:1", "--seed", "7", "--script", "none"]),
+            &mut buf,
+        )
+        .expect_err("both schedules");
+        assert!(err.contains("not both"), "{err}");
+        let err = chaos(&argv(&["--upstream", "127.0.0.1:1"]), &mut buf)
+            .expect_err("no schedule");
+        assert!(err.contains("--seed") && err.contains("--script"), "{err}");
+        let err = chaos(&argv(&["--seed", "7"]), &mut buf).expect_err("no upstream");
+        assert!(err.contains("--upstream"), "{err}");
+        let err = chaos(
+            &argv(&["--upstream", "127.0.0.1:1", "--script", "sparkle"]),
+            &mut buf,
+        )
+        .expect_err("unknown fault");
+        assert!(err.contains("--script"), "{err}");
+        let err = chaos(
+            &argv(&["--upstream", "127.0.0.1:1", "--seed", "many"]),
+            &mut buf,
+        )
+        .expect_err("non-integer seed");
+        assert!(err.contains("--seed"), "{err}");
+    }
+
+    #[test]
+    fn route_resilience_flags_parse_as_bare_flags() {
+        // --degraded-mode takes no value: parsing must not swallow the
+        // next argument, so the missing-fleet check still fires.
+        let mut buf = Vec::new();
+        let err = route(&argv(&["--degraded-mode"]), &mut buf).expect_err("no fleet");
+        assert!(err.contains("missing fleet"), "{err}");
+    }
+
+    #[test]
+    fn serve_degraded_mode_is_a_bare_flag() {
+        let mut buf = Vec::new();
+        let err = serve(&argv(&["--degraded-mode"]), &mut buf).expect_err("no model");
+        assert!(err.contains("--model"), "{err}");
     }
 
     #[test]

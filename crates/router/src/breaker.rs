@@ -1,0 +1,476 @@
+//! Per-shard circuit breakers: stop hammering a shard that keeps
+//! failing *before* the health machine ejects it, and feel a recovered
+//! shard out with a bounded number of trial requests.
+//!
+//! ## Why a breaker on top of [`crate::health`]
+//!
+//! The health machine is driven by *probes and completed forwards*: a
+//! shard that answers its `/healthz` probe but times out every real
+//! request stays `Active` long enough for each client request to burn a
+//! full per-forward timeout discovering the same failure. The breaker
+//! closes that gap: it watches real forward outcomes (including
+//! latency), trips after a windowful of bad ones, and lets
+//! [`crate::proxy::RouterCore`] skip the shard in O(1) — the replica
+//! chain walk consults [`Breaker::would_allow`] exactly like
+//! `is_available`, so a tripped owner costs one boolean, not one
+//! timeout.
+//!
+//! ## State machine
+//!
+//! ```text
+//!            window has ≥ min_samples outcomes and
+//!            failures/samples ≥ failure_ratio
+//!   Closed ────────────────────────────────────────► Open
+//!      ▲                                               │
+//!      │ close_after consecutive              open_for │ elapsed
+//!      │ probe successes                               ▼
+//!      └────────────────────────────────────────── HalfOpen
+//!                       │ any probe failure → Open (timer re-armed)
+//! ```
+//!
+//! * **Closed** — forwards flow; each records an outcome into a sliding
+//!   ring-buffer window. An outcome is a failure when the forward
+//!   errored, answered 5xx, **or took longer than `latency_threshold`**
+//!   (a shard drowning in its own queue fails the fleet as surely as a
+//!   dead one).
+//! * **Open** — every forward is refused for `open_for`; the replica
+//!   chain skips this shard without spending a connection.
+//! * **HalfOpen** — after `open_for`, at most `half_open_probes`
+//!   concurrent trial forwards are admitted. `close_after` consecutive
+//!   successes close the breaker (window cleared — history from the bad
+//!   era must not trip it again); any failure re-opens it.
+//!
+//! Transitions are reported exactly once via [`BreakerEvent`] so the
+//! metrics counters stay deterministic under concurrent forwards. Time
+//! comes from an injected [`Clock`], so every edge is unit-tested with a
+//! [`kamel_server::ManualClock`] — no sleeps, no flakes.
+
+use kamel_server::Clock;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone)]
+pub struct BreakerPolicy {
+    /// Sliding window size, in forward outcomes.
+    pub window: usize,
+    /// Minimum outcomes in the window before the ratio can trip — a
+    /// single failure on a cold shard must not open the breaker.
+    /// Effectively clamped to `window`: a window can never hold more
+    /// samples than its size, so a larger floor would disable the
+    /// breaker outright.
+    pub min_samples: usize,
+    /// Trip when `failures / samples >= failure_ratio`.
+    pub failure_ratio: f64,
+    /// A successful forward slower than this still counts as a failure.
+    pub latency_threshold: Duration,
+    /// How long an open breaker refuses traffic before probing.
+    pub open_for: Duration,
+    /// Maximum concurrent trial forwards while half-open.
+    pub half_open_probes: u32,
+    /// Consecutive probe successes that close a half-open breaker.
+    pub close_after: u32,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        Self {
+            window: 16,
+            min_samples: 8,
+            failure_ratio: 0.5,
+            latency_threshold: Duration::from_secs(2),
+            open_for: Duration::from_secs(2),
+            half_open_probes: 1,
+            close_after: 2,
+        }
+    }
+}
+
+/// The breaker's position in the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; outcomes fill the window.
+    Closed,
+    /// Traffic refused until the open timer elapses.
+    Open,
+    /// Bounded trial traffic; successes close, a failure re-opens.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The `/metrics` gauge value (0 closed, 1 half-open, 2 open).
+    pub fn gauge(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+/// A state transition, reported exactly once to whoever caused it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerEvent {
+    /// Closed/HalfOpen → Open.
+    Opened,
+    /// Open → HalfOpen (the open timer elapsed and a forward arrived).
+    HalfOpened,
+    /// HalfOpen → Closed (enough consecutive probe successes).
+    Closed,
+}
+
+/// Proof of admission, returned by [`Breaker::admit`] and consumed by
+/// [`Breaker::record`] (or [`Breaker::release`] if the forward never
+/// happened). Half-open admissions are probes and hold one of the
+/// bounded probe slots until handed back.
+#[derive(Debug)]
+#[must_use = "a permit must be passed back via record() or release()"]
+pub struct Permit {
+    probe: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    /// Ring buffer of the last `window` outcomes (`true` = failure).
+    outcomes: Vec<bool>,
+    next: usize,
+    filled: usize,
+    open_until: Option<Instant>,
+    probes_inflight: u32,
+    probe_successes: u32,
+}
+
+/// One shard's circuit breaker.
+pub struct Breaker {
+    policy: BreakerPolicy,
+    clock: Arc<dyn Clock>,
+    inner: Mutex<Inner>,
+}
+
+impl Breaker {
+    /// A closed breaker with an empty window.
+    pub fn new(policy: BreakerPolicy, clock: Arc<dyn Clock>) -> Self {
+        let window = policy.window.max(1);
+        Self {
+            policy,
+            clock,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                outcomes: vec![false; window],
+                next: 0,
+                filled: 0,
+                open_until: None,
+                probes_inflight: 0,
+                probe_successes: 0,
+            }),
+        }
+    }
+
+    /// The current state (an elapsed open timer still reads `Open`
+    /// until a forward transitions it — state changes only on traffic).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().expect("breaker poisoned").state
+    }
+
+    /// Non-mutating admission check: would [`Breaker::admit`] grant a
+    /// permit right now? Used by the O(1) owner-chain skip, where
+    /// looking must not transition the breaker or consume a probe slot.
+    pub fn would_allow(&self) -> bool {
+        let inner = self.inner.lock().expect("breaker poisoned");
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => inner.probes_inflight < self.policy.half_open_probes.max(1),
+            BreakerState::Open => inner
+                .open_until
+                .is_none_or(|until| self.clock.now() >= until),
+        }
+    }
+
+    /// Admission: `Closed` grants a normal permit; `Open` with an
+    /// elapsed timer transitions to `HalfOpen` (reporting the event) and
+    /// grants a probe permit; `HalfOpen` grants probe permits up to the
+    /// concurrency bound. `None` means the forward must be skipped.
+    pub fn admit(&self) -> (Option<Permit>, Option<BreakerEvent>) {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        match inner.state {
+            BreakerState::Closed => (Some(Permit { probe: false }), None),
+            BreakerState::Open => {
+                let elapsed = inner
+                    .open_until
+                    .is_none_or(|until| self.clock.now() >= until);
+                if !elapsed {
+                    return (None, None);
+                }
+                inner.state = BreakerState::HalfOpen;
+                inner.probe_successes = 0;
+                inner.probes_inflight = 1;
+                (Some(Permit { probe: true }), Some(BreakerEvent::HalfOpened))
+            }
+            BreakerState::HalfOpen => {
+                if inner.probes_inflight >= self.policy.half_open_probes.max(1) {
+                    return (None, None);
+                }
+                inner.probes_inflight += 1;
+                (Some(Permit { probe: true }), None)
+            }
+        }
+    }
+
+    /// Hands back a permit without an outcome (the forward was never
+    /// attempted — e.g. the request's deadline budget ran out first).
+    /// Frees the probe slot without counting success or failure.
+    pub fn release(&self, permit: Permit) {
+        if permit.probe {
+            let mut inner = self.inner.lock().expect("breaker poisoned");
+            inner.probes_inflight = inner.probes_inflight.saturating_sub(1);
+        }
+    }
+
+    /// Records a forward outcome under `permit`. `ok` is "transport
+    /// succeeded and status < 500"; an `ok` forward slower than the
+    /// latency threshold is demoted to a failure.
+    pub fn record(&self, permit: Permit, ok: bool, latency: Duration) -> Option<BreakerEvent> {
+        let failure = !ok || latency > self.policy.latency_threshold;
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        if permit.probe {
+            inner.probes_inflight = inner.probes_inflight.saturating_sub(1);
+            // A probe outcome only matters while still half-open: a
+            // concurrent probe may already have re-opened (or closed)
+            // the breaker while this one was in flight.
+            if inner.state != BreakerState::HalfOpen {
+                return None;
+            }
+            if failure {
+                return Some(self.open(&mut inner));
+            }
+            inner.probe_successes += 1;
+            if inner.probe_successes >= self.policy.close_after.max(1) {
+                inner.state = BreakerState::Closed;
+                inner.outcomes.iter_mut().for_each(|o| *o = false);
+                inner.next = 0;
+                inner.filled = 0;
+                inner.open_until = None;
+                return Some(BreakerEvent::Closed);
+            }
+            return None;
+        }
+        // A normal permit's outcome counts only while closed; a late
+        // result landing after a concurrent trip is history, not news.
+        if inner.state != BreakerState::Closed {
+            return None;
+        }
+        let slot = inner.next;
+        inner.outcomes[slot] = failure;
+        inner.next = (inner.next + 1) % inner.outcomes.len();
+        inner.filled = (inner.filled + 1).min(inner.outcomes.len());
+        let samples = inner.filled;
+        // min_samples above the window size can never be met (filled is
+        // capped at the window); clamp so a small --breaker-window does
+        // not silently disable the breaker.
+        let floor = self.policy.min_samples.clamp(1, inner.outcomes.len());
+        if samples < floor {
+            return None;
+        }
+        let failures = inner.outcomes[..samples.min(inner.outcomes.len())]
+            .iter()
+            .filter(|&&f| f)
+            .count();
+        if failures as f64 >= self.policy.failure_ratio * samples as f64 {
+            return Some(self.open(&mut inner));
+        }
+        None
+    }
+
+    fn open(&self, inner: &mut Inner) -> BreakerEvent {
+        inner.state = BreakerState::Open;
+        inner.open_until = Some(self.clock.now() + self.policy.open_for);
+        inner.probe_successes = 0;
+        BreakerEvent::Opened
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamel_server::ManualClock;
+
+    fn breaker(tweak: impl Fn(&mut BreakerPolicy)) -> (Breaker, Arc<ManualClock>) {
+        let clock = ManualClock::shared();
+        let mut policy = BreakerPolicy {
+            window: 8,
+            min_samples: 4,
+            failure_ratio: 0.5,
+            latency_threshold: Duration::from_millis(500),
+            open_for: Duration::from_secs(2),
+            half_open_probes: 1,
+            close_after: 2,
+        };
+        tweak(&mut policy);
+        (Breaker::new(policy, clock.clone()), clock)
+    }
+
+    fn run(b: &Breaker, ok: bool, latency_ms: u64) -> Option<BreakerEvent> {
+        let (permit, event) = b.admit();
+        assert!(event.is_none(), "unexpected transition on admit: {event:?}");
+        b.record(
+            permit.expect("admitted"),
+            ok,
+            Duration::from_millis(latency_ms),
+        )
+    }
+
+    #[test]
+    fn the_breaker_trips_open_exactly_once_at_the_failure_ratio() {
+        let (b, _clock) = breaker(|_| {});
+        // Three failures: below min_samples, never trips.
+        for _ in 0..3 {
+            assert_eq!(run(&b, false, 1), None);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Fourth failure: 4/4 ≥ 0.5 with min_samples met → Opened, once.
+        assert_eq!(run(&b, false, 1), Some(BreakerEvent::Opened));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.would_allow());
+        let (permit, event) = b.admit();
+        assert!(permit.is_none() && event.is_none(), "open refuses traffic");
+    }
+
+    #[test]
+    fn a_mostly_healthy_window_never_trips() {
+        let (b, _clock) = breaker(|_| {});
+        for i in 0..32 {
+            // One failure in four: 25% < 50% threshold.
+            assert_eq!(run(&b, i % 4 != 0, 1), None, "iteration {i}");
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn slow_successes_count_as_failures() {
+        let (b, _clock) = breaker(|_| {});
+        for _ in 0..3 {
+            assert_eq!(run(&b, true, 600), None, "slower than the 500ms threshold");
+        }
+        assert_eq!(run(&b, true, 600), Some(BreakerEvent::Opened));
+    }
+
+    #[test]
+    fn an_elapsed_open_timer_grants_one_probe() {
+        let (b, clock) = breaker(|_| {});
+        for _ in 0..4 {
+            run(&b, false, 1);
+        }
+        assert!(!b.would_allow());
+        clock.advance(Duration::from_secs(3));
+        // Non-mutating peek: still Open, but admission would succeed.
+        assert!(b.would_allow());
+        assert_eq!(b.state(), BreakerState::Open);
+        let (permit, event) = b.admit();
+        assert_eq!(event, Some(BreakerEvent::HalfOpened));
+        let probe = permit.expect("first probe admitted");
+        // The probe bound holds while the first is in flight.
+        let (second, event) = b.admit();
+        assert!(second.is_none() && event.is_none());
+        assert!(!b.would_allow());
+        b.release(probe);
+        assert!(b.would_allow(), "released slot frees the bound");
+    }
+
+    #[test]
+    fn consecutive_probe_successes_close_and_clear_the_window() {
+        let (b, clock) = breaker(|_| {});
+        for _ in 0..4 {
+            run(&b, false, 1);
+        }
+        clock.advance(Duration::from_secs(3));
+        let (p1, _) = b.admit();
+        assert_eq!(b.record(p1.unwrap(), true, Duration::from_millis(1)), None);
+        let (p2, _) = b.admit();
+        assert_eq!(
+            b.record(p2.unwrap(), true, Duration::from_millis(1)),
+            Some(BreakerEvent::Closed)
+        );
+        assert_eq!(b.state(), BreakerState::Closed);
+        // The window was cleared: one new failure is not 4 old + 1 new.
+        assert_eq!(run(&b, false, 1), None);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn a_probe_failure_reopens_and_rearms_the_timer() {
+        let (b, clock) = breaker(|_| {});
+        for _ in 0..4 {
+            run(&b, false, 1);
+        }
+        clock.advance(Duration::from_secs(3));
+        let (p, event) = b.admit();
+        assert_eq!(event, Some(BreakerEvent::HalfOpened));
+        assert_eq!(
+            b.record(p.unwrap(), false, Duration::from_millis(1)),
+            Some(BreakerEvent::Opened)
+        );
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.would_allow(), "timer re-armed from the probe failure");
+        clock.advance(Duration::from_secs(3));
+        assert!(b.would_allow());
+    }
+
+    #[test]
+    fn outcomes_recorded_after_a_trip_are_ignored() {
+        let (b, _clock) = breaker(|_| {});
+        // Two in-flight permits; the window trips while one is out.
+        let (early, _) = b.admit();
+        let early = early.unwrap();
+        for _ in 0..4 {
+            run(&b, false, 1);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // The straggler's success is history from the closed era — it
+        // must not reset or confuse the open breaker.
+        assert_eq!(b.record(early, true, Duration::from_millis(1)), None);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn the_window_slides_old_failures_out() {
+        let (b, _clock) = breaker(|p| {
+            p.window = 4;
+            p.min_samples = 4;
+        });
+        // One failure inside a healthy stretch never trips (1/4 < 0.5)...
+        run(&b, false, 1);
+        for _ in 0..7 {
+            assert_eq!(run(&b, true, 1), None);
+        }
+        // ...and by now it has slid out: the window is all successes, so
+        // a fresh failure is again only 1/4.
+        assert_eq!(run(&b, false, 1), None);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // But the window only remembers 4 outcomes: a second fresh
+        // failure makes 2/4 and trips, proving the old successes slid
+        // out just like the old failure did.
+        assert_eq!(run(&b, false, 1), Some(BreakerEvent::Opened));
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn min_samples_above_the_window_is_clamped_not_disabling() {
+        // `--breaker-window 2` with the default min_samples of 8 must
+        // still be able to trip: the floor clamps to the window size.
+        let (b, _clock) = breaker(|p| {
+            p.window = 2;
+            p.min_samples = 100;
+        });
+        assert_eq!(run(&b, false, 1), None, "one sample is below the clamped floor");
+        assert_eq!(run(&b, false, 1), Some(BreakerEvent::Opened));
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn gauge_values_are_stable() {
+        assert_eq!(BreakerState::Closed.gauge(), 0);
+        assert_eq!(BreakerState::HalfOpen.gauge(), 1);
+        assert_eq!(BreakerState::Open.gauge(), 2);
+    }
+}

@@ -231,6 +231,79 @@ mod tests {
     }
 
     #[test]
+    fn readmission_racing_an_inflight_failure_costs_one_streak_slot() {
+        // A request was in flight against the ejected shard while the
+        // probe re-admitted it. The stale failure lands *after* the
+        // admission: it must count toward the fresh streak (the shard
+        // really did just fail) but must not eject by itself.
+        let h = health(2);
+        h.admit(0);
+        h.record_failure(0);
+        assert!(h.record_failure(0), "ejected");
+        assert_eq!(h.admit(0), Some(ShardState::Ejected));
+        assert!(
+            !h.record_failure(0),
+            "stale in-flight failure after re-admission starts a new streak, not an ejection"
+        );
+        assert_eq!(h.snapshot()[0], (ShardState::Active, 1));
+        assert!(h.record_failure(0), "one more genuine failure completes the streak");
+    }
+
+    #[test]
+    fn failures_while_ejected_never_fire_a_second_ejection_event() {
+        // Concurrent requests that raced the ejection keep failing against
+        // the same shard; the counter keeps rising but the transition
+        // (and its metrics increment) happened exactly once.
+        let h = health(1);
+        h.admit(0);
+        assert!(h.record_failure(0));
+        for _ in 0..5 {
+            assert!(!h.record_failure(0));
+        }
+        assert_eq!(h.state(0), ShardState::Ejected);
+        // Re-admission wipes the accumulated ejected-state failures.
+        assert_eq!(h.admit(0), Some(ShardState::Ejected));
+        assert_eq!(h.snapshot()[0], (ShardState::Active, 0));
+    }
+
+    #[test]
+    fn success_while_not_active_does_not_clear_the_streak() {
+        // A straggler success from before the ejection must not launder
+        // the failure count: only admission (digest-checked) resets it.
+        let h = health(2);
+        h.admit(0);
+        h.record_failure(0);
+        h.record_failure(0);
+        assert_eq!(h.state(0), ShardState::Ejected);
+        h.record_success(0);
+        assert_eq!(
+            h.snapshot()[0],
+            (ShardState::Ejected, 2),
+            "stale success neither re-admits nor resets the streak"
+        );
+        // Same for a success against an unverified shard.
+        h.record_success(1);
+        assert_eq!(h.snapshot()[1], (ShardState::Unverified, 0));
+        assert!(!h.is_available(1), "success alone never admits");
+    }
+
+    #[test]
+    fn unverified_failure_streak_is_wiped_by_first_admission() {
+        // Boot-time probe failures accumulate on the counter; the first
+        // successful (digest-matching) admission must not inherit them,
+        // or the shard would eject on its first real wobble.
+        let h = health(3);
+        h.record_failure(0);
+        h.record_failure(0);
+        assert_eq!(h.snapshot()[0], (ShardState::Unverified, 2));
+        assert_eq!(h.admit(0), Some(ShardState::Unverified));
+        assert_eq!(h.snapshot()[0], (ShardState::Active, 0));
+        assert!(!h.record_failure(0));
+        assert!(!h.record_failure(0));
+        assert!(h.record_failure(0), "full fresh streak required after admission");
+    }
+
+    #[test]
     fn snapshot_reflects_per_shard_state() {
         let h = health(2);
         h.admit(0);

@@ -19,6 +19,13 @@
 //!   failover down each cell's rendezvous chain. Admission is gated on
 //!   the shard's `/v1/info` config digest matching the fleet, so a
 //!   mixed-grid shard can never serve a request.
+//! * **Overload resilience** — per-shard circuit breakers ([`breaker`])
+//!   skip a failing/slow shard in O(1) ahead of the health machine;
+//!   every request carries a deadline budget (`x-kamel-deadline-ms` or
+//!   the configured default) that is re-stamped on each forward and
+//!   turns into an honest 504 when spent; and with `--degraded-mode` a
+//!   request no shard can serve is answered from the linear baseline,
+//!   marked `"degraded": true` + `x-kamel-degraded` (DESIGN.md §14).
 //!
 //! Endpoints: `POST /v1/impute` (proxied), `GET /healthz`,
 //! `GET /metrics` (per-shard request / failover / ejection counters and
@@ -28,12 +35,14 @@
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod health;
 pub mod metrics;
 pub mod proxy;
 pub mod router;
 pub mod shardmap;
 
+pub use breaker::{Breaker, BreakerEvent, BreakerPolicy, BreakerState};
 pub use health::{HealthPolicy, HealthState, ShardState};
 pub use metrics::{RouterMetrics, ShardCounters};
 pub use proxy::{RouterConfig, RouterCore};

@@ -23,6 +23,14 @@ pub struct ShardCounters {
     pub admission_refusals: AtomicU64,
     /// Forwards currently in flight (gauge).
     pub inflight: AtomicU64,
+    /// Times this shard's circuit breaker tripped open.
+    pub breaker_opens: AtomicU64,
+    /// Times the breaker went half-open (open timer elapsed, probing).
+    pub breaker_half_opens: AtomicU64,
+    /// Times the breaker closed after successful half-open probes.
+    pub breaker_closes: AtomicU64,
+    /// Forwards skipped in O(1) because the breaker refused admission.
+    pub breaker_skips: AtomicU64,
 }
 
 /// The router's metrics registry.
@@ -39,6 +47,10 @@ pub struct RouterMetrics {
     pub requests_failed: AtomicU64,
     /// Requests whose gaps spanned more than one shard (scatter-gather).
     pub scatter_requests: AtomicU64,
+    /// Requests whose deadline budget ran out at the router (504).
+    pub requests_deadline: AtomicU64,
+    /// Requests answered from the degraded linear-interpolation path.
+    pub degraded: AtomicU64,
 }
 
 impl RouterMetrics {
@@ -52,6 +64,8 @@ impl RouterMetrics {
             requests_bad: AtomicU64::new(0),
             requests_failed: AtomicU64::new(0),
             scatter_requests: AtomicU64::new(0),
+            requests_deadline: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
         }
     }
 
@@ -87,6 +101,16 @@ impl RouterMetrics {
             "kamel_router_scatter_requests_total",
             "Requests whose gaps spanned more than one shard.",
             self.scatter_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "kamel_router_deadline_exceeded_total",
+            "Requests whose deadline budget ran out at the router (504).",
+            self.requests_deadline.load(Ordering::Relaxed),
+        );
+        counter(
+            "kamel_router_degraded_total",
+            "Requests answered from the degraded linear path.",
+            self.degraded.load(Ordering::Relaxed),
         );
         let labeled = |out: &mut String, name: &str, help: &str, kind: &str, get: &dyn Fn(&ShardCounters) -> u64| {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
@@ -138,6 +162,34 @@ impl RouterMetrics {
         );
         labeled(
             &mut out,
+            "kamel_router_breaker_opens_total",
+            "Circuit-breaker trips (Closed/HalfOpen to Open) per shard.",
+            "counter",
+            &|c| c.breaker_opens.load(Ordering::Relaxed),
+        );
+        labeled(
+            &mut out,
+            "kamel_router_breaker_half_opens_total",
+            "Breaker transitions to HalfOpen (probing) per shard.",
+            "counter",
+            &|c| c.breaker_half_opens.load(Ordering::Relaxed),
+        );
+        labeled(
+            &mut out,
+            "kamel_router_breaker_closes_total",
+            "Breaker closes after successful half-open probes per shard.",
+            "counter",
+            &|c| c.breaker_closes.load(Ordering::Relaxed),
+        );
+        labeled(
+            &mut out,
+            "kamel_router_breaker_skips_total",
+            "Forwards skipped because the breaker refused admission.",
+            "counter",
+            &|c| c.breaker_skips.load(Ordering::Relaxed),
+        );
+        labeled(
+            &mut out,
             "kamel_router_inflight",
             "Forwards currently in flight per shard.",
             "gauge",
@@ -158,8 +210,16 @@ mod tests {
         m.shard(0).forwarded.store(4, Ordering::Relaxed);
         m.shard(1).ejections.store(1, Ordering::Relaxed);
         m.shard(1).inflight.store(2, Ordering::Relaxed);
+        m.shard(0).breaker_opens.store(3, Ordering::Relaxed);
+        m.requests_deadline.store(5, Ordering::Relaxed);
+        m.degraded.store(6, Ordering::Relaxed);
         let page = m.render();
         assert!(page.contains("kamel_router_requests_ok_total 7"), "{page}");
+        assert!(page.contains("kamel_router_deadline_exceeded_total 5"), "{page}");
+        assert!(page.contains("kamel_router_degraded_total 6"), "{page}");
+        assert!(page.contains("kamel_router_breaker_opens_total{shard=\"west\"} 3"), "{page}");
+        assert!(page.contains("kamel_router_breaker_skips_total{shard=\"east\"} 0"), "{page}");
+        assert!(page.contains("kamel_router_breaker_closes_total{shard=\"west\"} 0"), "{page}");
         assert!(page.contains("kamel_router_shard_requests_total{shard=\"west\"} 4"), "{page}");
         assert!(page.contains("kamel_router_shard_requests_total{shard=\"east\"} 0"), "{page}");
         assert!(page.contains("kamel_router_ejections_total{shard=\"east\"} 1"), "{page}");

@@ -24,18 +24,28 @@
 //! first 2xx–4xx wins. The chain is deterministic, so concurrent clients
 //! agree on who serves a cell at every health state.
 
+use crate::breaker::{Breaker, BreakerEvent, BreakerPolicy};
 use crate::health::{HealthPolicy, HealthState, ShardState};
 use crate::metrics::RouterMetrics;
 use crate::shardmap::ShardMap;
 use kamel::routing::gap_anchor_cells;
 use kamel_geo::Trajectory;
 use kamel_hexgrid::CellId;
-use kamel_server::http::Response;
-use kamel_server::{Client, ClientResponse, ImputeResponse, InfoResponse, RetryPolicy, RetryingClient};
+use kamel_server::http::{parse_deadline_header, Request, Response};
+use kamel_server::{
+    Client, ClientResponse, Clock, ImputeResponse, InfoResponse, RequestOpts, RetryPolicy,
+    RetryingClient, SystemClock, DEADLINE_HEADER, DEGRADED_HEADER,
+};
 use serde::Serialize;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// When the remaining deadline budget drops to this floor, forwarding to
+/// a shard cannot plausibly finish in time: a degraded-mode router
+/// answers from the linear path instead of burning the last of the
+/// budget discovering a 504.
+const DEGRADED_BUDGET_FLOOR: Duration = Duration::from_millis(25);
 
 /// Router tuning knobs.
 #[derive(Debug, Clone)]
@@ -49,10 +59,24 @@ pub struct RouterConfig {
     pub retry: RetryPolicy,
     /// Ejection threshold and probe cadence.
     pub health: HealthPolicy,
+    /// Per-shard circuit-breaker thresholds.
+    pub breaker: BreakerPolicy,
     /// Socket read timeout for idle keep-alive client connections.
     pub idle_poll: Duration,
     /// Pooled connections kept per shard.
     pub max_pool: usize,
+    /// Deadline budget granted to requests that carry no
+    /// `x-kamel-deadline-ms` header. The remaining budget is re-stamped
+    /// on every forward, so shards shed work the router has given up on.
+    pub default_deadline: Duration,
+    /// When `true`, requests no shard can serve (all replicas down or
+    /// breaker-open, or the budget nearly spent) are answered from the
+    /// linear-interpolation baseline — marked degraded — instead of
+    /// 502/503.
+    pub degraded: bool,
+    /// Gap threshold / interior spacing (meters) for the degraded linear
+    /// imputer (the system `max_gap`, paper default 100 m).
+    pub degraded_max_gap_m: f64,
 }
 
 impl Default for RouterConfig {
@@ -68,8 +92,12 @@ impl Default for RouterConfig {
                 jitter_seed: 0x6b61_6d65_6c00_0002,
             },
             health: HealthPolicy::default(),
+            breaker: BreakerPolicy::default(),
             idle_poll: Duration::from_millis(200),
             max_pool: 8,
+            default_deadline: Duration::from_secs(10),
+            degraded: false,
+            degraded_max_gap_m: 100.0,
         }
     }
 }
@@ -98,10 +126,13 @@ pub struct RouterCore {
     health: HealthState,
     metrics: Arc<RouterMetrics>,
     pools: Vec<Mutex<Vec<RetryingClient>>>,
+    /// One circuit breaker per shard, indexed like the map.
+    breakers: Vec<Breaker>,
     /// The config digest the fleet is pinned to: the map's
     /// `config_digest` when present, else the digest of the first shard
     /// admitted (first-writer-wins).
     fleet_digest: Mutex<Option<String>>,
+    clock: Arc<dyn Clock>,
     config: RouterConfig,
 }
 
@@ -109,20 +140,38 @@ impl RouterCore {
     /// Builds the core; no traffic flows until shards are admitted (run
     /// [`RouterCore::probe_all`] at boot and periodically).
     pub fn new(map: ShardMap, config: RouterConfig) -> Self {
+        Self::with_clock(map, config, Arc::new(SystemClock))
+    }
+
+    /// [`RouterCore::new`] with an injected clock, so deadline and
+    /// breaker-timer decisions are deterministic under test.
+    pub fn with_clock(map: ShardMap, config: RouterConfig, clock: Arc<dyn Clock>) -> Self {
         let metrics = Arc::new(RouterMetrics::new(
             map.shards().iter().map(|s| s.id.clone()).collect(),
         ));
         let health = HealthState::new(map.len(), config.health.clone());
         let pools = map.shards().iter().map(|_| Mutex::new(Vec::new())).collect();
+        let breakers = map
+            .shards()
+            .iter()
+            .map(|_| Breaker::new(config.breaker.clone(), Arc::clone(&clock)))
+            .collect();
         let fleet_digest = Mutex::new(map.expected_digest().map(str::to_string));
         Self {
             map,
             health,
             metrics,
             pools,
+            breakers,
             fleet_digest,
+            clock,
             config,
         }
+    }
+
+    /// Shard `i`'s circuit breaker.
+    pub fn breaker(&self, shard: usize) -> &Breaker {
+        &self.breakers[shard]
     }
 
     /// The shard map.
@@ -230,9 +279,16 @@ impl RouterCore {
 
     // ---- request path ----
 
-    /// Routes one `POST /v1/impute` body.
-    pub fn handle_impute(&self, body: &[u8]) -> Response {
-        let sparse: Trajectory = match serde_json::from_slice(body) {
+    /// Routes one `POST /v1/impute` request. The request's
+    /// `x-kamel-deadline-ms` header (or the configured default) arms a
+    /// deadline; the remaining budget is re-stamped on every forward and
+    /// checked before each hop, so a request the router has given up on
+    /// is never still computing somewhere downstream.
+    pub fn handle_impute(&self, request: &Request) -> Response {
+        let budget = parse_deadline_header(request.header(DEADLINE_HEADER))
+            .budget_or(self.config.default_deadline);
+        let deadline = self.clock.now() + budget;
+        let sparse: Trajectory = match serde_json::from_slice(&request.body) {
             Ok(t) => t,
             Err(e) => {
                 self.metrics.requests_bad.fetch_add(1, Ordering::Relaxed);
@@ -253,6 +309,16 @@ impl RouterCore {
                 anchors
             }
         };
+        // A budget too thin for any forward: answer degraded (cheap,
+        // local) rather than spending it discovering a 504 downstream.
+        let remaining = deadline.saturating_duration_since(self.clock.now());
+        if remaining.is_zero() {
+            self.metrics.requests_deadline.fetch_add(1, Ordering::Relaxed);
+            return Response::text(504, "deadline exceeded (stage: router)\n");
+        }
+        if self.config.degraded && remaining <= DEGRADED_BUDGET_FLOOR {
+            return self.degraded_response(&sparse, "deadline");
+        }
         // Snapshot the assignment: each gap goes to the first available
         // candidate of its cell. Failover below re-walks the chain, so a
         // shard dying between here and the forward is still survived.
@@ -260,6 +326,9 @@ impl RouterCore {
         for cell in &cells {
             match self.first_available(*cell) {
                 Some(shard) => assigned.push(shard),
+                None if self.config.degraded => {
+                    return self.degraded_response(&sparse, "no-shard-available");
+                }
                 None => {
                     self.metrics.requests_failed.fetch_add(1, Ordering::Relaxed);
                     return Response::text(503, "no shards available\n")
@@ -269,24 +338,67 @@ impl RouterCore {
         }
         let single_owner = assigned.iter().all(|&s| s == assigned[0]);
         if single_owner {
-            return self.forward_verbatim(cells[0], body);
+            return self.forward_verbatim(cells[0], &request.body, deadline, &sparse);
         }
-        self.scatter_gather(&sparse, &cells, &assigned)
+        self.scatter_gather(&sparse, &cells, &assigned, deadline)
     }
 
-    /// The first admitted shard in the cell's rendezvous order.
+    /// The first shard in the cell's rendezvous order that is admitted
+    /// *and* whose breaker would let a forward through — a tripped owner
+    /// costs one boolean here, not a connection timeout.
     fn first_available(&self, cell: CellId) -> Option<usize> {
         self.map
             .owner_order(cell)
             .into_iter()
-            .find(|&s| self.health.is_available(s))
+            .find(|&s| self.health.is_available(s) && self.breakers[s].would_allow())
+    }
+
+    /// Records a breaker transition in the per-shard counters.
+    fn note_breaker_event(&self, shard: usize, event: BreakerEvent) {
+        let counters = self.metrics.shard(shard);
+        match event {
+            BreakerEvent::Opened => counters.breaker_opens.fetch_add(1, Ordering::Relaxed),
+            BreakerEvent::HalfOpened => {
+                counters.breaker_half_opens.fetch_add(1, Ordering::Relaxed)
+            }
+            BreakerEvent::Closed => counters.breaker_closes.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// The degraded linear answer: imputed locally, marked in both the
+    /// JSON body (`"degraded": true` + reason) and the
+    /// `x-kamel-degraded` header so no caller mistakes it for a
+    /// full-fidelity result.
+    fn degraded_response(&self, sparse: &Trajectory, reason: &str) -> Response {
+        let resp =
+            ImputeResponse::degraded_linear(sparse, self.config.degraded_max_gap_m, reason);
+        match serde_json::to_vec(&resp) {
+            Ok(bytes) => {
+                self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                self.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+                Response::json(bytes)
+                    .with_header(DEGRADED_HEADER, reason.to_string())
+                    .with_header("x-kamel-shard", "degraded")
+            }
+            Err(e) => {
+                self.metrics.requests_failed.fetch_add(1, Ordering::Relaxed);
+                Response::text(500, format!("degraded encode failed: {e}\n"))
+            }
+        }
     }
 
     /// Single-owner fast path: the original bytes go to the owner of
     /// `cell` (with failover down its chain) and the shard's response
-    /// comes back verbatim.
-    fn forward_verbatim(&self, cell: CellId, body: &[u8]) -> Response {
-        match self.forward_chain(cell, body) {
+    /// comes back verbatim. An exhausted chain falls back to the
+    /// degraded path when enabled; a spent budget is an honest 504.
+    fn forward_verbatim(
+        &self,
+        cell: CellId,
+        body: &[u8],
+        deadline: Instant,
+        sparse: &Trajectory,
+    ) -> Response {
+        match self.forward_chain(cell, body, deadline) {
             Ok((shard, resp)) => {
                 if resp.status < 400 {
                     self.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
@@ -295,42 +407,86 @@ impl RouterCore {
                 }
                 passthrough(resp).with_header("x-kamel-shard", self.map.shards()[shard].id.clone())
             }
-            Err(resp) => {
+            Err(ChainError::Deadline) => {
+                self.metrics.requests_deadline.fetch_add(1, Ordering::Relaxed);
+                Response::text(504, "deadline exceeded (stage: router)\n")
+            }
+            Err(ChainError::Exhausted) if self.config.degraded => {
+                self.degraded_response(sparse, "no-shard-available")
+            }
+            Err(ChainError::Exhausted) => {
                 self.metrics.requests_failed.fetch_add(1, Ordering::Relaxed);
-                resp
+                Response::text(502, format!("bad gateway: no shard could serve {cell}\n"))
             }
         }
     }
 
     /// Walks the cell's candidate chain until a shard answers below 500.
-    /// Skipped/failed shards get their failover counter bumped; an
-    /// exhausted chain is a 502.
-    fn forward_chain(&self, cell: CellId, body: &[u8]) -> Result<(usize, ClientResponse), Response> {
+    /// Unavailable and breaker-refused shards are skipped in O(1);
+    /// failures feed both the health machine and the breaker (a success
+    /// slower than the breaker's latency threshold counts against it).
+    /// The remaining deadline budget is checked before every hop.
+    fn forward_chain(
+        &self,
+        cell: CellId,
+        body: &[u8],
+        deadline: Instant,
+    ) -> Result<(usize, ClientResponse), ChainError> {
         for shard in self.map.owner_order(cell) {
             if !self.health.is_available(shard) {
                 self.metrics.shard(shard).failovers.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            match self.forward_once(shard, body) {
+            let (permit, event) = self.breakers[shard].admit();
+            if let Some(event) = event {
+                self.note_breaker_event(shard, event);
+            }
+            let Some(permit) = permit else {
+                self.metrics.shard(shard).breaker_skips.fetch_add(1, Ordering::Relaxed);
+                self.metrics.shard(shard).failovers.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
+            let start = self.clock.now();
+            if start >= deadline {
+                // Too late to forward anywhere; the permit saw no
+                // traffic, so it frees its probe slot without a verdict.
+                self.breakers[shard].release(permit);
+                return Err(ChainError::Deadline);
+            }
+            let remaining = deadline - start;
+            let outcome = self.forward_once(shard, body, remaining);
+            let latency = self.clock.now().saturating_duration_since(start);
+            match outcome {
                 Ok(resp) if resp.status < 500 => {
+                    if let Some(event) = self.breakers[shard].record(permit, true, latency) {
+                        self.note_breaker_event(shard, event);
+                    }
                     self.health.record_success(shard);
                     return Ok((shard, resp));
                 }
                 Ok(_) | Err(_) => {
+                    if let Some(event) = self.breakers[shard].record(permit, false, latency) {
+                        self.note_breaker_event(shard, event);
+                    }
                     self.metrics.shard(shard).errors.fetch_add(1, Ordering::Relaxed);
                     self.metrics.shard(shard).failovers.fetch_add(1, Ordering::Relaxed);
                     self.record_shard_failure(shard);
                 }
             }
         }
-        Err(Response::text(
-            502,
-            format!("bad gateway: no shard could serve {cell}\n"),
-        ))
+        Err(ChainError::Exhausted)
     }
 
-    /// One forward to one shard through its connection pool.
-    fn forward_once(&self, shard: usize, body: &[u8]) -> std::io::Result<ClientResponse> {
+    /// One forward to one shard through its connection pool, bounded by
+    /// the remaining deadline budget: the budget is stamped downstream
+    /// as `x-kamel-deadline-ms`, bounds the retry loop's sleeps, and
+    /// caps every socket read.
+    fn forward_once(
+        &self,
+        shard: usize,
+        body: &[u8],
+        remaining: Duration,
+    ) -> std::io::Result<ClientResponse> {
         let counters = self.metrics.shard(shard);
         counters.forwarded.fetch_add(1, Ordering::Relaxed);
         counters.inflight.fetch_add(1, Ordering::Relaxed);
@@ -341,7 +497,11 @@ impl RouterCore {
                 self.config.retry.clone(),
             )
         });
-        let outcome = client.post_json("/v1/impute", body);
+        let opts = RequestOpts {
+            headers: &[],
+            budget: Some(remaining),
+        };
+        let outcome = client.post_json_opts("/v1/impute", body, opts);
         counters.inflight.fetch_sub(1, Ordering::Relaxed);
         if outcome.is_ok() {
             let mut pool = self.pools[shard].lock().unwrap();
@@ -353,8 +513,17 @@ impl RouterCore {
     }
 
     /// Scatter-gather: split at ownership changes, impute each segment on
-    /// its owner concurrently, merge in order.
-    fn scatter_gather(&self, sparse: &Trajectory, cells: &[CellId], assigned: &[usize]) -> Response {
+    /// its owner concurrently (every segment under the one request
+    /// deadline), merge in order. A segment whose chain is exhausted
+    /// degrades the whole answer when enabled — a seam must not return
+    /// half a trajectory.
+    fn scatter_gather(
+        &self,
+        sparse: &Trajectory,
+        cells: &[CellId],
+        assigned: &[usize],
+        deadline: Instant,
+    ) -> Response {
         self.metrics.scatter_requests.fetch_add(1, Ordering::Relaxed);
         let segments = split_segments(assigned);
         let mut bodies = Vec::with_capacity(segments.len());
@@ -370,7 +539,7 @@ impl RouterCore {
         }
         // Gather: one forward per segment, concurrently; order is
         // restored by index.
-        let mut outcomes: Vec<Option<Result<(usize, ClientResponse), Response>>> =
+        let mut outcomes: Vec<Option<Result<(usize, ClientResponse), ChainError>>> =
             (0..segments.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
             for (slot, (&(start, _, _), body)) in
@@ -378,7 +547,7 @@ impl RouterCore {
             {
                 let cell = cells[start];
                 scope.spawn(move || {
-                    *slot = Some(self.forward_chain(cell, body));
+                    *slot = Some(self.forward_chain(cell, body, deadline));
                 });
             }
         });
@@ -407,17 +576,37 @@ impl RouterCore {
                     return passthrough(resp)
                         .with_header("x-kamel-shard", self.map.shards()[shard].id.clone());
                 }
-                Err(resp) => {
+                Err(ChainError::Deadline) => {
+                    self.metrics.requests_deadline.fetch_add(1, Ordering::Relaxed);
+                    return Response::text(504, "deadline exceeded (stage: router)\n");
+                }
+                Err(ChainError::Exhausted) if self.config.degraded => {
+                    return self.degraded_response(sparse, "no-shard-available");
+                }
+                Err(ChainError::Exhausted) => {
                     self.metrics.requests_failed.fetch_add(1, Ordering::Relaxed);
-                    return resp;
+                    return Response::text(502, "bad gateway: a segment's chain is exhausted\n");
                 }
             }
         }
         let merged = merge_responses(parts);
+        let degraded_reason = merged.degraded.then(|| {
+            if merged.degraded_reason.is_empty() {
+                "degraded".to_string()
+            } else {
+                merged.degraded_reason.clone()
+            }
+        });
         match serde_json::to_vec(&merged) {
             Ok(bytes) => {
                 self.metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
-                Response::json(bytes).with_header("x-kamel-shard", served_by.join(","))
+                let mut out = Response::json(bytes).with_header("x-kamel-shard", served_by.join(","));
+                // A shard answering its segment degraded (its own
+                // overload path) marks the merged answer degraded too.
+                if let Some(reason) = degraded_reason {
+                    out = out.with_header(DEGRADED_HEADER, reason);
+                }
+                out
             }
             Err(e) => {
                 self.metrics.requests_failed.fetch_add(1, Ordering::Relaxed);
@@ -427,6 +616,24 @@ impl RouterCore {
     }
 
     // ---- introspection ----
+
+    /// The `GET /metrics` page: the counter registry plus the live
+    /// per-shard breaker state gauge (0 closed, 1 half-open, 2 open).
+    pub fn metrics_page(&self) -> String {
+        let mut page = self.metrics.render();
+        page.push_str(
+            "# HELP kamel_router_breaker_state Breaker state per shard (0 closed, 1 half-open, 2 open).\n\
+             # TYPE kamel_router_breaker_state gauge\n",
+        );
+        for (shard, breaker) in self.map.shards().iter().zip(&self.breakers) {
+            page.push_str(&format!(
+                "kamel_router_breaker_state{{shard=\"{}\"}} {}\n",
+                shard.id,
+                breaker.state().gauge()
+            ));
+        }
+        page
+    }
 
     /// The `GET /v1/shards` body: the live map plus per-shard health.
     /// `Err` carries the serialization failure for a 500 answer.
@@ -452,14 +659,26 @@ impl RouterCore {
     }
 }
 
+/// Why a forward chain produced no shard response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChainError {
+    /// The request's deadline budget ran out before (or while) walking
+    /// the chain — an honest 504, never a retry.
+    Deadline,
+    /// Every candidate was unavailable, breaker-refused, or failed —
+    /// the degraded path's cue, else a 502.
+    Exhausted,
+}
+
 /// Copies a shard response into a router response (status + body verbatim;
-/// the cache header survives, hop-by-hop framing is re-done by the
-/// router).
+/// the cache and degraded headers survive, hop-by-hop framing is re-done
+/// by the router).
 fn passthrough(resp: ClientResponse) -> Response {
     let json = resp
         .header("content-type")
         .is_some_and(|ct| ct.starts_with("application/json"));
     let cache = resp.header("x-kamel-cache").map(str::to_string);
+    let degraded = resp.header(DEGRADED_HEADER).map(str::to_string);
     let mut out = if json {
         let mut r = Response::json(resp.body);
         r.status = resp.status;
@@ -474,6 +693,9 @@ fn passthrough(resp: ClientResponse) -> Response {
     };
     if let Some(cache) = cache {
         out = out.with_header("x-kamel-cache", cache);
+    }
+    if let Some(degraded) = degraded {
+        out = out.with_header(DEGRADED_HEADER, degraded);
     }
     out
 }
@@ -495,8 +717,9 @@ pub(crate) fn split_segments(assigned: &[usize]) -> Vec<(usize, usize, usize)> {
 }
 
 /// Order-preserving merge: concatenates segment trajectories (dropping
-/// each later segment's echoed boundary fix) and sums the imputation
-/// summaries.
+/// each later segment's echoed boundary fix), sums the imputation
+/// summaries, and ORs the degraded flags — one degraded segment makes
+/// the merged answer degraded (the first non-empty reason wins).
 pub(crate) fn merge_responses(parts: Vec<ImputeResponse>) -> ImputeResponse {
     let mut parts = parts.into_iter();
     let Some(mut merged) = parts.next() else {
@@ -506,6 +729,8 @@ pub(crate) fn merge_responses(parts: Vec<ImputeResponse>) -> ImputeResponse {
             imputed_points: 0,
             failed_gaps: 0,
             model_calls: 0,
+            degraded: false,
+            degraded_reason: String::new(),
         };
     };
     for part in parts {
@@ -517,6 +742,10 @@ pub(crate) fn merge_responses(parts: Vec<ImputeResponse>) -> ImputeResponse {
         merged.imputed_points += part.imputed_points;
         merged.failed_gaps += part.failed_gaps;
         merged.model_calls += part.model_calls;
+        merged.degraded |= part.degraded;
+        if merged.degraded_reason.is_empty() {
+            merged.degraded_reason = part.degraded_reason;
+        }
     }
     merged
 }
@@ -559,6 +788,8 @@ mod tests {
             imputed_points: imputed,
             failed_gaps: 0,
             model_calls: gaps,
+            degraded: false,
+            degraded_reason: String::new(),
         }
     }
 
@@ -581,5 +812,20 @@ mod tests {
         let merged = merge_responses(vec![part(&[0.0, 5.0], 1, 0)]);
         assert_eq!(merged.trajectory.len(), 2);
         assert_eq!(merged.gap_count, 1);
+    }
+
+    #[test]
+    fn one_degraded_segment_degrades_the_merge() {
+        let clean = part(&[0.0, 10.0], 1, 0);
+        let mut tainted = part(&[10.0, 20.0], 1, 0);
+        tainted.degraded = true;
+        tainted.degraded_reason = "overloaded".into();
+        let merged = merge_responses(vec![clean, tainted]);
+        assert!(merged.degraded);
+        assert_eq!(merged.degraded_reason, "overloaded");
+        // All-clean merges stay clean.
+        let merged = merge_responses(vec![part(&[0.0, 1.0], 1, 0), part(&[1.0, 2.0], 1, 0)]);
+        assert!(!merged.degraded);
+        assert!(merged.degraded_reason.is_empty());
     }
 }

@@ -202,7 +202,7 @@ fn handle_connection(stream: TcpStream, core: &RouterCore, flag: &ShutdownFlag) 
 
 fn route(request: &Request, core: &RouterCore, flag: &ShutdownFlag) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/impute") => core.handle_impute(&request.body),
+        ("POST", "/v1/impute") => core.handle_impute(request),
         ("GET", "/healthz") => {
             if flag.is_tripped() {
                 Response::text(503, "draining\n")
@@ -210,7 +210,7 @@ fn route(request: &Request, core: &RouterCore, flag: &ShutdownFlag) -> Response 
                 Response::text(200, "ok\n")
             }
         }
-        ("GET", "/metrics") => Response::text(200, core.metrics().render()),
+        ("GET", "/metrics") => Response::text(200, core.metrics_page()),
         ("GET", "/v1/shards") => match core.shards_page() {
             Ok(body) => Response::json(body),
             Err(e) => Response::text(500, format!("{e}\n")),

@@ -16,7 +16,7 @@
 use kamel::{Kamel, KamelConfig};
 use kamel_geo::{GpsPoint, Trajectory};
 use kamel_router::{
-    HealthPolicy, Router, RouterConfig, ShardInfo, ShardMap, ShardState,
+    BreakerPolicy, HealthPolicy, Router, RouterConfig, ShardInfo, ShardMap, ShardState,
 };
 use kamel_server::{
     Client, ImputeEngine, ImputeResponse, RetryPolicy, Server, ServerConfig, WireService,
@@ -70,6 +70,7 @@ fn shard_config() -> ServerConfig {
         cache_entries: 0,
         deadline: Duration::from_secs(30),
         idle_poll: Duration::from_millis(50),
+        degraded_mode: false,
     }
 }
 
@@ -94,8 +95,12 @@ fn router_config(eject_after: u32, probe_interval: Duration) -> RouterConfig {
             eject_after,
             probe_interval,
         },
+        breaker: BreakerPolicy::default(),
         idle_poll: Duration::from_millis(50),
         max_pool: 8,
+        default_deadline: Duration::from_secs(10),
+        degraded: false,
+        degraded_max_gap_m: 100.0,
     }
 }
 

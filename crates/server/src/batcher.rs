@@ -19,6 +19,7 @@
 //! behaviour is unit-tested here with gated mock runners — no HTTP and no
 //! trained models involved.
 
+use crate::clock::{Clock, SystemClock};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -75,8 +76,14 @@ pub enum SubmitError {
 /// Why a ticket did not produce an output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WaitError {
-    /// The deadline passed before the batch completed.
+    /// The deadline passed before the batch completed (the work still ran
+    /// or is running; only this waiter gave up).
     Deadline,
+    /// The work was shed at drain time: its deadline had already passed
+    /// when a worker picked it up, so the runner never saw it. Distinct
+    /// from [`WaitError::Deadline`] so callers can count the queue stage
+    /// separately from the compute stage.
+    Expired,
     /// The runner panicked or returned a short batch; no output exists.
     Failed,
 }
@@ -84,6 +91,7 @@ pub enum WaitError {
 enum SlotState<O> {
     Pending,
     Ready(O),
+    Expired,
     Failed,
 }
 
@@ -117,6 +125,7 @@ impl<O> Ticket<O> {
         loop {
             match std::mem::replace(&mut *state, SlotState::Pending) {
                 SlotState::Ready(out) => return Ok(out),
+                SlotState::Expired => return Err(WaitError::Expired),
                 SlotState::Failed => return Err(WaitError::Failed),
                 SlotState::Pending => {}
             }
@@ -134,8 +143,16 @@ impl<O> Ticket<O> {
     }
 }
 
+/// One queued request: the payload, its (optional) absolute deadline, and
+/// the slot its waiter parks on.
+struct Item<I, O> {
+    input: I,
+    deadline: Option<Instant>,
+    slot: Arc<Slot<O>>,
+}
+
 struct Queue<I, O> {
-    items: VecDeque<(I, Arc<Slot<O>>)>,
+    items: VecDeque<Item<I, O>>,
     draining: bool,
 }
 
@@ -143,6 +160,7 @@ struct Shared<I, O> {
     queue: Mutex<Queue<I, O>>,
     available: Condvar,
     config: BatcherConfig,
+    clock: Arc<dyn Clock>,
 }
 
 /// The micro-batcher: a bounded FIFO queue drained by a fixed worker pool.
@@ -159,6 +177,18 @@ impl<I: Send + 'static, O: Send + 'static> Batcher<I, O> {
         runner: Arc<dyn BatchRunner<I, O>>,
         on_batch: impl Fn(usize) + Send + Sync + 'static,
     ) -> Self {
+        Self::start_with_clock(config, runner, on_batch, Arc::new(SystemClock))
+    }
+
+    /// [`Batcher::start`] with an injected [`Clock`] — drain-time expiry
+    /// of deadlined submissions asks this clock, so tests shed
+    /// deterministically with a [`crate::clock::ManualClock`].
+    pub fn start_with_clock(
+        config: BatcherConfig,
+        runner: Arc<dyn BatchRunner<I, O>>,
+        on_batch: impl Fn(usize) + Send + Sync + 'static,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         assert!(config.workers >= 1, "batcher needs at least one worker");
         assert!(config.batch_max >= 1, "batch_max must be at least 1");
         assert!(config.queue_cap >= 1, "queue_cap must be at least 1");
@@ -169,6 +199,7 @@ impl<I: Send + 'static, O: Send + 'static> Batcher<I, O> {
             }),
             available: Condvar::new(),
             config: config.clone(),
+            clock,
         });
         let on_batch: Arc<dyn Fn(usize) + Send + Sync> = Arc::new(on_batch);
         let workers = (0..config.workers)
@@ -188,18 +219,46 @@ impl<I: Send + 'static, O: Send + 'static> Batcher<I, O> {
     /// Submits one request. Returns a [`Ticket`] for its output, or the
     /// shedding decision when the queue is full or draining.
     pub fn submit(&self, input: I) -> Result<Ticket<O>, SubmitError> {
+        self.submit_with_deadline(input, None)
+    }
+
+    /// Submits one request with an absolute deadline. A worker that drains
+    /// the item *after* the deadline has passed sheds it without running
+    /// the batch — the waiter gets [`WaitError::Expired`] — instead of
+    /// computing an answer nobody is waiting for.
+    pub fn submit_with_deadline(
+        &self,
+        input: I,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket<O>, SubmitError> {
+        self.try_submit_with_deadline(input, deadline)
+            .map_err(|(_, e)| e)
+    }
+
+    /// Like [`Batcher::submit_with_deadline`], but a refusal hands the
+    /// input back — so an overloaded caller can route the same job to a
+    /// degraded path instead of rebuilding it.
+    pub fn try_submit_with_deadline(
+        &self,
+        input: I,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket<O>, (I, SubmitError)> {
         let mut queue = self.shared.queue.lock().unwrap();
         if queue.draining {
-            return Err(SubmitError::Draining);
+            return Err((input, SubmitError::Draining));
         }
         if queue.items.len() >= self.shared.config.queue_cap {
-            return Err(SubmitError::Overloaded);
+            return Err((input, SubmitError::Overloaded));
         }
         let slot = Arc::new(Slot {
             state: Mutex::new(SlotState::Pending),
             ready: Condvar::new(),
         });
-        queue.items.push_back((input, Arc::clone(&slot)));
+        queue.items.push_back(Item {
+            input,
+            deadline,
+            slot: Arc::clone(&slot),
+        });
         drop(queue);
         self.shared.available.notify_one();
         Ok(Ticket(slot))
@@ -246,7 +305,7 @@ fn worker_loop<I: 'static, O: 'static>(
     on_batch: &(dyn Fn(usize) + Send + Sync),
 ) {
     loop {
-        let batch: Vec<(I, Arc<Slot<O>>)> = {
+        let drained: Vec<Item<I, O>> = {
             let mut queue = shared.queue.lock().unwrap();
             // Wait for the first request (or the drain signal).
             while queue.items.is_empty() {
@@ -280,12 +339,27 @@ fn worker_loop<I: 'static, O: 'static>(
         // Two workers can race past the empty-wait for the same request; a
         // sibling may have drained the whole queue while this worker
         // lingered. Never hand the runner an empty batch.
-        if batch.is_empty() {
+        if drained.is_empty() {
             continue;
         }
         // More work may remain queued (we took at most batch_max): hand it
         // to an idle sibling while this worker runs the batch.
         shared.available.notify_one();
+        // Drain-time expiry: items whose deadline already passed are shed
+        // here — their waiters have given up (or are about to), so running
+        // them would burn compute on answers nobody reads. One clock read
+        // covers the whole drain.
+        let now = shared.clock.now();
+        let mut batch = Vec::with_capacity(drained.len());
+        for item in drained {
+            match item.deadline {
+                Some(d) if d <= now => item.slot.fill(SlotState::Expired),
+                _ => batch.push((item.input, item.slot)),
+            }
+        }
+        if batch.is_empty() {
+            continue; // the whole drain had expired
+        }
         on_batch(batch.len());
         let (inputs, slots): (Vec<I>, Vec<Arc<Slot<O>>>) = batch.into_iter().unzip();
         let outputs = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -514,6 +588,108 @@ mod tests {
         assert_eq!(verdict, Err(WaitError::Deadline));
         release_tx.send(()).unwrap();
         b.shutdown();
+    }
+
+    #[test]
+    fn expired_submissions_are_shed_at_drain_time_not_run() {
+        use crate::clock::ManualClock;
+        let clock = ManualClock::shared();
+        let (entered_tx, entered_rx) = mpsc::sync_channel(8);
+        let (release_tx, release_rx) = mpsc::sync_channel::<()>(8);
+        let release_rx = Mutex::new(release_rx);
+        let ran = Arc::new(Mutex::new(Vec::new()));
+        let ran2 = Arc::clone(&ran);
+        let b = Batcher::start_with_clock(
+            BatcherConfig {
+                workers: 1,
+                batch_max: 4,
+                batch_wait: Duration::ZERO,
+                queue_cap: 8,
+            },
+            Arc::new(move |batch: Vec<u64>| {
+                let _ = entered_tx.send(());
+                let _ = release_rx.lock().unwrap().recv();
+                ran2.lock().unwrap().extend(batch.iter().copied());
+                batch
+            }),
+            |_| {},
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        // Occupy the single worker so the queue builds up deterministically.
+        let occupant = b.submit(0).unwrap();
+        entered_rx.recv().unwrap();
+        // One doomed item (deadline = now, then the clock moves past it),
+        // one with headroom, one with no deadline at all.
+        let doomed = b
+            .submit_with_deadline(1, Some(clock.now()))
+            .unwrap();
+        let live = b
+            .submit_with_deadline(2, Some(clock.now() + Duration::from_secs(60)))
+            .unwrap();
+        let eternal = b.submit(3).unwrap();
+        clock.advance(Duration::from_millis(1));
+        // Release the occupant; the worker drains the queue next.
+        release_tx.send(()).unwrap();
+        release_tx.send(()).unwrap();
+        assert_eq!(occupant.wait_deadline(far()), Ok(0));
+        assert_eq!(
+            doomed.wait_deadline(far()),
+            Err(WaitError::Expired),
+            "the expired item is shed, distinct from a waiter timeout"
+        );
+        assert_eq!(live.wait_deadline(far()), Ok(2));
+        assert_eq!(eternal.wait_deadline(far()), Ok(3));
+        b.shutdown();
+        let ran = ran.lock().unwrap();
+        assert!(!ran.contains(&1), "the runner never saw the expired item: {ran:?}");
+        assert!(ran.contains(&2) && ran.contains(&3), "{ran:?}");
+    }
+
+    #[test]
+    fn a_fully_expired_drain_runs_no_batch_at_all() {
+        use crate::clock::ManualClock;
+        let clock = ManualClock::shared();
+        let (entered_tx, entered_rx) = mpsc::sync_channel(8);
+        let (release_tx, release_rx) = mpsc::sync_channel::<()>(8);
+        let release_rx = Mutex::new(release_rx);
+        let runs = Arc::new(AtomicUsize::new(0));
+        let runs2 = Arc::clone(&runs);
+        let observed = Arc::new(AtomicUsize::new(0));
+        let observed2 = Arc::clone(&observed);
+        let b = Batcher::start_with_clock(
+            BatcherConfig {
+                workers: 1,
+                batch_max: 4,
+                batch_wait: Duration::ZERO,
+                queue_cap: 8,
+            },
+            Arc::new(move |batch: Vec<u64>| {
+                let _ = entered_tx.send(());
+                let _ = release_rx.lock().unwrap().recv();
+                runs2.fetch_add(1, Ordering::SeqCst);
+                batch
+            }),
+            move |n| {
+                observed2.fetch_add(n, Ordering::SeqCst);
+            },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let occupant = b.submit(0).unwrap();
+        entered_rx.recv().unwrap();
+        let t1 = b.submit_with_deadline(1, Some(clock.now())).unwrap();
+        let t2 = b.submit_with_deadline(2, Some(clock.now())).unwrap();
+        clock.advance(Duration::from_millis(1));
+        release_tx.send(()).unwrap();
+        assert_eq!(occupant.wait_deadline(far()), Ok(0));
+        assert_eq!(t1.wait_deadline(far()), Err(WaitError::Expired));
+        assert_eq!(t2.wait_deadline(far()), Err(WaitError::Expired));
+        b.shutdown();
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "only the occupant's batch ran");
+        assert_eq!(
+            observed.load(Ordering::SeqCst),
+            1,
+            "on_batch never observed the all-expired drain"
+        );
     }
 
     #[test]

@@ -38,9 +38,24 @@ impl ClientResponse {
     }
 }
 
+/// Per-request options: extra headers and an overall time budget.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RequestOpts<'a> {
+    /// Extra request headers, sent verbatim.
+    pub headers: &'a [(&'a str, &'a str)],
+    /// Overall budget for the whole exchange. When set it is stamped as
+    /// `x-kamel-deadline-ms` so the server can shed late work, and it
+    /// bounds the client's total read time by re-arming the socket
+    /// timeout with the *remaining* budget before every read — a peer
+    /// trickling one byte per timeout window (slow-loris) cannot pin the
+    /// caller past its deadline the way a fixed per-read timeout can.
+    pub budget: Option<Duration>,
+}
+
 /// A keep-alive connection to the server.
 pub struct Client {
     stream: BufReader<TcpStream>,
+    timeout: Duration,
 }
 
 impl Client {
@@ -52,17 +67,28 @@ impl Client {
         stream.set_nodelay(true)?;
         Ok(Self {
             stream: BufReader::new(stream),
+            timeout,
         })
     }
 
     /// Sends `GET path`.
     pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
-        self.request("GET", path, None)
+        self.request("GET", path, None, RequestOpts::default())
     }
 
     /// Sends `POST path` with a JSON body.
     pub fn post_json(&mut self, path: &str, body: &[u8]) -> std::io::Result<ClientResponse> {
-        self.request("POST", path, Some(body))
+        self.request("POST", path, Some(body), RequestOpts::default())
+    }
+
+    /// Sends `POST path` with a JSON body and per-request options.
+    pub fn post_json_opts(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        opts: RequestOpts<'_>,
+    ) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body), opts)
     }
 
     fn request(
@@ -70,24 +96,59 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&[u8]>,
+        opts: RequestOpts<'_>,
     ) -> std::io::Result<ClientResponse> {
         let mut head = format!("{method} {path} HTTP/1.1\r\nhost: kamel\r\n");
+        for (name, value) in opts.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        if let Some(budget) = opts.budget {
+            head.push_str(&format!(
+                "x-kamel-deadline-ms: {}\r\n",
+                budget.as_millis().max(1)
+            ));
+        }
         if let Some(body) = body {
             head.push_str("content-type: application/json\r\n");
             head.push_str(&format!("content-length: {}\r\n", body.len()));
         }
         head.push_str("\r\n");
+        let deadline = opts.budget.map(|b| Instant::now() + b);
         let stream = self.stream.get_mut();
         stream.write_all(head.as_bytes())?;
         if let Some(body) = body {
             stream.write_all(body)?;
         }
         stream.flush()?;
-        self.read_response()
+        let result = self.read_response(deadline);
+        if deadline.is_some() {
+            // Budgeted reads shrank the socket timeout; restore the
+            // connection-level default for the next request.
+            let _ = self.stream.get_ref().set_read_timeout(Some(self.timeout));
+        }
+        result
     }
 
-    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
-        let status_line = self.read_line()?;
+    /// Re-arms the socket read timeout with the remaining budget, erring
+    /// out once the budget is spent. A no-op without a deadline.
+    fn arm(&mut self, deadline: Option<Instant>) -> std::io::Result<()> {
+        let Some(deadline) = deadline else {
+            return Ok(());
+        };
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request budget exhausted mid-response",
+            ));
+        }
+        self.stream
+            .get_ref()
+            .set_read_timeout(Some(remaining.min(self.timeout)))
+    }
+
+    fn read_response(&mut self, deadline: Option<Instant>) -> std::io::Result<ClientResponse> {
+        let status_line = self.read_line(deadline)?;
         let status: u16 = status_line
             .split_ascii_whitespace()
             .nth(1)
@@ -95,7 +156,7 @@ impl Client {
             .ok_or_else(|| bad_data(format!("bad status line `{status_line}`")))?;
         let mut headers = Vec::new();
         loop {
-            let line = self.read_line()?;
+            let line = self.read_line(deadline)?;
             if line.is_empty() {
                 break;
             }
@@ -109,8 +170,22 @@ impl Client {
             .find(|(k, _)| k == "content-length")
             .and_then(|(_, v)| v.parse().ok())
             .ok_or_else(|| bad_data("response without content-length".into()))?;
+        // Chunked loop rather than one `read_exact`: each read is bounded
+        // by the remaining budget, so a torn or trickled body surfaces as
+        // an error instead of an indefinite stall.
         let mut body = vec![0u8; len];
-        self.stream.read_exact(&mut body)?;
+        let mut filled = 0;
+        while filled < len {
+            self.arm(deadline)?;
+            let n = self.stream.read(&mut body[filled..])?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            filled += n;
+        }
         Ok(ClientResponse {
             status,
             headers,
@@ -119,9 +194,10 @@ impl Client {
     }
 
     /// Reads one CRLF-terminated line, excluding the terminator.
-    fn read_line(&mut self) -> std::io::Result<String> {
+    fn read_line(&mut self, deadline: Option<Instant>) -> std::io::Result<String> {
         let mut line = Vec::with_capacity(64);
         loop {
+            self.arm(deadline)?;
             let mut byte = [0u8; 1];
             let n = self.stream.read(&mut byte)?;
             if n == 0 {
@@ -241,23 +317,49 @@ impl RetryingClient {
 
     /// Sends `GET path`, retrying per the policy.
     pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
-        self.with_retries(|c| c.get(path))
+        self.with_retries(None, |c, _| c.get(path))
     }
 
     /// Sends `POST path` with a JSON body, retrying per the policy.
     pub fn post_json(&mut self, path: &str, body: &[u8]) -> std::io::Result<ClientResponse> {
-        self.with_retries(|c| c.post_json(path, body))
+        self.with_retries(None, |c, _| c.post_json(path, body))
+    }
+
+    /// Sends `POST path` with per-request options, retrying per the
+    /// policy. When `opts.budget` is set, every attempt carries only the
+    /// *remaining* budget (stamped on the wire as `x-kamel-deadline-ms`),
+    /// and the retry loop gives up — without sleeping — as soon as the
+    /// next backoff would overrun what is left.
+    pub fn post_json_opts(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        opts: RequestOpts<'_>,
+    ) -> std::io::Result<ClientResponse> {
+        let headers = opts.headers;
+        self.with_retries(opts.budget, |c, remaining| {
+            c.post_json_opts(
+                path,
+                body,
+                RequestOpts {
+                    headers,
+                    budget: remaining,
+                },
+            )
+        })
     }
 
     fn with_retries(
         &mut self,
-        mut send: impl FnMut(&mut Client) -> std::io::Result<ClientResponse>,
+        budget: Option<Duration>,
+        mut send: impl FnMut(&mut Client, Option<Duration>) -> std::io::Result<ClientResponse>,
     ) -> std::io::Result<ClientResponse> {
         let start = Instant::now();
         let attempts = self.policy.max_attempts.max(1);
         let mut retry = 0u32;
         loop {
-            let outcome = self.attempt(&mut send);
+            let remaining = budget.map(|b| b.saturating_sub(start.elapsed()));
+            let outcome = self.attempt(remaining, &mut send);
             let retry_after = match &outcome {
                 Ok(resp) if resp.status == 503 => {
                     // Shed responses close the connection server-side;
@@ -278,6 +380,14 @@ impl RetryingClient {
             if self.policy.gives_up(start.elapsed(), delay) {
                 return outcome;
             }
+            // The caller's own budget binds tighter than the policy: once
+            // backoff would exceed what remains, sleeping is pure waste —
+            // the answer could only arrive after the caller's deadline.
+            if let Some(b) = budget {
+                if start.elapsed().saturating_add(delay) > b {
+                    return outcome;
+                }
+            }
             std::thread::sleep(delay);
             retry += 1;
         }
@@ -297,14 +407,15 @@ impl RetryingClient {
     /// double-execute the request.
     fn attempt(
         &mut self,
-        send: &mut impl FnMut(&mut Client) -> std::io::Result<ClientResponse>,
+        remaining: Option<Duration>,
+        send: &mut impl FnMut(&mut Client, Option<Duration>) -> std::io::Result<ClientResponse>,
     ) -> std::io::Result<ClientResponse> {
         let reused = self.conn.is_some();
         if self.conn.is_none() {
             self.conn = Some(Client::connect(self.addr, self.timeout)?);
         }
         let conn = self.conn.as_mut().expect("connected above");
-        match send(conn) {
+        match send(conn, remaining) {
             Ok(resp) => Ok(resp),
             Err(e) => {
                 self.conn = None;
@@ -314,7 +425,7 @@ impl RetryingClient {
                 // Free reconnect: the pooled connection was already dead.
                 self.conn = Some(Client::connect(self.addr, self.timeout)?);
                 let conn = self.conn.as_mut().expect("reconnected above");
-                match send(conn) {
+                match send(conn, remaining) {
                     Ok(resp) => Ok(resp),
                     Err(e2) => {
                         self.conn = None;
@@ -502,6 +613,104 @@ mod tests {
         let err = c.get("/healthz").unwrap_err();
         assert!(is_dead_connection(&err), "unexpected error kind: {err}");
         assert_eq!(server.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn a_spent_budget_stops_retries_without_sleeping() {
+        // One scripted shed and nothing else: a retry would hang on a
+        // second accept, so the join proves the client never came back.
+        let (addr, server) = scripted_server(vec![SHED]);
+        let policy = RetryPolicy {
+            base: Duration::from_millis(500), // delay(0) ≥ 250ms …
+            max_delay: Duration::from_secs(5),
+            max_attempts: 4,                  // … with attempts to spare
+            deadline: Duration::from_secs(30), // policy alone would retry
+            jitter_seed: 7,
+        };
+        let mut c = RetryingClient::new(addr, Duration::from_secs(5), policy);
+        let resp = c
+            .post_json_opts(
+                "/v1/impute",
+                b"{}",
+                RequestOpts {
+                    headers: &[],
+                    budget: Some(Duration::from_millis(50)), // < any backoff
+                },
+            )
+            .unwrap();
+        assert_eq!(resp.status, 503, "the shed response surfaces unretried");
+        assert_eq!(server.join().unwrap(), 1, "no retry past the budget");
+    }
+
+    #[test]
+    fn the_budget_is_stamped_as_a_deadline_header() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 2048];
+            let n = stream.read(&mut buf).unwrap();
+            stream.write_all(OK.as_bytes()).unwrap();
+            String::from_utf8_lossy(&buf[..n]).into_owned()
+        });
+        let mut c = Client::connect(addr, Duration::from_secs(5)).unwrap();
+        let resp = c
+            .post_json_opts(
+                "/v1/impute",
+                b"{}",
+                RequestOpts {
+                    headers: &[("x-kamel-test", "1")],
+                    budget: Some(Duration::from_millis(750)),
+                },
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        let head = server.join().unwrap();
+        assert!(head.contains("x-kamel-deadline-ms: 750\r\n"), "{head}");
+        assert!(head.contains("x-kamel-test: 1\r\n"), "{head}");
+    }
+
+    #[test]
+    fn a_trickling_response_cannot_outlive_the_budget() {
+        // The server answers the head promptly, then drips the body one
+        // byte at a time — each drip inside any fixed per-read timeout.
+        // Only an overall budget can bound this.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            let _ = stream.read(&mut buf);
+            stream
+                .write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 1000\r\n\r\n")
+                .unwrap();
+            for _ in 0..1000 {
+                if stream.write_all(b"x").is_err() {
+                    return; // client hung up: exactly what we want
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let mut c = Client::connect(addr, Duration::from_secs(30)).unwrap();
+        let err = c
+            .post_json_opts(
+                "/v1/impute",
+                b"{}",
+                RequestOpts {
+                    headers: &[],
+                    budget: Some(Duration::from_millis(150)),
+                },
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            ),
+            "unexpected error: {err}"
+        );
+        drop(c); // close the socket so the dripper exits promptly
+        server.join().unwrap();
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use crate::server::{fnv1a, CacheKey, WireService};
 use kamel::{ImputedTrajectory, Kamel};
+use kamel_baselines::{LinearImputer, TrajectoryImputer};
 use kamel_geo::Trajectory;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -36,6 +37,17 @@ pub struct ImputeResponse {
     pub failed_gaps: usize,
     /// Total masked-language-model calls across all gaps.
     pub model_calls: usize,
+    /// `true` when this answer came from the degraded linear-interpolation
+    /// path instead of the trained model (overload, open breakers, or an
+    /// almost-spent deadline budget). Omitted from the wire format when
+    /// `false`, so pre-resilience clients see unchanged bytes.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub degraded: bool,
+    /// Why the degraded path answered (e.g. `"overloaded"`,
+    /// `"no-shard-available"`, `"deadline"`). Empty for full-fidelity
+    /// answers and omitted from the wire format.
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub degraded_reason: String,
 }
 
 impl ImputeResponse {
@@ -47,6 +59,25 @@ impl ImputeResponse {
             failed_gaps: result.gaps.iter().filter(|g| g.outcome.failed).count(),
             model_calls: result.model_calls(),
             trajectory: result.trajectory,
+            degraded: false,
+            degraded_reason: String::new(),
+        }
+    }
+
+    /// Builds a degraded-mode response by linearly interpolating the
+    /// sparse trajectory (the paper's §8.1 baseline). Every gap counts as
+    /// failed — the straight line is exactly what KAMEL exists to beat —
+    /// but under overload an approximate answer beats a shed request.
+    pub fn degraded_linear(sparse: &Trajectory, max_gap_m: f64, reason: &str) -> Self {
+        let out = LinearImputer { max_gap_m }.impute(sparse);
+        Self {
+            gap_count: out.segments_total,
+            imputed_points: out.trajectory.points.len().saturating_sub(sparse.points.len()),
+            failed_gaps: out.segments_failed,
+            model_calls: 0,
+            trajectory: out.trajectory,
+            degraded: true,
+            degraded_reason: reason.to_string(),
         }
     }
 }
@@ -256,6 +287,11 @@ impl WireService for ImputeEngine {
     fn render(&self, out: &ImputedTrajectory) -> Vec<u8> {
         serde_json::to_vec(&ImputeResponse::from_result(out.clone()))
             .unwrap_or_else(|e| format!("{{\"error\":\"render failed: {e}\"}}").into_bytes())
+    }
+
+    fn degraded(&self, job: &Trajectory, reason: &str) -> Option<Vec<u8>> {
+        let max_gap_m = self.kamel().config().max_gap_m;
+        serde_json::to_vec(&ImputeResponse::degraded_linear(job, max_gap_m, reason)).ok()
     }
 
     fn info(&self) -> Vec<u8> {

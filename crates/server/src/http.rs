@@ -7,11 +7,74 @@
 //! on `std` and covered by unit tests against in-memory streams.
 
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
 /// Hard cap on the request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Hard cap on a request body.
 pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// The request header carrying the caller's remaining time budget in
+/// whole milliseconds. Stamped by clients and re-stamped (with the
+/// *remaining* budget) by the router on every forward.
+pub const DEADLINE_HEADER: &str = "x-kamel-deadline-ms";
+
+/// The response header marking a degraded (linear-interpolation) answer;
+/// its value is the reason the fleet downgraded.
+pub const DEGRADED_HEADER: &str = "x-kamel-degraded";
+
+/// Largest accepted deadline budget (1 hour). Anything above it is a
+/// client bug, not a plan — treated like any other unparseable value.
+pub const MAX_DEADLINE_MS: u64 = 3_600_000;
+
+/// Outcome of parsing an [`DEADLINE_HEADER`] value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineHeader {
+    /// No header: use the server's default budget.
+    Absent,
+    /// A valid budget in `1..=MAX_DEADLINE_MS` milliseconds.
+    Budget(Duration),
+    /// Present but unusable (empty, zero, negative, non-numeric, or
+    /// absurdly large). The caller falls back to the default budget —
+    /// never to a 0ms insta-504 — and logs the carried reason once.
+    Invalid(&'static str),
+}
+
+impl DeadlineHeader {
+    /// The budget to use, with `default` covering absent/invalid values.
+    pub fn budget_or(self, default: Duration) -> Duration {
+        match self {
+            DeadlineHeader::Budget(d) => d,
+            DeadlineHeader::Absent | DeadlineHeader::Invalid(_) => default,
+        }
+    }
+}
+
+/// Parses an `x-kamel-deadline-ms` value. Total: every possible string
+/// maps to one of the three variants; nothing panics and nothing yields a
+/// zero budget.
+pub fn parse_deadline_header(value: Option<&str>) -> DeadlineHeader {
+    let Some(raw) = value else {
+        return DeadlineHeader::Absent;
+    };
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return DeadlineHeader::Invalid("empty deadline");
+    }
+    if raw.starts_with('-') {
+        return DeadlineHeader::Invalid("negative deadline");
+    }
+    let Ok(ms) = raw.parse::<u64>() else {
+        return DeadlineHeader::Invalid("non-numeric deadline");
+    };
+    if ms == 0 {
+        return DeadlineHeader::Invalid("zero deadline");
+    }
+    if ms > MAX_DEADLINE_MS {
+        return DeadlineHeader::Invalid("deadline beyond the 1h cap");
+    }
+    DeadlineHeader::Budget(Duration::from_millis(ms))
+}
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -360,6 +423,62 @@ mod tests {
         assert!(text.contains("x-kamel-cache: hit\r\n"), "{text}");
         assert!(text.contains("connection: keep-alive\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn deadline_header_accepts_the_valid_range() {
+        assert_eq!(
+            parse_deadline_header(Some("1")),
+            DeadlineHeader::Budget(Duration::from_millis(1))
+        );
+        assert_eq!(
+            parse_deadline_header(Some("2500")),
+            DeadlineHeader::Budget(Duration::from_millis(2500))
+        );
+        assert_eq!(
+            parse_deadline_header(Some(&MAX_DEADLINE_MS.to_string())),
+            DeadlineHeader::Budget(Duration::from_millis(MAX_DEADLINE_MS)),
+            "the cap itself is inclusive"
+        );
+        // Surrounding whitespace survives header-trim idiosyncrasies.
+        assert_eq!(
+            parse_deadline_header(Some("  42  ")),
+            DeadlineHeader::Budget(Duration::from_millis(42))
+        );
+    }
+
+    #[test]
+    fn deadline_header_rejects_every_garbage_shape_without_panicking() {
+        assert_eq!(parse_deadline_header(None), DeadlineHeader::Absent);
+        for bad in [
+            "", " ", "0", "-1", "-99999", "nope", "1e3", "10.5", "٣",
+            "18446744073709551616", // u64::MAX + 1
+            "3600001",              // one past the cap
+        ] {
+            assert!(
+                matches!(parse_deadline_header(Some(bad)), DeadlineHeader::Invalid(_)),
+                "`{bad}` must be invalid"
+            );
+        }
+        // u64::MAX does not overflow anything on the way to rejection.
+        assert!(matches!(
+            parse_deadline_header(Some(&u64::MAX.to_string())),
+            DeadlineHeader::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn invalid_deadlines_fall_back_to_the_default_never_zero() {
+        let default = Duration::from_secs(10);
+        for v in [None, Some("0"), Some("-5"), Some("garbage"), Some("")] {
+            let budget = parse_deadline_header(v).budget_or(default);
+            assert_eq!(budget, default, "{v:?} must use the server default");
+            assert!(!budget.is_zero(), "{v:?} must never produce an insta-504");
+        }
+        assert_eq!(
+            parse_deadline_header(Some("250")).budget_or(default),
+            Duration::from_millis(250)
+        );
     }
 
     #[test]

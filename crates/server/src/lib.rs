@@ -41,6 +41,7 @@
 
 pub mod batcher;
 pub mod client;
+pub mod clock;
 pub mod engine;
 pub mod http;
 pub mod lru;
@@ -49,8 +50,10 @@ pub mod server;
 pub mod shutdown;
 
 pub use batcher::{Batcher, BatcherConfig, SubmitError, WaitError};
-pub use client::{Client, ClientResponse, RetryPolicy, RetryingClient};
+pub use client::{Client, ClientResponse, RequestOpts, RetryPolicy, RetryingClient};
+pub use clock::{Clock, ManualClock, SystemClock};
 pub use engine::{config_digest, ImputeEngine, ImputeResponse, InfoResponse};
+pub use http::{DEADLINE_HEADER, DEGRADED_HEADER};
 pub use lru::LruCache;
 pub use metrics::Metrics;
 pub use server::{CacheKey, Server, ServerConfig, WireService};

@@ -81,8 +81,20 @@ pub struct Metrics {
     pub requests_bad: AtomicU64,
     /// Requests shed by admission control (503).
     pub requests_shed: AtomicU64,
-    /// Requests that missed their deadline (504).
+    /// Requests that missed their deadline (504), any stage.
     pub requests_deadline: AtomicU64,
+    /// Deadline misses caught before admission: the budget was already
+    /// spent when the request reached the queue.
+    pub deadline_admission: AtomicU64,
+    /// Deadline misses caught at drain time: the batcher shed the item
+    /// without running it.
+    pub deadline_queue: AtomicU64,
+    /// Deadline misses during compute: the waiter timed out while the
+    /// batch ran, or the result landed after the deadline.
+    pub deadline_compute: AtomicU64,
+    /// Requests answered from the degraded linear-interpolation path
+    /// instead of being shed.
+    pub degraded: AtomicU64,
     /// Imputation cache hits.
     pub cache_hits: AtomicU64,
     /// Imputation cache misses.
@@ -113,6 +125,10 @@ impl Metrics {
             requests_bad: AtomicU64::new(0),
             requests_shed: AtomicU64::new(0),
             requests_deadline: AtomicU64::new(0),
+            deadline_admission: AtomicU64::new(0),
+            deadline_queue: AtomicU64::new(0),
+            deadline_compute: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             model_reloads: AtomicU64::new(0),
@@ -166,6 +182,29 @@ impl Metrics {
             "kamel_requests_deadline_total",
             "Requests that missed their deadline (504).",
             self.requests_deadline.load(Ordering::Relaxed),
+        );
+        // Per-stage breakdown of the deadline counter above.
+        let _ = writeln!(
+            out,
+            "# HELP kamel_deadline_exceeded_total Deadline misses by pipeline stage."
+        );
+        let _ = writeln!(out, "# TYPE kamel_deadline_exceeded_total counter");
+        for (stage, v) in [
+            ("admission", &self.deadline_admission),
+            ("queue", &self.deadline_queue),
+            ("compute", &self.deadline_compute),
+        ] {
+            let _ = writeln!(
+                out,
+                "kamel_deadline_exceeded_total{{stage=\"{stage}\"}} {}",
+                v.load(Ordering::Relaxed)
+            );
+        }
+        counter(
+            &mut out,
+            "kamel_degraded_total",
+            "Requests answered from the degraded linear path.",
+            self.degraded.load(Ordering::Relaxed),
         );
         counter(
             &mut out,
@@ -258,9 +297,14 @@ mod tests {
         m.requests_ok.fetch_add(2, Ordering::Relaxed);
         m.latency_us.observe(1234);
         m.batch_size.observe(4);
+        m.deadline_queue.fetch_add(3, Ordering::Relaxed);
         let page = m.render();
         for series in [
             "kamel_requests_ok_total 2",
+            "kamel_deadline_exceeded_total{stage=\"admission\"} 0",
+            "kamel_deadline_exceeded_total{stage=\"queue\"} 3",
+            "kamel_deadline_exceeded_total{stage=\"compute\"} 0",
+            "kamel_degraded_total 0",
             "kamel_requests_shed_total 0",
             "kamel_model_reloads_total 0",
             "kamel_model_reload_failures_total 0",

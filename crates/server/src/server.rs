@@ -21,13 +21,17 @@
 //! → the batcher drains everything already admitted → all threads join.
 
 use crate::batcher::{Batcher, BatcherConfig, SubmitError, WaitError};
-use crate::http::{read_request, ReadError, Request, Response};
+use crate::clock::{Clock, SystemClock};
+use crate::http::{
+    parse_deadline_header, read_request, DeadlineHeader, ReadError, Request, Response,
+    DEADLINE_HEADER, DEGRADED_HEADER,
+};
 use crate::lru::LruCache;
 use crate::metrics::Metrics;
 use crate::shutdown::ShutdownFlag;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -106,6 +110,14 @@ pub trait WireService: Send + Sync + 'static {
     fn extra_metrics(&self) -> String {
         String::new()
     }
+    /// A cheap fallback answer for `job` when the full pipeline cannot be
+    /// reached in time (queue full under `--degraded-mode`). Returns a
+    /// rendered JSON body that must carry `"degraded": true` and the
+    /// `reason`, or `None` when no fallback exists — the caller then sheds
+    /// with 503 as before. The default service has no fallback.
+    fn degraded(&self, _job: &Self::Job, _reason: &str) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// Server tuning knobs.
@@ -125,11 +137,17 @@ pub struct ServerConfig {
     pub queue_cap: usize,
     /// Response-cache capacity in entries; 0 disables the cache.
     pub cache_entries: usize,
-    /// Per-request deadline; a miss is answered 504.
+    /// Per-request deadline; a miss is answered 504. Clients can lower
+    /// (or raise, up to the parse cap) their own budget per request via
+    /// the `x-kamel-deadline-ms` header.
     pub deadline: Duration,
     /// Socket read timeout — the shutdown-poll period for idle keep-alive
     /// connections.
     pub idle_poll: Duration,
+    /// When set, an overloaded admission queue answers from the service's
+    /// cheap [`WireService::degraded`] fallback (marked degraded) instead
+    /// of shedding with 503.
+    pub degraded_mode: bool,
 }
 
 impl Default for ServerConfig {
@@ -143,6 +161,7 @@ impl Default for ServerConfig {
             cache_entries: 1024,
             deadline: Duration::from_secs(10),
             idle_poll: Duration::from_millis(200),
+            degraded_mode: false,
         }
     }
 }
@@ -154,6 +173,7 @@ struct Shared<S: WireService> {
     metrics: Arc<Metrics>,
     cache: ResponseCache,
     config: ServerConfig,
+    clock: Arc<dyn Clock>,
     flag: ShutdownFlag,
 }
 
@@ -188,6 +208,19 @@ impl Server {
         service: Arc<S>,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
+        Self::serve_with_clock(listener, service, config, Arc::new(SystemClock))
+    }
+
+    /// [`Server::serve`] with an injected [`Clock`]. Every deadline-budget
+    /// decision (admission shedding, drain-time expiry, late-result
+    /// suppression) asks this clock, so tests drive them deterministically
+    /// with a [`crate::clock::ManualClock`].
+    pub fn serve_with_clock<S: WireService>(
+        listener: TcpListener,
+        service: Arc<S>,
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> std::io::Result<Server> {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let metrics = Arc::new(Metrics::new());
@@ -197,11 +230,12 @@ impl Server {
             metrics: Arc::clone(&metrics),
             cache: Mutex::new(LruCache::new(config.cache_entries)),
             config: config.clone(),
+            clock: Arc::clone(&clock),
             flag: flag.clone(),
         });
         // The imputation pool: batch workers behind the admission queue.
         let batch_metrics = Arc::clone(&metrics);
-        let batcher: Arc<Batcher<S::Job, S::Out>> = Arc::new(Batcher::start(
+        let batcher: Arc<Batcher<S::Job, S::Out>> = Arc::new(Batcher::start_with_clock(
             BatcherConfig {
                 workers: config.workers.max(1),
                 batch_max: config.batch_max.max(1),
@@ -210,6 +244,7 @@ impl Server {
             },
             Arc::new(BatchAdapter(Arc::clone(&service))),
             move |n| batch_metrics.batch_size.observe(n as u64),
+            clock,
         ));
         // Connection handlers drain a bounded socket channel.
         let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.handlers.max(1) * 2);
@@ -392,7 +427,7 @@ fn route<S: WireService>(
     batcher: &Batcher<S::Job, S::Out>,
 ) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/impute") => impute(&request.body, shared, batcher),
+        ("POST", "/v1/impute") => impute(request, shared, batcher),
         ("POST", "/admin/reload") => match reload_model(shared) {
             Ok(msg) => Response::text(200, format!("{msg}\n")),
             Err(msg) => Response::text(500, format!("reload failed: {msg}\n")),
@@ -444,21 +479,53 @@ fn reload_model<S: WireService>(shared: &Shared<S>) -> Result<String, String> {
     }
 }
 
+/// Logs the first malformed `x-kamel-deadline-ms` value seen (per
+/// process); every later one silently falls back to the server default,
+/// so a misbehaving client cannot flood the log.
+fn warn_invalid_deadline_once(why: &str) {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!("kamel-serve: ignoring invalid {DEADLINE_HEADER} header ({why}); using the server default deadline");
+    }
+}
+
+/// Counts one deadline miss at `stage` and renders the 504.
+fn deadline_exceeded(
+    metrics: &Metrics,
+    stage: &AtomicU64,
+    stage_name: &str,
+    start: Instant,
+) -> Response {
+    metrics.requests_deadline.fetch_add(1, Ordering::Relaxed);
+    stage.fetch_add(1, Ordering::Relaxed);
+    observe_latency(metrics, start);
+    Response::text(504, format!("deadline exceeded (stage: {stage_name})\n"))
+}
+
 fn impute<S: WireService>(
-    body: &[u8],
+    request: &Request,
     shared: &Shared<S>,
     batcher: &Batcher<S::Job, S::Out>,
 ) -> Response {
     let start = Instant::now();
     let metrics = &shared.metrics;
-    let job = match shared.service.parse(body) {
+    // The request's budget: the client's `x-kamel-deadline-ms` header when
+    // valid, the server default otherwise. Malformed values warn once and
+    // fall back — never a panic or a 0ms insta-504.
+    let header = parse_deadline_header(request.header(DEADLINE_HEADER));
+    if let DeadlineHeader::Invalid(why) = header {
+        warn_invalid_deadline_once(why);
+    }
+    let deadline = shared.clock.now() + header.budget_or(shared.config.deadline);
+    let job = match shared.service.parse(&request.body) {
         Ok(job) => job,
         Err(msg) => {
             metrics.requests_bad.fetch_add(1, Ordering::Relaxed);
             return Response::text(400, format!("bad request: {msg}\n"));
         }
     };
-    // Cache lookup (only when enabled and the job is keyable).
+    // Cache lookup (only when enabled and the job is keyable). A hit is
+    // answered even on a spent budget — it is cheaper than the 504.
     let key = if shared.config.cache_entries > 0 {
         shared.service.cache_key(&job)
     } else {
@@ -474,24 +541,43 @@ fn impute<S: WireService>(
         }
         metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
-    // Admission + micro-batching.
-    let ticket = match batcher.submit(job) {
+    // Admission: a budget already spent on parsing/cache work is shed here
+    // rather than queued for an answer nobody is waiting for.
+    if shared.clock.now() >= deadline {
+        return deadline_exceeded(metrics, &metrics.deadline_admission, "admission", start);
+    }
+    // Admission + micro-batching. The deadline rides along so a worker
+    // that drains the item too late sheds it instead of running it.
+    let ticket = match batcher.try_submit_with_deadline(job, Some(deadline)) {
         Ok(ticket) => ticket,
-        Err(SubmitError::Overloaded) => {
+        Err((job, SubmitError::Overloaded)) => {
+            if shared.config.degraded_mode {
+                if let Some(bytes) = shared.service.degraded(&job, "overloaded") {
+                    metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                    metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
+                    observe_latency(metrics, start);
+                    return Response::json(bytes).with_header(DEGRADED_HEADER, "overloaded");
+                }
+            }
             metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
             observe_latency(metrics, start);
             return Response::text(503, "overloaded: admission queue full\n")
                 .with_header("retry-after", "1");
         }
-        Err(SubmitError::Draining) => {
+        Err((_, SubmitError::Draining)) => {
             metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
             observe_latency(metrics, start);
             return Response::text(503, "draining: server is shutting down\n")
                 .with_header("retry-after", "1");
         }
     };
-    match ticket.wait_deadline(start + shared.config.deadline) {
+    match ticket.wait_deadline(deadline) {
         Ok(out) => {
+            // Late-result suppression: if the injected clock says the
+            // budget ran out while the batch computed, the answer must not
+            // be served after its stage records an exceedance — but it is
+            // still worth caching for the next asker.
+            let late = shared.clock.now() > deadline;
             let bytes = shared.service.render(&out);
             if let Some(key) = key {
                 shared
@@ -500,14 +586,19 @@ fn impute<S: WireService>(
                     .unwrap()
                     .insert(key, Arc::new(bytes.clone()));
             }
+            if late {
+                return deadline_exceeded(metrics, &metrics.deadline_compute, "compute", start);
+            }
             metrics.requests_ok.fetch_add(1, Ordering::Relaxed);
             observe_latency(metrics, start);
             Response::json(bytes).with_header("x-kamel-cache", "miss")
         }
+        Err(WaitError::Expired) => {
+            // Shed at drain time: the work never ran.
+            deadline_exceeded(metrics, &metrics.deadline_queue, "queue", start)
+        }
         Err(WaitError::Deadline) => {
-            metrics.requests_deadline.fetch_add(1, Ordering::Relaxed);
-            observe_latency(metrics, start);
-            Response::text(504, "deadline exceeded\n")
+            deadline_exceeded(metrics, &metrics.deadline_compute, "compute", start)
         }
         Err(WaitError::Failed) => {
             metrics.requests_bad.fetch_add(1, Ordering::Relaxed);
@@ -526,19 +617,27 @@ fn observe_latency(metrics: &Metrics, start: Instant) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::client::Client;
+    use crate::client::{Client, RequestOpts};
+    use crate::clock::ManualClock;
     use std::sync::atomic::AtomicUsize;
 
     /// A stub backend: jobs are UTF-8 strings, imputation is uppercasing.
     /// Bodies starting with `nokey:` are uncacheable; empty bodies fail to
     /// parse. A gate (when installed) blocks `run_batch` until released.
     /// Reload bumps the generation (or fails when `reload_ok` is false).
+    /// When a `clock` is installed, `parse` and `run_batch` advance it by
+    /// `parse_cost`/`batch_cost` — how the deadline tests burn budget at a
+    /// precise pipeline stage. Jobs starting with `deg:` have a degraded
+    /// fallback; everything else does not.
     struct StubService {
         batches: Mutex<Vec<usize>>,
         calls: AtomicUsize,
         gate: Option<(mpsc::SyncSender<()>, Mutex<mpsc::Receiver<()>>)>,
         generation: AtomicUsize,
         reload_ok: std::sync::atomic::AtomicBool,
+        clock: Option<Arc<ManualClock>>,
+        parse_cost: Duration,
+        batch_cost: Duration,
     }
 
     impl StubService {
@@ -549,6 +648,9 @@ mod tests {
                 gate: None,
                 generation: AtomicUsize::new(0),
                 reload_ok: std::sync::atomic::AtomicBool::new(true),
+                clock: None,
+                parse_cost: Duration::ZERO,
+                batch_cost: Duration::ZERO,
             }
         }
     }
@@ -561,6 +663,9 @@ mod tests {
             let text = std::str::from_utf8(body).map_err(|e| e.to_string())?;
             if text.is_empty() {
                 return Err("empty body".into());
+            }
+            if let Some(clock) = &self.clock {
+                clock.advance(self.parse_cost);
             }
             Ok(text.to_string())
         }
@@ -584,7 +689,17 @@ mod tests {
                 let _ = entered.send(());
                 let _ = release.lock().unwrap().recv();
             }
+            if let Some(clock) = &self.clock {
+                clock.advance(self.batch_cost);
+            }
             jobs.into_iter().map(|j| j.to_uppercase()).collect()
+        }
+
+        fn degraded(&self, job: &String, reason: &str) -> Option<Vec<u8>> {
+            job.strip_prefix("deg:").map(|rest| {
+                format!("{{\"degraded\":true,\"reason\":\"{reason}\",\"echo\":\"{rest}\"}}")
+                    .into_bytes()
+            })
         }
 
         fn render(&self, out: &String) -> Vec<u8> {
@@ -619,6 +734,7 @@ mod tests {
             cache_entries: 64,
             deadline: Duration::from_secs(5),
             idle_poll: Duration::from_millis(50),
+            degraded_mode: false,
         }
     }
 
@@ -628,6 +744,46 @@ mod tests {
 
     fn client(server: &Server) -> Client {
         Client::connect(server.local_addr(), Duration::from_secs(5)).expect("connect")
+    }
+
+    fn start_with_clock(
+        service: Arc<StubService>,
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Server {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        Server::serve_with_clock(listener, service, config, clock).expect("serve")
+    }
+
+    /// Polls `/metrics` until the admission queue reports `want` entries.
+    fn wait_for_queue_depth(addr: SocketAddr, want: usize) {
+        let give_up = Instant::now() + Duration::from_secs(5);
+        loop {
+            let depth = {
+                let mut c = Client::connect(addr, Duration::from_secs(5)).unwrap();
+                let page = c.get("/metrics").unwrap().text();
+                page.lines()
+                    .find(|l| l.starts_with("kamel_queue_depth "))
+                    .and_then(|l| l.rsplit(' ').next()?.parse::<usize>().ok())
+                    .unwrap_or(0)
+            };
+            if depth == want {
+                return;
+            }
+            assert!(
+                Instant::now() < give_up,
+                "queue never reached depth {want} (at {depth})"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// A header-only request-opts shorthand for deadline tests.
+    fn with_deadline<'a>(headers: &'a [(&'a str, &'a str)]) -> RequestOpts<'a> {
+        RequestOpts {
+            headers,
+            budget: None,
+        }
     }
 
     #[test]
@@ -929,6 +1085,233 @@ mod tests {
         drain.join().unwrap();
         // New connections are refused (accept loop is gone).
         assert!(Client::connect(addr, Duration::from_millis(300)).is_err());
+    }
+
+    #[test]
+    fn a_budget_burned_before_admission_is_shed_at_the_admission_stage() {
+        let clock = ManualClock::shared();
+        let mut service = StubService::new();
+        service.clock = Some(Arc::clone(&clock));
+        service.parse_cost = Duration::from_millis(100);
+        let server = start_with_clock(Arc::new(service), test_config(), clock);
+        let mut c = client(&server);
+        // 50ms of budget, 100ms of (simulated) parse work: shed before
+        // the queue ever sees it.
+        let resp = c
+            .post_json_opts(
+                "/v1/impute",
+                b"nokey:late",
+                with_deadline(&[(DEADLINE_HEADER, "50")]),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 504, "{}", resp.text());
+        assert!(resp.text().contains("admission"), "{}", resp.text());
+        assert_eq!(
+            server.metrics().deadline_admission.load(Ordering::Relaxed),
+            1
+        );
+        assert_eq!(
+            server.metrics().requests_deadline.load(Ordering::Relaxed),
+            1
+        );
+        // The same request with an adequate budget is served normally.
+        let ok = c
+            .post_json_opts(
+                "/v1/impute",
+                b"nokey:late",
+                with_deadline(&[(DEADLINE_HEADER, "60000")]),
+            )
+            .unwrap();
+        assert_eq!(ok.status, 200, "{}", ok.text());
+        server.shutdown();
+    }
+
+    #[test]
+    fn an_expired_queue_item_is_shed_at_the_queue_stage() {
+        let clock = ManualClock::shared();
+        let (entered_tx, entered_rx) = mpsc::sync_channel(64);
+        let (release_tx, release_rx) = mpsc::sync_channel::<()>(64);
+        let mut service = StubService::new();
+        service.gate = Some((entered_tx, Mutex::new(release_rx)));
+        let server = start_with_clock(
+            Arc::new(service),
+            ServerConfig {
+                workers: 1,
+                batch_max: 1,
+                batch_wait: Duration::ZERO,
+                cache_entries: 0,
+                ..test_config()
+            },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let addr = server.local_addr();
+        // Occupy the single gated worker (with budget to spare)…
+        let occupant = std::thread::spawn(move || {
+            let mut c = Client::connect(addr, Duration::from_secs(10)).unwrap();
+            c.post_json_opts(
+                "/v1/impute",
+                b"nokey:occupant",
+                with_deadline(&[(DEADLINE_HEADER, "3600000")]),
+            )
+            .unwrap()
+            .status
+        });
+        entered_rx.recv().unwrap();
+        // …then park one request in the queue with a 60s budget.
+        let doomed = std::thread::spawn(move || {
+            let mut c = Client::connect(addr, Duration::from_secs(10)).unwrap();
+            c.post_json_opts(
+                "/v1/impute",
+                b"nokey:doomed",
+                with_deadline(&[(DEADLINE_HEADER, "60000")]),
+            )
+            .unwrap()
+        });
+        wait_for_queue_depth(addr, 1);
+        // Burn the queued request's whole budget, then let the worker at
+        // it: the item must be shed at drain time, never run.
+        clock.advance(Duration::from_secs(120));
+        release_tx.send(()).unwrap();
+        assert_eq!(occupant.join().unwrap(), 200);
+        let resp = doomed.join().unwrap();
+        assert_eq!(resp.status, 504, "{}", resp.text());
+        assert!(resp.text().contains("queue"), "{}", resp.text());
+        assert_eq!(server.metrics().deadline_queue.load(Ordering::Relaxed), 1);
+        assert_eq!(server.metrics().deadline_compute.load(Ordering::Relaxed), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_slow_batch_times_out_at_the_compute_stage() {
+        let (entered_tx, entered_rx) = mpsc::sync_channel(64);
+        let (release_tx, release_rx) = mpsc::sync_channel::<()>(64);
+        let mut service = StubService::new();
+        service.gate = Some((entered_tx, Mutex::new(release_rx)));
+        let server = start(
+            Arc::new(service),
+            ServerConfig {
+                workers: 1,
+                batch_max: 1,
+                batch_wait: Duration::ZERO,
+                cache_entries: 0,
+                ..test_config()
+            },
+        );
+        let mut c = client(&server);
+        // The batch starts (gate entered) but never finishes inside the
+        // 150ms budget: the waiter gives up at the compute stage.
+        let resp = c
+            .post_json_opts(
+                "/v1/impute",
+                b"nokey:slow",
+                with_deadline(&[(DEADLINE_HEADER, "150")]),
+            )
+            .unwrap();
+        entered_rx.recv().unwrap();
+        assert_eq!(resp.status, 504, "{}", resp.text());
+        assert!(resp.text().contains("compute"), "{}", resp.text());
+        assert_eq!(server.metrics().deadline_compute.load(Ordering::Relaxed), 1);
+        release_tx.send(()).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_late_result_is_suppressed_but_still_cached() {
+        let clock = ManualClock::shared();
+        let mut service = StubService::new();
+        service.clock = Some(Arc::clone(&clock));
+        service.batch_cost = Duration::from_secs(7200); // 2h per batch
+        let service = Arc::new(service);
+        let server = start_with_clock(Arc::clone(&service), test_config(), clock);
+        let mut c = client(&server);
+        // The answer computes fine — but the injected clock says the
+        // budget ran out mid-batch, so it must not be served.
+        let resp = c.post_json("/v1/impute", b"slowpoke").unwrap();
+        assert_eq!(resp.status, 504, "{}", resp.text());
+        assert!(resp.text().contains("compute"), "{}", resp.text());
+        assert_eq!(server.metrics().deadline_compute.load(Ordering::Relaxed), 1);
+        // The computed answer was still cached for the next asker.
+        let hit = c.post_json("/v1/impute", b"slowpoke").unwrap();
+        assert_eq!(hit.status, 200);
+        assert_eq!(hit.header("x-kamel-cache"), Some("hit"));
+        assert_eq!(hit.text(), "SLOWPOKE");
+        assert_eq!(service.calls.load(Ordering::SeqCst), 1, "no recompute");
+        server.shutdown();
+    }
+
+    #[test]
+    fn overload_answers_degraded_instead_of_shedding_when_enabled() {
+        const CAP: usize = 2;
+        let (entered_tx, entered_rx) = mpsc::sync_channel(64);
+        let (release_tx, release_rx) = mpsc::sync_channel::<()>(64);
+        let mut service = StubService::new();
+        service.gate = Some((entered_tx, Mutex::new(release_rx)));
+        let server = start(
+            Arc::new(service),
+            ServerConfig {
+                workers: 1,
+                handlers: 8 + CAP,
+                batch_max: 1,
+                batch_wait: Duration::ZERO,
+                queue_cap: CAP,
+                cache_entries: 0,
+                degraded_mode: true,
+                ..test_config()
+            },
+        );
+        let addr = server.local_addr();
+        let request_thread = |body: String| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr, Duration::from_secs(10)).unwrap();
+                c.post_json("/v1/impute", body.as_bytes()).unwrap().status
+            })
+        };
+        // Fill the worker and the whole admission queue.
+        let occupant = request_thread("deg:occ".into());
+        entered_rx.recv().unwrap();
+        let queued: Vec<_> = (0..CAP)
+            .map(|i| request_thread(format!("deg:q{i}")))
+            .collect();
+        wait_for_queue_depth(addr, CAP);
+        // Overflow with a degradable job: 200, flagged, not shed.
+        let mut c = client(&server);
+        let resp = c.post_json("/v1/impute", b"deg:extra").unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        assert_eq!(resp.header(DEGRADED_HEADER), Some("overloaded"));
+        assert!(resp.text().contains("\"degraded\":true"), "{}", resp.text());
+        assert!(resp.text().contains("\"echo\":\"extra\""), "{}", resp.text());
+        // Overflow with no fallback still sheds with 503.
+        let mut c2 = client(&server);
+        let shed = c2.post_json("/v1/impute", b"nokey:plain").unwrap();
+        assert_eq!(shed.status, 503, "{}", shed.text());
+        // Drain the gate; everything queued completes normally.
+        for _ in 0..(1 + CAP) {
+            release_tx.send(()).unwrap();
+        }
+        assert_eq!(occupant.join().unwrap(), 200);
+        for t in queued {
+            assert_eq!(t.join().unwrap(), 200);
+        }
+        assert_eq!(server.metrics().degraded.load(Ordering::Relaxed), 1);
+        assert_eq!(server.metrics().requests_shed.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn an_invalid_deadline_header_serves_with_the_default_budget() {
+        let server = start(Arc::new(StubService::new()), test_config());
+        let mut c = client(&server);
+        let resp = c
+            .post_json_opts(
+                "/v1/impute",
+                b"nokey:messy",
+                with_deadline(&[(DEADLINE_HEADER, "banana")]),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200, "not an insta-504: {}", resp.text());
+        assert_eq!(resp.text(), "NOKEY:MESSY");
+        assert_eq!(server.metrics().requests_deadline.load(Ordering::Relaxed), 0);
+        server.shutdown();
     }
 
     #[test]

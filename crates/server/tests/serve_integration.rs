@@ -71,6 +71,7 @@ fn config(cache_entries: usize) -> ServerConfig {
         cache_entries,
         deadline: Duration::from_secs(30),
         idle_poll: Duration::from_millis(50),
+        degraded_mode: false,
     }
 }
 
