@@ -1,21 +1,27 @@
-//! Overhead and failover latency of the `kamel-router` gateway.
+//! Overhead and failover latency of the `kamel-router` gateway, driven
+//! open-loop.
 //!
 //! Boots two `kamel-server` shards plus a router on loopback over one
-//! trained small model and measures three things against the same request
-//! mix:
+//! trained small model and drives each scenario with the
+//! coordinated-omission-free generator in `kamel_bench::loadgen` (fixed
+//! arrival schedule, latency from intended send time):
 //!
-//! * **direct** — clients hitting one shard, no router (the baseline);
-//! * **routed** — the same load through the router (single-owner
+//! * **direct** — the schedule against one shard, no router (baseline);
+//! * **routed** — the same schedule through the router (single-owner
 //!   forwarding, so the delta over direct is the pure gateway overhead);
 //! * **failover** — the primary shard killed mid-run: the first request
-//!   pays the detection + ejection cost, the rest run on the replica.
+//!   pays the detection + ejection cost, the rest run on the replica;
+//! * **connection_sweep** — a growing keep-alive wall against the
+//!   router (capped by fd headroom), measuring the proxy reactor's
+//!   connection-table scaling.
 //!
 //! Writes `BENCH_router.json` at the repo root. Run with
-//! `cargo bench --bench bench_router`. Not a criterion bench: the unit of
-//! work is a full HTTP round trip against live servers, so wall-clock
-//! over a fixed request count is the honest measure.
+//! `cargo bench --bench bench_router`. Environment knobs:
+//! `KAMEL_BENCH_RPS` (default 200), `KAMEL_BENCH_SECONDS` (default 10),
+//! `KAMEL_BENCH_FD_HEADROOM` (default 8000).
 
 use kamel::Kamel;
+use kamel_bench::loadgen::{self, percentile_us, LoadPlan};
 use kamel_bench::{default_kamel_config, City};
 use kamel_geo::Trajectory;
 use kamel_roadsim::DatasetScale;
@@ -26,65 +32,15 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const CLIENTS: usize = 8;
-const REQUESTS_PER_CLIENT: usize = 50;
-
-fn percentile_us(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
-}
-
-fn drive(addr: SocketAddr, bodies: &Arc<Vec<Vec<u8>>>) -> (f64, Vec<u64>) {
-    let t0 = Instant::now();
-    let handles: Vec<_> = (0..CLIENTS)
-        .map(|c| {
-            let bodies = Arc::clone(bodies);
-            std::thread::spawn(move || {
-                let mut lat = Vec::with_capacity(REQUESTS_PER_CLIENT);
-                let mut client = Client::connect(addr, Duration::from_secs(60)).expect("connect");
-                for i in 0..REQUESTS_PER_CLIENT {
-                    let body = &bodies[(c * REQUESTS_PER_CLIENT + i) % bodies.len()];
-                    let r0 = Instant::now();
-                    let resp = client.post_json("/v1/impute", body).expect("request");
-                    assert_eq!(resp.status, 200, "{}", resp.text());
-                    lat.push(r0.elapsed().as_micros() as u64);
-                }
-                lat
-            })
-        })
-        .collect();
-    let mut latencies = Vec::new();
-    for h in handles {
-        latencies.extend(h.join().expect("client thread"));
-    }
-    let elapsed = t0.elapsed().as_secs_f64();
-    latencies.sort_unstable();
-    (elapsed, latencies)
-}
-
-fn summarize(elapsed_s: f64, latencies: &[u64]) -> serde_json::Value {
-    let total = latencies.len();
-    json!({
-        "requests": total,
-        "elapsed_s": elapsed_s,
-        "throughput_rps": total as f64 / elapsed_s,
-        "latency_us": {
-            "p50": percentile_us(latencies, 0.50),
-            "p95": percentile_us(latencies, 0.95),
-            "p99": percentile_us(latencies, 0.99),
-            "max": latencies.last().copied().unwrap_or(0),
-        },
-    })
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 fn boot_shard(kamel: &Arc<Kamel>) -> Server {
     let engine = Arc::new(ImputeEngine::new(Arc::clone(kamel)));
     let config = ServerConfig {
         workers: kamel_nn::thread_budget(),
-        handlers: CLIENTS * 2,
+        handlers: 16,
         cache_entries: 0,
         deadline: Duration::from_secs(60),
         ..ServerConfig::default()
@@ -106,6 +62,24 @@ fn fleet_map(addrs: &[SocketAddr]) -> ShardMap {
     ShardMap::new(shards, 1.0).expect("map")
 }
 
+fn bind_router(addrs: &[SocketAddr], max_connections: usize) -> Router {
+    Router::bind(
+        "127.0.0.1:0",
+        fleet_map(addrs),
+        RouterConfig {
+            handlers: 16,
+            timeout: Duration::from_secs(60),
+            health: HealthPolicy {
+                eject_after: 1,
+                probe_interval: Duration::from_secs(600),
+            },
+            max_connections,
+            ..RouterConfig::default()
+        },
+    )
+    .expect("bind router")
+}
+
 fn main() {
     let host = kamel_nn::available_threads();
     let budget = kamel_nn::thread_budget();
@@ -120,6 +94,11 @@ fn main() {
         );
         "measured-single-core"
     };
+    let rate = env_f64("KAMEL_BENCH_RPS", 200.0);
+    let seconds = env_f64("KAMEL_BENCH_SECONDS", 10.0);
+    let headroom = env_f64("KAMEL_BENCH_FD_HEADROOM", 8_000.0) as usize;
+    let plan = LoadPlan::at_rate(64, rate, seconds);
+
     let dataset = City::Porto.dataset(DatasetScale::Small);
     let kamel = Kamel::new(default_kamel_config().build());
     kamel.train(&dataset.train);
@@ -140,34 +119,24 @@ fn main() {
 
     // Baseline: one shard, no router.
     let direct_shard = boot_shard(&kamel);
-    let (elapsed, latencies) = drive(direct_shard.local_addr(), &bodies);
-    let direct = summarize(elapsed, &latencies);
-    let direct_p50 = percentile_us(&latencies, 0.50);
+    let outcome = loadgen::run(direct_shard.local_addr(), "/v1/impute", &plan, &bodies);
+    let direct_p50 = percentile_us(&outcome.latency_us, 0.50);
+    let direct = loadgen::summary_json(&plan, &outcome);
     direct_shard.shutdown();
     eprintln!("direct scenario done");
 
-    // Routed: the same load through the gateway over two shards.
+    // Routed: the same schedule through the gateway over two shards.
     let (shard_a, shard_b) = (boot_shard(&kamel), boot_shard(&kamel));
-    let map = fleet_map(&[shard_a.local_addr(), shard_b.local_addr()]);
-    let owner = map.owner_order(map.cell_of(sparse[0].points[0].pos))[0];
-    let router = Router::bind(
-        "127.0.0.1:0",
-        map,
-        RouterConfig {
-            handlers: CLIENTS * 2,
-            timeout: Duration::from_secs(60),
-            health: HealthPolicy {
-                eject_after: 1,
-                probe_interval: Duration::from_secs(600),
-            },
-            ..RouterConfig::default()
-        },
-    )
-    .expect("bind router");
+    let shard_addrs = [shard_a.local_addr(), shard_b.local_addr()];
+    let owner = {
+        let map = fleet_map(&shard_addrs);
+        map.owner_order(map.cell_of(sparse[0].points[0].pos))[0]
+    };
+    let router = bind_router(&shard_addrs, 10_000);
     assert_eq!(router.core().available_shards(), 2, "fleet admitted");
-    let (elapsed, latencies) = drive(router.local_addr(), &bodies);
-    let routed = summarize(elapsed, &latencies);
-    let routed_p50 = percentile_us(&latencies, 0.50);
+    let outcome = loadgen::run(router.local_addr(), "/v1/impute", &plan, &bodies);
+    let routed_p50 = percentile_us(&outcome.latency_us, 0.50);
+    let routed = loadgen::summary_json(&plan, &outcome);
     eprintln!("routed scenario done");
 
     // Failover: kill the primary, then measure. The first request eats
@@ -182,8 +151,8 @@ fn main() {
         assert_eq!(resp.status, 200, "{}", resp.text());
         t0.elapsed().as_micros() as u64
     };
-    let (elapsed, latencies) = drive(router.local_addr(), &bodies);
-    let after_failover = summarize(elapsed, &latencies);
+    let outcome = loadgen::run(router.local_addr(), "/v1/impute", &plan, &bodies);
+    let after_failover = loadgen::summary_json(&plan, &outcome);
     let ejections = router
         .core()
         .metrics()
@@ -194,13 +163,33 @@ fn main() {
     router.shutdown();
     shards[1 - owner].take().unwrap().shutdown();
 
+    // Connection sweep against a fresh router + two fresh shards: the
+    // keep-alive wall lives on the router's reactor while the driver
+    // pool keeps the same offered rate.
+    let mut sweep = Vec::new();
+    for level in loadgen::connection_sweep(headroom) {
+        let (sa, sb) = (boot_shard(&kamel), boot_shard(&kamel));
+        let router = bind_router(&[sa.local_addr(), sb.local_addr()], level + 64);
+        let level_plan = LoadPlan::at_rate(level, rate, seconds);
+        eprintln!("sweep level: {level} connections");
+        let outcome = loadgen::run(router.local_addr(), "/v1/impute", &level_plan, &bodies);
+        sweep.push(loadgen::summary_json(&level_plan, &outcome));
+        router.shutdown();
+        sa.shutdown();
+        sb.shutdown();
+    }
+
     let doc = json!({
         "bench": "bench_router",
         "status": status,
+        "methodology": "open-loop, coordinated-omission-free: fixed arrival schedule, \
+                        latency measured from intended send time (service_us is the \
+                        send-to-last-byte time a closed-loop driver would report)",
         "host_threads": host,
         "thread_budget": budget,
-        "clients": CLIENTS,
-        "requests_per_client": REQUESTS_PER_CLIENT,
+        "offered_rps": rate,
+        "seconds_per_level": seconds,
+        "fd_headroom": headroom,
         "direct": direct,
         "routed": routed,
         "router_overhead_us_p50": routed_p50 as i64 - direct_p50 as i64,
@@ -209,6 +198,7 @@ fn main() {
             "ejections": ejections,
             "after": after_failover,
         },
+        "connection_sweep": sweep,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_router.json");
     std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialize"))

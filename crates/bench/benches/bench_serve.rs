@@ -1,93 +1,71 @@
-//! Throughput and latency of the `kamel-server` online serving layer.
+//! Throughput and latency of the `kamel-server` online serving layer,
+//! driven open-loop.
 //!
-//! Boots a server on loopback over a freshly trained small model, drives
-//! it with concurrent keep-alive clients, and writes throughput plus
-//! latency percentiles (and a cache-on rerun) to `BENCH_serve.json` at
-//! the repo root.
+//! Boots a server on loopback over a freshly trained small model and
+//! drives it with the coordinated-omission-free generator in
+//! `kamel_bench::loadgen`: requests follow a fixed arrival schedule and
+//! every latency sample is measured from the request's *intended* send
+//! time, so server stalls surface as tail latency instead of silently
+//! throttling the offered load. Three scenarios are written to
+//! `BENCH_serve.json` at the repo root:
+//!
+//! * **cache_off / cache_on** — the imputation-cost and cache-hit story
+//!   at a fixed 1k-connection level;
+//! * **connection_sweep** — 1k → 50k keep-alive connections (capped by
+//!   the host's fd headroom) at a constant offered rate: the reactor's
+//!   connection-table scaling, measured per level.
 //!
 //! Run with `cargo bench --bench bench_serve`. Not a criterion bench:
 //! the unit of work is a full HTTP round trip against a live server, so
-//! wall-clock over a fixed request count is the honest measure.
+//! the open-loop schedule over wall-clock is the honest measure.
+//!
+//! Environment knobs: `KAMEL_BENCH_RPS` (offered rate, default 200),
+//! `KAMEL_BENCH_SECONDS` (per-level run length, default 10),
+//! `KAMEL_BENCH_FD_HEADROOM` (connection-sweep cap, default 8000 —
+//! raise `ulimit -n` and this together for the 25k/50k levels).
 
 use kamel::Kamel;
+use kamel_bench::loadgen::{self, LoadPlan};
 use kamel_bench::{default_kamel_config, City};
 use kamel_geo::Trajectory;
 use kamel_roadsim::DatasetScale;
-use kamel_server::{Client, ImputeEngine, Server, ServerConfig};
+use kamel_server::{ImputeEngine, Server, ServerConfig};
 use serde_json::json;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-const CLIENTS: usize = 8;
-const REQUESTS_PER_CLIENT: usize = 50;
-
-fn percentile_us(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
-/// Drives `CLIENTS` concurrent connections, each firing its share of
-/// requests drawn round-robin from `bodies`. Returns (elapsed, latencies).
-fn drive(addr: std::net::SocketAddr, bodies: &Arc<Vec<Vec<u8>>>) -> (f64, Vec<u64>) {
-    let t0 = Instant::now();
-    let handles: Vec<_> = (0..CLIENTS)
-        .map(|c| {
-            let bodies = Arc::clone(bodies);
-            std::thread::spawn(move || {
-                let mut lat = Vec::with_capacity(REQUESTS_PER_CLIENT);
-                let mut client =
-                    Client::connect(addr, Duration::from_secs(60)).expect("connect");
-                for i in 0..REQUESTS_PER_CLIENT {
-                    let body = &bodies[(c * REQUESTS_PER_CLIENT + i) % bodies.len()];
-                    let r0 = Instant::now();
-                    let resp = client.post_json("/v1/impute", body).expect("request");
-                    assert_eq!(resp.status, 200, "{}", resp.text());
-                    lat.push(r0.elapsed().as_micros() as u64);
-                }
-                lat
-            })
-        })
-        .collect();
-    let mut latencies = Vec::new();
-    for h in handles {
-        latencies.extend(h.join().expect("client thread"));
-    }
-    let elapsed = t0.elapsed().as_secs_f64();
-    latencies.sort_unstable();
-    (elapsed, latencies)
-}
-
-fn summarize(elapsed_s: f64, latencies: &[u64], metrics: &kamel_server::Metrics) -> serde_json::Value {
-    let total = latencies.len();
-    json!({
-        "requests": total,
-        "elapsed_s": elapsed_s,
-        "throughput_rps": total as f64 / elapsed_s,
-        "latency_us": {
-            "p50": percentile_us(latencies, 0.50),
-            "p95": percentile_us(latencies, 0.95),
-            "p99": percentile_us(latencies, 0.99),
-            "max": latencies.last().copied().unwrap_or(0),
-        },
-        "cache_hit_rate": metrics.cache_hit_rate(),
-    })
-}
-
-fn run_scenario(kamel: &Arc<Kamel>, cache_entries: usize, bodies: &Arc<Vec<Vec<u8>>>) -> serde_json::Value {
+fn boot(kamel: &Arc<Kamel>, cache_entries: usize, max_connections: usize) -> Server {
     let engine = Arc::new(ImputeEngine::new(Arc::clone(kamel)));
     let config = ServerConfig {
         workers: kamel_nn::thread_budget(),
-        handlers: CLIENTS * 2,
+        handlers: 16,
         cache_entries,
         deadline: Duration::from_secs(60),
+        max_connections,
         ..ServerConfig::default()
     };
-    let server = Server::bind("127.0.0.1:0", engine, config).expect("bind");
-    let (elapsed, latencies) = drive(server.local_addr(), bodies);
-    let summary = summarize(elapsed, &latencies, server.metrics());
+    Server::bind("127.0.0.1:0", engine, config).expect("bind")
+}
+
+fn run_level(
+    kamel: &Arc<Kamel>,
+    cache_entries: usize,
+    plan: &LoadPlan,
+    bodies: &Arc<Vec<Vec<u8>>>,
+) -> serde_json::Value {
+    let server = boot(kamel, cache_entries, plan.connections + 64);
+    let outcome = loadgen::run(server.local_addr(), "/v1/impute", plan, bodies);
+    let mut summary = loadgen::summary_json(plan, &outcome);
+    if let serde_json::Value::Object(fields) = &mut summary {
+        fields.insert(
+            "cache_hit_rate".to_string(),
+            json!(server.metrics().cache_hit_rate()),
+        );
+    }
     server.shutdown();
     summary
 }
@@ -106,6 +84,10 @@ fn main() {
         );
         "measured-single-core"
     };
+    let rate = env_f64("KAMEL_BENCH_RPS", 200.0);
+    let seconds = env_f64("KAMEL_BENCH_SECONDS", 10.0);
+    let headroom = env_f64("KAMEL_BENCH_FD_HEADROOM", 8_000.0) as usize;
+
     let dataset = City::Porto.dataset(DatasetScale::Small);
     let kamel = Kamel::new(default_kamel_config().build());
     kamel.train(&dataset.train);
@@ -123,22 +105,40 @@ fn main() {
             .collect(),
     );
     eprintln!("model trained; {} distinct request bodies", bodies.len());
-    // Cache off: every request pays full imputation.
-    let cold = run_scenario(&kamel, 0, &bodies);
-    eprintln!("cache-off scenario done");
-    // Cache on: the 40 distinct bodies repeat across 400 requests, so the
-    // steady state is cache-dominated.
-    let cached = run_scenario(&kamel, 1024, &bodies);
-    eprintln!("cache-on scenario done");
+
+    // The cache story at a fixed 1k-connection level. Cache off: every
+    // request pays full imputation. Cache on: the 40 distinct bodies
+    // repeat across the schedule, so steady state is cache-dominated.
+    let cache_plan = LoadPlan::at_rate(1_000, rate, seconds);
+    let cold = run_level(&kamel, 0, &cache_plan, &bodies);
+    eprintln!("cache-off level done");
+    let cached = run_level(&kamel, 1_024, &cache_plan, &bodies);
+    eprintln!("cache-on level done");
+
+    // The connection sweep: constant offered rate, growing keep-alive
+    // wall. What is being measured is the reactor's ability to hold the
+    // connection table while the small driver pool keeps the schedule.
+    let mut sweep = Vec::new();
+    for level in loadgen::connection_sweep(headroom) {
+        let plan = LoadPlan::at_rate(level, rate, seconds);
+        eprintln!("sweep level: {level} connections");
+        sweep.push(run_level(&kamel, 1_024, &plan, &bodies));
+    }
+
     let doc = json!({
         "bench": "bench_serve",
         "status": status,
+        "methodology": "open-loop, coordinated-omission-free: fixed arrival schedule, \
+                        latency measured from intended send time (service_us is the \
+                        send-to-last-byte time a closed-loop driver would report)",
         "host_threads": host,
         "thread_budget": budget,
-        "clients": CLIENTS,
-        "requests_per_client": REQUESTS_PER_CLIENT,
+        "offered_rps": rate,
+        "seconds_per_level": seconds,
+        "fd_headroom": headroom,
         "cache_off": cold,
         "cache_on": cached,
+        "connection_sweep": sweep,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialize"))

@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod loadgen;
 pub mod svg;
 
 use kamel::{GridKind, KamelConfig, KamelConfigBuilder, MultipointStrategy, SpeedMode};

@@ -1,0 +1,279 @@
+//! Open-loop, coordinated-omission-free HTTP load generator.
+//!
+//! The closed-loop driver the serving benches used before this module
+//! suffered from *coordinated omission*: each client thread fired its
+//! next request only after the previous response returned, so a server
+//! stall silently throttled the offered load and the stall showed up in
+//! at most one latency sample. Real arrivals do not wait for the server.
+//!
+//! This generator fixes both halves of that bug:
+//!
+//! * **Open loop** — requests follow a fixed arrival schedule computed
+//!   up front from the target rate. The k-th request of the run is
+//!   *intended* to leave at `t0 + k / rate`, whether or not the server
+//!   has answered anything yet. A driver that falls behind does not
+//!   stretch the schedule; it works through the backlog.
+//! * **Coordinated-omission-free latency** — every sample is measured
+//!   from the request's *intended* send time, not the moment the socket
+//!   write finally happened. Time a request spent queued behind a stall
+//!   on its connection counts against the server, exactly as a real
+//!   client would experience it. The actual service time (send → last
+//!   response byte) is recorded separately so the gap between the two
+//!   distributions — the queueing delay closed-loop drivers hide — is
+//!   visible in the report.
+//!
+//! Connection model: `plan.connections` keep-alive sockets are opened
+//! before the clock starts. `plan.drivers` of them actively carry the
+//! request schedule (round-robin: driver d sends requests k where
+//! `k % drivers == d`); the rest form an idle *wall* that holds the
+//! server's connection table at the sweep level, which is how the
+//! 1k–50k sweeps exercise the reactor's readiness machinery without
+//! needing 50k sender threads.
+
+use kamel_server::Client;
+use serde_json::json;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One load level of a sweep: how many connections, how fast, how long.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// Total keep-alive connections held open for the run (drivers + wall).
+    pub connections: usize,
+    /// Connections that actively carry requests (each gets a thread).
+    /// Clamped to `connections`.
+    pub drivers: usize,
+    /// Intended aggregate arrival rate, requests per second.
+    pub rate_rps: f64,
+    /// Total requests in the schedule.
+    pub requests: usize,
+    /// Per-request socket timeout.
+    pub timeout: Duration,
+}
+
+impl LoadPlan {
+    /// A plan offering `rate_rps` for roughly `seconds` across
+    /// `connections` connections with a default driver pool.
+    pub fn at_rate(connections: usize, rate_rps: f64, seconds: f64) -> Self {
+        LoadPlan {
+            connections,
+            drivers: connections.min(16),
+            rate_rps,
+            requests: (rate_rps * seconds).ceil() as usize,
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Everything measured during one [`run`].
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// Requests the schedule intended to send.
+    pub intended: usize,
+    /// Requests that completed with a 200.
+    pub completed: usize,
+    /// Requests that errored (transport failure or non-200).
+    pub errors: usize,
+    /// Wall-clock of the driving phase, seconds.
+    pub elapsed_s: f64,
+    /// Idle keep-alive connections held open alongside the drivers.
+    pub wall_connections: usize,
+    /// Sorted latencies in µs measured from *intended* send time.
+    pub latency_us: Vec<u64>,
+    /// Sorted service times in µs measured from actual send time.
+    pub service_us: Vec<u64>,
+}
+
+impl LoadOutcome {
+    /// Completed requests per wall-clock second.
+    pub fn achieved_rps(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.completed as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Value at quantile `p` (0.0–1.0) of an ascending-sorted slice.
+pub fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn quantile_block(sorted: &[u64]) -> serde_json::Value {
+    json!({
+        "p50": percentile_us(sorted, 0.50),
+        "p90": percentile_us(sorted, 0.90),
+        "p99": percentile_us(sorted, 0.99),
+        "p999": percentile_us(sorted, 0.999),
+        "max": sorted.last().copied().unwrap_or(0),
+    })
+}
+
+/// JSON summary of one load level, for the BENCH_*.json reports.
+///
+/// `latency_us` is the honest (intended-send-time) distribution;
+/// `service_us` is what a coordinated-omission-blind driver would have
+/// reported. Their divergence at the tail is the queueing delay the old
+/// closed-loop bench hid.
+pub fn summary_json(plan: &LoadPlan, outcome: &LoadOutcome) -> serde_json::Value {
+    json!({
+        "connections": plan.connections,
+        "drivers": plan.drivers,
+        "offered_rps": plan.rate_rps,
+        "intended_requests": outcome.intended,
+        "completed": outcome.completed,
+        "errors": outcome.errors,
+        "elapsed_s": outcome.elapsed_s,
+        "achieved_rps": outcome.achieved_rps(),
+        "latency_us": quantile_block(&outcome.latency_us),
+        "service_us": quantile_block(&outcome.service_us),
+    })
+}
+
+/// Drives `plan` against `addr`, POSTing bodies round-robin from
+/// `bodies` to `path`. Returns the merged, sorted measurements.
+///
+/// Panics if the wall cannot be opened (the sweep level exceeds what
+/// the server or the local fd limit admits) — a load level that cannot
+/// even establish its connections is a failed level, not a datum.
+pub fn run(
+    addr: SocketAddr,
+    path: &'static str,
+    plan: &LoadPlan,
+    bodies: &Arc<Vec<Vec<u8>>>,
+) -> LoadOutcome {
+    let drivers = plan.drivers.max(1).min(plan.connections.max(1));
+    let wall_connections = plan.connections.saturating_sub(drivers);
+
+    // The idle wall first: sockets held open but silent, so the server
+    // carries `plan.connections` entries in its connection table for
+    // the whole run. Opened before t0 so setup cost is not billed to
+    // request latency.
+    let wall: Vec<Client> = (0..wall_connections)
+        .map(|i| {
+            Client::connect(addr, plan.timeout)
+                .unwrap_or_else(|e| panic!("wall connection {i}/{wall_connections}: {e}"))
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..drivers)
+        .map(|d| {
+            let bodies = Arc::clone(bodies);
+            let plan = plan.clone();
+            std::thread::spawn(move || {
+                let mut latency = Vec::new();
+                let mut service = Vec::new();
+                let mut errors = 0usize;
+                let mut client = Client::connect(addr, plan.timeout).expect("driver connect");
+                let mut k = d;
+                while k < plan.requests {
+                    // The open-loop schedule: request k is due at
+                    // t0 + k/rate regardless of server progress.
+                    let due = t0 + Duration::from_secs_f64(k as f64 / plan.rate_rps);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    let sent = Instant::now();
+                    let body = &bodies[k % bodies.len()];
+                    match client.post_json(path, body) {
+                        Ok(resp) if resp.status == 200 => {
+                            let done = Instant::now();
+                            // From intended time: queueing behind a
+                            // stalled connection counts.
+                            latency.push(done.duration_since(due).as_micros() as u64);
+                            service.push(done.duration_since(sent).as_micros() as u64);
+                        }
+                        Ok(_) | Err(_) => {
+                            errors += 1;
+                            // The connection may be wedged mid-response;
+                            // a fresh one keeps the schedule honest.
+                            if let Ok(fresh) = Client::connect(addr, plan.timeout) {
+                                client = fresh;
+                            }
+                        }
+                    }
+                    k += drivers;
+                }
+                (latency, service, errors)
+            })
+        })
+        .collect();
+
+    let mut latency_us = Vec::with_capacity(plan.requests);
+    let mut service_us = Vec::with_capacity(plan.requests);
+    let mut errors = 0;
+    for h in handles {
+        let (l, s, e) = h.join().expect("driver thread");
+        latency_us.extend(l);
+        service_us.extend(s);
+        errors += e;
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    drop(wall);
+    latency_us.sort_unstable();
+    service_us.sort_unstable();
+    LoadOutcome {
+        intended: plan.requests,
+        completed: latency_us.len(),
+        errors,
+        elapsed_s,
+        wall_connections,
+        latency_us,
+        service_us,
+    }
+}
+
+/// The connection sweep for a serving bench: how many keep-alive
+/// connections each load level holds open. Capped by the host's fd
+/// headroom so a laptop run degrades to the levels it can hold instead
+/// of dying on EMFILE; the cap is recorded in the bench output.
+pub fn connection_sweep(fd_headroom: usize) -> Vec<usize> {
+    [1_000, 5_000, 10_000, 25_000, 50_000]
+        .into_iter()
+        .filter(|&c| c <= fd_headroom)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_empty_and_singleton() {
+        assert_eq!(percentile_us(&[], 0.99), 0);
+        assert_eq!(percentile_us(&[7], 0.0), 7);
+        assert_eq!(percentile_us(&[7], 1.0), 7);
+    }
+
+    #[test]
+    fn percentile_picks_the_right_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        // Nearest-rank over the 0-based index range: (len-1) * p, rounded.
+        assert_eq!(percentile_us(&v, 0.50), 51);
+        assert_eq!(percentile_us(&v, 0.99), 99);
+        assert_eq!(percentile_us(&v, 1.0), 100);
+    }
+
+    #[test]
+    fn at_rate_sizes_the_schedule() {
+        let p = LoadPlan::at_rate(1_000, 500.0, 4.0);
+        assert_eq!(p.connections, 1_000);
+        assert_eq!(p.drivers, 16);
+        assert_eq!(p.requests, 2_000);
+    }
+
+    #[test]
+    fn sweep_respects_fd_headroom() {
+        assert_eq!(connection_sweep(12_000), vec![1_000, 5_000, 10_000]);
+        assert_eq!(connection_sweep(800), Vec::<usize>::new());
+        assert_eq!(connection_sweep(60_000).len(), 5);
+    }
+}

@@ -471,7 +471,8 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
              \x20           [--model-memory-budget BYTES] [--threads N] [--batch-max N]\n\
              \x20           [--batch-wait-us N] [--cache-entries N] [--queue-cap N]\n\
              \x20           [--deadline-ms N] [--shard-id N --shard-of N] [--quantize]\n\
-             \x20           [--degraded-mode]\n\
+             \x20           [--degraded-mode] [--max-connections N] [--idle-timeout-ms N]\n\
+             \x20           [--threaded]\n\
              serves POST /v1/impute, POST /admin/reload, GET /healthz, GET /metrics,\n\
              GET /v1/info until SIGTERM/ctrl-c; SIGHUP hot-reloads the model from\n\
              --model (or remaps --store, picking up a re-packed file);\n\
@@ -484,11 +485,14 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
              (startup fails when it does not; a store instead serves whatever\n\
              quantization state it was packed with); --degraded-mode answers\n\
              from the linear baseline (marked \"degraded\": true) instead of 503\n\
-             when the admission queue is full"
+             when the admission queue is full; --max-connections caps concurrent\n\
+             sockets (excess accepts get 503), --idle-timeout-ms closes idle or\n\
+             slow-loris keep-alive connections, and --threaded opts out of the\n\
+             epoll/kqueue reactor back to thread-per-connection serving"
         );
         return Ok(());
     }
-    let flags = Flags::parse(args, &["--quantize", "--degraded-mode"])?;
+    let flags = Flags::parse(args, &["--quantize", "--degraded-mode", "--threaded"])?;
     let budget = flags
         .get("--model-memory-budget")
         .map(parse_byte_size)
@@ -587,6 +591,15 @@ pub fn serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         ),
         idle_poll: std::time::Duration::from_millis(200),
         degraded_mode: flags.has("--degraded-mode"),
+        mode: if flags.has("--threaded") {
+            kamel_server::ConnMode::Threaded
+        } else {
+            kamel_server::ConnMode::Reactor
+        },
+        max_connections: (flags.get_f64("--max-connections", 10_000.0)? as usize).max(1),
+        idle_timeout: std::time::Duration::from_millis(
+            (flags.get_f64("--idle-timeout-ms", 30_000.0)? as u64).max(1),
+        ),
     };
     let addr = flags.get("--addr").unwrap_or("127.0.0.1:8080");
     let signals = kamel_server::install_signal_handlers();
@@ -668,7 +681,8 @@ pub fn route(args: &[String], out: &mut dyn Write) -> Result<(), String> {
              \x20           [--timeout-ms N] [--handlers N] [--default-deadline-ms N]\n\
              \x20           [--breaker-window N] [--breaker-threshold R]\n\
              \x20           [--breaker-open-ms N] [--degraded-mode]\n\
-             \x20           [--degraded-max-gap-m M]\n\
+             \x20           [--degraded-max-gap-m M] [--max-connections N]\n\
+             \x20           [--idle-timeout-ms N] [--threaded]\n\
              serves POST /v1/impute (proxied), GET /healthz, GET /metrics,\n\
              GET /v1/shards until SIGTERM/ctrl-c; --cell-deg sets the routing\n\
              grid for --shard fleets (a --shard-map file carries its own);\n\
@@ -677,11 +691,15 @@ pub fn route(args: &[String], out: &mut dyn Write) -> Result<(), String> {
              --breaker-threshold (ratio) of the last --breaker-window forwards\n\
              failed, refusing it for --breaker-open-ms before probing;\n\
              --degraded-mode answers requests no shard can serve from the\n\
-             linear baseline (marked \"degraded\": true) instead of 502/503"
+             linear baseline (marked \"degraded\": true) instead of 502/503;\n\
+             --max-connections caps concurrent client sockets (excess accepts\n\
+             get 503), --idle-timeout-ms closes idle/slow-loris keep-alive\n\
+             connections, and --threaded opts out of the epoll/kqueue reactor\n\
+             back to thread-per-connection serving"
         );
         return Ok(());
     }
-    let flags = Flags::parse(args, &["--degraded-mode"])?;
+    let flags = Flags::parse(args, &["--degraded-mode", "--threaded"])?;
     let map = match (flags.get("--shard-map"), flags.get("--shard")) {
         (Some(path), None) => kamel_router::ShardMap::from_json_file(Path::new(path))?,
         (None, Some(list)) => {
@@ -718,6 +736,15 @@ pub fn route(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         ),
         degraded: flags.has("--degraded-mode"),
         degraded_max_gap_m: flags.get_f64("--degraded-max-gap-m", 100.0)?,
+        mode: if flags.has("--threaded") {
+            kamel_server::ConnMode::Threaded
+        } else {
+            kamel_server::ConnMode::Reactor
+        },
+        max_connections: (flags.get_f64("--max-connections", 10_000.0)? as usize).max(1),
+        idle_timeout: std::time::Duration::from_millis(
+            (flags.get_f64("--idle-timeout-ms", 30_000.0)? as u64).max(1),
+        ),
         ..kamel_router::RouterConfig::default()
     };
     let addr = flags.get("--addr").unwrap_or("127.0.0.1:8780");
@@ -814,6 +841,127 @@ pub fn chaos(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let seen = proxy.connections();
     proxy.shutdown();
     let _ = writeln!(out, "shutdown signal received; {seen} connections proxied; goodbye");
+    Ok(())
+}
+
+/// `kamel c10k`: the concurrent-connection smoke drill (DESIGN.md §15).
+///
+/// Opens a wall of keep-alive connections against one `kamel serve` (or
+/// `kamel route`) process, confirms the server's own
+/// `kamel_connections_active` gauge sees them all, fires the same
+/// request down every connection, and asserts the answers are
+/// byte-identical — the reactor must hold the whole wall open on its
+/// fixed worker pool, not serve them one at a time.
+pub fn c10k(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help") {
+        let _ = writeln!(
+            out,
+            "kamel c10k --addr HOST:PORT [--connections N] [--fixture FILE]\n\
+             \x20          [--timeout-ms N] [--gauge-wait-ms N]\n\
+             opens N keep-alive connections (default 1000), waits until the\n\
+             target's /metrics kamel_connections_active gauge counts them all,\n\
+             then POSTs the --fixture trajectory JSON (default: GET /healthz)\n\
+             down every connection and fails unless every response is\n\
+             byte-identical; exits nonzero on any shortfall"
+        );
+        return Ok(());
+    }
+    let flags = Flags::parse(args, &[])?;
+    let addr = flags.required("--addr")?;
+    let target: std::net::SocketAddr = {
+        use std::net::ToSocketAddrs;
+        addr.to_socket_addrs()
+            .map_err(|e| format!("--addr {addr}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("--addr {addr}: resolves to no address"))?
+    };
+    let n = (flags.get_f64("--connections", 1_000.0)? as usize).max(1);
+    let timeout = std::time::Duration::from_millis(
+        (flags.get_f64("--timeout-ms", 10_000.0)? as u64).max(1),
+    );
+    let gauge_wait = std::time::Duration::from_millis(
+        (flags.get_f64("--gauge-wait-ms", 10_000.0)? as u64).max(1),
+    );
+    let fixture = flags
+        .get("--fixture")
+        .map(|path| std::fs::read(path).map_err(|e| format!("--fixture {path}: {e}")))
+        .transpose()?;
+    // The wall: every connection stays open (keep-alive) until the drill
+    // ends, so the gauge must count all of them at once.
+    let mut wall = Vec::with_capacity(n);
+    for i in 0..n {
+        match kamel_server::Client::connect(target, timeout) {
+            Ok(client) => wall.push(client),
+            Err(e) => return Err(format!("connection {i}/{n} failed: {e}")),
+        }
+    }
+    let _ = writeln!(out, "opened {n} keep-alive connections to {target}");
+    let _ = out.flush();
+    // The server's own view: poll /metrics (one extra connection) until
+    // the active gauge counts the wall, or give up honestly.
+    let mut probe = kamel_server::Client::connect(target, timeout)
+        .map_err(|e| format!("metrics probe connect: {e}"))?;
+    let deadline = std::time::Instant::now() + gauge_wait;
+    let gauge = loop {
+        let resp = probe.get("/metrics").map_err(|e| format!("GET /metrics: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("GET /metrics answered {}", resp.status));
+        }
+        let gauge: u64 = resp
+            .text()
+            .lines()
+            .find_map(|l| l.strip_prefix("kamel_connections_active "))
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or("no kamel_connections_active gauge on /metrics")?;
+        if gauge >= n as u64 || std::time::Instant::now() >= deadline {
+            break gauge;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    if gauge < n as u64 {
+        return Err(format!(
+            "kamel_connections_active reached {gauge}, wanted >= {n} \
+             (server dropped or never admitted part of the wall)"
+        ));
+    }
+    let _ = writeln!(out, "kamel_connections_active {gauge} >= {n}");
+    // Same bytes down every pipe must come back as the same bytes.
+    let mut first: Option<(u16, Vec<u8>)> = None;
+    for (i, client) in wall.iter_mut().enumerate() {
+        let resp = match &fixture {
+            Some(body) => client.post_json("/v1/impute", body),
+            None => client.get("/healthz"),
+        }
+        .map_err(|e| format!("request on connection {i}: {e}"))?;
+        match &first {
+            None => {
+                if resp.status != 200 {
+                    return Err(format!(
+                        "connection 0 answered {}: {}",
+                        resp.status,
+                        resp.text()
+                    ));
+                }
+                first = Some((resp.status, resp.body));
+            }
+            Some((status, body)) => {
+                if resp.status != *status || resp.body != *body {
+                    return Err(format!(
+                        "connection {i} diverged: status {} vs {status}, \
+                         {} vs {} body bytes",
+                        resp.status,
+                        resp.body.len(),
+                        body.len()
+                    ));
+                }
+            }
+        }
+    }
+    let what = if fixture.is_some() { "fixture imputation" } else { "healthz" };
+    let _ = writeln!(
+        out,
+        "all {n} connections answered the {what} with identical bytes; drill passed"
+    );
     Ok(())
 }
 

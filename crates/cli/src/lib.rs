@@ -31,7 +31,7 @@ use std::io::Write;
 /// Runs the CLI with the given arguments (excluding the program name),
 /// writing human output to `out`. Returns the process exit code.
 pub fn run(args: &[String], out: &mut dyn Write) -> i32 {
-    let usage = "usage: kamel <generate|train|tune|impute|pack|serve|route|chaos|stats|evaluate|export> [options]\n\
+    let usage = "usage: kamel <generate|train|tune|impute|pack|serve|route|chaos|c10k|stats|evaluate|export> [options]\n\
                  run `kamel <command> --help` for per-command options";
     let Some(command) = args.first() else {
         let _ = writeln!(out, "{usage}");
@@ -46,6 +46,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> i32 {
         "serve" => commands::serve(rest, out),
         "route" => commands::route(rest, out),
         "chaos" => commands::chaos(rest, out),
+        "c10k" => commands::c10k(rest, out),
         "stats" => commands::stats(rest, out),
         "tune" => commands::tune(rest, out),
         "export" => commands::export(rest, out),

@@ -33,8 +33,8 @@ use kamel_geo::Trajectory;
 use kamel_hexgrid::CellId;
 use kamel_server::http::{parse_deadline_header, Request, Response};
 use kamel_server::{
-    Client, ClientResponse, Clock, ImputeResponse, InfoResponse, RequestOpts, RetryPolicy,
-    RetryingClient, SystemClock, DEADLINE_HEADER, DEGRADED_HEADER,
+    Client, ClientResponse, Clock, ConnMode, ImputeResponse, InfoResponse, RequestOpts,
+    RetryPolicy, RetryingClient, SystemClock, DEADLINE_HEADER, DEGRADED_HEADER,
 };
 use serde::Serialize;
 use std::sync::atomic::Ordering;
@@ -77,6 +77,15 @@ pub struct RouterConfig {
     /// Gap threshold / interior spacing (meters) for the degraded linear
     /// imputer (the system `max_gap`, paper default 100 m).
     pub degraded_max_gap_m: f64,
+    /// Connection-layer architecture: epoll/kqueue reactor (default) or
+    /// the legacy thread-per-connection fallback.
+    pub mode: ConnMode,
+    /// Concurrent-connection cap; accepts beyond it are refused with a
+    /// best-effort 503.
+    pub max_connections: usize,
+    /// Reactor mode only: idle keep-alive / slow-loris connections are
+    /// closed after this long without progress.
+    pub idle_timeout: Duration,
 }
 
 impl Default for RouterConfig {
@@ -98,6 +107,9 @@ impl Default for RouterConfig {
             default_deadline: Duration::from_secs(10),
             degraded: false,
             degraded_max_gap_m: 100.0,
+            mode: ConnMode::Reactor,
+            max_connections: 10_000,
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -194,6 +206,12 @@ impl RouterCore {
         &self.config
     }
 
+    /// The clock the core makes deadline and breaker decisions with;
+    /// the reactor shares it so socket timers agree with deadlines.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
     /// Number of currently admitted shards.
     pub fn available_shards(&self) -> usize {
         (0..self.map.len()).filter(|&i| self.health.is_available(i)).count()
@@ -285,9 +303,17 @@ impl RouterCore {
     /// checked before each hop, so a request the router has given up on
     /// is never still computing somewhere downstream.
     pub fn handle_impute(&self, request: &Request) -> Response {
+        self.handle_impute_at(request, self.clock.now())
+    }
+
+    /// [`RouterCore::handle_impute`] with an explicit arrival instant —
+    /// the reactor path passes the moment the request finished parsing,
+    /// so time spent queued for a dispatch worker counts against the
+    /// deadline budget instead of silently extending it.
+    pub fn handle_impute_at(&self, request: &Request, received: Instant) -> Response {
         let budget = parse_deadline_header(request.header(DEADLINE_HEADER))
             .budget_or(self.config.default_deadline);
-        let deadline = self.clock.now() + budget;
+        let deadline = received + budget;
         let sparse: Trajectory = match serde_json::from_slice(&request.body) {
             Ok(t) => t,
             Err(e) => {

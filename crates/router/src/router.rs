@@ -1,19 +1,24 @@
-//! The gateway server: accept loop, connection handlers, the background
-//! probe thread, and routing to the [`RouterCore`].
+//! The gateway server: the connection layer, the background probe
+//! thread, and routing to the [`RouterCore`].
 //!
-//! Same threading shape as `kamel-server` (1 accept thread + N handler
-//! threads over a bounded socket channel, shutdown via a shared flag),
-//! minus the batcher — the router's work per request is parsing and
-//! forwarding, so handlers run the proxy inline.
+//! Same connection architecture as `kamel-server`: by default one
+//! epoll/kqueue reactor thread owns every socket (accept, incremental
+//! parse, write-out, idle timers) and hands parsed requests to a fixed
+//! pool of dispatch workers, which run the proxy logic (forwarding may
+//! block on shard sockets — never on the reactor thread). On platforms
+//! without a supported selector the legacy thread-per-connection path
+//! ([`kamel_server::ConnMode::Threaded`]) serves the same wire behavior.
 
 use crate::proxy::{RouterConfig, RouterCore};
 use crate::shardmap::ShardMap;
 use kamel_server::http::{read_request, ReadError, Request, Response};
-use kamel_server::ShutdownFlag;
+use kamel_server::reactor::{run_reactor, ResponseSink};
+use kamel_server::{ConnMode, ConnStats, ReactorConfig, ShutdownFlag};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A running router. Dropping it without [`Router::shutdown`] aborts
 /// without draining; call `shutdown` for the graceful path.
@@ -21,6 +26,7 @@ pub struct Router {
     addr: SocketAddr,
     flag: ShutdownFlag,
     core: Arc<RouterCore>,
+    conn_stats: Arc<ConnStats>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     handler_threads: Vec<std::thread::JoinHandle<()>>,
     probe_thread: Option<std::thread::JoinHandle<()>>,
@@ -38,29 +44,98 @@ impl Router {
         let flag = ShutdownFlag::new();
         let core = Arc::new(RouterCore::new(map, config.clone()));
         core.probe_all();
-        // Handlers drain a bounded socket channel fed by the acceptor.
-        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.handlers.max(1) * 2);
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
-        let handler_threads = (0..config.handlers.max(1))
-            .map(|i| {
-                let conn_rx = Arc::clone(&conn_rx);
-                let core = Arc::clone(&core);
-                let flag = flag.clone();
-                std::thread::Builder::new()
-                    .name(format!("kamel-route-{i}"))
-                    .spawn(move || handler_loop(&conn_rx, &core, &flag))
-                    .expect("spawn router handler")
-            })
-            .collect();
-        let accept_flag = flag.clone();
-        let poll = config.idle_poll.min(Duration::from_millis(50));
-        let accept_thread = std::thread::Builder::new()
-            .name("kamel-route-accept".into())
-            .spawn(move || {
-                accept_loop(&listener, &conn_tx, &accept_flag, poll);
-                drop(conn_tx);
-            })
-            .expect("spawn router accept thread");
+        let conn_stats = Arc::new(ConnStats::default());
+        // Reactor mode needs an epoll/kqueue selector; fall back to the
+        // blocking path (same wire behavior) where none exists.
+        let mode = match config.mode {
+            ConnMode::Reactor if kamel_server::poller::Poller::new().is_err() => {
+                eprintln!(
+                    "kamel-route: no epoll/kqueue on this platform; \
+                     falling back to thread-per-connection"
+                );
+                ConnMode::Threaded
+            }
+            mode => mode,
+        };
+        let (handler_threads, accept_thread) = match mode {
+            ConnMode::Reactor => {
+                // Dispatch workers run the proxy (which blocks on shard
+                // sockets) off the reactor thread.
+                let (req_tx, req_rx) = mpsc::channel::<(Request, Instant, ResponseSink)>();
+                let req_rx = Arc::new(Mutex::new(req_rx));
+                let handler_threads: Vec<_> = (0..config.handlers.max(1))
+                    .map(|i| {
+                        let req_rx = Arc::clone(&req_rx);
+                        let core = Arc::clone(&core);
+                        let flag = flag.clone();
+                        let conn_stats = Arc::clone(&conn_stats);
+                        std::thread::Builder::new()
+                            .name(format!("kamel-route-{i}"))
+                            .spawn(move || dispatch_loop(&req_rx, &core, &flag, &conn_stats))
+                            .expect("spawn router dispatch worker")
+                    })
+                    .collect();
+                // The reactor owns `req_tx`; when it drains and exits,
+                // the channel disconnects the workers.
+                let on_request: kamel_server::reactor::RequestHandler =
+                    Box::new(move |request, received, sink| {
+                        let _ = req_tx.send((request, received, sink));
+                    });
+                let reactor_config = ReactorConfig {
+                    max_connections: config.max_connections.max(1),
+                    idle_timeout: config.idle_timeout,
+                    ..ReactorConfig::default()
+                };
+                let reactor_clock = Arc::clone(core.clock());
+                let reactor_flag = flag.clone();
+                let reactor_stats = Arc::clone(&conn_stats);
+                let reactor_thread = std::thread::Builder::new()
+                    .name("kamel-route-reactor".into())
+                    .spawn(move || {
+                        if let Err(e) = run_reactor(
+                            listener,
+                            reactor_config,
+                            reactor_clock,
+                            reactor_flag,
+                            reactor_stats,
+                            on_request,
+                        ) {
+                            eprintln!("kamel-route: reactor failed: {e}");
+                        }
+                    })
+                    .expect("spawn router reactor thread");
+                (handler_threads, reactor_thread)
+            }
+            ConnMode::Threaded => {
+                // Handlers drain a bounded socket channel fed by the
+                // acceptor.
+                let (conn_tx, conn_rx) =
+                    mpsc::sync_channel::<TcpStream>(config.handlers.max(1) * 2);
+                let conn_rx = Arc::new(Mutex::new(conn_rx));
+                let handler_threads: Vec<_> = (0..config.handlers.max(1))
+                    .map(|i| {
+                        let conn_rx = Arc::clone(&conn_rx);
+                        let core = Arc::clone(&core);
+                        let flag = flag.clone();
+                        let conn_stats = Arc::clone(&conn_stats);
+                        std::thread::Builder::new()
+                            .name(format!("kamel-route-{i}"))
+                            .spawn(move || handler_loop(&conn_rx, &core, &flag, &conn_stats))
+                            .expect("spawn router handler")
+                    })
+                    .collect();
+                let accept_flag = flag.clone();
+                let poll = config.idle_poll.min(Duration::from_millis(50));
+                let accept_thread = std::thread::Builder::new()
+                    .name("kamel-route-accept".into())
+                    .spawn(move || {
+                        accept_loop(&listener, &conn_tx, &accept_flag, poll);
+                        drop(conn_tx);
+                    })
+                    .expect("spawn router accept thread");
+                (handler_threads, accept_thread)
+            }
+        };
         let probe_core = Arc::clone(&core);
         let probe_flag = flag.clone();
         let probe_thread = std::thread::Builder::new()
@@ -71,6 +146,7 @@ impl Router {
             addr,
             flag,
             core,
+            conn_stats,
             accept_thread: Some(accept_thread),
             handler_threads,
             probe_thread: Some(probe_thread),
@@ -85,6 +161,12 @@ impl Router {
     /// The routing core (map, health, metrics) — shared with handlers.
     pub fn core(&self) -> &Arc<RouterCore> {
         &self.core
+    }
+
+    /// The live connection-layer counters (shared with the reactor or,
+    /// in threaded mode, the handlers).
+    pub fn connections(&self) -> &Arc<ConnStats> {
+        &self.conn_stats
     }
 
     /// Requests a graceful shutdown without waiting; follow with
@@ -149,21 +231,46 @@ fn probe_loop(core: &RouterCore, flag: &ShutdownFlag) {
     }
 }
 
-fn handler_loop(
-    conn_rx: &Mutex<mpsc::Receiver<TcpStream>>,
+/// Reactor-mode worker: requests arrive already parsed, with the instant
+/// they finished parsing; the response goes back through the sink.
+fn dispatch_loop(
+    req_rx: &Mutex<mpsc::Receiver<(Request, Instant, ResponseSink)>>,
     core: &RouterCore,
     flag: &ShutdownFlag,
+    conn_stats: &ConnStats,
 ) {
     loop {
-        let conn = conn_rx.lock().unwrap().recv();
-        match conn {
-            Ok(stream) => handle_connection(stream, core, flag),
+        let next = req_rx.lock().unwrap().recv();
+        match next {
+            Ok((request, received, sink)) => {
+                sink.send(route(&request, received, core, flag, conn_stats));
+            }
             Err(_) => return,
         }
     }
 }
 
-fn handle_connection(stream: TcpStream, core: &RouterCore, flag: &ShutdownFlag) {
+fn handler_loop(
+    conn_rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    core: &RouterCore,
+    flag: &ShutdownFlag,
+    conn_stats: &ConnStats,
+) {
+    loop {
+        let conn = conn_rx.lock().unwrap().recv();
+        match conn {
+            Ok(stream) => handle_connection(stream, core, flag, conn_stats),
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    core: &RouterCore,
+    flag: &ShutdownFlag,
+    conn_stats: &ConnStats,
+) {
     if stream.set_nonblocking(false).is_err()
         || stream
             .set_read_timeout(Some(core.config().idle_poll))
@@ -175,6 +282,25 @@ fn handle_connection(stream: TcpStream, core: &RouterCore, flag: &ShutdownFlag) 
     let Ok(mut write_half) = stream.try_clone() else {
         return;
     };
+    // Same admission rule as the reactor: past the cap, refuse with a
+    // best-effort 503 before reading anything.
+    let cap = core.config().max_connections.max(1) as u64;
+    if conn_stats.active.load(Ordering::Relaxed) >= cap {
+        conn_stats.rejected_total.fetch_add(1, Ordering::Relaxed);
+        let _ = Response::text(503, "overloaded: connection limit reached\n")
+            .with_header("retry-after", "1")
+            .write_to(&mut write_half, true);
+        return;
+    }
+    conn_stats.accepted_total.fetch_add(1, Ordering::Relaxed);
+    conn_stats.active.fetch_add(1, Ordering::Relaxed);
+    struct ActiveGuard<'a>(&'a ConnStats);
+    impl Drop for ActiveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.active.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let _guard = ActiveGuard(conn_stats);
     let mut reader = BufReader::new(stream);
     loop {
         if flag.is_tripped() {
@@ -182,8 +308,9 @@ fn handle_connection(stream: TcpStream, core: &RouterCore, flag: &ShutdownFlag) 
         }
         match read_request(&mut reader) {
             Ok(request) => {
+                let received = core.clock().now();
                 let close = request.wants_close();
-                let response = route(&request, core, flag);
+                let response = route(&request, received, core, flag, conn_stats);
                 let close = close || response.status == 503;
                 if response.write_to(&mut write_half, close).is_err() || close {
                     return;
@@ -200,9 +327,15 @@ fn handle_connection(stream: TcpStream, core: &RouterCore, flag: &ShutdownFlag) 
     }
 }
 
-fn route(request: &Request, core: &RouterCore, flag: &ShutdownFlag) -> Response {
+fn route(
+    request: &Request,
+    received: Instant,
+    core: &RouterCore,
+    flag: &ShutdownFlag,
+    conn_stats: &ConnStats,
+) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/impute") => core.handle_impute(request),
+        ("POST", "/v1/impute") => core.handle_impute_at(request, received),
         ("GET", "/healthz") => {
             if flag.is_tripped() {
                 Response::text(503, "draining\n")
@@ -210,7 +343,9 @@ fn route(request: &Request, core: &RouterCore, flag: &ShutdownFlag) -> Response 
                 Response::text(200, "ok\n")
             }
         }
-        ("GET", "/metrics") => Response::text(200, core.metrics_page()),
+        ("GET", "/metrics") => {
+            Response::text(200, format!("{}{}", core.metrics_page(), conn_stats.render()))
+        }
         ("GET", "/v1/shards") => match core.shards_page() {
             Ok(body) => Response::json(body),
             Err(e) => Response::text(500, format!("{e}\n")),

@@ -78,6 +78,7 @@ fn boot_shard(kamel: &Arc<Kamel>) -> Server {
         deadline: Duration::from_secs(30),
         idle_poll: Duration::from_millis(50),
         degraded_mode: false,
+        ..ServerConfig::default()
     };
     Server::bind("127.0.0.1:0", engine, config).expect("bind shard")
 }
@@ -108,6 +109,7 @@ fn drill_config(breaker: BreakerPolicy) -> RouterConfig {
         default_deadline: Duration::from_secs(10),
         degraded: false,
         degraded_max_gap_m: 100.0,
+        ..RouterConfig::default()
     }
 }
 

@@ -71,6 +71,7 @@ fn shard_config() -> ServerConfig {
         deadline: Duration::from_secs(30),
         idle_poll: Duration::from_millis(50),
         degraded_mode: false,
+        ..ServerConfig::default()
     }
 }
 
@@ -101,6 +102,7 @@ fn router_config(eject_after: u32, probe_interval: Duration) -> RouterConfig {
         default_deadline: Duration::from_secs(10),
         degraded: false,
         degraded_max_gap_m: 100.0,
+        ..RouterConfig::default()
     }
 }
 

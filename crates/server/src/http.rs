@@ -296,6 +296,175 @@ impl Response {
     }
 }
 
+/// Raw-byte cap on a buffered request head. The canonical parser caps
+/// the *sum of line contents* at [`MAX_HEAD_BYTES`]; the raw wire form
+/// adds at most a CRLF per line, so doubling the cap guarantees every
+/// head the canonical parser would accept fits, while still bounding a
+/// slow-loris client that never sends the blank line.
+pub const MAX_HEAD_WIRE_BYTES: usize = 2 * MAX_HEAD_BYTES;
+
+/// One step of incremental parsing ([`RequestParser::poll`]).
+#[derive(Debug)]
+pub enum Parsed {
+    /// Not enough buffered bytes yet — feed more and poll again.
+    Incomplete,
+    /// A complete request. Pipelined bytes beyond it stay buffered; poll
+    /// again (after the response is written) to parse the next request.
+    Request(Request),
+    /// Protocol or size-cap violation: answer with this status, then
+    /// close. The parser is poisoned — no further polls succeed.
+    Bad(u16, String),
+}
+
+/// An incremental, non-blocking HTTP/1.1 request parser for the reactor
+/// path. Bytes arrive in arbitrary fragments via [`RequestParser::feed`];
+/// [`RequestParser::poll`] yields a request as soon as one is complete.
+///
+/// **Equivalence by construction**: this type only *frames* — it finds
+/// the end of the head, extracts `Content-Length`, and once
+/// `head + body` bytes are buffered it delegates the actual parse to the
+/// canonical blocking [`read_request`] over exactly those bytes. Any
+/// byte sequence therefore produces the identical `Request` (or the
+/// identical `Bad` status) on both the reactor and thread-per-connection
+/// paths.
+///
+/// Buffering is bounded up front: a head that exceeds
+/// [`MAX_HEAD_WIRE_BYTES`] without a terminating blank line is rejected
+/// `431` before more is buffered, and a `Content-Length` beyond
+/// [`MAX_BODY_BYTES`] is rejected `413` as soon as the head completes —
+/// before a single body byte is buffered.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    scanned: usize,
+    poisoned: bool,
+}
+
+impl RequestParser {
+    /// An empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly-read bytes to the buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (head-in-progress + pipelined leftovers).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True once the parser has reported [`Parsed::Bad`]; the connection
+    /// must be closed after the error response.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Attempts to parse one request from the buffered bytes.
+    pub fn poll(&mut self) -> Parsed {
+        if self.poisoned {
+            return Parsed::Incomplete;
+        }
+        let Some(head_end) = self.find_head_end() else {
+            if self.buf.len() > MAX_HEAD_WIRE_BYTES {
+                self.poisoned = true;
+                return Parsed::Bad(431, "request head too large".into());
+            }
+            return Parsed::Incomplete;
+        };
+        // Unparseable length values read as 0 here and delegate to the
+        // canonical parser below, which rejects them (400) without
+        // needing any body bytes.
+        let body_len = content_length(&self.buf[..head_end]).unwrap_or_default();
+        if body_len > MAX_BODY_BYTES {
+            self.poisoned = true;
+            return Parsed::Bad(413, "request body too large".into());
+        }
+        let total = head_end + body_len;
+        if self.buf.len() < total {
+            return Parsed::Incomplete;
+        }
+        // Exactly head + declared body: the canonical parser consumes all
+        // of it (or fails before the body) — identical outcome to the
+        // blocking path by construction.
+        let outcome = read_request(&mut std::io::BufReader::new(&self.buf[..total]));
+        match outcome {
+            Ok(request) => {
+                self.buf.drain(..total);
+                self.scanned = 0;
+                Parsed::Request(request)
+            }
+            Err(ReadError::Bad(status, message)) => {
+                self.poisoned = true;
+                Parsed::Bad(status, message)
+            }
+            // Unreachable with a complete head + body, but total anyway.
+            Err(ReadError::ConnectionClosed) | Err(ReadError::Idle) => Parsed::Incomplete,
+            Err(ReadError::Io(e)) => {
+                self.poisoned = true;
+                Parsed::Bad(400, e)
+            }
+        }
+    }
+
+    /// Finds the offset one past the head-terminating blank line,
+    /// tolerating bare-LF line endings exactly like [`read_request`].
+    /// Scanning resumes where the last call left off, so repeated polls
+    /// over a growing buffer stay O(bytes fed), not O(n²).
+    fn find_head_end(&mut self) -> Option<usize> {
+        let buf = &self.buf;
+        // Degenerate first line: an immediate blank line is a complete
+        // (malformed, 400) head of its own.
+        if buf.first() == Some(&b'\n') {
+            return Some(1);
+        }
+        if buf.starts_with(b"\r\n") {
+            return Some(2);
+        }
+        let start = self.scanned.max(1);
+        for i in start..buf.len() {
+            if buf[i - 1] != b'\n' {
+                continue;
+            }
+            if buf[i] == b'\n' {
+                self.scanned = 0;
+                return Some(i + 1);
+            }
+            if buf[i] == b'\r' && buf.get(i + 1) == Some(&b'\n') {
+                self.scanned = 0;
+                return Some(i + 2);
+            }
+        }
+        // The last byte may start a terminator that completes next feed.
+        self.scanned = buf.len().saturating_sub(1);
+        None
+    }
+}
+
+/// Extracts the first `Content-Length` from a raw head, mirroring the
+/// canonical parser's first-header-wins lookup. `Err` means a value was
+/// present but unparseable — the canonical parse will reject it.
+fn content_length(head: &[u8]) -> Result<usize, ()> {
+    for line in head.split(|&b| b == b'\n').skip(1) {
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        if line.is_empty() {
+            break;
+        }
+        let Some(colon) = line.iter().position(|&b| b == b':') else {
+            continue;
+        };
+        let name = line[..colon].trim_ascii();
+        if !name.eq_ignore_ascii_case(b"content-length") {
+            continue;
+        }
+        let value = String::from_utf8_lossy(&line[colon + 1..]);
+        return value.trim().parse::<usize>().map_err(|_| ());
+    }
+    Ok(0)
+}
+
 /// Reason phrase for the status codes this server emits.
 pub fn status_text(status: u16) -> &'static str {
     match status {
@@ -479,6 +648,165 @@ mod tests {
             parse_deadline_header(Some("250")).budget_or(default),
             Duration::from_millis(250)
         );
+    }
+
+    #[test]
+    fn incremental_parser_matches_blocking_at_every_split_point() {
+        // One split at every byte position covers every structural
+        // boundary: mid-request-line, mid-header-name, between CR and LF,
+        // at the blank line, and mid-body.
+        let raw = b"POST /v1/impute HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let want = parse(raw).unwrap();
+        for split in 0..=raw.len() {
+            let mut parser = RequestParser::new();
+            parser.feed(&raw[..split]);
+            if split < raw.len() {
+                assert!(
+                    matches!(parser.poll(), Parsed::Incomplete),
+                    "split {split}: request complete too early"
+                );
+                parser.feed(&raw[split..]);
+            }
+            match parser.poll() {
+                Parsed::Request(got) => assert_eq!(got, want, "split {split}"),
+                other => panic!("split {split}: {other:?}"),
+            }
+            assert_eq!(parser.buffered(), 0, "split {split}: leftover bytes");
+        }
+    }
+
+    #[test]
+    fn incremental_parser_byte_by_byte() {
+        let raw = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let want = parse(raw).unwrap();
+        let mut parser = RequestParser::new();
+        for (i, byte) in raw.iter().enumerate() {
+            parser.feed(&[*byte]);
+            match parser.poll() {
+                Parsed::Incomplete => assert!(i + 1 < raw.len(), "never completed"),
+                Parsed::Request(got) => {
+                    assert_eq!(i + 1, raw.len(), "complete early at byte {i}");
+                    assert_eq!(got, want);
+                    return;
+                }
+                other => panic!("byte {i}: {other:?}"),
+            }
+        }
+        panic!("request never completed");
+    }
+
+    #[test]
+    fn incremental_parser_preserves_pipelined_requests() {
+        let first = b"POST /v1/impute HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc".as_slice();
+        let second = b"GET /metrics HTTP/1.1\r\n\r\n".as_slice();
+        // Split so the tail of request 1 and the head of request 2 arrive
+        // in one fragment — the classic pipelining boundary.
+        let wire = [first, second].concat();
+        for split in 1..wire.len() {
+            let mut parser = RequestParser::new();
+            parser.feed(&wire[..split]);
+            let mut got = Vec::new();
+            loop {
+                match parser.poll() {
+                    Parsed::Request(r) => got.push(r),
+                    Parsed::Incomplete => break,
+                    other => panic!("split {split}: {other:?}"),
+                }
+            }
+            parser.feed(&wire[split..]);
+            loop {
+                match parser.poll() {
+                    Parsed::Request(r) => got.push(r),
+                    Parsed::Incomplete => break,
+                    other => panic!("split {split}: {other:?}"),
+                }
+            }
+            assert_eq!(got.len(), 2, "split {split}");
+            assert_eq!(got[0].path, "/v1/impute");
+            assert_eq!(got[0].body, b"abc");
+            assert_eq!(got[1].path, "/metrics");
+            assert_eq!(parser.buffered(), 0, "split {split}");
+        }
+    }
+
+    #[test]
+    fn incremental_parser_rejects_oversized_body_before_buffering_it() {
+        let mut parser = RequestParser::new();
+        parser.feed(
+            format!(
+                "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )
+            .as_bytes(),
+        );
+        // Rejected on the head alone — no body bytes were needed.
+        match parser.poll() {
+            Parsed::Bad(413, _) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(parser.is_poisoned());
+        assert!(
+            parser.buffered() < 1024,
+            "body must not be buffered: {}",
+            parser.buffered()
+        );
+    }
+
+    #[test]
+    fn incremental_parser_caps_an_endless_head() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\n");
+        let mut rejected = false;
+        for i in 0..40_000 {
+            parser.feed(b"x-h: y\r\n");
+            if let Parsed::Bad(431, _) = parser.poll() {
+                rejected = true;
+                break;
+            }
+            assert!(
+                parser.buffered() <= MAX_HEAD_WIRE_BYTES + 16,
+                "unbounded buffering at header {i}"
+            );
+        }
+        assert!(rejected, "slow-loris head never rejected");
+    }
+
+    #[test]
+    fn incremental_parser_matches_blocking_on_bad_requests() {
+        for raw in [
+            b"GARBAGE\r\n\r\n".as_slice(),
+            b"GET / HTTP/2.0\r\n\r\n".as_slice(),
+            b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n".as_slice(),
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n".as_slice(),
+        ] {
+            let want = match parse(raw) {
+                Err(ReadError::Bad(status, _)) => status,
+                other => panic!("{other:?}"),
+            };
+            let mut parser = RequestParser::new();
+            parser.feed(raw);
+            match parser.poll() {
+                Parsed::Bad(status, _) => assert_eq!(
+                    status,
+                    want,
+                    "incremental and blocking disagree on {:?}",
+                    String::from_utf8_lossy(raw)
+                ),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parser_handles_bare_lf_heads() {
+        let raw = b"GET / HTTP/1.1\nHost: x\n\n";
+        let want = parse(raw).unwrap();
+        let mut parser = RequestParser::new();
+        parser.feed(raw);
+        match parser.poll() {
+            Parsed::Request(got) => assert_eq!(got, want),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

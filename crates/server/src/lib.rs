@@ -46,6 +46,8 @@ pub mod engine;
 pub mod http;
 pub mod lru;
 pub mod metrics;
+pub mod poller;
+pub mod reactor;
 pub mod server;
 pub mod shutdown;
 
@@ -56,5 +58,6 @@ pub use engine::{config_digest, ImputeEngine, ImputeResponse, InfoResponse};
 pub use http::{DEADLINE_HEADER, DEGRADED_HEADER};
 pub use lru::LruCache;
 pub use metrics::Metrics;
-pub use server::{CacheKey, Server, ServerConfig, WireService};
+pub use reactor::{ConnStats, ReactorConfig};
+pub use server::{CacheKey, ConnMode, Server, ServerConfig, WireService};
 pub use shutdown::{install_signal_handlers, ShutdownFlag, SignalFlag};

@@ -28,6 +28,8 @@ use crate::http::{
 };
 use crate::lru::LruCache;
 use crate::metrics::Metrics;
+use crate::poller::Poller;
+use crate::reactor::{run_reactor, ConnStats, ReactorConfig, RequestHandler, ResponseSink};
 use crate::shutdown::ShutdownFlag;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -120,6 +122,22 @@ pub trait WireService: Send + Sync + 'static {
     }
 }
 
+/// How the server multiplexes connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConnMode {
+    /// One reactor thread drives every connection through non-blocking
+    /// state machines ([`crate::reactor`]); `handlers` worker threads run
+    /// the routing/batching logic. Concurrency is bounded by
+    /// `max_connections`, not threads. Falls back to [`ConnMode::Threaded`]
+    /// (with a warning) on platforms without epoll/kqueue.
+    #[default]
+    Reactor,
+    /// The original blocking thread-per-connection path: `handlers`
+    /// threads each own one connection at a time. Kept for equivalence
+    /// testing and as the portable fallback.
+    Threaded,
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -148,6 +166,14 @@ pub struct ServerConfig {
     /// cheap [`WireService::degraded`] fallback (marked degraded) instead
     /// of shedding with 503.
     pub degraded_mode: bool,
+    /// Connection multiplexing strategy.
+    pub mode: ConnMode,
+    /// Hard cap on concurrently open connections; accepts beyond it are
+    /// answered 503 and closed.
+    pub max_connections: usize,
+    /// Reactor mode only: a connection with no read/write progress for
+    /// this long is closed (idle keep-alive and slow-loris alike).
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -162,6 +188,9 @@ impl Default for ServerConfig {
             deadline: Duration::from_secs(10),
             idle_poll: Duration::from_millis(200),
             degraded_mode: false,
+            mode: ConnMode::Reactor,
+            max_connections: 10_000,
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -175,6 +204,7 @@ struct Shared<S: WireService> {
     config: ServerConfig,
     clock: Arc<dyn Clock>,
     flag: ShutdownFlag,
+    conn_stats: Arc<ConnStats>,
 }
 
 /// A running server. Dropping it without [`Server::shutdown`] aborts
@@ -183,6 +213,8 @@ pub struct Server {
     addr: SocketAddr,
     flag: ShutdownFlag,
     metrics: Arc<Metrics>,
+    conn_stats: Arc<ConnStats>,
+    // Reactor mode: the reactor thread. Threaded mode: the accept thread.
     accept_thread: Option<std::thread::JoinHandle<()>>,
     handler_threads: Vec<std::thread::JoinHandle<()>>,
     shutdown_batcher: Option<Box<dyn FnOnce() + Send>>,
@@ -225,6 +257,19 @@ impl Server {
         listener.set_nonblocking(true)?;
         let metrics = Arc::new(Metrics::new());
         let flag = ShutdownFlag::new();
+        let conn_stats = Arc::new(ConnStats::default());
+        // Reactor mode needs an epoll/kqueue selector; fall back to the
+        // blocking path (same wire behavior) where none exists.
+        let mode = match config.mode {
+            ConnMode::Reactor if Poller::new().is_err() => {
+                eprintln!(
+                    "kamel-serve: no epoll/kqueue on this platform; \
+                     falling back to thread-per-connection"
+                );
+                ConnMode::Threaded
+            }
+            mode => mode,
+        };
         let shared = Arc::new(Shared {
             service: Arc::clone(&service),
             metrics: Arc::clone(&metrics),
@@ -232,6 +277,7 @@ impl Server {
             config: config.clone(),
             clock: Arc::clone(&clock),
             flag: flag.clone(),
+            conn_stats: Arc::clone(&conn_stats),
         });
         // The imputation pool: batch workers behind the admission queue.
         let batch_metrics = Arc::clone(&metrics);
@@ -244,33 +290,88 @@ impl Server {
             },
             Arc::new(BatchAdapter(Arc::clone(&service))),
             move |n| batch_metrics.batch_size.observe(n as u64),
-            clock,
+            Arc::clone(&clock),
         ));
-        // Connection handlers drain a bounded socket channel.
-        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.handlers.max(1) * 2);
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
-        let handler_threads = (0..config.handlers.max(1))
-            .map(|i| {
-                let conn_rx = Arc::clone(&conn_rx);
-                let shared = Arc::clone(&shared);
-                let batcher = Arc::clone(&batcher);
-                std::thread::Builder::new()
-                    .name(format!("kamel-http-{i}"))
-                    .spawn(move || handler_loop(&conn_rx, &shared, &batcher))
-                    .expect("spawn connection handler")
-            })
-            .collect();
-        // The accept thread owns `conn_tx`; dropping it on shutdown
-        // disconnects the handlers' channel.
-        let accept_flag = flag.clone();
-        let poll = config.idle_poll.min(Duration::from_millis(50));
-        let accept_thread = std::thread::Builder::new()
-            .name("kamel-accept".into())
-            .spawn(move || {
-                accept_loop(&listener, &conn_tx, &accept_flag, poll);
-                drop(conn_tx);
-            })
-            .expect("spawn accept thread");
+        let (handler_threads, accept_thread) = match mode {
+            ConnMode::Reactor => {
+                // Dispatch workers run the routing/batching logic for
+                // requests the reactor parses; each parks cheaply on a
+                // batcher ticket while a batch computes.
+                let (req_tx, req_rx) =
+                    mpsc::channel::<(Request, Instant, ResponseSink)>();
+                let req_rx = Arc::new(Mutex::new(req_rx));
+                let handler_threads: Vec<_> = (0..config.handlers.max(1))
+                    .map(|i| {
+                        let req_rx = Arc::clone(&req_rx);
+                        let shared = Arc::clone(&shared);
+                        let batcher = Arc::clone(&batcher);
+                        std::thread::Builder::new()
+                            .name(format!("kamel-http-{i}"))
+                            .spawn(move || dispatch_loop(&req_rx, &shared, &batcher))
+                            .expect("spawn dispatch worker")
+                    })
+                    .collect();
+                // The reactor owns `req_tx` (inside its handler); when it
+                // drains and exits, the channel disconnects the workers.
+                let on_request: RequestHandler =
+                    Box::new(move |request, received, sink| {
+                        let _ = req_tx.send((request, received, sink));
+                    });
+                let reactor_config = ReactorConfig {
+                    max_connections: config.max_connections.max(1),
+                    idle_timeout: config.idle_timeout,
+                    ..ReactorConfig::default()
+                };
+                let reactor_flag = flag.clone();
+                let reactor_clock = Arc::clone(&clock);
+                let reactor_stats = Arc::clone(&conn_stats);
+                let reactor_thread = std::thread::Builder::new()
+                    .name("kamel-reactor".into())
+                    .spawn(move || {
+                        if let Err(e) = run_reactor(
+                            listener,
+                            reactor_config,
+                            reactor_clock,
+                            reactor_flag,
+                            reactor_stats,
+                            on_request,
+                        ) {
+                            eprintln!("kamel-serve: reactor failed: {e}");
+                        }
+                    })
+                    .expect("spawn reactor thread");
+                (handler_threads, reactor_thread)
+            }
+            ConnMode::Threaded => {
+                // Connection handlers drain a bounded socket channel.
+                let (conn_tx, conn_rx) =
+                    mpsc::sync_channel::<TcpStream>(config.handlers.max(1) * 2);
+                let conn_rx = Arc::new(Mutex::new(conn_rx));
+                let handler_threads: Vec<_> = (0..config.handlers.max(1))
+                    .map(|i| {
+                        let conn_rx = Arc::clone(&conn_rx);
+                        let shared = Arc::clone(&shared);
+                        let batcher = Arc::clone(&batcher);
+                        std::thread::Builder::new()
+                            .name(format!("kamel-http-{i}"))
+                            .spawn(move || handler_loop(&conn_rx, &shared, &batcher))
+                            .expect("spawn connection handler")
+                    })
+                    .collect();
+                // The accept thread owns `conn_tx`; dropping it on shutdown
+                // disconnects the handlers' channel.
+                let accept_flag = flag.clone();
+                let poll = config.idle_poll.min(Duration::from_millis(50));
+                let accept_thread = std::thread::Builder::new()
+                    .name("kamel-accept".into())
+                    .spawn(move || {
+                        accept_loop(&listener, &conn_tx, &accept_flag, poll);
+                        drop(conn_tx);
+                    })
+                    .expect("spawn accept thread");
+                (handler_threads, accept_thread)
+            }
+        };
         // Draining the batcher must wait until the handlers are done
         // (they hold tickets); keep it behind a closure for `shutdown`.
         let shutdown_batcher: Box<dyn FnOnce() + Send> = Box::new(move || {
@@ -286,11 +387,18 @@ impl Server {
             addr,
             flag,
             metrics,
+            conn_stats,
             accept_thread: Some(accept_thread),
             handler_threads,
             shutdown_batcher: Some(shutdown_batcher),
             reload_fn,
         })
+    }
+
+    /// The live connection-layer counters (shared with the reactor or,
+    /// in threaded mode, the handlers).
+    pub fn connections(&self) -> &Arc<ConnStats> {
+        &self.conn_stats
     }
 
     /// The bound address.
@@ -362,6 +470,25 @@ fn accept_loop(
     }
 }
 
+/// Reactor-mode worker: runs the routing/batching logic for parsed
+/// requests and hands the response back to the reactor through the sink.
+fn dispatch_loop<S: WireService>(
+    req_rx: &Mutex<mpsc::Receiver<(Request, Instant, ResponseSink)>>,
+    shared: &Shared<S>,
+    batcher: &Batcher<S::Job, S::Out>,
+) {
+    loop {
+        // Holding the receiver lock only while dequeueing.
+        let item = req_rx.lock().unwrap().recv();
+        match item {
+            Ok((request, received, sink)) => {
+                sink.send(route(&request, received, shared, batcher));
+            }
+            Err(_) => return, // reactor drained and dropped the sender
+        }
+    }
+}
+
 fn handler_loop<S: WireService>(
     conn_rx: &Mutex<mpsc::Receiver<TcpStream>>,
     shared: &Shared<S>,
@@ -382,6 +509,15 @@ fn handle_connection<S: WireService>(
     shared: &Shared<S>,
     batcher: &Batcher<S::Job, S::Out>,
 ) {
+    let stats = &shared.conn_stats;
+    if stats.active.load(Ordering::Relaxed) >= shared.config.max_connections.max(1) as u64 {
+        stats.rejected_total.fetch_add(1, Ordering::Relaxed);
+        let mut stream = stream;
+        let _ = Response::text(503, "overloaded: connection limit reached\n")
+            .with_header("retry-after", "1")
+            .write_to(&mut stream, true);
+        return;
+    }
     if stream.set_nonblocking(false).is_err()
         || stream
             .set_read_timeout(Some(shared.config.idle_poll))
@@ -393,6 +529,16 @@ fn handle_connection<S: WireService>(
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    stats.accepted_total.fetch_add(1, Ordering::Relaxed);
+    stats.active.fetch_add(1, Ordering::Relaxed);
+    // Decrement on every return path below.
+    struct ActiveGuard<'a>(&'a ConnStats);
+    impl Drop for ActiveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.active.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let _guard = ActiveGuard(stats);
     let mut write_half = write_half;
     let mut reader = BufReader::new(stream);
     loop {
@@ -402,7 +548,8 @@ fn handle_connection<S: WireService>(
         match read_request(&mut reader) {
             Ok(request) => {
                 let close = request.wants_close();
-                let response = route(&request, shared, batcher);
+                let received = shared.clock.now();
+                let response = route(&request, received, shared, batcher);
                 // A shed or draining response also closes the connection so
                 // the client re-establishes after backing off.
                 let close = close || response.status == 503;
@@ -421,13 +568,35 @@ fn handle_connection<S: WireService>(
     }
 }
 
+/// Splices a `"connections":N` field into a JSON object body (the
+/// service's `/v1/info` identity card), keeping the service layer
+/// unaware of the connection layer.
+fn inject_connections(mut body: Vec<u8>, connections: u64) -> Vec<u8> {
+    let Some(close_brace) = body.iter().rposition(|&b| b == b'}') else {
+        return body; // not an object; leave it untouched
+    };
+    let empty = body[..close_brace]
+        .iter()
+        .rev()
+        .find(|b| !b.is_ascii_whitespace())
+        == Some(&b'{');
+    let field = if empty {
+        format!("\"connections\":{connections}")
+    } else {
+        format!(",\"connections\":{connections}")
+    };
+    body.splice(close_brace..close_brace, field.into_bytes());
+    body
+}
+
 fn route<S: WireService>(
     request: &Request,
+    received: Instant,
     shared: &Shared<S>,
     batcher: &Batcher<S::Job, S::Out>,
 ) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/impute") => impute(request, shared, batcher),
+        ("POST", "/v1/impute") => impute(request, received, shared, batcher),
         ("POST", "/admin/reload") => match reload_model(shared) {
             Ok(msg) => Response::text(200, format!("{msg}\n")),
             Err(msg) => Response::text(500, format!("reload failed: {msg}\n")),
@@ -446,10 +615,14 @@ fn route<S: WireService>(
                 .queue_depth
                 .store(batcher.queue_depth() as u64, Ordering::Relaxed);
             let mut body = shared.metrics.render();
+            body.push_str(&shared.conn_stats.render());
             body.push_str(&shared.service.extra_metrics());
             Response::text(200, body)
         }
-        ("GET", "/v1/info") => Response::json(shared.service.info()),
+        ("GET", "/v1/info") => Response::json(inject_connections(
+            shared.service.info(),
+            shared.conn_stats.active.load(Ordering::Relaxed),
+        )),
         (_, "/v1/impute") | (_, "/admin/reload") | (_, "/healthz") | (_, "/metrics")
         | (_, "/v1/info") => Response::text(405, "method not allowed\n"),
         _ => Response::text(404, "not found\n"),
@@ -504,10 +677,14 @@ fn deadline_exceeded(
 
 fn impute<S: WireService>(
     request: &Request,
+    received: Instant,
     shared: &Shared<S>,
     batcher: &Batcher<S::Job, S::Out>,
 ) -> Response {
-    let start = Instant::now();
+    // The latency/deadline base is the instant the request came off the
+    // wire — in reactor mode that predates dispatch-queue time, so a
+    // backlog burns request budget instead of hiding from it.
+    let start = received;
     let metrics = &shared.metrics;
     // The request's budget: the client's `x-kamel-deadline-ms` header when
     // valid, the server default otherwise. Malformed values warn once and
@@ -516,7 +693,7 @@ fn impute<S: WireService>(
     if let DeadlineHeader::Invalid(why) = header {
         warn_invalid_deadline_once(why);
     }
-    let deadline = shared.clock.now() + header.budget_or(shared.config.deadline);
+    let deadline = received + header.budget_or(shared.config.deadline);
     let job = match shared.service.parse(&request.body) {
         Ok(job) => job,
         Err(msg) => {
@@ -735,6 +912,7 @@ mod tests {
             deadline: Duration::from_secs(5),
             idle_poll: Duration::from_millis(50),
             degraded_mode: false,
+            ..ServerConfig::default()
         }
     }
 
@@ -806,10 +984,15 @@ mod tests {
         let info = c.get("/v1/info").unwrap();
         assert_eq!(info.status, 200);
         assert_eq!(info.header("content-type"), Some("application/json"));
-        assert_eq!(info.text(), "{\"generation\":0}");
+        // The service identity plus the connection layer's own field —
+        // this client holds the one open connection.
+        assert_eq!(info.text(), "{\"generation\":0,\"connections\":1}");
         // The body is the service's live identity, not a boot snapshot.
         c.post_json("/admin/reload", b"").unwrap();
-        assert_eq!(c.get("/v1/info").unwrap().text(), "{\"generation\":1}");
+        assert_eq!(
+            c.get("/v1/info").unwrap().text(),
+            "{\"generation\":1,\"connections\":1}"
+        );
         // Only GET is routed.
         assert_eq!(c.post_json("/v1/info", b"x").unwrap().status, 405);
         server.shutdown();

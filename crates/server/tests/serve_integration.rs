@@ -72,6 +72,7 @@ fn config(cache_entries: usize) -> ServerConfig {
         deadline: Duration::from_secs(30),
         idle_poll: Duration::from_millis(50),
         degraded_mode: false,
+        ..ServerConfig::default()
     }
 }
 
