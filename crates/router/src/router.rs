@@ -283,9 +283,17 @@ fn handle_connection(
         return;
     };
     // Same admission rule as the reactor: past the cap, refuse with a
-    // best-effort 503 before reading anything.
+    // best-effort 503 before reading anything. The slot is claimed with
+    // a CAS loop so concurrent handler threads cannot overshoot the cap
+    // under a simultaneous accept burst.
     let cap = core.config().max_connections.max(1) as u64;
-    if conn_stats.active.load(Ordering::Relaxed) >= cap {
+    if conn_stats
+        .active
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+            (n < cap).then_some(n + 1)
+        })
+        .is_err()
+    {
         conn_stats.rejected_total.fetch_add(1, Ordering::Relaxed);
         let _ = Response::text(503, "overloaded: connection limit reached\n")
             .with_header("retry-after", "1")
@@ -293,7 +301,6 @@ fn handle_connection(
         return;
     }
     conn_stats.accepted_total.fetch_add(1, Ordering::Relaxed);
-    conn_stats.active.fetch_add(1, Ordering::Relaxed);
     struct ActiveGuard<'a>(&'a ConnStats);
     impl Drop for ActiveGuard<'_> {
         fn drop(&mut self) {

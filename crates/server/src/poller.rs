@@ -86,9 +86,12 @@ mod sys {
     const EPOLL_CTL_DEL: i32 = 2;
     const EPOLL_CTL_MOD: i32 = 3;
 
-    /// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel
-    /// ABI has no padding between `events` and `data`).
-    #[repr(C, packed)]
+    /// The kernel's `struct epoll_event`. The kernel packs it ONLY on
+    /// x86-64 (`EPOLL_PACKED`); on every other architecture `data` sits
+    /// at offset 8 behind natural padding, so the packing must be
+    /// cfg-gated or the event stride and token offset are wrong.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
     #[derive(Clone, Copy)]
     pub struct Event {
         pub events: u32,

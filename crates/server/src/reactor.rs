@@ -114,20 +114,50 @@ impl ConnStats {
 
 /// Where a worker sends the finished [`Response`] for one dispatched
 /// request. One-shot: consumed by [`ResponseSink::send`]. Dropping it
-/// without sending closes the connection (the reactor times the
-/// abandoned request out via the idle timer once it re-enters `Reading`
-/// — in practice the serving layers always send).
+/// without sending (a worker panic, a failed channel hand-off) enqueues
+/// an abandonment completion: the reactor answers `500` and closes the
+/// connection, so a `Dispatched` connection can never leak or hang the
+/// graceful drain.
 pub struct ResponseSink {
     token: u64,
     completions: Arc<CompletionQueue>,
+    sent: bool,
 }
 
 impl ResponseSink {
     /// Delivers the response; wakes the reactor to write it out.
-    pub fn send(self, response: Response) {
-        self.completions.queue.lock().unwrap().push((self.token, response));
+    pub fn send(mut self, response: Response) {
+        self.sent = true;
+        self.completions
+            .queue
+            .lock()
+            .unwrap()
+            .push((self.token, Completion::Respond(response)));
         self.completions.waker.wake();
     }
+}
+
+impl Drop for ResponseSink {
+    fn drop(&mut self) {
+        if self.sent {
+            return;
+        }
+        self.completions
+            .queue
+            .lock()
+            .unwrap()
+            .push((self.token, Completion::Abandoned));
+        self.completions.waker.wake();
+    }
+}
+
+/// What came back for a dispatched request.
+enum Completion {
+    /// The worker produced a response.
+    Respond(Response),
+    /// The sink was dropped without a response (worker panic or lost
+    /// hand-off); the connection gets a `500` and closes.
+    Abandoned,
 }
 
 /// The handler invoked on the reactor thread for every parsed request.
@@ -136,7 +166,7 @@ impl ResponseSink {
 pub type RequestHandler = Box<dyn Fn(Request, Instant, ResponseSink) + Send>;
 
 struct CompletionQueue {
-    queue: Mutex<Vec<(u64, Response)>>,
+    queue: Mutex<Vec<(u64, Completion)>>,
     waker: Waker,
 }
 
@@ -343,9 +373,9 @@ pub fn run_reactor(
 
         // Finished responses first: they free worker capacity and turn
         // Dispatched connections into writes this same cycle.
-        let done: Vec<(u64, Response)> =
+        let done: Vec<(u64, Completion)> =
             std::mem::take(&mut *completions.queue.lock().unwrap());
-        for (token, response) in done {
+        for (token, completion) in done {
             let now = clock.now();
             let Some((idx, conn)) = slab.get_mut(token) else {
                 continue; // connection closed while the worker computed
@@ -353,9 +383,18 @@ pub fn run_reactor(
             if !matches!(conn.state, State::Dispatched) {
                 continue; // stale or duplicate completion
             }
+            let (response, abandoned) = match completion {
+                Completion::Respond(response) => (response, false),
+                Completion::Abandoned => (
+                    Response::text(500, "internal error: request abandoned\n"),
+                    true,
+                ),
+            };
             // The blocking path's close rule, verbatim: client asked, or
             // a shed/draining 503 forces a re-establish after backoff.
-            let close = conn.wants_close || response.status == 503;
+            // An abandoned request always closes: the worker's state for
+            // this connection is unknown.
+            let close = abandoned || conn.wants_close || response.status == 503;
             let mut buf = Vec::with_capacity(response.body.len() + 256);
             response
                 .write_to(&mut buf, close)
@@ -488,8 +527,13 @@ fn accept_all(
             let _ = Response::text(503, "overloaded: connection limit reached\n")
                 .with_header("retry-after", "1")
                 .write_to(&mut wire, true);
+            // The fresh socket is still blocking; flip it first so this
+            // best-effort hint can never stall the reactor thread (a
+            // partial or failed write just degrades to the bare close).
             let mut stream = stream;
-            let _ = stream.write(&wire);
+            if stream.set_nonblocking(true).is_ok() {
+                let _ = stream.write(&wire);
+            }
             continue;
         }
         if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
@@ -559,6 +603,7 @@ fn progress(
                 let sink = ResponseSink {
                     token: token_for(idx, gen),
                     completions: Arc::clone(completions),
+                    sent: false,
                 };
                 on_request(request, now, sink);
                 return; // parked until the completion arrives
@@ -901,6 +946,51 @@ mod tests {
         let mut idle_rest = Vec::new();
         idle_reader.read_to_end(&mut idle_rest).unwrap();
         assert!(idle_rest.is_empty());
+        handle.join().unwrap();
+        assert_eq!(stats.active.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn dropped_sink_answers_500_closes_and_drains_clean() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let flag = ShutdownFlag::new();
+        let stats = Arc::new(ConnStats::default());
+        let (req_tx, req_rx) = std::sync::mpsc::channel::<(Request, ResponseSink)>();
+        let handler: RequestHandler = Box::new(move |request, _received, sink| {
+            req_tx.send((request, sink)).unwrap();
+        });
+        let reactor_flag = flag.clone();
+        let reactor_stats = Arc::clone(&stats);
+        let config = quick_config();
+        let handle = std::thread::spawn(move || {
+            run_reactor(
+                listener,
+                config,
+                Arc::new(SystemClock),
+                reactor_flag,
+                reactor_stats,
+                handler,
+            )
+            .unwrap();
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer
+            .write_all(b"POST / HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi")
+            .unwrap();
+        let (_request, sink) = req_rx.recv().unwrap();
+        // The worker abandons the request (as a panic would): the
+        // connection must get a 500 and close, not park in Dispatched.
+        drop(sink);
+        let (status, _) = read_response(&mut reader);
+        assert_eq!(status, 500);
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "connection must close after the 500");
+        // Drain must reach active == 0 and return.
+        flag.trip();
         handle.join().unwrap();
         assert_eq!(stats.active.load(Ordering::Relaxed), 0);
     }

@@ -510,7 +510,18 @@ fn handle_connection<S: WireService>(
     batcher: &Batcher<S::Job, S::Out>,
 ) {
     let stats = &shared.conn_stats;
-    if stats.active.load(Ordering::Relaxed) >= shared.config.max_connections.max(1) as u64 {
+    // Claim a slot atomically (CAS loop): a plain check-then-increment
+    // across concurrent handler threads can overshoot the cap by up to
+    // the pool size under a simultaneous accept burst; the reactor path
+    // is single-threaded and exact, so match it.
+    let cap = shared.config.max_connections.max(1) as u64;
+    if stats
+        .active
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+            (n < cap).then_some(n + 1)
+        })
+        .is_err()
+    {
         stats.rejected_total.fetch_add(1, Ordering::Relaxed);
         let mut stream = stream;
         let _ = Response::text(503, "overloaded: connection limit reached\n")
@@ -518,6 +529,14 @@ fn handle_connection<S: WireService>(
             .write_to(&mut stream, true);
         return;
     }
+    // Release the claimed slot on every return path below.
+    struct ActiveGuard<'a>(&'a ConnStats);
+    impl Drop for ActiveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.active.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let _guard = ActiveGuard(stats);
     if stream.set_nonblocking(false).is_err()
         || stream
             .set_read_timeout(Some(shared.config.idle_poll))
@@ -530,15 +549,6 @@ fn handle_connection<S: WireService>(
         return;
     };
     stats.accepted_total.fetch_add(1, Ordering::Relaxed);
-    stats.active.fetch_add(1, Ordering::Relaxed);
-    // Decrement on every return path below.
-    struct ActiveGuard<'a>(&'a ConnStats);
-    impl Drop for ActiveGuard<'_> {
-        fn drop(&mut self) {
-            self.0.active.fetch_sub(1, Ordering::Relaxed);
-        }
-    }
-    let _guard = ActiveGuard(stats);
     let mut write_half = write_half;
     let mut reader = BufReader::new(stream);
     loop {
