@@ -9,7 +9,9 @@
 //! kamel impute   --model model.json --input sparse.csv --output dense.csv
 //! kamel pack     --model model.json --out city.kstore
 //! kamel serve    --model model.json --addr 127.0.0.1:8080
+//! kamel serve    --model model.json --learn --learn-dir capture/
 //! kamel serve    --store city.kstore --model-memory-budget 64m
+//! kamel learn    --model model.json --capture-dir capture/ --reload 127.0.0.1:8080
 //! kamel route    --shard 127.0.0.1:8081,127.0.0.1:8082 --addr 127.0.0.1:8080
 //! kamel stats    --model model.json
 //! kamel evaluate --model model.json --truth truth.csv --sparse-m 1000 --delta-m 50
@@ -31,7 +33,7 @@ use std::io::Write;
 /// Runs the CLI with the given arguments (excluding the program name),
 /// writing human output to `out`. Returns the process exit code.
 pub fn run(args: &[String], out: &mut dyn Write) -> i32 {
-    let usage = "usage: kamel <generate|train|tune|impute|pack|serve|route|chaos|c10k|stats|evaluate|export> [options]\n\
+    let usage = "usage: kamel <generate|train|tune|impute|pack|serve|learn|route|chaos|c10k|stats|evaluate|export> [options]\n\
                  run `kamel <command> --help` for per-command options";
     let Some(command) = args.first() else {
         let _ = writeln!(out, "{usage}");
@@ -44,6 +46,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> i32 {
         "impute" => commands::impute(rest, out),
         "pack" => commands::pack(rest, out),
         "serve" => commands::serve(rest, out),
+        "learn" => commands::learn(rest, out),
         "route" => commands::route(rest, out),
         "chaos" => commands::chaos(rest, out),
         "c10k" => commands::c10k(rest, out),

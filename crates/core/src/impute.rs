@@ -46,6 +46,12 @@ pub struct SegmentOutcome {
     pub model_calls: usize,
     /// Populated when `failed` is true.
     pub failure_reason: Option<FailureReason>,
+    /// Model confidence in the imputation: the geometric mean of the
+    /// chosen candidates' probabilities, in `(0, 1]`. A gap that needed no
+    /// imputation reports `1.0`; a failed gap reports `0.0`. The continual
+    /// learner uses this to rank cells for retraining (low-confidence
+    /// answers mean the cell's model is weak there).
+    pub confidence: f64,
 }
 
 /// One gap-filling engine bound to a model, constraints, tokenizer, and
@@ -102,6 +108,7 @@ impl<'a> GapFiller<'a> {
                 failed: false,
                 model_calls: 0,
                 failure_reason: None,
+                confidence: 1.0,
             };
         }
         match self.config.multipoint {
@@ -262,6 +269,8 @@ impl<'a> GapFiller<'a> {
     ) -> SegmentOutcome {
         let mut tokens = vec![s, d];
         let mut calls = 0usize;
+        let mut prob_product = 1.0f64;
+        let mut inserted_total = 0usize;
         while let Some(gap_idx) = self.first_gap(&tokens) {
             if calls >= self.config.max_model_calls {
                 return Self::failure(s, d, calls, FailureReason::BudgetExhausted);
@@ -275,6 +284,8 @@ impl<'a> GapFiller<'a> {
                 attempt.insert(gap_idx + 1, CellId(c.key));
                 if !self.constraints.creates_cycle(&attempt, gap_idx + 1) {
                     tokens = attempt;
+                    prob_product *= c.prob;
+                    inserted_total += 1;
                     inserted = true;
                     break;
                 }
@@ -288,6 +299,7 @@ impl<'a> GapFiller<'a> {
             failed: false,
             model_calls: calls,
             failure_reason: None,
+            confidence: Self::geometric_mean(prob_product, inserted_total),
         }
     }
 
@@ -316,6 +328,7 @@ impl<'a> GapFiller<'a> {
                     failed: unfilled,
                     model_calls: 1,
                     failure_reason: unfilled.then_some(FailureReason::NoValidCandidates),
+                    confidence: if unfilled { 0.0 } else { c.prob.clamp(0.0, 1.0) },
                 }
             }
             None => Self::failure(s, d, 1, FailureReason::NoValidCandidates),
@@ -422,6 +435,7 @@ impl<'a> GapFiller<'a> {
                     .expect("finite scores")
             }) {
             Some(best) => SegmentOutcome {
+                confidence: Self::geometric_mean(best.prob, best.imputed),
                 tokens: best.tokens,
                 failed: false,
                 model_calls: calls,
@@ -446,6 +460,18 @@ impl<'a> GapFiller<'a> {
             failed: true,
             model_calls: calls,
             failure_reason: Some(reason),
+            confidence: 0.0,
+        }
+    }
+
+    /// Geometric mean of `count` candidate probabilities whose product is
+    /// `product`, clamped into `[0, 1]`. Zero insertions means the segment
+    /// was already complete → full confidence.
+    fn geometric_mean(product: f64, count: usize) -> f64 {
+        if count == 0 {
+            1.0
+        } else {
+            product.max(0.0).powf(1.0 / count as f64).clamp(0.0, 1.0)
         }
     }
 }
@@ -754,6 +780,41 @@ mod tests {
         let serial_out = run(&serial);
         assert_eq!(batched, serial_out);
         assert!(!batched.failed, "{batched:?}");
+    }
+
+    #[test]
+    fn confidence_reflects_candidate_probabilities() {
+        let (tok, cells, model) = street();
+        // Trivial no-gap fill is fully confident.
+        let cfg = KamelConfig::default();
+        let cons = SpatialConstraints::new(20.0, &cfg);
+        let f = filler(&tok, &model, &cons, &cfg);
+        let trivial = f.fill(cells[0], cells[0], 0.0, 10.0, None, None);
+        assert_eq!(trivial.confidence, 1.0);
+        // A real fill reports the geometric mean of the chosen candidates'
+        // probabilities: strictly inside (0, 1].
+        for strategy in [MultipointStrategy::Iterative, MultipointStrategy::Beam] {
+            let cfg = KamelConfig::builder().multipoint(strategy).build();
+            let cons = SpatialConstraints::new(20.0, &cfg);
+            let f = filler(&tok, &model, &cons, &cfg);
+            let out = f.fill(cells[2], cells[10], 0.0, 200.0, Some(cells[1]), Some(cells[11]));
+            assert!(!out.failed, "{out:?}");
+            assert!(
+                out.confidence > 0.0 && out.confidence <= 1.0,
+                "confidence out of range: {}",
+                out.confidence
+            );
+        }
+        // Failures carry zero confidence.
+        let cfg = KamelConfig::builder()
+            .multipoint(MultipointStrategy::Iterative)
+            .max_model_calls(2)
+            .build();
+        let cons = SpatialConstraints::new(20.0, &cfg);
+        let f = filler(&tok, &model, &cons, &cfg);
+        let failed = f.fill(cells[2], cells[17], 0.0, 400.0, None, None);
+        assert!(failed.failed);
+        assert_eq!(failed.confidence, 0.0);
     }
 
     #[test]

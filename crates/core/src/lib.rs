@@ -67,6 +67,6 @@ pub use config::{GridKind, KamelConfig, KamelConfigBuilder, MultipointStrategy, 
 pub use error::KamelError;
 pub use impute::SegmentOutcome;
 pub use kamel_nn::{active_isa, available_threads, set_thread_budget, thread_budget};
-pub use pipeline::{ExportedModel, ImputedTrajectory, Kamel, KamelStats};
+pub use pipeline::{replay_recall, ExportedModel, ImputedTrajectory, Kamel, KamelStats};
 pub use source::{ModelHandle, ModelSource, ResidencyStats};
 pub use tokenize::Tokenizer;

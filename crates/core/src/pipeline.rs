@@ -159,6 +159,30 @@ impl Kamel {
         &self.config
     }
 
+    /// A deep, independent copy of this system (configuration plus the
+    /// full in-heap trained state), without going through serialization.
+    ///
+    /// This is how the continual-learning trainer obtains a private
+    /// instance to retrain off-path while the original keeps serving.
+    /// Any external model source binding is *not* carried over — the
+    /// copy owns whatever models live in the heap repository — and the
+    /// quantized serving path is re-gated on the copy when the
+    /// configuration asks for it.
+    pub fn deep_clone(&self) -> Self {
+        let copy = Self {
+            config: self.config.clone(),
+            inner: RwLock::new(self.inner.read().clone()),
+            quantized: AtomicBool::new(false),
+            source: None,
+        };
+        if copy.config.quantize && copy.is_trained() {
+            if let Err(e) = copy.enable_quantization() {
+                eprintln!("warning: cloned model serves on the f32 path: {e}");
+            }
+        }
+        copy
+    }
+
     /// Overrides where serving models come from. The system keeps its
     /// tokenizer, detokenizer, and pyramid *shape*, but every model
     /// lookup goes through `source` — this is how a store-backed system
@@ -347,6 +371,44 @@ impl Kamel {
         }
     }
 
+    /// Cell-targeted retraining (the continual-learning path): trains on
+    /// only those `examples` whose tokenization touches one of the selected
+    /// `cells`, so the incremental dirty-region maintenance rebuilds just
+    /// the pyramid slots covering them. Everything else — detokenization
+    /// clusters, the speed cap, the quantization re-gate — follows the same
+    /// [`Kamel::train`] path, keeping retrained state indistinguishable
+    /// from offline-trained state. Returns the number of examples used.
+    ///
+    /// Call this on a **separate** instance loaded from the checkpoint, not
+    /// the serving one: training write-locks the model state for the whole
+    /// maintenance pass.
+    pub fn retrain_cells(&self, cells: &[CellId], examples: &[Trajectory]) -> usize {
+        let selected: Vec<Trajectory> = {
+            let guard = self.inner.read();
+            let Some(state) = guard.as_ref() else {
+                // Untrained: nothing to target, train on everything.
+                drop(guard);
+                self.train(examples);
+                return examples.len();
+            };
+            let targets: std::collections::HashSet<CellId> = cells.iter().copied().collect();
+            examples
+                .iter()
+                .filter(|t| {
+                    anchors_of(t, &state.tokenizer)
+                        .iter()
+                        .any(|a| targets.contains(&a.cell))
+                })
+                .cloned()
+                .collect()
+        };
+        let n = selected.len();
+        if n > 0 {
+            self.train(&selected);
+        }
+        n
+    }
+
     /// Imputes one sparse trajectory (the online path).
     ///
     /// This is a total function: trajectories with fewer than two points
@@ -442,6 +504,7 @@ impl Kamel {
                         failed: true,
                         model_calls: 0,
                         failure_reason: Some(crate::impute::FailureReason::NoModel),
+                        confidence: 0.0,
                     },
                     false,
                 ),
@@ -818,6 +881,7 @@ fn linear_only(sparse: &Trajectory, config: &KamelConfig) -> ImputedTrajectory {
                     failed: true,
                     model_calls: 0,
                     failure_reason: Some(crate::impute::FailureReason::NoModel),
+                    confidence: 0.0,
                 },
                 had_model: false,
             });
@@ -927,6 +991,16 @@ pub fn tune_cell_size_detailed(
         }
     }
     curve
+}
+
+/// Fraction of ground-truth fixes within `delta_m` of the imputed polyline.
+///
+/// A light-weight recall used by cell-size tuning and by the continual
+/// learner's replay-based regression gate (the evaluation crate implements
+/// the paper's full discretized metrics; this proxy is cheap enough to run
+/// on every rollout).
+pub fn replay_recall(gt: &Trajectory, imputed: &Trajectory, delta_m: f64) -> f64 {
+    recall_proxy(gt, imputed, delta_m)
 }
 
 /// Fraction of ground-truth fixes within `delta_m` of the imputed polyline

@@ -21,6 +21,7 @@
 pub mod harness;
 pub mod mapinfer;
 pub mod metrics;
+pub mod replay;
 pub mod roadtype;
 
 pub use harness::{
@@ -29,4 +30,5 @@ pub use harness::{
 };
 pub use mapinfer::{compare_maps, infer_map, rasterize_network, InferredMap, MapInferConfig, MapQuality};
 pub use metrics::{MetricsAccumulator, PointMetrics};
+pub use replay::{regression_gate, replay_score, GateReport, ReplayCase};
 pub use roadtype::{classify_segments, RoadClass};

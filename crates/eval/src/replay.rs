@@ -1,0 +1,154 @@
+//! Replay-based regression gating for continual-learning rollouts.
+//!
+//! Before a retrained checkpoint replaces the serving generation, both
+//! systems impute the same held-out replay set (sparse request → known
+//! ground truth, typically from `/v1/feedback` corrections) and are
+//! scored with the core's recall proxy. The rollout proceeds only when
+//! the new model's score has not dropped by more than an epsilon — a
+//! cheap, deterministic answer to "did this retrain make serving worse?".
+
+use kamel::{replay_recall, Kamel};
+use kamel_geo::Trajectory;
+
+/// One held-out replay example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayCase {
+    /// The sparse trajectory as a client would submit it.
+    pub sparse: Trajectory,
+    /// The dense ground truth for the same trip.
+    pub truth: Trajectory,
+}
+
+/// The gate's verdict, with both scores for the audit log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Replay cases scored.
+    pub cases: usize,
+    /// Mean replay recall of the serving (old) system.
+    pub old_score: f64,
+    /// Mean replay recall of the retrained (new) system.
+    pub new_score: f64,
+    /// Allowed score drop.
+    pub epsilon: f64,
+    /// `true` when the new system may roll out.
+    pub pass: bool,
+}
+
+/// Mean replay recall of `kamel` over `cases` at threshold `delta_m`.
+/// An empty case list scores 0.
+pub fn replay_score(kamel: &Kamel, cases: &[ReplayCase], delta_m: f64) -> f64 {
+    if cases.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = cases
+        .iter()
+        .map(|c| replay_recall(&c.truth, &kamel.impute(&c.sparse).trajectory, delta_m))
+        .sum();
+    total / cases.len() as f64
+}
+
+/// Scores `old` and `new` on the same replay set and passes iff the new
+/// score is within `epsilon` of the old one (improvements always pass).
+/// An empty replay set passes vacuously — with nothing to compare, the
+/// gate cannot justify blocking a rollout.
+pub fn regression_gate(
+    old: &Kamel,
+    new: &Kamel,
+    cases: &[ReplayCase],
+    delta_m: f64,
+    epsilon: f64,
+) -> GateReport {
+    let old_score = replay_score(old, cases, delta_m);
+    let new_score = replay_score(new, cases, delta_m);
+    GateReport {
+        cases: cases.len(),
+        old_score,
+        new_score,
+        epsilon,
+        pass: cases.is_empty() || new_score + epsilon >= old_score,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamel::KamelConfig;
+    use kamel_geo::GpsPoint;
+
+    /// Trips along an L-shaped street (east, then a 90° turn north),
+    /// fixes every ~84–111 m. The corner matters: an untrained system's
+    /// straight-line fallback cuts it, so only a trained model scores
+    /// well here.
+    fn street_corpus(n: usize) -> Vec<Trajectory> {
+        (0..n)
+            .map(|_| {
+                Trajectory::new(
+                    (0..30)
+                        .map(|i| {
+                            let (lat, lng) = if i < 15 {
+                                (41.15, -8.61 + i as f64 * 0.001)
+                            } else {
+                                (41.15 + (i - 14) as f64 * 0.001, -8.61 + 14.0 * 0.001)
+                            };
+                            GpsPoint::from_parts(lat, lng, i as f64 * 10.0)
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Small pyramid + low model threshold so 30 trips are enough to
+    /// build serving models.
+    fn trained_config() -> KamelConfig {
+        KamelConfig::builder()
+            .model_threshold_k(50)
+            .pyramid_height(3)
+            .build()
+    }
+
+    fn replay_cases(corpus: &[Trajectory]) -> Vec<ReplayCase> {
+        corpus
+            .iter()
+            .take(3)
+            .map(|gt| ReplayCase {
+                sparse: gt.sparsify(1000.0),
+                truth: gt.clone(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trained_beats_untrained_and_gate_blocks_the_downgrade() {
+        let corpus = street_corpus(30);
+        let cases = replay_cases(&corpus);
+        let trained = Kamel::new(trained_config());
+        trained.train(&corpus);
+        let untrained = Kamel::new(trained_config());
+        let up = regression_gate(&untrained, &trained, &cases, 50.0, 0.01);
+        assert!(up.pass, "improvement must pass: {up:?}");
+        assert!(up.new_score > up.old_score);
+        let down = regression_gate(&trained, &untrained, &cases, 50.0, 0.01);
+        assert!(!down.pass, "regression must be blocked: {down:?}");
+    }
+
+    #[test]
+    fn identical_systems_pass_at_zero_epsilon() {
+        let corpus = street_corpus(30);
+        let cases = replay_cases(&corpus);
+        let kamel = Kamel::new(trained_config());
+        kamel.train(&corpus);
+        let report = regression_gate(&kamel, &kamel, &cases, 50.0, 0.0);
+        assert!(report.pass);
+        assert_eq!(report.old_score, report.new_score);
+    }
+
+    #[test]
+    fn empty_replay_set_passes_vacuously() {
+        let a = Kamel::new(KamelConfig::default());
+        let b = Kamel::new(KamelConfig::default());
+        let report = regression_gate(&a, &b, &[], 50.0, 0.0);
+        assert!(report.pass);
+        assert_eq!(report.cases, 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Active-learning cell selection: where should the retraining budget go?
+//!
+//! Every capture batch is reduced to per-cell evidence, and cells are
+//! ranked by a weighted need score:
+//!
+//! * **disagreement** — how far the model's answers sit from ground-truth
+//!   feedback (1 − replay recall). The strongest signal: the model is
+//!   *known* wrong there.
+//! * **uncertainty** — 1 − mean beam confidence of served answers. The
+//!   model suspects itself.
+//! * **traffic** — log-scaled request volume; fixing a busy cell pays
+//!   more than fixing a quiet one.
+//! * **staleness** — rounds since the cell was last retrained; keeps
+//!   rarely-selected cells from starving forever.
+//!
+//! The scorer is a pure function over accumulated [`CellStats`], so its
+//! ranking is unit-testable without models or I/O.
+
+use std::collections::HashMap;
+
+/// Accumulated evidence about one pyramid cell.
+#[derive(Debug, Clone, Default)]
+pub struct CellStats {
+    /// Requests whose gap context touched this cell.
+    pub traffic: u64,
+    /// Sum of per-request beam confidences (over `confidence_n` samples).
+    pub confidence_sum: f64,
+    /// Confidence samples counted into `confidence_sum`.
+    pub confidence_n: u64,
+    /// Sum of feedback disagreements (1 − replay recall, over
+    /// `disagreement_n` samples).
+    pub disagreement_sum: f64,
+    /// Disagreement samples counted into `disagreement_sum`.
+    pub disagreement_n: u64,
+    /// Retrain round that last selected this cell (0 = never).
+    pub last_selected_round: u64,
+}
+
+impl CellStats {
+    /// Mean served confidence, defaulting optimistic (1.0) with no data.
+    pub fn mean_confidence(&self) -> f64 {
+        if self.confidence_n == 0 {
+            1.0
+        } else {
+            self.confidence_sum / self.confidence_n as f64
+        }
+    }
+
+    /// Mean feedback disagreement, defaulting to 0 with no feedback.
+    pub fn mean_disagreement(&self) -> f64 {
+        if self.disagreement_n == 0 {
+            0.0
+        } else {
+            self.disagreement_sum / self.disagreement_n as f64
+        }
+    }
+}
+
+/// Scoring weights and the per-round budget.
+#[derive(Debug, Clone)]
+pub struct SelectionConfig {
+    /// Cells retrained per round at most.
+    pub max_cells: usize,
+    /// Weight of feedback disagreement.
+    pub w_disagreement: f64,
+    /// Weight of (1 − confidence).
+    pub w_uncertainty: f64,
+    /// Weight of log-scaled traffic.
+    pub w_traffic: f64,
+    /// Weight of staleness.
+    pub w_staleness: f64,
+    /// Cells below this score are never selected — retraining a cell the
+    /// model already serves well wastes the budget and churns
+    /// generations.
+    pub min_score: f64,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        Self {
+            max_cells: 4,
+            w_disagreement: 4.0,
+            w_uncertainty: 2.0,
+            w_traffic: 1.0,
+            w_staleness: 0.25,
+            min_score: 0.05,
+        }
+    }
+}
+
+/// The retraining-need score of one cell at `round`.
+pub fn need_score(stats: &CellStats, round: u64, cfg: &SelectionConfig) -> f64 {
+    if stats.traffic == 0 {
+        return 0.0; // nothing observed; nothing to learn
+    }
+    // Weakness is the gate: a cell with perfect confidence and no
+    // feedback scores 0 no matter how busy it is — traffic and staleness
+    // only *amplify* evidence of weakness, they are never a reason to
+    // retrain on their own (busy healthy cells must not churn
+    // generations).
+    let weak = stats.disagreement_n > 0 || stats.mean_confidence() < 1.0;
+    if !weak {
+        return 0.0;
+    }
+    let staleness = round.saturating_sub(stats.last_selected_round) as f64;
+    cfg.w_disagreement * stats.mean_disagreement()
+        + cfg.w_uncertainty * (1.0 - stats.mean_confidence())
+        + cfg.w_traffic * ((1.0 + stats.traffic as f64).ln() / 10.0)
+        + cfg.w_staleness * (staleness / (1.0 + staleness))
+}
+
+/// Ranks cells by [`need_score`] and returns the top `cfg.max_cells`
+/// above `cfg.min_score`, highest first. Ties break on cell id so the
+/// selection is deterministic.
+pub fn select_cells(
+    stats: &HashMap<u64, CellStats>,
+    round: u64,
+    cfg: &SelectionConfig,
+) -> Vec<u64> {
+    let mut scored: Vec<(u64, f64)> = stats
+        .iter()
+        .map(|(&cell, s)| (cell, need_score(s, round, cfg)))
+        .filter(|&(_, score)| score >= cfg.min_score)
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite scores")
+            .then(a.0.cmp(&b.0))
+    });
+    scored.truncate(cfg.max_cells);
+    scored.into_iter().map(|(cell, _)| cell).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(
+        traffic: u64,
+        mean_conf: f64,
+        conf_n: u64,
+        mean_dis: f64,
+        dis_n: u64,
+    ) -> CellStats {
+        CellStats {
+            traffic,
+            confidence_sum: mean_conf * conf_n as f64,
+            confidence_n: conf_n,
+            disagreement_sum: mean_dis * dis_n as f64,
+            disagreement_n: dis_n,
+            last_selected_round: 0,
+        }
+    }
+
+    #[test]
+    fn disagreement_dominates_selection() {
+        let mut m = HashMap::new();
+        // Busy + confident + agreed: healthy, low score.
+        m.insert(1, stats(1000, 0.95, 1000, 0.02, 10));
+        // Moderate traffic but feedback says it is wrong.
+        m.insert(2, stats(50, 0.9, 50, 0.8, 5));
+        // Low confidence, no feedback.
+        m.insert(3, stats(50, 0.3, 50, 0.0, 0));
+        let cfg = SelectionConfig {
+            max_cells: 2,
+            ..SelectionConfig::default()
+        };
+        let picked = select_cells(&m, 1, &cfg);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0], 2, "known-wrong cell must rank first");
+        assert_eq!(picked[1], 3, "uncertain cell second");
+    }
+
+    #[test]
+    fn untouched_cells_are_never_selected() {
+        let mut m = HashMap::new();
+        m.insert(7, CellStats::default()); // zero traffic
+        assert!(select_cells(&m, 3, &SelectionConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn healthy_cells_fall_under_min_score() {
+        let mut m = HashMap::new();
+        // Light traffic, perfect confidence, feedback fully agrees.
+        m.insert(9, stats(3, 1.0, 3, 0.0, 3));
+        let cfg = SelectionConfig {
+            min_score: 0.5,
+            ..SelectionConfig::default()
+        };
+        assert!(select_cells(&m, 1, &cfg).is_empty());
+    }
+
+    #[test]
+    fn budget_and_tiebreak_are_deterministic() {
+        let mut m = HashMap::new();
+        for cell in [5u64, 3, 8, 1] {
+            m.insert(cell, stats(10, 0.5, 10, 0.5, 2));
+        }
+        let cfg = SelectionConfig {
+            max_cells: 3,
+            ..SelectionConfig::default()
+        };
+        // Equal evidence: ties break on ascending cell id.
+        assert_eq!(select_cells(&m, 1, &cfg), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn staleness_needs_some_evidence_of_weakness() {
+        // A cell with traffic but perfect confidence and no feedback must
+        // not accrue staleness score (nothing suggests it is weak).
+        let healthy = stats(100, 1.0, 100, 0.0, 0);
+        let score = need_score(&healthy, 1000, &SelectionConfig::default());
+        let cfg = SelectionConfig::default();
+        assert!(score < cfg.w_traffic * (101.0_f64).ln() / 10.0 + 1e-9);
+    }
+}

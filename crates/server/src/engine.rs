@@ -4,6 +4,7 @@
 //! system; everything else (framing, batching, caching, shedding,
 //! shutdown) is `std`-only and tested against stub services.
 
+use crate::learn::{FeedbackAck, FeedbackRequest, LearnSink};
 use crate::server::{fnv1a, CacheKey, WireService};
 use kamel::{ImputedTrajectory, Kamel};
 use kamel_baselines::{LinearImputer, TrajectoryImputer};
@@ -117,6 +118,10 @@ pub struct InfoResponse {
     /// store (`kamel serve --store`); absent for heap-resident systems.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub store: Option<kamel::ResidencyStats>,
+    /// Continual-learning loop state when a learner is attached
+    /// (`kamel serve --learn`); absent otherwise.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub learning: Option<crate::learn::LearningInfo>,
 }
 
 /// The config digest reported in [`InfoResponse::config_digest`].
@@ -154,6 +159,10 @@ pub struct ImputeEngine {
     /// re-enable (and re-gate) it on the freshly loaded system, because
     /// the int8 artifact is derived state that never persists.
     quantize: bool,
+    /// Where served traffic is teed for the continual learner (`kamel
+    /// serve --learn`). Every call into it is non-blocking by the
+    /// [`LearnSink`] contract, so capture can never slow serving.
+    sink: Option<Arc<dyn LearnSink>>,
 }
 
 impl ImputeEngine {
@@ -166,6 +175,7 @@ impl ImputeEngine {
             generation: AtomicU64::new(0),
             shard: None,
             quantize: false,
+            sink: None,
         }
     }
 
@@ -195,6 +205,7 @@ impl ImputeEngine {
             generation: AtomicU64::new(0),
             shard: None,
             quantize: false,
+            sink: None,
         }
     }
 
@@ -211,6 +222,15 @@ impl ImputeEngine {
     /// system (and refusing startup on gate failure) is the caller's job.
     pub fn with_quantization(mut self, on: bool) -> Self {
         self.quantize = on;
+        self
+    }
+
+    /// Attaches a continual-learning capture sink (`kamel serve --learn`):
+    /// completed imputations and feedback corrections are teed into it,
+    /// its counters appear on `/metrics` and `/v1/info`, and
+    /// `POST /v1/feedback` starts answering 200 instead of 404.
+    pub fn with_learn_sink(mut self, sink: Arc<dyn LearnSink>) -> Self {
+        self.sink = Some(sink);
         self
     }
 
@@ -233,6 +253,7 @@ impl ImputeEngine {
             simd_isa: kamel::active_isa().to_string(),
             quantized: kamel.is_quantized(),
             store: kamel.residency(),
+            learning: self.sink.as_ref().map(|s| s.learning()),
         }
     }
 
@@ -281,7 +302,17 @@ impl WireService for ImputeEngine {
         // One snapshot per batch: a reload mid-batch cannot mix models
         // within it, and the read lock is held only for the clone.
         let kamel = self.kamel();
-        kamel.impute_batch(&jobs)
+        let outs = kamel.impute_batch(&jobs);
+        // Tee completed answers to the continual learner. The sink's
+        // contract makes this a try_send: a full queue drops the record
+        // and the response is unaffected. Cache hits never reach this
+        // point — only freshly computed answers are capture candidates.
+        if let Some(sink) = &self.sink {
+            for (job, out) in jobs.iter().zip(&outs) {
+                sink.on_impute(job, out);
+            }
+        }
+        outs
     }
 
     fn render(&self, out: &ImputedTrajectory) -> Vec<u8> {
@@ -323,25 +354,69 @@ impl WireService for ImputeEngine {
         ))
     }
 
+    fn feedback(&self, body: &[u8]) -> Option<Result<Vec<u8>, String>> {
+        let sink = self.sink.as_ref()?;
+        let parsed: Result<FeedbackRequest, String> = serde_json::from_slice(body)
+            .map_err(|e| format!("invalid feedback JSON: {e}"));
+        Some(parsed.and_then(|req| {
+            if req.truth.points.len() < 2 {
+                return Err("ground truth needs at least 2 fixes".into());
+            }
+            for p in req.sparse.points.iter().chain(&req.truth.points) {
+                if !p.pos.lat.is_finite() || !p.pos.lng.is_finite() || !p.t.is_finite() {
+                    return Err("non-finite coordinate or timestamp".into());
+                }
+            }
+            sink.on_feedback(&req.sparse, &req.truth);
+            let ack = FeedbackAck {
+                status: "accepted".to_string(),
+                queue_records: sink.learning().queue_records,
+            };
+            serde_json::to_vec(&ack).map_err(|e| format!("render failed: {e}"))
+        }))
+    }
+
     fn extra_metrics(&self) -> String {
-        let Some(r) = self.kamel().residency() else {
-            return String::new();
-        };
-        format!(
-            "kamel_store_resident_models {}\n\
-             kamel_store_pinned_models {}\n\
-             kamel_store_total_models {}\n\
-             kamel_store_evictions_total {}\n\
-             kamel_store_bytes_resident {}\n\
-             kamel_store_bytes_mapped {}\n\
-             kamel_store_budget_bytes {}\n",
-            r.resident_models,
-            r.pinned_models,
-            r.total_models,
-            r.evictions_total,
-            r.bytes_resident,
-            r.bytes_mapped,
-            r.budget_bytes
-        )
+        let mut out = String::new();
+        if let Some(r) = self.kamel().residency() {
+            out.push_str(&format!(
+                "kamel_store_resident_models {}\n\
+                 kamel_store_pinned_models {}\n\
+                 kamel_store_total_models {}\n\
+                 kamel_store_evictions_total {}\n\
+                 kamel_store_bytes_resident {}\n\
+                 kamel_store_bytes_mapped {}\n\
+                 kamel_store_budget_bytes {}\n",
+                r.resident_models,
+                r.pinned_models,
+                r.total_models,
+                r.evictions_total,
+                r.bytes_resident,
+                r.bytes_mapped,
+                r.budget_bytes
+            ));
+        }
+        if let Some(sink) = &self.sink {
+            let l = sink.learning();
+            out.push_str(&format!(
+                "kamel_learn_captured_total {}\n\
+                 kamel_learn_dropped_total {}\n\
+                 kamel_learn_queue_records {}\n\
+                 kamel_learn_queue_bytes {}\n\
+                 kamel_learn_retrains_total {}\n\
+                 kamel_learn_rollbacks_total {}\n\
+                 kamel_learn_cells_retrained_total {}\n\
+                 kamel_learn_last_generation {}\n",
+                l.captured_total,
+                l.dropped_total,
+                l.queue_records,
+                l.queue_bytes,
+                l.retrains_total,
+                l.rollbacks_total,
+                l.cells_retrained_total,
+                l.last_generation
+            ));
+        }
+        out
     }
 }

@@ -44,6 +44,7 @@ pub mod client;
 pub mod clock;
 pub mod engine;
 pub mod http;
+pub mod learn;
 pub mod lru;
 pub mod metrics;
 pub mod poller;
@@ -56,6 +57,7 @@ pub use client::{Client, ClientResponse, RequestOpts, RetryPolicy, RetryingClien
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use engine::{config_digest, ImputeEngine, ImputeResponse, InfoResponse};
 pub use http::{DEADLINE_HEADER, DEGRADED_HEADER};
+pub use learn::{FeedbackAck, FeedbackRequest, LearnSink, LearningInfo};
 pub use lru::LruCache;
 pub use metrics::Metrics;
 pub use reactor::{ConnStats, ReactorConfig};

@@ -120,6 +120,14 @@ pub trait WireService: Send + Sync + 'static {
     fn degraded(&self, _job: &Self::Job, _reason: &str) -> Option<Vec<u8>> {
         None
     }
+    /// Handles `POST /v1/feedback` — a ground-truth correction for the
+    /// continual learner. `None` means learning is not enabled on this
+    /// service (the route answers 404); `Some(Err)` is a malformed body
+    /// (400); `Some(Ok(body))` is the 200 acknowledgement JSON. Must not
+    /// block: it runs on a connection handler thread.
+    fn feedback(&self, _body: &[u8]) -> Option<Result<Vec<u8>, String>> {
+        None
+    }
 }
 
 /// How the server multiplexes connections.
@@ -633,8 +641,13 @@ fn route<S: WireService>(
             shared.service.info(),
             shared.conn_stats.active.load(Ordering::Relaxed),
         )),
+        ("POST", "/v1/feedback") => match shared.service.feedback(&request.body) {
+            None => Response::text(404, "learning not enabled\n"),
+            Some(Err(msg)) => Response::text(400, format!("{msg}\n")),
+            Some(Ok(body)) => Response::json(body),
+        },
         (_, "/v1/impute") | (_, "/admin/reload") | (_, "/healthz") | (_, "/metrics")
-        | (_, "/v1/info") => Response::text(405, "method not allowed\n"),
+        | (_, "/v1/info") | (_, "/v1/feedback") => Response::text(405, "method not allowed\n"),
         _ => Response::text(404, "not found\n"),
     }
 }
@@ -983,6 +996,65 @@ mod tests {
         assert_eq!(health.text(), "ok\n");
         assert_eq!(c.get("/nope").unwrap().status, 404);
         assert_eq!(c.post_json("/healthz", b"x").unwrap().status, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn feedback_route_404s_without_learning() {
+        let server = start(Arc::new(StubService::new()), test_config());
+        let mut c = client(&server);
+        // The default service has no learn sink: the route exists but
+        // reports learning as not enabled, and non-POST methods are 405.
+        assert_eq!(c.post_json("/v1/feedback", b"{}").unwrap().status, 404);
+        assert_eq!(c.get("/v1/feedback").unwrap().status, 405);
+        server.shutdown();
+    }
+
+    /// A minimal service whose `feedback` is wired: accepts bodies that
+    /// start with `{`, rejects the rest.
+    struct FeedbackStub;
+
+    impl WireService for FeedbackStub {
+        type Job = String;
+        type Out = String;
+
+        fn parse(&self, body: &[u8]) -> Result<String, String> {
+            Ok(String::from_utf8_lossy(body).into_owned())
+        }
+
+        fn cache_key(&self, _job: &String) -> Option<CacheKey> {
+            None
+        }
+
+        fn run_batch(&self, jobs: Vec<String>) -> Vec<String> {
+            jobs
+        }
+
+        fn render(&self, out: &String) -> Vec<u8> {
+            out.clone().into_bytes()
+        }
+
+        fn feedback(&self, body: &[u8]) -> Option<Result<Vec<u8>, String>> {
+            Some(if body.first() == Some(&b'{') {
+                Ok(b"{\"status\":\"accepted\",\"queue_records\":1}".to_vec())
+            } else {
+                Err("invalid feedback JSON".into())
+            })
+        }
+    }
+
+    #[test]
+    fn feedback_route_acks_and_rejects_through_the_service() {
+        let server = Server::bind("127.0.0.1:0", Arc::new(FeedbackStub), test_config())
+            .expect("bind");
+        let mut c = client(&server);
+        let ok = c.post_json("/v1/feedback", b"{\"sparse\":1}").unwrap();
+        assert_eq!(ok.status, 200);
+        assert_eq!(ok.header("content-type"), Some("application/json"));
+        assert!(ok.text().contains("accepted"));
+        let bad = c.post_json("/v1/feedback", b"not json").unwrap();
+        assert_eq!(bad.status, 400);
+        assert!(bad.text().contains("invalid feedback"));
         server.shutdown();
     }
 
